@@ -1,0 +1,63 @@
+// Command minicc compiles minic (the repository's C subset) to MIPS-subset
+// assembly, optionally running the result on the functional interpreter —
+// the stand-in for the paper's gcc toolchain.
+//
+// Usage:
+//
+//	minicc prog.c            # emit assembly on stdout
+//	minicc -run prog.c       # compile and execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/minic"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the compiled program")
+	maxInsts := flag.Uint64("max", 100_000_000, "instruction limit when running")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-run] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minicc: %v\n", err)
+		os.Exit(1)
+	}
+	if !*run {
+		text, err := minic.CompileToAsm(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minicc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		return
+	}
+	p, err := minic.Compile(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minicc: %v\n", err)
+		os.Exit(1)
+	}
+	m := mem.NewMemory()
+	p.LoadInto(m)
+	c := cpu.New(m, p.Entry, asm.DefaultStackTop)
+	n, err := c.Run(*maxInsts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minicc: runtime error after %d instructions: %v\n", n, err)
+		os.Exit(1)
+	}
+	if !c.Done {
+		fmt.Fprintf(os.Stderr, "minicc: instruction limit reached\n")
+		os.Exit(1)
+	}
+	os.Stdout.Write(c.Output.Bytes())
+	fmt.Printf("\n[%d instructions, exit code %d]\n", n, c.ExitCode)
+}

@@ -1,0 +1,76 @@
+// Command sigasm assembles a MIPS-subset source file, optionally
+// disassembles or runs it on the functional interpreter, and reports the
+// significance-compression view of the program.
+//
+// Usage:
+//
+//	sigasm prog.s             # assemble, print disassembly
+//	sigasm -run prog.s        # assemble and execute (prints output/exit)
+//	sigasm -compress prog.s   # per-instruction fetch sizes under §2.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program after assembling")
+	compress := flag.Bool("compress", false, "show per-instruction compressed fetch sizes")
+	maxInsts := flag.Uint64("max", 100_000_000, "instruction limit when running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sigasm [-run|-compress] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigasm: %v\n", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigasm: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *run:
+		m := mem.NewMemory()
+		p.LoadInto(m)
+		c := cpu.New(m, p.Entry, asm.DefaultStackTop)
+		n, err := c.Run(*maxInsts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigasm: runtime error after %d instructions: %v\n", n, err)
+			os.Exit(1)
+		}
+		if !c.Done {
+			fmt.Fprintf(os.Stderr, "sigasm: instruction limit (%d) reached\n", *maxInsts)
+			os.Exit(1)
+		}
+		os.Stdout.Write(c.Output.Bytes())
+		fmt.Printf("\n[%d instructions, exit code %d]\n", n, c.ExitCode)
+	case *compress:
+		rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+		var total int
+		for i, w := range p.Text {
+			pc := p.TextBase + uint32(4*i)
+			n := rc.FetchBytes(w)
+			total += n
+			fmt.Printf("%08x:  %d bytes  %s\n", pc, n, isa.Decode(w).Disassemble(pc))
+		}
+		fmt.Printf("static mean: %.2f bytes/instruction\n", float64(total)/float64(len(p.Text)))
+	default:
+		fmt.Print(asm.Disassemble(p))
+		fmt.Printf("text: %d words at %#x; data: %d bytes at %#x; entry %#x\n",
+			len(p.Text), p.TextBase, len(p.Data), p.DataBase, p.Entry)
+	}
+}

@@ -1,0 +1,142 @@
+// Command sigsim runs one benchmark of the suite on one (or every)
+// pipeline model and reports CPI, stall breakdown and per-stage activity
+// reductions.
+//
+// Usage:
+//
+//	sigsim -list                      # list benchmarks and models
+//	sigsim -bench rawcaudio           # all models on one benchmark
+//	sigsim -bench crc32 -model byteserial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/activity"
+	"repro/internal/bench"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "benchmark to run (see -list)")
+	modelName := flag.String("model", "", "pipeline model (default: all)")
+	pipeDiagram := flag.Int("pipe", 0, "render a pipeline diagram of the first N instructions (requires -model)")
+	list := flag.Bool("list", false, "list benchmarks and models")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range bench.All() {
+			fmt.Printf("  %-10s %s\n", b.Name, b.Description)
+		}
+		fmt.Println("models:")
+		for _, m := range pipeline.AllNames() {
+			fmt.Printf("  %s\n", m)
+		}
+		return
+	}
+
+	b, ok := bench.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sigsim: unknown benchmark %q (use -list)\n", *benchName)
+		os.Exit(2)
+	}
+
+	names := pipeline.AllNames()
+	if *modelName != "" {
+		if pipeline.New(*modelName) == nil {
+			fmt.Fprintf(os.Stderr, "sigsim: unknown model %q (use -list)\n", *modelName)
+			os.Exit(2)
+		}
+		names = []string{*modelName}
+	}
+
+	rc, _, err := trace.SuiteRecoder(bench.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	c, err := b.NewCPU()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+		os.Exit(1)
+	}
+	models := make([]*pipeline.Model, len(names))
+	consumers := make([]trace.Consumer, 0, len(names)+1)
+	var timeline *pipeline.Timeline
+	for i, n := range names {
+		models[i] = pipeline.New(n)
+		if *pipeDiagram > 0 && len(names) == 1 {
+			timeline = pipeline.NewTimeline(models[i], *pipeDiagram)
+		}
+		consumers = append(consumers, models[i])
+	}
+	if *pipeDiagram > 0 && timeline == nil {
+		fmt.Fprintln(os.Stderr, "sigsim: -pipe requires a single -model")
+		os.Exit(2)
+	}
+	byteCol := activity.NewCollector(1, rc, c.Mem)
+	consumers = append(consumers, byteCol)
+
+	if err := trace.RunOn(c, b, rc, consumers...); err != nil {
+		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark %s: %d instructions, checksum %#08x verified\n\n",
+		b.Name, c.Retired, b.Checksum)
+
+	if timeline != nil {
+		fmt.Print(timeline.Render())
+		fmt.Println()
+	}
+
+	var baseCPI float64
+	for _, m := range models {
+		if m.Name() == pipeline.NameBaseline32 {
+			baseCPI = m.Result().CPI()
+		}
+	}
+	t := stats.NewTable("CPI", "model", "cycles", "CPI", "vs baseline32")
+	for _, m := range models {
+		r := m.Result()
+		ratio := "n/a"
+		if baseCPI > 0 {
+			ratio = stats.Ratio(r.CPI(), baseCPI)
+		}
+		t.AddStringRow(r.Model, fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.3f", r.CPI()), ratio)
+	}
+	fmt.Println(t.String())
+
+	for _, m := range models {
+		r := m.Result()
+		if len(r.Stalls) == 0 {
+			continue
+		}
+		kinds := make([]string, 0, len(r.Stalls))
+		for k := range r.Stalls {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		fmt.Printf("stalls %s:", r.Model)
+		for _, k := range kinds {
+			fmt.Printf(" %s=%d", k, r.Stalls[pipeline.StallKind(k)])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	at := stats.NewTable("Activity reduction (byte granularity)", "stage", "reduction")
+	row := byteCol.Counts().Row()
+	for i, s := range activity.Stages() {
+		at.AddStringRow(s, stats.Pct(row[i]))
+	}
+	fmt.Println(at.String())
+}

@@ -1,0 +1,118 @@
+// Command sigtrace records benchmark execution traces to disk and replays
+// them through pipeline models and activity collectors — the classic
+// trace-driven-simulation workflow (record once, study many times).
+//
+// Usage:
+//
+//	sigtrace -record -bench rawcaudio -o rawcaudio.trc
+//	sigtrace -replay rawcaudio.trc -model byteserial
+//	sigtrace -replay rawcaudio.trc            # all models + activity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/activity"
+	"repro/internal/bench"
+	"repro/internal/icomp"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a benchmark trace")
+	benchName := flag.String("bench", "", "benchmark to record")
+	out := flag.String("o", "trace.trc", "output file for -record")
+	replay := flag.String("replay", "", "trace file to replay")
+	modelName := flag.String("model", "", "pipeline model for replay (default: all)")
+	flag.Parse()
+
+	switch {
+	case *record:
+		if err := doRecord(*benchName, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "sigtrace: %v\n", err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *modelName); err != nil {
+			fmt.Fprintf(os.Stderr, "sigtrace: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(name, out string) error {
+	b, ok := bench.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have: %v)", name, bench.Names())
+	}
+	rc, _, err := trace.SuiteRecoder(bench.All())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	if _, err := trace.Run(b, rc, w); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", w.Count(), b.Name, out)
+	return nil
+}
+
+func doReplay(path, modelName string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+
+	names := pipeline.AllNames()
+	if modelName != "" {
+		if pipeline.New(modelName) == nil {
+			return fmt.Errorf("unknown model %q", modelName)
+		}
+		names = []string{modelName}
+	}
+	models := make([]*pipeline.Model, len(names))
+	consumers := make([]trace.Consumer, 0, len(names))
+	for i, n := range names {
+		models[i] = pipeline.New(n)
+		consumers = append(consumers, models[i])
+	}
+	patterns := activity.NewPatternStats()
+	consumers = append(consumers, patterns)
+
+	n, err := r.Replay(rc, consumers...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d instructions from %s\n\n", n, path)
+	t := stats.NewTable("CPI (replayed)", "model", "CPI")
+	for _, m := range models {
+		t.AddStringRow(m.Name(), fmt.Sprintf("%.3f", m.Result().CPI()))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("operand 2-bit coverage: %.1f%%\n", patterns.TwoBitCoverage())
+	return nil
+}

@@ -1,0 +1,81 @@
+// Compiled kernel: write a workload in C (the repository's minic subset),
+// compile it with the built-in compiler, and evaluate it across the
+// paper's pipeline designs — the full gcc-style workflow of the paper's §3
+// in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/pipeline"
+)
+
+// A small convolution written in C.
+const csrc = `
+int signal[64] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3,
+                  2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5,
+                  0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7,
+                  5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2};
+int kernel[5] = {1, 4, 6, 4, 1};
+int out[64];
+
+int main() {
+    int i;
+    int k;
+    for (i = 2; i < 62; i += 1) {
+        int acc = 0;
+        for (k = 0; k < 5; k += 1) {
+            acc += signal[i + k - 2] * kernel[k];
+        }
+        out[i] = acc >> 4;
+    }
+    int sum = 0;
+    for (i = 0; i < 64; i += 1) {
+        sum = (sum << 5) + sum + out[i];
+    }
+    print_int(sum);
+    return sum;
+}
+`
+
+func main() {
+	asmText, err := minic.CompileToAsm(csrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %d lines of C to %d lines of assembly\n\n",
+		countLines(csrc), countLines(asmText))
+
+	m := core.NewMachine(core.Config{
+		Models: []string{
+			pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelSkewedBypass,
+		},
+		Granularities: []int{1},
+	})
+	rep, err := m.EvaluateSource(asmText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %s (%d instructions)\n\n", rep.Output, rep.Insts)
+	base := rep.CPI(pipeline.NameBaseline32)
+	for _, n := range []string{pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelSkewedBypass} {
+		fmt.Printf("  %-14s CPI %.3f (%+.1f%%)\n", n, rep.CPI(n), 100*(rep.CPI(n)/base-1))
+	}
+	fmt.Printf("\nactivity saved (byte scheme): RF read %.1f%%, ALU %.1f%%, latches %.1f%%\n",
+		rep.Activity[1].RFRead.Reduction(),
+		rep.Activity[1].ALU.Reduction(),
+		rep.Activity[1].Latch.Reduction())
+}
+
+func countLines(s string) int {
+	n := 1
+	for _, c := range s {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

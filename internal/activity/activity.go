@@ -1,0 +1,362 @@
+// Package activity implements the paper's trace-driven activity study
+// (§2.9): per-pipeline-stage counts of bits that are read, written, operated
+// on, or latched, for a conventional 32-bit pipeline versus the
+// significance-compressed pipeline, at byte (Table 5) and halfword
+// (Table 6) granularity.
+package activity
+
+import (
+	"repro/internal/icomp"
+	"repro/internal/mem"
+	"repro/internal/sig"
+	"repro/internal/trace"
+)
+
+// StageBits accumulates baseline and compressed bit counts for one stage.
+type StageBits struct {
+	Baseline   uint64
+	Compressed uint64
+}
+
+// Add accumulates one event's bits.
+func (s *StageBits) Add(baseline, compressed int) {
+	s.Baseline += uint64(baseline)
+	s.Compressed += uint64(compressed)
+}
+
+// Reduction returns the percent activity saving (0 when idle).
+func (s StageBits) Reduction() float64 {
+	if s.Baseline == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(s.Compressed)/float64(s.Baseline))
+}
+
+// Counts carries the per-stage tallies of one benchmark run — the columns
+// of the paper's Tables 5 and 6.
+type Counts struct {
+	Fetch      StageBits // instruction fetch (I-cache reads + fills)
+	RFRead     StageBits // register file read ports
+	RFWrite    StageBits // register write-back
+	ALU        StageBits
+	DCacheData StageBits // data array: loads, stores, fills, writebacks
+	DCacheTag  StageBits // tag array
+	PCIncr     StageBits // PC increment / redirect
+	Latch      StageBits // inter-stage pipeline latches
+	Insts      uint64
+}
+
+const (
+	baselineWord  = 32
+	baselineLatch = 160 // IF(32) + two operands(64) + EX out(32) + MEM out(32)
+)
+
+// Collector consumes annotated trace events and accumulates Counts. It owns
+// a private cache hierarchy (for fill and tag accounting) and reads line
+// contents from the running program's memory at fill time, which is when
+// the paper generates extension bits ("new extension bit values are
+// generated only when there is a cache line filled from main memory", §1).
+type Collector struct {
+	g      int // block size in bytes: 1 or 2
+	scheme Scheme
+	rc     *icomp.Recoder
+	hier   *mem.Hierarchy
+	memory *mem.Memory
+
+	dataTagBits int
+	counts      Counts
+}
+
+// Scheme selects the data-compression encoding under study (§2.1).
+type Scheme int
+
+// Available schemes.
+const (
+	// Scheme3 is the paper's primary choice: three extension bits, one per
+	// upper byte, allowing internal extension bytes (9% overhead).
+	Scheme3 Scheme = 3
+	// Scheme2 is the two-bit count alternative: only contiguous
+	// most-significant extension bytes compress (6% overhead).
+	Scheme2 Scheme = 2
+)
+
+// NewCollector builds a collector at granularity g (1 = byte for Table 5,
+// 2 = halfword for Table 6) using the paper's 3-bit scheme. memory is the
+// running program's address space.
+func NewCollector(g int, rc *icomp.Recoder, memory *mem.Memory) *Collector {
+	return NewCollectorScheme(g, Scheme3, rc, memory)
+}
+
+// NewCollectorScheme additionally selects the extension-bit scheme (only
+// meaningful at byte granularity; the halfword scheme always has a single
+// bit). The 2-bit scheme affects storage and transport activity (register
+// file, data cache, latches); ALU gating keeps the full per-byte marking in
+// both cases, matching the paper's note that the two schemes' performance
+// results "are likely to be very similar" (§2.1).
+func NewCollectorScheme(g int, scheme Scheme, rc *icomp.Recoder, memory *mem.Memory) *Collector {
+	cfg := mem.DefaultHierarchyConfig()
+	c := &Collector{
+		g:      g,
+		scheme: scheme,
+		rc:     rc,
+		hier:   mem.NewHierarchy(cfg),
+		memory: memory,
+	}
+	sets := cfg.L1D.Size / (cfg.L1D.LineBytes * cfg.L1D.Assoc)
+	c.dataTagBits = 32 - log2(sets) - log2(cfg.L1D.LineBytes)
+	return c
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// sigBlocks returns stored blocks of v under the collector's granularity
+// and scheme.
+func (c *Collector) sigBlocks(v uint32) int {
+	if c.g == 2 {
+		return sig.SigHalves(v)
+	}
+	if c.scheme == Scheme2 {
+		return sig.SigBytes(v)
+	}
+	return sig.Ext3Of(v).SigByteCount()
+}
+
+// blockBits converts blocks to datapath bits.
+func (c *Collector) blockBits(blocks int) int { return 8 * c.g * blocks }
+
+// storedBits is blockBits plus the extension overhead of one word.
+func (c *Collector) storedBits(blocks int) int { return c.blockBits(blocks) + c.extBits() }
+
+// extBits returns the per-word extension overhead of the collector.
+func (c *Collector) extBits() int {
+	if c.g == 2 {
+		return sig.ExtHBits
+	}
+	if c.scheme == Scheme2 {
+		return sig.Ext2Bits
+	}
+	return sig.Ext3Bits
+}
+
+// lineFillBits computes baseline and compressed bits to move one cache line
+// through a data array, reading the line's current contents.
+func (c *Collector) lineFillBits(addr uint32, line int, instruction bool) (int, int) {
+	base := addr &^ uint32(line-1)
+	baseline := 8 * line
+	compressed := 0
+	for off := 0; off < line; off += 4 {
+		w := c.memory.Load32(base + uint32(off))
+		if instruction {
+			compressed += c.rc.FetchBits(w)
+		} else {
+			compressed += c.storedBits(c.sigBlocks(w))
+		}
+	}
+	return baseline, compressed
+}
+
+// pcBlocks returns how many blocks of the PC change between consecutive
+// fetch addresses (the serial PC unit processes low-order blocks until the
+// carry dies out; a redirect rewrites up to the highest differing block).
+func (c *Collector) pcBlocks(old, new uint32) int {
+	diff := old ^ new
+	if diff == 0 {
+		return 1
+	}
+	blocks := 4 / c.g
+	highest := 0
+	for i := 0; i < blocks; i++ {
+		mask := uint32(1)<<(8*c.g) - 1
+		if (diff>>(8*c.g*i))&mask != 0 {
+			highest = i
+		}
+	}
+	return highest + 1
+}
+
+// Consume implements trace.Consumer.
+func (c *Collector) Consume(e trace.Event) {
+	c.counts.Insts++
+
+	// Instruction fetch: word read plus the extension bit; fills move the
+	// whole line in both machines.
+	fillsBefore := c.hier.InstFills
+	c.hier.Fetch(e.PC)
+	fetchBase, fetchComp := baselineWord, 8*e.IFBytes+icomp.FetchExtBits
+	if c.hier.InstFills != fillsBefore {
+		fb, fc := c.lineFillBits(e.PC, c.hier.L1I.Config().LineBytes, true)
+		fetchBase += fb
+		fetchComp += fc
+	}
+	c.counts.Fetch.Add(fetchBase, fetchComp)
+
+	// PC increment.
+	pcBase := baselineWord
+	pcComp := c.blockBits(c.pcBlocks(e.PC, e.NextPC))
+	c.counts.PCIncr.Add(pcBase, pcComp)
+
+	// Register file reads.
+	var readBase, readComp int
+	if e.ReadsA {
+		readBase += baselineWord
+		readComp += c.storedBits(c.srcBlocksA(e))
+	}
+	if e.ReadsB {
+		readBase += baselineWord
+		readComp += c.storedBits(c.srcBlocksB(e))
+	}
+	c.counts.RFRead.Add(readBase, readComp)
+
+	// ALU.
+	aluOps := e.ALUOps
+	if c.g == 2 {
+		aluOps = e.ALUHalfOps
+	}
+	c.counts.ALU.Add(baselineWord, c.blockBits(aluOps))
+
+	// Data cache.
+	if e.MemWidth > 0 {
+		fillsBefore := c.hier.DataFills
+		wbBefore := c.hier.L1D.Writeback
+		c.hier.Data(e.Addr, e.Inst.IsStore())
+
+		memBlocks := c.memBlocks(e)
+		dataBase := baselineWord
+		if e.Inst.IsStore() {
+			dataBase = 8 * e.MemWidth // byte-enables exist in the baseline
+		}
+		dataComp := c.storedBits(memBlocks)
+		if c.hier.DataFills != fillsBefore {
+			fb, fc := c.lineFillBits(e.Addr, c.hier.L1D.Config().LineBytes, false)
+			dataBase += fb
+			dataComp += fc
+		}
+		if c.hier.L1D.Writeback != wbBefore {
+			// Dirty victim pushed to L2: approximate its contents with the
+			// current memory image (stores have already landed there).
+			fb, fc := c.lineFillBits(e.Addr, c.hier.L1D.Config().LineBytes, false)
+			dataBase += fb
+			dataComp += fc
+		}
+		c.counts.DCacheData.Add(dataBase, dataComp)
+		// Tags are not compressed: equal activity on both machines.
+		c.counts.DCacheTag.Add(c.dataTagBits, c.dataTagBits)
+	}
+
+	// Register write-back.
+	if e.HasDest {
+		c.counts.RFWrite.Add(baselineWord, c.storedBits(c.wbBlocks(e)))
+	}
+
+	// Pipeline latches: instruction word, both operands, EX output, MEM
+	// output.
+	latchComp := 8*e.IFBytes + icomp.FetchExtBits
+	if e.ReadsA {
+		latchComp += c.storedBits(c.srcBlocksA(e))
+	}
+	if e.ReadsB {
+		latchComp += c.storedBits(c.srcBlocksB(e))
+	}
+	exOut := c.exOutBlocks(e)
+	latchComp += c.storedBits(exOut)
+	memOut := exOut
+	if e.Inst.IsLoad() {
+		memOut = c.memBlocks(e)
+	}
+	latchComp += c.storedBits(memOut)
+	c.counts.Latch.Add(baselineLatch, latchComp)
+}
+
+func (c *Collector) srcBlocksA(e trace.Event) int {
+	if c.g == 2 {
+		return e.SrcHalvesA
+	}
+	if c.scheme == Scheme2 {
+		return sig.SigBytes(e.SrcA)
+	}
+	return e.SrcBytesA
+}
+
+func (c *Collector) srcBlocksB(e trace.Event) int {
+	if c.g == 2 {
+		return e.SrcHalvesB
+	}
+	if c.scheme == Scheme2 {
+		return sig.SigBytes(e.SrcB)
+	}
+	return e.SrcBytesB
+}
+
+// memBlocks returns the significant units the D-cache data access moves
+// under the collector's scheme.
+func (c *Collector) memBlocks(e trace.Event) int {
+	if c.g == 2 {
+		return e.MemHalves
+	}
+	if c.scheme == Scheme2 {
+		v := e.Loaded
+		if e.Inst.IsStore() {
+			v = e.StoreVal
+		}
+		n := sig.SigBytes(v)
+		if n > e.MemWidth {
+			n = e.MemWidth
+		}
+		return n
+	}
+	return e.MemBytes
+}
+
+// wbBlocks returns the significant units written back under the collector's
+// scheme.
+func (c *Collector) wbBlocks(e trace.Event) int {
+	if c.g == 2 {
+		return e.WBHalves
+	}
+	if c.scheme == Scheme2 {
+		return sig.SigBytes(e.Result)
+	}
+	return e.WBBytes
+}
+
+// exOutBlocks estimates the significant blocks leaving the EX stage: the
+// result for writers, the store value for stores, one block otherwise.
+func (c *Collector) exOutBlocks(e trace.Event) int {
+	switch {
+	case e.HasDest:
+		return c.wbBlocks(e)
+	case e.Inst.IsStore():
+		return c.sigBlocks(e.StoreVal)
+	default:
+		return 1
+	}
+}
+
+// Counts returns the accumulated tallies.
+func (c *Collector) Counts() Counts { return c.counts }
+
+// Stages lists the stage columns in Table 5/6 order.
+func Stages() []string {
+	return []string{"Fetch", "RFread", "RFwrite", "ALU", "D-cache data", "D-cache tag", "PCincrement", "Latches"}
+}
+
+// Row renders the reductions in Stages order.
+func (c Counts) Row() []float64 {
+	return []float64{
+		c.Fetch.Reduction(),
+		c.RFRead.Reduction(),
+		c.RFWrite.Reduction(),
+		c.ALU.Reduction(),
+		c.DCacheData.Reduction(),
+		c.DCacheTag.Reduction(),
+		c.PCIncr.Reduction(),
+		c.Latch.Reduction(),
+	}
+}

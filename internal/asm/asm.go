@@ -1,0 +1,502 @@
+// Package asm implements a two-pass MIPS assembler sufficient to author the
+// benchmark suite: labels, data directives, the full instruction subset of
+// package isa, and the common pseudo-instructions (li, la, move, nop, b,
+// beqz/bnez, blt/bge/bgt/ble and unsigned forms, neg, not, mul, rem, seq).
+//
+// Defaults match the paper's experimental framework: the text segment is
+// based at 0x00400000 and the data segment at 0x10000000 ("the data segment
+// base of our experimental framework is set at address 10 00 00 00", §2.1);
+// the stack grows down from 0x7FFFF000.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Default memory layout.
+const (
+	DefaultTextBase = 0x0040_0000
+	DefaultDataBase = 0x1000_0000
+	DefaultStackTop = 0x7fff_f000
+)
+
+// Program is the loadable output of the assembler.
+type Program struct {
+	TextBase uint32
+	Text     []uint32
+	DataBase uint32
+	Data     []byte
+	Entry    uint32
+	Symbols  map[string]uint32
+}
+
+// LoadInto places the program image into memory.
+func (p *Program) LoadInto(m *mem.Memory) {
+	for i, w := range p.Text {
+		m.Store32(p.TextBase+uint32(4*i), w)
+	}
+	m.LoadSegment(p.DataBase, p.Data)
+}
+
+// Error is an assembly diagnostic carrying its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+)
+
+// item is one parsed source statement pinned to an address.
+type item struct {
+	line   int
+	mnem   string
+	args   []string
+	addr   uint32
+	nwords int // instruction words this statement expands to (text only)
+}
+
+type assembler struct {
+	symbols  map[string]uint32
+	symLines map[string]int
+	textPos  uint32
+	dataPos  uint32
+	textBase uint32
+	dataBase uint32
+	items    []item
+	data     []byte
+	// dataFixups are .word cells holding label references, patched in
+	// pass 2 once every symbol is known (allows forward references).
+	dataFixups []dataFixup
+}
+
+// dataFixup records a .word cell awaiting a symbol value.
+type dataFixup struct {
+	offset uint32 // byte offset into data
+	symbol string
+	line   int
+}
+
+// Assemble translates source into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		symbols:  make(map[string]uint32),
+		symLines: make(map[string]int),
+		textBase: DefaultTextBase,
+		dataBase: DefaultDataBase,
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble is Assemble for statically known-good sources (the embedded
+// benchmark kernels); it panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// splitOperands splits on commas that are not inside quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'', '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+// stripComment removes a # comment, respecting character/string literals.
+func stripComment(s string) string {
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuote != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inQuote = c
+		case '#':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) define(label string, addr uint32, line int) error {
+	if prev, ok := a.symLines[label]; ok {
+		return errf(line, "label %q already defined at line %d", label, prev)
+	}
+	a.symbols[label] = addr
+	a.symLines[label] = line
+	return nil
+}
+
+func (a *assembler) pass1(src string) error {
+	seg := segText
+	lines := strings.Split(src, "\n")
+	for ln, rawLine := range lines {
+		line := ln + 1
+		s := strings.TrimSpace(stripComment(rawLine))
+		// Peel off any leading labels.
+		for {
+			idx := strings.Index(s, ":")
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(s[:idx])
+			if !isIdent(label) {
+				break
+			}
+			addr := a.textBase + a.textPos
+			if seg == segData {
+				addr = a.dataBase + a.dataPos
+			}
+			if err := a.define(label, addr, line); err != nil {
+				return err
+			}
+			s = strings.TrimSpace(s[idx+1:])
+		}
+		if s == "" {
+			continue
+		}
+		fields := strings.SplitN(s, " ", 2)
+		mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+		var rest string
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		args := splitOperands(rest)
+
+		if strings.HasPrefix(mnem, ".") {
+			var err error
+			seg, err = a.directive(seg, mnem, args, line)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if seg != segText {
+			return errf(line, "instruction %q in data segment", mnem)
+		}
+		n, err := expansionWords(mnem, args, line)
+		if err != nil {
+			return err
+		}
+		a.items = append(a.items, item{
+			line: line, mnem: mnem, args: args,
+			addr: a.textBase + a.textPos, nwords: n,
+		})
+		a.textPos += uint32(4 * n)
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(seg segment, mnem string, args []string, line int) (segment, error) {
+	switch mnem {
+	case ".text":
+		return segText, nil
+	case ".data":
+		return segData, nil
+	case ".globl", ".global", ".ent", ".end", ".set":
+		return seg, nil // accepted and ignored
+	case ".align":
+		if len(args) != 1 {
+			return seg, errf(line, ".align needs one argument")
+		}
+		n, err := parseImm(args[0], line)
+		if err != nil {
+			return seg, err
+		}
+		align := uint32(1) << uint(n)
+		if seg == segData {
+			for a.dataPos%align != 0 {
+				a.data = append(a.data, 0)
+				a.dataPos++
+			}
+		} else if a.textPos%align != 0 {
+			return seg, errf(line, ".align in text not supported mid-stream")
+		}
+		return seg, nil
+	case ".space":
+		if seg != segData {
+			return seg, errf(line, ".space outside .data")
+		}
+		if len(args) != 1 {
+			return seg, errf(line, ".space needs one argument")
+		}
+		n, err := parseImm(args[0], line)
+		if err != nil {
+			return seg, err
+		}
+		if n < 0 {
+			return seg, errf(line, ".space with negative size")
+		}
+		a.data = append(a.data, make([]byte, n)...)
+		a.dataPos += uint32(n)
+		return seg, nil
+	case ".word", ".half", ".byte":
+		if seg != segData {
+			return seg, errf(line, "%s outside .data", mnem)
+		}
+		for _, arg := range args {
+			// .word accepts label references, resolved in pass 2.
+			if mnem == ".word" && isIdent(arg) {
+				a.dataFixups = append(a.dataFixups, dataFixup{offset: a.dataPos, symbol: arg, line: line})
+				a.data = append(a.data, 0, 0, 0, 0)
+				a.dataPos += 4
+				continue
+			}
+			v, err := parseImm(arg, line)
+			if err != nil {
+				return seg, err
+			}
+			switch mnem {
+			case ".word":
+				a.data = append(a.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				a.dataPos += 4
+			case ".half":
+				a.data = append(a.data, byte(v), byte(v>>8))
+				a.dataPos += 2
+			case ".byte":
+				a.data = append(a.data, byte(v))
+				a.dataPos++
+			}
+		}
+		return seg, nil
+	case ".ascii", ".asciiz":
+		if seg != segData {
+			return seg, errf(line, "%s outside .data", mnem)
+		}
+		if len(args) != 1 {
+			return seg, errf(line, "%s needs one string", mnem)
+		}
+		str, err := parseString(args[0], line)
+		if err != nil {
+			return seg, err
+		}
+		a.data = append(a.data, str...)
+		a.dataPos += uint32(len(str))
+		if mnem == ".asciiz" {
+			a.data = append(a.data, 0)
+			a.dataPos++
+		}
+		return seg, nil
+	}
+	return seg, errf(line, "unknown directive %q", mnem)
+}
+
+func parseString(s string, line int) ([]byte, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, errf(line, "malformed string literal %s", s)
+	}
+	unq, err := strconv.Unquote(s)
+	if err != nil {
+		return nil, errf(line, "bad string literal %s: %v", s, err)
+	}
+	return []byte(unq), nil
+}
+
+func parseImm(s string, line int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		r, _, _, err := strconv.UnquoteChar(s[1:len(s)-1], '\'')
+		if err != nil {
+			return 0, errf(line, "bad char literal %s: %v", s, err)
+		}
+		return int64(r), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xdeadbeef.
+		if u, uerr := strconv.ParseUint(s, 0, 32); uerr == nil {
+			return int64(int32(uint32(u))), nil
+		}
+		return 0, errf(line, "bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseReg(s string, line int) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, errf(line, "expected register, got %q", s)
+	}
+	r, ok := isa.RegByName(s[1:])
+	if !ok {
+		return 0, errf(line, "unknown register %q", s)
+	}
+	return r, nil
+}
+
+// fitsSigned16 and fitsUnsigned16 classify immediates for li expansion.
+func fitsSigned16(v int64) bool   { return v >= -32768 && v <= 32767 }
+func fitsUnsigned16(v int64) bool { return v >= 0 && v <= 0xffff }
+
+// expansionWords reports how many instruction words a mnemonic occupies.
+// It must agree exactly with encode (pass 2).
+func expansionWords(mnem string, args []string, line int) (int, error) {
+	switch mnem {
+	case "li":
+		if len(args) != 2 {
+			return 0, errf(line, "li needs 2 operands")
+		}
+		v, err := parseImm(args[1], line)
+		if err != nil {
+			return 0, err
+		}
+		if fitsSigned16(v) || fitsUnsigned16(v) {
+			return 1, nil
+		}
+		return 2, nil
+	case "la", "mul", "rem", "divq", "blt", "bge", "bgt", "ble",
+		"bltu", "bgeu", "bgtu", "bleu", "seq", "sne":
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}
+
+func (a *assembler) pass2() (*Program, error) {
+	prog := &Program{
+		TextBase: a.textBase,
+		DataBase: a.dataBase,
+		Data:     a.data,
+		Symbols:  a.symbols,
+		Entry:    a.textBase,
+	}
+	if main, ok := a.symbols["main"]; ok {
+		prog.Entry = main
+	} else if start, ok := a.symbols["_start"]; ok {
+		prog.Entry = start
+	}
+	for _, f := range a.dataFixups {
+		v, ok := a.symbols[f.symbol]
+		if !ok {
+			return nil, errf(f.line, "undefined symbol %q in .word", f.symbol)
+		}
+		prog.Data[f.offset] = byte(v)
+		prog.Data[f.offset+1] = byte(v >> 8)
+		prog.Data[f.offset+2] = byte(v >> 16)
+		prog.Data[f.offset+3] = byte(v >> 24)
+	}
+	for _, it := range a.items {
+		words, err := a.encode(it)
+		if err != nil {
+			return nil, err
+		}
+		if len(words) != it.nwords {
+			return nil, errf(it.line, "internal: %s expanded to %d words, planned %d",
+				it.mnem, len(words), it.nwords)
+		}
+		prog.Text = append(prog.Text, words...)
+	}
+	return prog, nil
+}
+
+// resolve interprets s as a symbol or an immediate.
+func (a *assembler) resolve(s string, line int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if addr, ok := a.symbols[s]; ok {
+		return int64(addr), nil
+	}
+	return parseImm(s, line)
+}
+
+// branchOffset computes the 16-bit branch displacement to a target.
+func (a *assembler) branchOffset(target string, pc uint32, line int) (int16, error) {
+	t, err := a.resolve(target, line)
+	if err != nil {
+		return 0, err
+	}
+	diff := int64(uint32(t)) - int64(pc) - 4
+	if diff&3 != 0 {
+		return 0, errf(line, "branch target %q not word aligned", target)
+	}
+	off := diff >> 2
+	if off < -32768 || off > 32767 {
+		return 0, errf(line, "branch target %q out of range (%d words)", target, off)
+	}
+	return int16(off), nil
+}
+
+// memOperand parses "offset($reg)" with an optional symbolic or numeric
+// offset.
+func (a *assembler) memOperand(s string, line int) (int16, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "expected offset($reg), got %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var off int64
+	if offStr != "" {
+		var err error
+		off, err = a.resolve(offStr, line)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if off < -32768 || off > 32767 {
+		return 0, 0, errf(line, "memory offset %d out of range", off)
+	}
+	reg, err := parseReg(s[open+1:len(s)-1], line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int16(off), reg, nil
+}

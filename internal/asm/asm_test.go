@@ -1,0 +1,363 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicRFormat(t *testing.T) {
+	p := assemble(t, `
+.text
+main:
+    addu $t0, $t1, $t2
+    sll  $t3, $t4, 5
+    jr   $ra
+`)
+	if len(p.Text) != 3 {
+		t.Fatalf("words: %d", len(p.Text))
+	}
+	if p.Text[0] != isa.EncodeR(isa.FnADDU, isa.RegT1, isa.RegT2, isa.RegT0, 0) {
+		t.Errorf("addu: %#08x", p.Text[0])
+	}
+	if p.Text[1] != isa.EncodeR(isa.FnSLL, 0, isa.RegT4, isa.RegT3, 5) {
+		t.Errorf("sll: %#08x", p.Text[1])
+	}
+	if p.Entry != DefaultTextBase {
+		t.Errorf("entry: %#x", p.Entry)
+	}
+}
+
+func TestIFormatAndMem(t *testing.T) {
+	p := assemble(t, `
+    addiu $sp, $sp, -32
+    lw    $t0, 8($sp)
+    ori   $t1, $t0, 0xff
+    sh    $t1, ($sp)
+`)
+	if p.Text[0] != isa.EncodeI(isa.OpADDIU, isa.RegSP, isa.RegSP, -32) {
+		t.Errorf("addiu: %#08x", p.Text[0])
+	}
+	if p.Text[1] != isa.EncodeI(isa.OpLW, isa.RegSP, isa.RegT0, 8) {
+		t.Errorf("lw: %#08x", p.Text[1])
+	}
+	if p.Text[3] != isa.EncodeI(isa.OpSH, isa.RegSP, isa.RegT1, 0) {
+		t.Errorf("sh with empty offset: %#08x", p.Text[3])
+	}
+}
+
+func TestSymbolicMemOffsetOutOfRange(t *testing.T) {
+	_, err := Assemble(`
+    sw $t0, buf($zero)
+.data
+buf: .word 1
+`)
+	if err == nil {
+		t.Fatal("expected out-of-range offset error for far data symbol")
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := assemble(t, `
+main:
+    li   $t0, 10
+loop:
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    jr   $ra
+`)
+	// li(1) at 0x400000, addiu at 0x400004, bnez at 0x400008.
+	bnez := p.Text[2]
+	i := isa.Decode(bnez)
+	if i.Op != isa.OpBNE {
+		t.Fatalf("bnez decoded to %v", i.Mnemonic())
+	}
+	// Target loop = 0x400004; branch at 0x400008: offset = (4-8-4)/4 = -2.
+	if i.Imm != -2 {
+		t.Fatalf("branch offset: %d", i.Imm)
+	}
+}
+
+func TestLiExpansions(t *testing.T) {
+	p := assemble(t, `
+    li $t0, 42
+    li $t1, -42
+    li $t2, 0xffff
+    li $t3, 0x12345678
+`)
+	if len(p.Text) != 5 {
+		t.Fatalf("words: %d (li wide should be 2)", len(p.Text))
+	}
+	if p.Text[0] != isa.EncodeI(isa.OpADDIU, 0, isa.RegT0, 42) {
+		t.Errorf("li small: %#08x", p.Text[0])
+	}
+	if p.Text[2] != isa.EncodeI(isa.OpORI, 0, isa.RegT2, -1) {
+		t.Errorf("li 0xffff: %#08x", p.Text[2])
+	}
+	if p.Text[3] != isa.EncodeI(isa.OpLUI, 0, isa.RegT3, 0x1234) {
+		t.Errorf("li wide hi: %#08x", p.Text[3])
+	}
+	if p.Text[4] != isa.EncodeI(isa.OpORI, isa.RegT3, isa.RegT3, int16(uint16(0x5678))) {
+		t.Errorf("li wide lo: %#08x", p.Text[4])
+	}
+}
+
+func TestLaUsesDataBase(t *testing.T) {
+	p := assemble(t, `
+    la $a0, table
+.data
+    .space 8
+table:
+    .word 7
+`)
+	if p.Text[0] != isa.EncodeI(isa.OpLUI, 0, isa.RegA0, 0x1000) {
+		t.Errorf("la hi: %#08x", p.Text[0])
+	}
+	if p.Text[1] != isa.EncodeI(isa.OpORI, isa.RegA0, isa.RegA0, 8) {
+		t.Errorf("la lo: %#08x", p.Text[1])
+	}
+	if p.Symbols["table"] != DefaultDataBase+8 {
+		t.Errorf("table addr: %#x", p.Symbols["table"])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := assemble(t, `
+.data
+w:  .word 0x11223344
+h:  .half 0x5566
+b:  .byte 0x77, 0x88
+s:  .asciiz "hi"
+    .align 2
+w2: .word 1
+`)
+	want := []byte{
+		0x44, 0x33, 0x22, 0x11, // word, little endian
+		0x66, 0x55,
+		0x77, 0x88,
+		'h', 'i', 0,
+		0, // align padding to offset 12
+		1, 0, 0, 0,
+	}
+	if len(p.Data) != len(want) {
+		t.Fatalf("data len: %d want %d (% x)", len(p.Data), len(want), p.Data)
+	}
+	for i := range want {
+		if p.Data[i] != want[i] {
+			t.Fatalf("data[%d]=%#x want %#x", i, p.Data[i], want[i])
+		}
+	}
+	if p.Symbols["w2"] != DefaultDataBase+12 {
+		t.Errorf("w2: %#x", p.Symbols["w2"])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	p := assemble(t, `
+.data
+s: .asciiz "a\nb\tc\\d"
+`)
+	if string(p.Data) != "a\nb\tc\\d\x00" {
+		t.Fatalf("escapes: %q", string(p.Data))
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	p := assemble(t, `
+    li $t0, 'A'
+    li $t1, '\n'
+`)
+	if p.Text[0] != isa.EncodeI(isa.OpADDIU, 0, isa.RegT0, 65) {
+		t.Errorf("'A': %#08x", p.Text[0])
+	}
+	if p.Text[1] != isa.EncodeI(isa.OpADDIU, 0, isa.RegT1, 10) {
+		t.Errorf("'\\n': %#08x", p.Text[1])
+	}
+}
+
+func TestPseudoBranches(t *testing.T) {
+	p := assemble(t, `
+main:
+    blt $t0, $t1, out
+    bgeu $t2, $t3, out
+out:
+    nop
+`)
+	if len(p.Text) != 5 {
+		t.Fatalf("words: %d", len(p.Text))
+	}
+	slt := isa.Decode(p.Text[0])
+	if slt.Funct != isa.FnSLT || slt.Rd != isa.RegAT {
+		t.Errorf("blt slt: %s", slt.Disassemble(0))
+	}
+	br := isa.Decode(p.Text[1])
+	// branch at 0x400004, target out=0x400010: off=(0x10-0x4-4)/4=2.
+	if br.Op != isa.OpBNE || br.Imm != 2 {
+		t.Errorf("blt branch: %s imm=%d", br.Disassemble(0), br.Imm)
+	}
+	sltu := isa.Decode(p.Text[2])
+	if sltu.Funct != isa.FnSLTU {
+		t.Errorf("bgeu cmp: %s", sltu.Disassemble(0))
+	}
+	if isa.Decode(p.Text[3]).Op != isa.OpBEQ {
+		t.Errorf("bgeu branch: %s", isa.Decode(p.Text[3]).Disassemble(0))
+	}
+}
+
+func TestMulRemPseudo(t *testing.T) {
+	p := assemble(t, `
+    mul $t0, $t1, $t2
+    rem $t3, $t4, $t5
+    divq $t6, $t7, $s0
+`)
+	if len(p.Text) != 6 {
+		t.Fatalf("words: %d", len(p.Text))
+	}
+	if isa.Decode(p.Text[0]).Funct != isa.FnMULT || isa.Decode(p.Text[1]).Funct != isa.FnMFLO {
+		t.Error("mul expansion wrong")
+	}
+	if isa.Decode(p.Text[2]).Funct != isa.FnDIV || isa.Decode(p.Text[3]).Funct != isa.FnMFHI {
+		t.Error("rem expansion wrong")
+	}
+	if isa.Decode(p.Text[5]).Funct != isa.FnMFLO {
+		t.Error("divq expansion wrong")
+	}
+}
+
+func TestEntryDetection(t *testing.T) {
+	p := assemble(t, `
+helper:
+    jr $ra
+main:
+    nop
+`)
+	if p.Entry != DefaultTextBase+4 {
+		t.Fatalf("entry: %#x", p.Entry)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"frobnicate $t0", "unknown mnemonic"},
+		{"addu $t0, $t1", "needs 3 operands"},
+		{"addu $t0, $t1, $zz", "unknown register"},
+		{"addiu $t0, $t1, 70000", "does not fit"},
+		{"lw $t0, 8[$sp]", "expected offset($reg)"},
+		{"x: nop\nx: nop", "already defined"},
+		{".data\n.word zzz", "undefined symbol"},
+		{".data\n.half zzz", "bad immediate"},
+		{"beq $t0, $t1, nowhere", "bad immediate"}, // unresolved label
+		{"sll $t0, $t1, 32", "out of range"},
+		{".bogus", "unknown directive"},
+		{".data\nnop", "in data segment"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorCarriesLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus $t0\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Fatalf("line: %d", ae.Line)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	p := assemble(t, `
+# full line comment
+main: # label comment
+    li $t0, 35   # trailing '#' inside comment is fine
+.data
+msg: .asciiz "has # inside"  # comment after string
+`)
+	if string(p.Data) != "has # inside\x00" {
+		t.Fatalf("data: %q", string(p.Data))
+	}
+	if len(p.Text) != 1 {
+		t.Fatalf("text words: %d", len(p.Text))
+	}
+}
+
+func TestDisassembleOutput(t *testing.T) {
+	p := assemble(t, "main:\n  addu $t0, $t1, $t2\n")
+	out := Disassemble(p)
+	if !strings.Contains(out, "addu $t0, $t1, $t2") {
+		t.Fatalf("disassembly: %q", out)
+	}
+	if !strings.Contains(out, "00400000") {
+		t.Fatalf("missing address: %q", out)
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	p := assemble(t, `
+main:
+    li $t0, 7
+.data
+v:  .word 99
+`)
+	m := newTestMemory()
+	p.LoadInto(m)
+	if m.Load32(DefaultTextBase) != p.Text[0] {
+		t.Error("text not loaded")
+	}
+	if m.Load32(DefaultDataBase) != 99 {
+		t.Error("data not loaded")
+	}
+}
+
+func TestWordLabelReferences(t *testing.T) {
+	p := assemble(t, `
+main:
+    la  $t0, ptrs
+    lw  $t1, 0($t0)     # -> buf
+    lw  $t2, 4($t0)     # -> later (forward reference)
+.data
+buf:  .word 42
+ptrs: .word buf, later
+later: .word 7
+`)
+	bufAddr := p.Symbols["buf"]
+	laterAddr := p.Symbols["later"]
+	// ptrs is at dataBase+4: two words holding the two addresses.
+	off := p.Symbols["ptrs"] - DefaultDataBase
+	got1 := uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 | uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+	got2 := uint32(p.Data[off+4]) | uint32(p.Data[off+5])<<8 | uint32(p.Data[off+6])<<16 | uint32(p.Data[off+7])<<24
+	if got1 != bufAddr || got2 != laterAddr {
+		t.Fatalf("pointer words: %#x %#x want %#x %#x", got1, got2, bufAddr, laterAddr)
+	}
+}
+
+func TestWordUndefinedLabel(t *testing.T) {
+	_, err := Assemble(".data\nx: .word missing\n")
+	if err == nil || !strings.Contains(err.Error(), "undefined symbol") {
+		t.Fatalf("err: %v", err)
+	}
+}

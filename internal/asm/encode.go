@@ -1,0 +1,512 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// opcode tables for the regular (non-pseudo) instructions.
+var rrr = map[string]isa.Funct{ // mnem rd, rs, rt
+	"addu": isa.FnADDU, "add": isa.FnADD, "subu": isa.FnSUBU, "sub": isa.FnSUB,
+	"and": isa.FnAND, "or": isa.FnOR, "xor": isa.FnXOR, "nor": isa.FnNOR,
+	"slt": isa.FnSLT, "sltu": isa.FnSLTU,
+}
+
+var shiftImm = map[string]isa.Funct{ // mnem rd, rt, shamt
+	"sll": isa.FnSLL, "srl": isa.FnSRL, "sra": isa.FnSRA,
+}
+
+var shiftVar = map[string]isa.Funct{ // mnem rd, rt, rs
+	"sllv": isa.FnSLLV, "srlv": isa.FnSRLV, "srav": isa.FnSRAV,
+}
+
+var immOps = map[string]isa.Opcode{ // mnem rt, rs, imm
+	"addi": isa.OpADDI, "addiu": isa.OpADDIU,
+	"slti": isa.OpSLTI, "sltiu": isa.OpSLTIU,
+	"andi": isa.OpANDI, "ori": isa.OpORI, "xori": isa.OpXORI,
+}
+
+var memOps = map[string]isa.Opcode{ // mnem rt, off(rs)
+	"lb": isa.OpLB, "lbu": isa.OpLBU, "lh": isa.OpLH, "lhu": isa.OpLHU,
+	"lw": isa.OpLW, "sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW,
+}
+
+var hiloOps = map[string]isa.Funct{ // mult/div rs, rt
+	"mult": isa.FnMULT, "multu": isa.FnMULTU, "divu": isa.FnDIVU,
+}
+
+func (a *assembler) needArgs(it item, n int) error {
+	if len(it.args) != n {
+		return errf(it.line, "%s needs %d operands, got %d", it.mnem, n, len(it.args))
+	}
+	return nil
+}
+
+// encode translates one statement (possibly a pseudo-instruction) into
+// machine words.
+func (a *assembler) encode(it item) ([]uint32, error) {
+	one := func(w uint32, err error) ([]uint32, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	mnem, args, line, pc := it.mnem, it.args, it.line, it.addr
+
+	// Regular three-register ALU ops.
+	if fn, ok := rrr[mnem]; ok {
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		rt, err3 := parseReg(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return one(isa.EncodeR(fn, rs, rt, rd, 0), nil)
+	}
+	if fn, ok := shiftImm[mnem]; ok {
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rt, err2 := parseReg(args[1], line)
+		sh, err3 := parseImm(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if sh < 0 || sh > 31 {
+			return nil, errf(line, "shift amount %d out of range", sh)
+		}
+		return one(isa.EncodeR(fn, 0, rt, rd, uint8(sh)), nil)
+	}
+	if fn, ok := shiftVar[mnem]; ok {
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rt, err2 := parseReg(args[1], line)
+		rs, err3 := parseReg(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return one(isa.EncodeR(fn, rs, rt, rd, 0), nil)
+	}
+	if op, ok := immOps[mnem]; ok {
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rt, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		v, err3 := a.resolve(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		// Logical immediates are zero-extended; others sign-extended.
+		if mnem == "andi" || mnem == "ori" || mnem == "xori" {
+			if !fitsUnsigned16(v) {
+				return nil, errf(line, "immediate %d does not fit 16 unsigned bits", v)
+			}
+		} else if !fitsSigned16(v) {
+			return nil, errf(line, "immediate %d does not fit 16 signed bits", v)
+		}
+		return one(isa.EncodeI(op, rs, rt, int16(uint16(v))), nil)
+	}
+	if op, ok := memOps[mnem]; ok {
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rt, err1 := parseReg(args[0], line)
+		off, base, err2 := a.memOperand(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.EncodeI(op, base, rt, off), nil)
+	}
+
+	switch mnem {
+	case "lui":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rt, err1 := parseReg(args[0], line)
+		v, err2 := parseImm(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 0xffff {
+			return nil, errf(line, "lui immediate %d out of range", v)
+		}
+		return one(isa.EncodeI(isa.OpLUI, 0, rt, int16(uint16(v))), nil)
+
+	case "mult", "multu", "divu":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseReg(args[0], line)
+		rt, err2 := parseReg(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.EncodeR(hiloOps[mnem], rs, rt, 0, 0), nil)
+
+	case "div":
+		// Two forms: "div $rs, $rt" (HI/LO) and the three-operand pseudo.
+		if len(args) == 2 {
+			rs, err1 := parseReg(args[0], line)
+			rt, err2 := parseReg(args[1], line)
+			if err := firstErr(err1, err2); err != nil {
+				return nil, err
+			}
+			return one(isa.EncodeR(isa.FnDIV, rs, rt, 0, 0), nil)
+		}
+		return nil, errf(line, "div needs 2 operands (use divq for the 3-operand pseudo)")
+
+	case "mfhi", "mflo":
+		if err := a.needArgs(it, 1); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(args[0], line)
+		if err != nil {
+			return nil, err
+		}
+		fn := isa.FnMFLO
+		if mnem == "mfhi" {
+			fn = isa.FnMFHI
+		}
+		return one(isa.EncodeR(fn, 0, 0, rd, 0), nil)
+
+	case "mthi", "mtlo":
+		if err := a.needArgs(it, 1); err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(args[0], line)
+		if err != nil {
+			return nil, err
+		}
+		fn := isa.FnMTLO
+		if mnem == "mthi" {
+			fn = isa.FnMTHI
+		}
+		return one(isa.EncodeR(fn, rs, 0, 0, 0), nil)
+
+	case "jr":
+		if err := a.needArgs(it, 1); err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(args[0], line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.EncodeR(isa.FnJR, rs, 0, 0, 0), nil)
+
+	case "jalr":
+		switch len(args) {
+		case 1:
+			rs, err := parseReg(args[0], line)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.EncodeR(isa.FnJALR, rs, 0, isa.RegRA, 0), nil)
+		case 2:
+			rd, err1 := parseReg(args[0], line)
+			rs, err2 := parseReg(args[1], line)
+			if err := firstErr(err1, err2); err != nil {
+				return nil, err
+			}
+			return one(isa.EncodeR(isa.FnJALR, rs, 0, rd, 0), nil)
+		}
+		return nil, errf(line, "jalr needs 1 or 2 operands")
+
+	case "syscall":
+		return one(isa.EncodeR(isa.FnSYSCALL, 0, 0, 0, 0), nil)
+	case "break":
+		return one(isa.EncodeR(isa.FnBREAK, 0, 0, 0, 0), nil)
+	case "nop":
+		return one(0, nil)
+
+	case "j", "jal":
+		if err := a.needArgs(it, 1); err != nil {
+			return nil, err
+		}
+		t, err := a.resolve(args[0], line)
+		if err != nil {
+			return nil, err
+		}
+		target := uint32(t)
+		if target&3 != 0 {
+			return nil, errf(line, "jump target %#x not aligned", target)
+		}
+		if (pc+4)&0xf000_0000 != target&0xf000_0000 {
+			return nil, errf(line, "jump target %#x outside current 256MB region", target)
+		}
+		op := isa.OpJ
+		if mnem == "jal" {
+			op = isa.OpJAL
+		}
+		return one(isa.EncodeJ(op, target>>2), nil)
+
+	case "beq", "bne":
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseReg(args[0], line)
+		rt, err2 := parseReg(args[1], line)
+		off, err3 := a.branchOffset(args[2], pc, line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if mnem == "bne" {
+			op = isa.OpBNE
+		}
+		return one(isa.EncodeI(op, rs, rt, off), nil)
+
+	case "blez", "bgtz":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseReg(args[0], line)
+		off, err2 := a.branchOffset(args[1], pc, line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		op := isa.OpBLEZ
+		if mnem == "bgtz" {
+			op = isa.OpBGTZ
+		}
+		return one(isa.EncodeI(op, rs, 0, off), nil)
+
+	case "bltz", "bgez":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseReg(args[0], line)
+		off, err2 := a.branchOffset(args[1], pc, line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		sel := uint8(isa.RegimmBLTZ)
+		if mnem == "bgez" {
+			sel = isa.RegimmBGEZ
+		}
+		return one(isa.EncodeRegimm(sel, rs, off), nil)
+	}
+
+	return a.encodePseudo(it)
+}
+
+// encodePseudo handles multi-word and alias expansions.
+func (a *assembler) encodePseudo(it item) ([]uint32, error) {
+	mnem, args, line, pc := it.mnem, it.args, it.line, it.addr
+	switch mnem {
+	case "li":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rt, err1 := parseReg(args[0], line)
+		v, err2 := parseImm(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return liWords(rt, v), nil
+
+	case "la":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rt, err1 := parseReg(args[0], line)
+		v, err2 := a.resolve(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		addr := uint32(v)
+		// Always two words so pass-1 sizing is stable.
+		return []uint32{
+			isa.EncodeI(isa.OpLUI, 0, rt, int16(uint16(addr>>16))),
+			isa.EncodeI(isa.OpORI, rt, rt, int16(uint16(addr))),
+		}, nil
+
+	case "move":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(isa.FnADDU, rs, isa.RegZero, rd, 0)}, nil
+
+	case "neg":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(isa.FnSUBU, isa.RegZero, rs, rd, 0)}, nil
+
+	case "not":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(isa.FnNOR, rs, isa.RegZero, rd, 0)}, nil
+
+	case "b":
+		if err := a.needArgs(it, 1); err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(args[0], pc, line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(isa.OpBEQ, 0, 0, off)}, nil
+
+	case "beqz", "bnez":
+		if err := a.needArgs(it, 2); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseReg(args[0], line)
+		off, err2 := a.branchOffset(args[1], pc, line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if mnem == "bnez" {
+			op = isa.OpBNE
+		}
+		return []uint32{isa.EncodeI(op, rs, 0, off)}, nil
+
+	case "blt", "bge", "bgt", "ble", "bltu", "bgeu", "bgtu", "bleu":
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseReg(args[0], line)
+		rt, err2 := parseReg(args[1], line)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		// The slt occupies the first slot, so the branch sits at pc+4.
+		off, err := a.branchOffset(args[2], pc+4, line)
+		if err != nil {
+			return nil, err
+		}
+		fn := isa.FnSLT
+		if mnem[len(mnem)-1] == 'u' {
+			fn = isa.FnSLTU
+		}
+		var cmp uint32
+		var brOp isa.Opcode
+		switch mnem {
+		case "blt", "bltu":
+			cmp, brOp = isa.EncodeR(fn, rs, rt, isa.RegAT, 0), isa.OpBNE
+		case "bge", "bgeu":
+			cmp, brOp = isa.EncodeR(fn, rs, rt, isa.RegAT, 0), isa.OpBEQ
+		case "bgt", "bgtu":
+			cmp, brOp = isa.EncodeR(fn, rt, rs, isa.RegAT, 0), isa.OpBNE
+		case "ble", "bleu":
+			cmp, brOp = isa.EncodeR(fn, rt, rs, isa.RegAT, 0), isa.OpBEQ
+		}
+		return []uint32{cmp, isa.EncodeI(brOp, isa.RegAT, 0, off)}, nil
+
+	case "mul":
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		rt, err3 := parseReg(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.EncodeR(isa.FnMULT, rs, rt, 0, 0),
+			isa.EncodeR(isa.FnMFLO, 0, 0, rd, 0),
+		}, nil
+
+	case "divq", "rem":
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		rt, err3 := parseReg(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		mf := isa.FnMFLO
+		if mnem == "rem" {
+			mf = isa.FnMFHI
+		}
+		return []uint32{
+			isa.EncodeR(isa.FnDIV, rs, rt, 0, 0),
+			isa.EncodeR(mf, 0, 0, rd, 0),
+		}, nil
+
+	case "seq", "sne":
+		// seq rd, rs, rt: rd = (rs == rt); sne: rd = (rs != rt).
+		if err := a.needArgs(it, 3); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseReg(args[0], line)
+		rs, err2 := parseReg(args[1], line)
+		rt, err3 := parseReg(args[2], line)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		xor := isa.EncodeR(isa.FnXOR, rs, rt, rd, 0)
+		if mnem == "seq" {
+			return []uint32{xor, isa.EncodeI(isa.OpSLTIU, rd, rd, 1)}, nil
+		}
+		return []uint32{xor, isa.EncodeR(isa.FnSLTU, isa.RegZero, rd, rd, 0)}, nil
+	}
+
+	return nil, errf(line, "unknown mnemonic %q", mnem)
+}
+
+// liWords builds the canonical li expansion. Must agree with
+// expansionWords.
+func liWords(rt isa.Reg, v int64) []uint32 {
+	switch {
+	case fitsSigned16(v):
+		return []uint32{isa.EncodeI(isa.OpADDIU, isa.RegZero, rt, int16(v))}
+	case fitsUnsigned16(v):
+		return []uint32{isa.EncodeI(isa.OpORI, isa.RegZero, rt, int16(uint16(v)))}
+	default:
+		u := uint32(v)
+		return []uint32{
+			isa.EncodeI(isa.OpLUI, 0, rt, int16(uint16(u>>16))),
+			isa.EncodeI(isa.OpORI, rt, rt, int16(uint16(u))),
+		}
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disassemble renders an assembled program for debugging.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	for i, w := range p.Text {
+		pc := p.TextBase + uint32(4*i)
+		fmt.Fprintf(&sb, "%08x:  %08x  %s\n", pc, w, isa.Decode(w).Disassemble(pc))
+	}
+	return sb.String()
+}

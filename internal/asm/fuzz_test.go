@@ -1,0 +1,56 @@
+package asm
+
+import "testing"
+
+// The assembler must never panic: arbitrary input yields either a Program
+// or a diagnostic error.
+func FuzzAssembleNoPanic(f *testing.F) {
+	seeds := []string{
+		"",
+		"main:\n addu $t0, $t1, $t2\n",
+		".data\nx: .word 1, 2, 3\n",
+		"li $t0, 0x12345678",
+		"lw $t0, 4($sp)",
+		".asciiz \"unterminated",
+		"label without colon addu",
+		"blt $t0, $t1, somewhere",
+		": : :",
+		".word",
+		"addu $t0, $t1, $t2, $t3, $t4",
+		"\x00\x01\x02",
+		"li $t0, 'x",
+		".align 31",
+		".space -1",
+		"a:b:c: nop",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err == nil && p == nil {
+			t.Fatal("nil program without error")
+		}
+		if err != nil && p != nil {
+			t.Fatal("program returned alongside error")
+		}
+	})
+}
+
+// A successfully assembled program's text must decode to valid
+// instructions (the assembler never emits undefined encodings).
+func FuzzAssembledTextIsValid(f *testing.F) {
+	f.Add("main:\n addu $t0, $t1, $t2\n sll $t0, $t0, 3\n jr $ra\n")
+	f.Add("x: lw $t0, 0($sp)\n beq $t0, $zero, x\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, w := range p.Text {
+			if err := decodeValidate(w); err != nil {
+				t.Fatalf("word %d (%#08x): %v", i, w, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,11 @@
+package asm
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func newTestMemory() *mem.Memory { return mem.NewMemory() }
+
+// decodeValidate decodes one text word and validates it against the ISA.
+func decodeValidate(w uint32) error { return isa.Decode(w).Validate() }

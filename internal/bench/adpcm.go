@@ -1,0 +1,309 @@
+package bench
+
+import "fmt"
+
+// IMA/DVI ADPCM tables, as used by Mediabench's adpcm (rawcaudio /
+// rawdaudio).
+var imaIndexTable = [16]int32{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+var imaStepTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+const adpcmSamples = 2048
+
+// adpcmEncodeRef is the Go reference IMA ADPCM encoder. It returns the
+// 4-bit codes and the running checksum over them.
+func adpcmEncodeRef(samples []int16) (codes []byte, sum uint32) {
+	valpred, index := int32(0), int32(0)
+	codes = make([]byte, 0, len(samples))
+	for _, s := range samples {
+		step := imaStepTable[index]
+		diff := int32(s) - valpred
+		var sign int32
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		delta := int32(0)
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		delta |= sign
+		index += imaIndexTable[delta]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		codes = append(codes, byte(delta))
+		sum = mix(sum, uint32(delta))
+	}
+	return codes, sum
+}
+
+// adpcmDecodeRef is the Go reference IMA ADPCM decoder; the checksum folds
+// the low 16 bits of every reconstructed sample.
+func adpcmDecodeRef(codes []byte) (sum uint32) {
+	valpred, index := int32(0), int32(0)
+	step := imaStepTable[0]
+	for _, c := range codes {
+		delta := int32(c)
+		index += imaIndexTable[delta]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		sign := delta & 8
+		mag := delta & 7
+		vpdiff := step >> 3
+		if mag&4 != 0 {
+			vpdiff += step
+		}
+		if mag&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if mag&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		step = imaStepTable[index]
+		sum = mix(sum, uint32(uint16(valpred)))
+	}
+	return sum
+}
+
+func adpcmTables() string {
+	idx := make([]int32, len(imaIndexTable))
+	copy(idx, imaIndexTable[:])
+	st := make([]int32, len(imaStepTable))
+	copy(st, imaStepTable[:])
+	return "index_table:\n" + wordData(idx) + "step_table:\n" + wordData(st)
+}
+
+// adpcmEncode builds the rawcaudio-like benchmark: IMA ADPCM encoding of a
+// synthetic speech-like waveform.
+func adpcmEncode() Benchmark {
+	samples := synthAudio(adpcmSamples)
+	_, sum := adpcmEncodeRef(samples)
+	src := fmt.Sprintf(`
+# rawcaudio: IMA ADPCM encoder over %d 16-bit samples.
+.text
+main:
+    la   $s0, samples          # sample pointer
+    la   $s1, samples_end
+    li   $s2, 0                # valpred
+    li   $s3, 0                # index
+    la   $s4, out              # code output pointer
+    li   $s7, 0                # checksum
+    la   $t7, step_table
+    la   $t8, index_table
+enc_loop:
+    lh   $t0, 0($s0)           # sample
+    subu $t1, $t0, $s2         # diff = sample - valpred
+    li   $t2, 0                # sign
+    bgez $t1, enc_pos
+    li   $t2, 8
+    subu $t1, $zero, $t1
+enc_pos:
+    sll  $t6, $s3, 2           # step = step_table[index]
+    addu $t6, $t7, $t6
+    lw   $t5, 0($t6)
+    li   $t3, 0                # delta
+    sra  $t4, $t5, 3           # vpdiff = step >> 3
+    blt  $t1, $t5, enc_b2
+    ori  $t3, $t3, 4
+    subu $t1, $t1, $t5
+    addu $t4, $t4, $t5
+enc_b2:
+    sra  $t5, $t5, 1
+    blt  $t1, $t5, enc_b1
+    ori  $t3, $t3, 2
+    subu $t1, $t1, $t5
+    addu $t4, $t4, $t5
+enc_b1:
+    sra  $t5, $t5, 1
+    blt  $t1, $t5, enc_sign
+    ori  $t3, $t3, 1
+    addu $t4, $t4, $t5
+enc_sign:
+    beqz $t2, enc_add
+    subu $s2, $s2, $t4
+    j    enc_clamp
+enc_add:
+    addu $s2, $s2, $t4
+enc_clamp:
+    li   $t6, 32767
+    ble  $s2, $t6, enc_cl2
+    move $s2, $t6
+enc_cl2:
+    li   $t6, -32768
+    bge  $s2, $t6, enc_index
+    move $s2, $t6
+enc_index:
+    or   $t3, $t3, $t2         # delta |= sign
+    sll  $t6, $t3, 2           # index += index_table[delta]
+    addu $t6, $t8, $t6
+    lw   $t6, 0($t6)
+    addu $s3, $s3, $t6
+    bgez $s3, enc_ic2
+    li   $s3, 0
+enc_ic2:
+    li   $t6, 88
+    ble  $s3, $t6, enc_emit
+    move $s3, $t6
+enc_emit:
+    sb   $t3, 0($s4)
+    sll  $t6, $s7, 5           # checksum = checksum*33 + delta
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t3
+    addiu $s0, $s0, 2
+    addiu $s4, $s4, 1
+    blt  $s0, $s1, enc_loop
+%s
+.data
+samples:
+%ssamples_end:
+%s
+out:
+    .space %d
+`, adpcmSamples, exitOK, halfData(samples), adpcmTables(), adpcmSamples)
+	return Benchmark{
+		Name:        "rawcaudio",
+		Description: "IMA ADPCM encoder (Mediabench adpcm rawcaudio) over a synthetic speech-like waveform",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    1_000_000,
+	}
+}
+
+// adpcmDecode builds the rawdaudio-like benchmark: decoding the code stream
+// produced by the reference encoder.
+func adpcmDecode() Benchmark {
+	samples := synthAudio(adpcmSamples)
+	codes, _ := adpcmEncodeRef(samples)
+	sum := adpcmDecodeRef(codes)
+	src := fmt.Sprintf(`
+# rawdaudio: IMA ADPCM decoder over %d 4-bit codes.
+.text
+main:
+    la   $s0, codes
+    la   $s1, codes_end
+    li   $s2, 0                # valpred
+    li   $s3, 0                # index
+    li   $s7, 0                # checksum
+    la   $t7, step_table
+    la   $t8, index_table
+    lw   $s5, 0($t7)           # step = step_table[0]
+dec_loop:
+    lbu  $t0, 0($s0)           # delta
+    sll  $t6, $t0, 2           # index += index_table[delta]
+    addu $t6, $t8, $t6
+    lw   $t6, 0($t6)
+    addu $s3, $s3, $t6
+    bgez $s3, dec_ic2
+    li   $s3, 0
+dec_ic2:
+    li   $t6, 88
+    ble  $s3, $t6, dec_vp
+    move $s3, $t6
+dec_vp:
+    andi $t2, $t0, 8           # sign
+    andi $t3, $t0, 7           # magnitude
+    sra  $t4, $s5, 3           # vpdiff = step>>3
+    andi $t6, $t3, 4
+    beqz $t6, dec_b2
+    addu $t4, $t4, $s5
+dec_b2:
+    andi $t6, $t3, 2
+    beqz $t6, dec_b1
+    sra  $t5, $s5, 1
+    addu $t4, $t4, $t5
+dec_b1:
+    andi $t6, $t3, 1
+    beqz $t6, dec_sign
+    sra  $t5, $s5, 2
+    addu $t4, $t4, $t5
+dec_sign:
+    beqz $t2, dec_add
+    subu $s2, $s2, $t4
+    j    dec_clamp
+dec_add:
+    addu $s2, $s2, $t4
+dec_clamp:
+    li   $t6, 32767
+    ble  $s2, $t6, dec_cl2
+    move $s2, $t6
+dec_cl2:
+    li   $t6, -32768
+    bge  $s2, $t6, dec_step
+    move $s2, $t6
+dec_step:
+    sll  $t6, $s3, 2           # step = step_table[index]
+    addu $t6, $t7, $t6
+    lw   $s5, 0($t6)
+    andi $t6, $s2, 0xffff      # checksum over low 16 bits of sample
+    sll  $t5, $s7, 5
+    addu $s7, $t5, $s7
+    addu $s7, $s7, $t6
+    addiu $s0, $s0, 1
+    blt  $s0, $s1, dec_loop
+%s
+.data
+codes:
+%scodes_end:
+%s
+`, len(codes), exitOK, byteData(codes), adpcmTables())
+	return Benchmark{
+		Name:        "rawdaudio",
+		Description: "IMA ADPCM decoder (Mediabench adpcm rawdaudio) over the encoded synthetic waveform",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    1_000_000,
+	}
+}

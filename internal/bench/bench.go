@@ -1,0 +1,250 @@
+// Package bench provides the workload suite driving every experiment — the
+// stand-in for the paper's gcc-compiled Mediabench programs (§3).
+//
+// Each benchmark is a hand-written MIPS assembly kernel mirroring the
+// computation of one Mediabench program (ADPCM coding, µ-law telephony
+// codecs, GSM-style autocorrelation, EPIC-style filtering, JPEG-style DCT,
+// MPEG-2-style motion estimation, Pegwit-style modular arithmetic, CRC).
+// Inputs are deterministic synthetic media data embedded in the data
+// segment (based at the paper's 0x10000000). Every kernel's result checksum
+// is computed by a pure-Go reference implementation of the same algorithm;
+// the kernel leaves its own checksum in $s7, and tests require the two to
+// match, so traces come from verified real computations.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Benchmark is one workload of the suite.
+type Benchmark struct {
+	// Name identifies the benchmark (Mediabench-style names).
+	Name string
+	// Description says what the kernel computes and which Mediabench
+	// program it mirrors.
+	Description string
+	// Source is the complete assembly source, data included.
+	Source string
+	// Checksum is the expected $s7 value, computed by the Go reference.
+	Checksum uint32
+	// MaxInsts bounds the dynamic instruction count (runaway guard).
+	MaxInsts uint64
+}
+
+// ChecksumReg is the register each kernel leaves its checksum in.
+const ChecksumReg = isa.RegS7
+
+// Program assembles the benchmark.
+func (b Benchmark) Program() (*asm.Program, error) {
+	p, err := asm.Assemble(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return p, nil
+}
+
+// NewCPU assembles and loads the benchmark into a fresh machine.
+func (b Benchmark) NewCPU() (*cpu.CPU, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.NewMemory()
+	p.LoadInto(m)
+	return cpu.New(m, p.Entry, asm.DefaultStackTop), nil
+}
+
+// RunVerified executes the benchmark to completion and checks exit code and
+// checksum, returning the finished CPU.
+func (b Benchmark) RunVerified() (*cpu.CPU, error) {
+	c, err := b.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Run(b.MaxInsts); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	if !c.Done {
+		return nil, fmt.Errorf("bench %s: did not finish within %d instructions", b.Name, b.MaxInsts)
+	}
+	if c.ExitCode != 0 {
+		return nil, fmt.Errorf("bench %s: exit code %d", b.Name, c.ExitCode)
+	}
+	if got := c.Regs[ChecksumReg]; got != b.Checksum {
+		return nil, fmt.Errorf("bench %s: checksum %#08x, reference says %#08x", b.Name, got, b.Checksum)
+	}
+	return c, nil
+}
+
+var (
+	allOnce sync.Once
+	allList []Benchmark
+)
+
+// All returns the full suite. Construction (input synthesis + reference
+// computation) happens once and is cached.
+func All() []Benchmark {
+	allOnce.Do(func() {
+		allList = []Benchmark{
+			adpcmEncode(),
+			adpcmDecode(),
+		}
+		allList = append(allList, extraBenchmarks()...)
+	})
+	return allList
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names lists the suite in order.
+func Names() []string {
+	bs := All()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// --- checksum and data-formatting helpers shared by the kernels ---
+
+// mix folds v into a running checksum: sum = sum*33 + v. The assembly
+// kernels implement the same fold as sll/addu/addu.
+func mix(sum, v uint32) uint32 { return sum*33 + v }
+
+// The standard epilogue: move checksum to $s7's final place is done by the
+// kernel itself; this exits cleanly.
+const exitOK = `
+    li   $v0, 10
+    syscall
+`
+
+// wordData renders vals as .word directives, 8 per line.
+func wordData(vals []int32) string {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i%8 == 0 {
+			sb.WriteString("    .word ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+		if i%8 == 7 || i == len(vals)-1 {
+			sb.WriteByte('\n')
+		} else {
+			sb.WriteString(", ")
+		}
+	}
+	return sb.String()
+}
+
+// halfData renders vals as .half directives.
+func halfData(vals []int16) string {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i%8 == 0 {
+			sb.WriteString("    .half ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+		if i%8 == 7 || i == len(vals)-1 {
+			sb.WriteByte('\n')
+		} else {
+			sb.WriteString(", ")
+		}
+	}
+	return sb.String()
+}
+
+// byteData renders vals as .byte directives.
+func byteData(vals []byte) string {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i%16 == 0 {
+			sb.WriteString("    .byte ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+		if i%16 == 15 || i == len(vals)-1 {
+			sb.WriteByte('\n')
+		} else {
+			sb.WriteString(", ")
+		}
+	}
+	return sb.String()
+}
+
+// synthAudio produces a deterministic speech-like 16-bit waveform: two
+// sinusoids plus a small pseudo-random dither, with an amplitude envelope
+// so the suite sees both quiet (highly compressible) and loud passages.
+func synthAudio(n int) []int16 {
+	out := make([]int16, n)
+	rng := newXorshift(0x2f6e2b1)
+	for i := range out {
+		env := 0.25 + 0.75*math.Abs(math.Sin(float64(i)*0.003))
+		s := 6000*math.Sin(float64(i)*0.071) + 1500*math.Sin(float64(i)*0.311)
+		s += float64(int32(rng.next()%257) - 128)
+		v := env * s
+		if v > 32767 {
+			v = 32767
+		}
+		if v < -32768 {
+			v = -32768
+		}
+		out[i] = int16(v)
+	}
+	return out
+}
+
+// synthImage produces a deterministic 8-bit test image with smooth
+// gradients, edges and noise (the operand mix an image kernel sees).
+func synthImage(w, h int) []byte {
+	img := make([]byte, w*h)
+	rng := newXorshift(0x9e3779b9)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 96 + 80*math.Sin(float64(x)*0.15)*math.Cos(float64(y)*0.11)
+			if (x/16+y/16)%2 == 0 {
+				v += 40
+			}
+			v += float64(rng.next() % 17)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*w+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// xorshift is the deterministic PRNG used for input synthesis.
+type xorshift struct{ s uint32 }
+
+func newXorshift(seed uint32) *xorshift {
+	if seed == 0 {
+		seed = 1
+	}
+	return &xorshift{s: seed}
+}
+
+func (x *xorshift) next() uint32 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 17
+	x.s ^= x.s << 5
+	return x.s
+}

@@ -1,0 +1,18 @@
+package bench
+
+import "testing"
+
+// TestSuiteVerified runs every kernel and checks its checksum against the
+// Go reference implementation.
+func TestSuiteVerified(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			c, err := b.RunVerified()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d instructions, checksum %#08x", b.Name, c.Retired, b.Checksum)
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import "fmt"
+
+func init() {
+	kernelBuilders = append(kernelBuilders, crc32Kernel)
+}
+
+const (
+	crcPoly    = 0xEDB88320 // reflected CRC-32 (IEEE)
+	crcBufSize = 4096
+)
+
+// crc32Ref is the bitwise reference CRC-32.
+func crc32Ref(buf []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range buf {
+		crc ^= uint32(b)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ crcPoly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// crc32Kernel builds the crc32 benchmark: a bitwise CRC over a pseudo-random
+// buffer. Its operands are full-width 32-bit values, the suite's
+// least-compressible workload (the counterweight to the audio kernels).
+func crc32Kernel() Benchmark {
+	rng := newXorshift(0xcafe10)
+	buf := make([]byte, crcBufSize)
+	for i := range buf {
+		buf[i] = byte(rng.next())
+	}
+	sum := crc32Ref(buf)
+	src := fmt.Sprintf(`
+# crc32: bitwise reflected CRC-32 over a %d-byte buffer.
+.text
+main:
+    la   $s0, buf
+    la   $s1, buf_end
+    li   $s7, -1               # crc = 0xffffffff
+    li   $s6, 0x%08x           # polynomial
+byte_loop:
+    lbu  $t0, 0($s0)
+    xor  $s7, $s7, $t0
+    li   $t1, 8
+bit_loop:
+    andi $t2, $s7, 1
+    srl  $s7, $s7, 1
+    beqz $t2, no_poly
+    xor  $s7, $s7, $s6
+no_poly:
+    addiu $t1, $t1, -1
+    bgtz $t1, bit_loop
+    addiu $s0, $s0, 1
+    blt  $s0, $s1, byte_loop
+    nor  $s7, $s7, $zero       # final complement
+%s
+.data
+buf:
+%sbuf_end:
+`, crcBufSize, uint32(crcPoly), exitOK, byteData(buf))
+	return Benchmark{
+		Name:        "crc32",
+		Description: "bitwise CRC-32 over a pseudo-random buffer: wide-operand counterweight to the media kernels",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import "fmt"
+
+func init() {
+	kernelBuilders = append(kernelBuilders, dijkstraKernel)
+}
+
+const (
+	djNodes = 48
+	djInf   = 0x7fffffff
+)
+
+// dijkstraGraph synthesizes a sparse weighted adjacency matrix (byte
+// weights, 0 = no edge) with a guaranteed ring so every node is reachable.
+func dijkstraGraph() []byte {
+	rng := newXorshift(0xd175a1)
+	adj := make([]byte, djNodes*djNodes)
+	for i := 0; i < djNodes; i++ {
+		// Ring edge.
+		adj[i*djNodes+(i+1)%djNodes] = byte(rng.next()%60 + 1)
+		// A few random extra edges.
+		for k := 0; k < 3; k++ {
+			j := int(rng.next()) % djNodes
+			if j != i {
+				adj[i*djNodes+j] = byte(rng.next()%120 + 1)
+			}
+		}
+	}
+	return adj
+}
+
+// dijkstraRef runs the O(N^2) single-source shortest path from node 0 and
+// checksums the final distance vector.
+func dijkstraRef(adj []byte) uint32 {
+	dist := make([]int32, djNodes)
+	visited := make([]bool, djNodes)
+	for i := range dist {
+		dist[i] = djInf
+	}
+	dist[0] = 0
+	for iter := 0; iter < djNodes; iter++ {
+		// Select the unvisited node with minimal distance.
+		u, best := -1, int32(djInf)
+		for i := 0; i < djNodes; i++ {
+			if !visited[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		visited[u] = true
+		for v := 0; v < djNodes; v++ {
+			w := int32(adj[u*djNodes+v])
+			if w != 0 && !visited[v] && dist[u]+w < dist[v] {
+				dist[v] = dist[u] + w
+			}
+		}
+	}
+	sum := uint32(0)
+	for _, d := range dist {
+		sum = mix(sum, uint32(d))
+	}
+	return sum
+}
+
+// dijkstraKernel builds the dijkstra benchmark: single-source shortest
+// paths (MiBench's network kernel) — a comparison- and branch-heavy
+// workload unlike the media kernels.
+func dijkstraKernel() Benchmark {
+	adj := dijkstraGraph()
+	sum := dijkstraRef(adj)
+	src := fmt.Sprintf(`
+# dijkstra: O(N^2) shortest paths over a %d-node graph.
+.text
+main:
+    # init dist[] = INF, visited[] = 0; dist[0] = 0
+    la   $s0, dist
+    la   $s1, visited
+    li   $t0, %d
+    li   $t1, 0x7fffffff
+init:
+    sw   $t1, 0($s0)
+    sb   $zero, 0($s1)
+    addiu $s0, $s0, 4
+    addiu $s1, $s1, 1
+    addiu $t0, $t0, -1
+    bgtz $t0, init
+    la   $s0, dist
+    sw   $zero, 0($s0)
+
+    li   $s2, %d               # outer iterations
+outer:
+    # find unvisited min
+    li   $s3, -1               # u
+    li   $s4, 0x7fffffff       # best
+    li   $t0, 0                # i
+find:
+    la   $t6, visited
+    addu $t6, $t6, $t0
+    lbu  $t1, 0($t6)
+    bnez $t1, find_next
+    sll  $t6, $t0, 2
+    la   $t7, dist
+    addu $t7, $t7, $t6
+    lw   $t2, 0($t7)
+    bge  $t2, $s4, find_next
+    move $s3, $t0
+    move $s4, $t2
+find_next:
+    addiu $t0, $t0, 1
+    li   $t6, %d
+    blt  $t0, $t6, find
+    bltz $s3, done             # no reachable unvisited node
+
+    la   $t6, visited          # visited[u] = 1
+    addu $t6, $t6, $s3
+    li   $t1, 1
+    sb   $t1, 0($t6)
+
+    # relax edges from u
+    li   $t0, 0                # v
+    li   $t5, %d
+    mult $s3, $t5              # u*N
+    mflo $s5
+relax:
+    la   $t6, adjacency
+    addu $t6, $t6, $s5
+    addu $t6, $t6, $t0
+    lbu  $t1, 0($t6)           # w
+    beqz $t1, relax_next
+    la   $t6, visited
+    addu $t6, $t6, $t0
+    lbu  $t2, 0($t6)
+    bnez $t2, relax_next
+    addu $t3, $s4, $t1         # dist[u] + w
+    sll  $t6, $t0, 2
+    la   $t7, dist
+    addu $t7, $t7, $t6
+    lw   $t4, 0($t7)
+    bge  $t3, $t4, relax_next
+    sw   $t3, 0($t7)
+relax_next:
+    addiu $t0, $t0, 1
+    li   $t6, %d
+    blt  $t0, $t6, relax
+
+    addiu $s2, $s2, -1
+    bgtz $s2, outer
+done:
+    # checksum dist[]
+    la   $s0, dist
+    li   $t0, %d
+    li   $s7, 0
+cksum:
+    lw   $t1, 0($s0)
+    sll  $t6, $s7, 5
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t1
+    addiu $s0, $s0, 4
+    addiu $t0, $t0, -1
+    bgtz $t0, cksum
+%s
+.data
+adjacency:
+%s
+dist:
+    .space %d
+visited:
+    .space %d
+`, djNodes, djNodes, djNodes, djNodes, djNodes, djNodes, djNodes, exitOK,
+		byteData(adj), 4*djNodes, djNodes)
+	return Benchmark{
+		Name:        "dijkstra",
+		Description: "single-source shortest paths (MiBench network kernel): branch- and compare-heavy counterpoint",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import "fmt"
+
+func init() {
+	kernelBuilders = append(kernelBuilders, epicFilter)
+}
+
+const (
+	epicW = 64
+	epicH = 64
+)
+
+// epicFilterRef applies the separable 1-2-1 smoothing filter (the building
+// block of EPIC's wavelet pyramid) horizontally then vertically, interior
+// pixels only, and checksums the result.
+func epicFilterRef(img []byte) uint32 {
+	tmp := make([]byte, len(img))
+	copy(tmp, img)
+	for y := 0; y < epicH; y++ {
+		for x := 1; x < epicW-1; x++ {
+			i := y*epicW + x
+			tmp[i] = byte((int32(img[i-1]) + 2*int32(img[i]) + int32(img[i+1])) >> 2)
+		}
+	}
+	out := make([]byte, len(img))
+	copy(out, tmp)
+	for y := 1; y < epicH-1; y++ {
+		for x := 0; x < epicW; x++ {
+			i := y*epicW + x
+			out[i] = byte((int32(tmp[i-epicW]) + 2*int32(tmp[i]) + int32(tmp[i+epicW])) >> 2)
+		}
+	}
+	sum := uint32(0)
+	for _, p := range out {
+		sum = mix(sum, uint32(p))
+	}
+	return sum
+}
+
+// epicFilter builds the epicfilt benchmark: EPIC-style separable low-pass
+// filtering over an 8-bit image.
+func epicFilter() Benchmark {
+	img := synthImage(epicW, epicH)
+	sum := epicFilterRef(img)
+	src := fmt.Sprintf(`
+# epicfilt: separable 1-2-1 low-pass over a %dx%d 8-bit image.
+.text
+main:
+    # copy img -> tmp (edges keep source values)
+    la   $s0, img
+    la   $s1, tmp
+    li   $t0, %d
+copy1:
+    lbu  $t1, 0($s0)
+    sb   $t1, 0($s1)
+    addiu $s0, $s0, 1
+    addiu $s1, $s1, 1
+    addiu $t0, $t0, -1
+    bgtz $t0, copy1
+
+    # horizontal pass: tmp[y][x] = (img[i-1] + 2*img[i] + img[i+1]) >> 2
+    li   $s2, 0                # y
+hrow:
+    li   $s3, 1                # x
+hcol:
+    sll  $t6, $s2, 6           # y*64
+    addu $t6, $t6, $s3
+    la   $t7, img
+    addu $t7, $t7, $t6
+    lbu  $t0, -1($t7)
+    lbu  $t1, 0($t7)
+    lbu  $t2, 1($t7)
+    sll  $t1, $t1, 1
+    addu $t0, $t0, $t1
+    addu $t0, $t0, $t2
+    sra  $t0, $t0, 2
+    la   $t7, tmp
+    addu $t7, $t7, $t6
+    sb   $t0, 0($t7)
+    addiu $s3, $s3, 1
+    li   $t6, %d
+    blt  $s3, $t6, hcol
+    addiu $s2, $s2, 1
+    li   $t6, %d
+    blt  $s2, $t6, hrow
+
+    # copy tmp -> out
+    la   $s0, tmp
+    la   $s1, out
+    li   $t0, %d
+copy2:
+    lbu  $t1, 0($s0)
+    sb   $t1, 0($s1)
+    addiu $s0, $s0, 1
+    addiu $s1, $s1, 1
+    addiu $t0, $t0, -1
+    bgtz $t0, copy2
+
+    # vertical pass over interior rows
+    li   $s2, 1                # y
+vrow:
+    li   $s3, 0                # x
+vcol:
+    sll  $t6, $s2, 6
+    addu $t6, $t6, $s3
+    la   $t7, tmp
+    addu $t7, $t7, $t6
+    lbu  $t0, -%d($t7)
+    lbu  $t1, 0($t7)
+    lbu  $t2, %d($t7)
+    sll  $t1, $t1, 1
+    addu $t0, $t0, $t1
+    addu $t0, $t0, $t2
+    sra  $t0, $t0, 2
+    la   $t7, out
+    addu $t7, $t7, $t6
+    sb   $t0, 0($t7)
+    addiu $s3, $s3, 1
+    li   $t6, %d
+    blt  $s3, $t6, vcol
+    addiu $s2, $s2, 1
+    li   $t6, %d
+    blt  $s2, $t6, vrow
+
+    # checksum out[]
+    la   $s0, out
+    la   $s1, out_end
+    li   $s7, 0
+cksum:
+    lbu  $t0, 0($s0)
+    sll  $t6, $s7, 5
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t0
+    addiu $s0, $s0, 1
+    blt  $s0, $s1, cksum
+%s
+.data
+img:
+%s
+tmp:
+    .space %d
+out:
+    .space %d
+out_end:
+    .byte 0
+`, epicW, epicH,
+		epicW*epicH,
+		epicW-1, epicH,
+		epicW*epicH,
+		epicW, epicW,
+		epicW, epicH-1,
+		exitOK,
+		byteData(img), epicW*epicH, epicW*epicH)
+	return Benchmark{
+		Name:        "epicfilt",
+		Description: "EPIC-style separable 1-2-1 image low-pass filter over an 8-bit test image",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

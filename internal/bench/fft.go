@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+func init() {
+	kernelBuilders = append(kernelBuilders, fftKernel)
+}
+
+const (
+	fftN    = 256
+	fftLogN = 8
+	fftQ    = 14 // twiddle fixed-point scale (Q14)
+)
+
+// fftTwiddles returns the Q14 cos/sin tables for a size-N FFT.
+func fftTwiddles() (cos, sin []int32) {
+	cos = make([]int32, fftN/2)
+	sin = make([]int32, fftN/2)
+	for k := 0; k < fftN/2; k++ {
+		ang := -2 * math.Pi * float64(k) / fftN
+		cos[k] = int32(math.Round(math.Cos(ang) * (1 << fftQ)))
+		sin[k] = int32(math.Round(math.Sin(ang) * (1 << fftQ)))
+	}
+	return cos, sin
+}
+
+// fftRef is the fixed-point radix-2 DIT FFT reference: bit-reversal
+// permutation, then log2(N) butterfly stages with per-stage >>1 scaling.
+// All arithmetic wraps in int32 exactly as the MIPS datapath does.
+func fftRef(re, im []int32, cos, sin []int32) uint32 {
+	n := len(re)
+	// Bit reversal.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				c, s := cos[k*step], sin[k*step]
+				tr := (re[j]*c - im[j]*s) >> fftQ
+				ti := (re[j]*s + im[j]*c) >> fftQ
+				ar, ai := re[i]>>1, im[i]>>1
+				tr, ti = tr>>1, ti>>1
+				re[i], im[i] = ar+tr, ai+ti
+				re[j], im[j] = ar-tr, ai-ti
+			}
+		}
+	}
+	sum := uint32(0)
+	for i := 0; i < n; i++ {
+		sum = mix(sum, uint32(uint16(re[i])))
+		sum = mix(sum, uint32(uint16(im[i])))
+	}
+	return sum
+}
+
+// fftKernel builds the fft benchmark: a 256-point fixed-point FFT over a
+// synthetic signal — the spectral front end shared by the paper's audio
+// workloads (GSM, G.721 all build on filterbank/transform math).
+func fftKernel() Benchmark {
+	cos, sin := fftTwiddles()
+	re := make([]int32, fftN)
+	im := make([]int32, fftN)
+	for i, s := range synthAudio(fftN) {
+		re[i] = int32(s) >> 2
+	}
+	reIn := make([]int32, fftN)
+	copy(reIn, re)
+	sum := fftRef(re, im, cos, sin)
+	src := fmt.Sprintf(`
+# fft: %d-point fixed-point radix-2 DIT FFT (Q%d twiddles).
+.text
+main:
+    # ---- bit-reversal permutation ----
+    la   $s0, re
+    la   $s1, im
+    li   $t0, 0                # i
+    li   $t1, 0                # j
+brloop:
+    bge  $t0, $t1, noswap      # swap only when i < j
+    sll  $t4, $t0, 2
+    sll  $t5, $t1, 2
+    addu $t6, $s0, $t4
+    addu $t7, $s0, $t5
+    lw   $t8, 0($t6)
+    lw   $t9, 0($t7)
+    sw   $t9, 0($t6)
+    sw   $t8, 0($t7)
+    addu $t6, $s1, $t4
+    addu $t7, $s1, $t5
+    lw   $t8, 0($t6)
+    lw   $t9, 0($t7)
+    sw   $t9, 0($t6)
+    sw   $t8, 0($t7)
+noswap:
+    li   $t4, %d               # mask = N/2
+brmask:
+    and  $t5, $t1, $t4
+    beqz $t5, brset
+    xor  $t1, $t1, $t4         # j &^= mask
+    sra  $t4, $t4, 1
+    bgtz $t4, brmask
+brset:
+    or   $t1, $t1, $t4
+    addiu $t0, $t0, 1
+    li   $t4, %d
+    blt  $t0, $t4, brloop
+
+    # ---- butterfly stages ----
+    li   $s2, 2                # size
+    li   $s7, 0
+stageloop:
+    sra  $s3, $s2, 1           # half
+    li   $t0, %d
+    divq $s4, $t0, $s2         # step = N / size
+    li   $s5, 0                # start
+startloop:
+    li   $s6, 0                # k
+kloop:
+    addu $t0, $s5, $s6         # i
+    addu $t1, $t0, $s3         # j = i + half
+    # twiddle index k*step
+    mul  $t2, $s6, $s4
+    sll  $t2, $t2, 2
+    la   $t3, costab
+    addu $t3, $t3, $t2
+    lw   $t4, 0($t3)           # c
+    la   $t3, sintab
+    addu $t3, $t3, $t2
+    lw   $t5, 0($t3)           # s
+    # load re[j], im[j]
+    sll  $t2, $t1, 2
+    la   $t3, re
+    addu $t3, $t3, $t2
+    lw   $t6, 0($t3)           # re[j]
+    la   $t3, im
+    addu $t3, $t3, $t2
+    lw   $t7, 0($t3)           # im[j]
+    # tr = (re[j]*c - im[j]*s) >> Q ; ti = (re[j]*s + im[j]*c) >> Q
+    mul  $t8, $t6, $t4
+    mul  $t9, $t7, $t5
+    subu $t8, $t8, $t9         # tr<<Q
+    sra  $t8, $t8, %d
+    mul  $t9, $t6, $t5
+    mul  $t6, $t7, $t4
+    addu $t9, $t9, $t6         # ti<<Q
+    sra  $t9, $t9, %d
+    sra  $t8, $t8, 1           # tr >>= 1
+    sra  $t9, $t9, 1           # ti >>= 1
+    # load re[i], im[i]; halve
+    sll  $t2, $t0, 2
+    la   $t3, re
+    addu $t3, $t3, $t2
+    lw   $t6, 0($t3)
+    sra  $t6, $t6, 1           # ar
+    la   $t3, im
+    addu $t3, $t3, $t2
+    lw   $t7, 0($t3)
+    sra  $t7, $t7, 1           # ai
+    # write results
+    addu $t2, $t6, $t8         # re[i] = ar+tr
+    sll  $t3, $t0, 2
+    la   $at, re               # (at is free between pseudo expansions)
+    addu $t3, $at, $t3
+    sw   $t2, 0($t3)
+    subu $t2, $t6, $t8         # re[j] = ar-tr
+    sll  $t3, $t1, 2
+    la   $at, re
+    addu $t3, $at, $t3
+    sw   $t2, 0($t3)
+    addu $t2, $t7, $t9         # im[i] = ai+ti
+    sll  $t3, $t0, 2
+    la   $at, im
+    addu $t3, $at, $t3
+    sw   $t2, 0($t3)
+    subu $t2, $t7, $t9         # im[j] = ai-ti
+    sll  $t3, $t1, 2
+    la   $at, im
+    addu $t3, $at, $t3
+    sw   $t2, 0($t3)
+    addiu $s6, $s6, 1
+    blt  $s6, $s3, kloop
+    addu $s5, $s5, $s2
+    li   $t0, %d
+    blt  $s5, $t0, startloop
+    sll  $s2, $s2, 1
+    li   $t0, %d
+    ble  $s2, $t0, stageloop
+
+    # ---- checksum ----
+    li   $t0, 0
+cksum:
+    sll  $t2, $t0, 2
+    la   $t3, re
+    addu $t3, $t3, $t2
+    lw   $t4, 0($t3)
+    andi $t4, $t4, 0xffff
+    sll  $t5, $s7, 5
+    addu $s7, $t5, $s7
+    addu $s7, $s7, $t4
+    la   $t3, im
+    addu $t3, $t3, $t2
+    lw   $t4, 0($t3)
+    andi $t4, $t4, 0xffff
+    sll  $t5, $s7, 5
+    addu $s7, $t5, $s7
+    addu $s7, $s7, $t4
+    addiu $t0, $t0, 1
+    li   $t2, %d
+    blt  $t0, $t2, cksum
+%s
+.data
+re:
+%s
+im:
+    .space %d
+costab:
+%s
+sintab:
+%s
+`, fftN, fftQ,
+		fftN/2, fftN,
+		fftN,
+		fftQ, fftQ,
+		fftN, fftN,
+		fftN, exitOK,
+		wordData(reIn), 4*fftN, wordData(cos), wordData(sin))
+	return Benchmark{
+		Name:        "fft",
+		Description: "256-point fixed-point radix-2 FFT: the spectral kernel beneath the audio codecs",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    3_000_000,
+	}
+}

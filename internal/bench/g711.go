@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+func init() {
+	kernelBuilders = append(kernelBuilders, g711Encode, g711Decode)
+}
+
+// µ-law codec constants (ITU-T G.711, the telephony substrate of
+// Mediabench's g721 programs).
+const (
+	ulawBias = 0x84
+	ulawClip = 32635
+)
+
+// ulawExpLUT is the standard segment-number lookup table indexed by
+// (biased sample >> 7) & 0xFF.
+func ulawExpLUT() []byte {
+	lut := make([]byte, 256)
+	for i := 1; i < 256; i++ {
+		e := bits.Len(uint(i))
+		if e > 7 {
+			e = 7
+		}
+		lut[i] = byte(e)
+	}
+	return lut
+}
+
+// linear2ulawRef is the Go reference µ-law encoder.
+func linear2ulawRef(pcm int16, lut []byte) byte {
+	sign := byte(0)
+	s := int32(pcm)
+	if s < 0 {
+		sign = 0x80
+		s = -s
+	}
+	if s > ulawClip {
+		s = ulawClip
+	}
+	s += ulawBias
+	exponent := lut[(s>>7)&0xff]
+	mantissa := byte(s>>(exponent+3)) & 0x0f
+	return ^(sign | exponent<<4 | mantissa)
+}
+
+// ulaw2linearRef is the Go reference µ-law decoder.
+func ulaw2linearRef(u byte) int16 {
+	u = ^u
+	sign := u & 0x80
+	exponent := (u >> 4) & 7
+	mantissa := u & 0x0f
+	t := (int32(mantissa)<<3 + ulawBias) << exponent
+	if sign != 0 {
+		return int16(ulawBias - t)
+	}
+	return int16(t - ulawBias)
+}
+
+const g711Samples = 3000
+
+// g711Encode builds the g711enc benchmark: µ-law compression of the
+// synthetic waveform (the PCM→log-domain step of the Mediabench g721
+// pipeline).
+func g711Encode() Benchmark {
+	samples := synthAudio(g711Samples)
+	lut := ulawExpLUT()
+	sum := uint32(0)
+	for _, s := range samples {
+		sum = mix(sum, uint32(linear2ulawRef(s, lut)))
+	}
+	src := fmt.Sprintf(`
+# g711enc: mu-law encoder over %d 16-bit samples.
+.text
+main:
+    la   $s0, samples
+    la   $s1, samples_end
+    la   $s4, out
+    la   $t9, exp_lut
+    li   $s7, 0
+enc_loop:
+    lh   $t0, 0($s0)
+    li   $t2, 0                # sign
+    bgez $t0, enc_pos
+    li   $t2, 0x80
+    subu $t0, $zero, $t0
+enc_pos:
+    li   $t6, %d               # CLIP
+    ble  $t0, $t6, enc_bias
+    move $t0, $t6
+enc_bias:
+    addiu $t0, $t0, %d         # BIAS
+    sra  $t6, $t0, 7
+    andi $t6, $t6, 0xff
+    addu $t6, $t9, $t6
+    lbu  $t3, 0($t6)           # exponent
+    addiu $t6, $t3, 3
+    srav $t4, $t0, $t6         # mantissa
+    andi $t4, $t4, 0x0f
+    sll  $t5, $t3, 4
+    or   $t5, $t5, $t2
+    or   $t5, $t5, $t4
+    nor  $t5, $t5, $zero       # complement
+    andi $t5, $t5, 0xff
+    sb   $t5, 0($s4)
+    sll  $t6, $s7, 5           # checksum fold
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t5
+    addiu $s0, $s0, 2
+    addiu $s4, $s4, 1
+    blt  $s0, $s1, enc_loop
+%s
+.data
+samples:
+%ssamples_end:
+exp_lut:
+%s
+out:
+    .space %d
+`, g711Samples, ulawClip, ulawBias, exitOK, halfData(samples), byteData(lut), g711Samples)
+	return Benchmark{
+		Name:        "g711enc",
+		Description: "mu-law (G.711) encoder — the log-PCM front end of Mediabench's g721 codec",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    1_000_000,
+	}
+}
+
+// g711Decode builds the g711dec benchmark: expanding the µ-law stream the
+// reference encoder produced.
+func g711Decode() Benchmark {
+	samples := synthAudio(g711Samples)
+	lut := ulawExpLUT()
+	codes := make([]byte, len(samples))
+	for i, s := range samples {
+		codes[i] = linear2ulawRef(s, lut)
+	}
+	sum := uint32(0)
+	for _, u := range codes {
+		sum = mix(sum, uint32(uint16(ulaw2linearRef(u))))
+	}
+	src := fmt.Sprintf(`
+# g711dec: mu-law decoder over %d codes.
+.text
+main:
+    la   $s0, codes
+    la   $s1, codes_end
+    li   $s7, 0
+dec_loop:
+    lbu  $t0, 0($s0)
+    nor  $t0, $t0, $zero
+    andi $t0, $t0, 0xff        # u = ~u
+    andi $t2, $t0, 0x80        # sign
+    srl  $t3, $t0, 4
+    andi $t3, $t3, 7           # exponent
+    andi $t4, $t0, 0x0f        # mantissa
+    sll  $t5, $t4, 3
+    addiu $t5, $t5, %d         # + BIAS
+    sllv $t5, $t5, $t3
+    beqz $t2, dec_posv
+    li   $t6, %d
+    subu $t5, $t6, $t5         # BIAS - t
+    j    dec_sum
+dec_posv:
+    addiu $t5, $t5, -%d        # t - BIAS
+dec_sum:
+    andi $t5, $t5, 0xffff
+    sll  $t6, $s7, 5
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t5
+    addiu $s0, $s0, 1
+    blt  $s0, $s1, dec_loop
+%s
+.data
+codes:
+%scodes_end:
+`, g711Samples, ulawBias, ulawBias, ulawBias, exitOK, byteData(codes))
+	return Benchmark{
+		Name:        "g711dec",
+		Description: "mu-law (G.711) decoder — the expansion step of Mediabench's g721 codec",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    1_000_000,
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import "fmt"
+
+func init() {
+	kernelBuilders = append(kernelBuilders, gsmAutocorr)
+}
+
+const (
+	gsmFrames   = 16
+	gsmFrameLen = 160 // GSM 06.10 frame length
+	gsmLags     = 9   // autocorrelation lags 0..8
+)
+
+// gsmAutocorrRef computes per-frame autocorrelations with wrapping uint32
+// accumulation (identical to addu/mflo semantics on the target) and folds
+// every coefficient into the checksum.
+func gsmAutocorrRef(samples []int16) uint32 {
+	sum := uint32(0)
+	for f := 0; f < gsmFrames; f++ {
+		frame := samples[f*gsmFrameLen : (f+1)*gsmFrameLen]
+		for k := 0; k < gsmLags; k++ {
+			var acf uint32
+			for i := k; i < gsmFrameLen; i++ {
+				acf += uint32(int32(frame[i]) * int32(frame[i-k]))
+			}
+			sum = mix(sum, acf)
+		}
+	}
+	return sum
+}
+
+// gsmAutocorr builds the gsmacf benchmark: the autocorrelation stage of
+// GSM 06.10 LPC analysis (Mediabench gsm), a multiply-accumulate workload
+// over 16-bit speech data.
+func gsmAutocorr() Benchmark {
+	samples := synthAudio(gsmFrames * gsmFrameLen)
+	sum := gsmAutocorrRef(samples)
+	src := fmt.Sprintf(`
+# gsmacf: GSM-style LPC autocorrelation, %d frames x %d samples x %d lags.
+.text
+main:
+    la   $s0, samples          # frame base
+    li   $s1, %d               # frames remaining
+    li   $s7, 0
+frame_loop:
+    li   $s2, 0                # k (lag)
+lag_loop:
+    li   $t4, 0                # acf accumulator
+    move $t5, $s2              # i = k
+inner_loop:
+    sll  $t6, $t5, 1           # &frame[i]
+    addu $t6, $s0, $t6
+    lh   $t0, 0($t6)           # frame[i]
+    subu $t7, $t5, $s2         # i-k
+    sll  $t7, $t7, 1
+    addu $t7, $s0, $t7
+    lh   $t1, 0($t7)           # frame[i-k]
+    mult $t0, $t1
+    mflo $t2
+    addu $t4, $t4, $t2
+    addiu $t5, $t5, 1
+    li   $t6, %d
+    blt  $t5, $t6, inner_loop
+    sll  $t6, $s7, 5           # checksum fold of acf
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t4
+    addiu $s2, $s2, 1
+    li   $t6, %d
+    blt  $s2, $t6, lag_loop
+    addiu $s0, $s0, %d         # next frame
+    addiu $s1, $s1, -1
+    bgtz $s1, frame_loop
+%s
+.data
+samples:
+%s
+`, gsmFrames, gsmFrameLen, gsmLags,
+		gsmFrames, gsmFrameLen, gsmLags, 2*gsmFrameLen, exitOK,
+		halfData(samples))
+	return Benchmark{
+		Name:        "gsmacf",
+		Description: "GSM 06.10 LPC autocorrelation (Mediabench gsm): multiply-accumulate over 16-bit speech frames",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+func init() {
+	kernelBuilders = append(kernelBuilders, huffmanDecode)
+}
+
+const (
+	huffSymbols   = 16
+	huffStreamLen = 6000
+)
+
+// huffLeaf marks a node-table entry as a leaf carrying the symbol in its
+// low byte.
+const huffLeaf = 0x100
+
+// huffTree builds a deterministic Huffman tree for a skewed symbol
+// distribution and returns the node table (two words per internal node:
+// left child index then right child index; leaf entries have huffLeaf set)
+// and the per-symbol codes.
+func huffTree() (table []int32, codes [][]bool) {
+	// Skewed frequencies: symbol s has weight 2^(15-s)+1 — short codes for
+	// small symbols, like DCT coefficient statistics.
+	type node struct {
+		weight      int
+		symbol      int // -1 for internal
+		left, right *node
+	}
+	var heap []*node
+	for s := 0; s < huffSymbols; s++ {
+		heap = append(heap, &node{weight: 1<<(15-uint(s)) + 1, symbol: s})
+	}
+	pop := func() *node {
+		sort.SliceStable(heap, func(i, j int) bool {
+			if heap[i].weight != heap[j].weight {
+				return heap[i].weight < heap[j].weight
+			}
+			// Deterministic tie-break on symbol (internal nodes last).
+			return heap[i].symbol > heap[j].symbol
+		})
+		n := heap[0]
+		heap = heap[1:]
+		return n
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		heap = append(heap, &node{weight: a.weight + b.weight, symbol: -1, left: a, right: b})
+	}
+	root := heap[0]
+
+	// Serialize internal nodes breadth-first; entry i occupies table[2i]
+	// and table[2i+1].
+	var order []*node
+	index := map[*node]int{}
+	queue := []*node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.symbol >= 0 {
+			continue
+		}
+		index[n] = len(order)
+		order = append(order, n)
+		queue = append(queue, n.left, n.right)
+	}
+	table = make([]int32, 2*len(order))
+	var assign func(n *node)
+	assign = func(n *node) {
+		i := index[n]
+		for k, ch := range []*node{n.left, n.right} {
+			if ch.symbol >= 0 {
+				table[2*i+k] = int32(huffLeaf | ch.symbol)
+			} else {
+				table[2*i+k] = int32(index[ch])
+				assign(ch)
+			}
+		}
+	}
+	assign(root)
+
+	// Extract codes by walking.
+	codes = make([][]bool, huffSymbols)
+	var walk func(n *node, prefix []bool)
+	walk = func(n *node, prefix []bool) {
+		if n.symbol >= 0 {
+			codes[n.symbol] = append([]bool(nil), prefix...)
+			return
+		}
+		walk(n.left, append(prefix, false))
+		walk(n.right, append(prefix, true))
+	}
+	walk(root, nil)
+	return table, codes
+}
+
+// huffEncode packs a symbol stream into a bitstream (LSB-first per byte).
+func huffEncode(symbols []int, codes [][]bool) []byte {
+	var out []byte
+	var cur byte
+	nbits := 0
+	for _, s := range symbols {
+		for _, bit := range codes[s] {
+			if bit {
+				cur |= 1 << uint(nbits)
+			}
+			nbits++
+			if nbits == 8 {
+				out = append(out, cur)
+				cur, nbits = 0, 0
+			}
+		}
+	}
+	if nbits > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// huffDecodeRef walks the node table over the bitstream and checksums the
+// decoded symbols.
+func huffDecodeRef(stream []byte, table []int32, count int) uint32 {
+	sum := uint32(0)
+	node := int32(0)
+	bitPos := 0
+	for decoded := 0; decoded < count; {
+		b := stream[bitPos>>3]
+		bit := (b >> uint(bitPos&7)) & 1
+		bitPos++
+		node = table[2*node+int32(bit)]
+		if node&huffLeaf != 0 {
+			sum = mix(sum, uint32(node&0xff))
+			node = 0
+			decoded++
+		}
+	}
+	return sum
+}
+
+// huffmanDecode builds the huffdec benchmark: canonical Huffman decoding of
+// a skewed symbol stream — the entropy-decoding stage of the JPEG/MPEG
+// pipelines, a bit-twiddling workload with tiny operands.
+func huffmanDecode() Benchmark {
+	table, codes := huffTree()
+	rng := newXorshift(0x5eed5)
+	symbols := make([]int, huffStreamLen)
+	for i := range symbols {
+		// Geometric-ish distribution biased toward small symbols.
+		v := rng.next()
+		s := 0
+		for s < huffSymbols-1 && v&1 == 1 {
+			s++
+			v >>= 1
+		}
+		symbols[i] = s
+	}
+	stream := huffEncode(symbols, codes)
+	sum := huffDecodeRef(stream, table, len(symbols))
+	src := fmt.Sprintf(`
+# huffdec: table-driven Huffman decode of %d symbols from a %d-byte stream.
+.text
+main:
+    la   $s0, stream
+    la   $s1, nodes
+    li   $s2, 0                # bit position
+    li   $s3, 0                # current node index
+    li   $s4, %d               # symbols remaining
+    li   $s7, 0
+bitloop:
+    sra  $t0, $s2, 3           # byte index
+    addu $t0, $s0, $t0
+    lbu  $t1, 0($t0)           # stream byte
+    andi $t2, $s2, 7
+    srav $t1, $t1, $t2
+    andi $t1, $t1, 1           # bit
+    addiu $s2, $s2, 1
+    sll  $t3, $s3, 3           # node*2 words = node*8 bytes
+    sll  $t4, $t1, 2           # bit*4
+    addu $t3, $t3, $t4
+    addu $t3, $s1, $t3
+    lw   $s3, 0($t3)           # next node or leaf
+    andi $t5, $s3, %d
+    beqz $t5, bitloop
+    andi $t6, $s3, 0xff        # symbol
+    sll  $t7, $s7, 5
+    addu $s7, $t7, $s7
+    addu $s7, $s7, $t6
+    li   $s3, 0
+    addiu $s4, $s4, -1
+    bgtz $s4, bitloop
+%s
+.data
+nodes:
+%s
+stream:
+%s
+`, huffStreamLen, len(stream), huffStreamLen, huffLeaf, exitOK,
+		wordData(table), byteData(stream))
+	return Benchmark{
+		Name:        "huffdec",
+		Description: "table-driven Huffman decoder: the entropy stage of the JPEG/MPEG pipelines",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+func init() {
+	kernelBuilders = append(kernelBuilders, jpegDCT)
+}
+
+const (
+	dctImgW      = 64
+	dctImgH      = 64
+	dctBlockRows = 4 // process the top 4 block rows (32 blocks)
+	dctScaleBits = 12
+)
+
+// dctMatrix returns the integer 8x8 DCT-II basis scaled by 64 (so the 2-D
+// transform carries a 4096 = 2^12 gain, removed by the final shift).
+func dctMatrix() []int32 {
+	c := make([]int32, 64)
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			v := 64.0 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			if u == 0 {
+				v = 64.0 / math.Sqrt2
+			}
+			c[u*8+x] = int32(math.Round(v))
+		}
+	}
+	return c
+}
+
+// jpegDCTRef runs the integer 2-D DCT over the processed blocks and
+// checksums the low 16 bits of every coefficient.
+func jpegDCTRef(img []byte, c []int32) uint32 {
+	sum := uint32(0)
+	var tmp [64]int32
+	for by := 0; by < dctBlockRows; by++ {
+		for bx := 0; bx < dctImgW/8; bx++ {
+			for u := 0; u < 8; u++ {
+				for j := 0; j < 8; j++ {
+					var acc int32
+					for x := 0; x < 8; x++ {
+						f := int32(img[(by*8+x)*dctImgW+bx*8+j]) - 128
+						acc += c[u*8+x] * f
+					}
+					tmp[u*8+j] = acc
+				}
+			}
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					var acc int32
+					for j := 0; j < 8; j++ {
+						acc += tmp[u*8+j] * c[v*8+j]
+					}
+					coef := acc >> dctScaleBits
+					sum = mix(sum, uint32(uint16(coef)))
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// jpegDCT builds the jpegdct benchmark: the forward integer DCT of JPEG
+// compression over blocks of a synthetic image.
+func jpegDCT() Benchmark {
+	img := synthImage(dctImgW, dctImgH)
+	c := dctMatrix()
+	sum := jpegDCTRef(img, c)
+	src := fmt.Sprintf(`
+# jpegdct: integer 8x8 forward DCT over %d blocks of a %dx%d image.
+.text
+main:
+    li   $s7, 0
+    li   $s0, 0                # by
+blk_row:
+    li   $s1, 0                # bx
+blk_col:
+    # stage 1: tmp[u][j] = sum_x C[u][x] * (img[by*8+x][bx*8+j] - 128)
+    li   $s2, 0                # u
+s1_u:
+    li   $s3, 0                # j
+s1_j:
+    li   $t4, 0                # acc
+    li   $t5, 0                # x
+s1_x:
+    sll  $t6, $s0, 3           # by*8
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 6           # *64
+    sll  $t7, $s1, 3           # bx*8
+    addu $t6, $t6, $t7
+    addu $t6, $t6, $s3
+    la   $t7, img
+    addu $t7, $t7, $t6
+    lbu  $t0, 0($t7)
+    addiu $t0, $t0, -128
+    sll  $t6, $s2, 3           # C[u*8+x]
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 2
+    la   $t7, cmat
+    addu $t7, $t7, $t6
+    lw   $t1, 0($t7)
+    mult $t0, $t1
+    mflo $t2
+    addu $t4, $t4, $t2
+    addiu $t5, $t5, 1
+    li   $t6, 8
+    blt  $t5, $t6, s1_x
+    sll  $t6, $s2, 3           # tmp[u*8+j] = acc
+    addu $t6, $t6, $s3
+    sll  $t6, $t6, 2
+    la   $t7, tmpblk
+    addu $t7, $t7, $t6
+    sw   $t4, 0($t7)
+    addiu $s3, $s3, 1
+    li   $t6, 8
+    blt  $s3, $t6, s1_j
+    addiu $s2, $s2, 1
+    li   $t6, 8
+    blt  $s2, $t6, s1_u
+    # stage 2: F[u][v] = (sum_j tmp[u][j] * C[v][j]) >> %d
+    li   $s2, 0                # u
+s2_u:
+    li   $s3, 0                # v
+s2_v:
+    li   $t4, 0
+    li   $t5, 0                # j
+s2_j:
+    sll  $t6, $s2, 3
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 2
+    la   $t7, tmpblk
+    addu $t7, $t7, $t6
+    lw   $t0, 0($t7)
+    sll  $t6, $s3, 3
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 2
+    la   $t7, cmat
+    addu $t7, $t7, $t6
+    lw   $t1, 0($t7)
+    mult $t0, $t1
+    mflo $t2
+    addu $t4, $t4, $t2
+    addiu $t5, $t5, 1
+    li   $t6, 8
+    blt  $t5, $t6, s2_j
+    sra  $t4, $t4, %d
+    andi $t4, $t4, 0xffff
+    sll  $t6, $s7, 5
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t4
+    addiu $s3, $s3, 1
+    li   $t6, 8
+    blt  $s3, $t6, s2_v
+    addiu $s2, $s2, 1
+    li   $t6, 8
+    blt  $s2, $t6, s2_u
+    addiu $s1, $s1, 1
+    li   $t6, %d
+    blt  $s1, $t6, blk_col
+    addiu $s0, $s0, 1
+    li   $t6, %d
+    blt  $s0, $t6, blk_row
+%s
+.data
+img:
+%s
+cmat:
+%s
+tmpblk:
+    .space 256
+`, dctBlockRows*dctImgW/8, dctImgW, dctImgH,
+		dctScaleBits, dctScaleBits,
+		dctImgW/8, dctBlockRows, exitOK,
+		byteData(img), wordData(c))
+	return Benchmark{
+		Name:        "jpegdct",
+		Description: "JPEG forward integer 8x8 DCT (Mediabench jpeg cjpeg's transform stage)",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    3_000_000,
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+func init() {
+	kernelBuilders = append(kernelBuilders, mesaTransform)
+}
+
+const (
+	mesaVerts = 384
+	mesaQ     = 12 // matrix fixed-point scale
+)
+
+// mesaMatrix returns a Q12 model-view matrix (rotation about two axes plus
+// a translation), the workload of Mesa's vertex stage.
+func mesaMatrix() []int32 {
+	a, b := 0.31, 0.57
+	ca, sa := math.Cos(a), math.Sin(a)
+	cb, sb := math.Cos(b), math.Sin(b)
+	f := func(x float64) int32 { return int32(math.Round(x * (1 << mesaQ))) }
+	// Rz(a)·Ry(b) with a translation column.
+	return []int32{
+		f(ca * cb), f(-sa), f(ca * sb), f(1.5),
+		f(sa * cb), f(ca), f(sa * sb), f(-2.25),
+		f(-sb), 0, f(cb), f(0.75),
+		0, 0, 0, f(1),
+	}
+}
+
+// mesaVertices synthesizes a vertex buffer of 16-bit coordinates.
+func mesaVertices() []int16 {
+	rng := newXorshift(0x3d5a7)
+	vs := make([]int16, 4*mesaVerts)
+	for i := 0; i < mesaVerts; i++ {
+		for c := 0; c < 3; c++ {
+			vs[4*i+c] = int16(int32(rng.next()%2048) - 1024)
+		}
+		vs[4*i+3] = 1 << mesaQ >> 4 // w in a smaller scale
+	}
+	return vs
+}
+
+// mesaRef transforms every vertex by the matrix and checksums the low 16
+// bits of each output component. All arithmetic wraps in int32 exactly as
+// the MIPS datapath does.
+func mesaRef(m []int32, vs []int16) uint32 {
+	sum := uint32(0)
+	for i := 0; i < mesaVerts; i++ {
+		for row := 0; row < 4; row++ {
+			var acc int32
+			for col := 0; col < 4; col++ {
+				acc += m[4*row+col] * int32(vs[4*i+col])
+			}
+			acc >>= mesaQ
+			sum = mix(sum, uint32(uint16(acc)))
+		}
+	}
+	return sum
+}
+
+// mesaTransform builds the mesa benchmark: the fixed-point 4x4 vertex
+// transform at the front of Mediabench's mesa (3-D rendering) workload.
+func mesaTransform() Benchmark {
+	m := mesaMatrix()
+	vs := mesaVertices()
+	sum := mesaRef(m, vs)
+	src := fmt.Sprintf(`
+# mesa: 4x4 fixed-point vertex transform over %d vertices (Q%d matrix).
+.text
+main:
+    la   $s0, verts
+    li   $s1, %d               # vertices remaining
+    li   $s7, 0
+vert_loop:
+    li   $s2, 0                # row
+row_loop:
+    li   $t4, 0                # acc
+    li   $t5, 0                # col
+col_loop:
+    sll  $t6, $s2, 2           # m[4*row+col]
+    addu $t6, $t6, $t5
+    sll  $t6, $t6, 2
+    la   $t7, matrix
+    addu $t7, $t7, $t6
+    lw   $t0, 0($t7)
+    sll  $t6, $t5, 1           # verts[4*i+col]
+    addu $t7, $s0, $t6
+    lh   $t1, 0($t7)
+    mult $t0, $t1
+    mflo $t2
+    addu $t4, $t4, $t2
+    addiu $t5, $t5, 1
+    li   $t6, 4
+    blt  $t5, $t6, col_loop
+    sra  $t4, $t4, %d          # >> Q
+    andi $t4, $t4, 0xffff
+    sll  $t6, $s7, 5           # checksum fold
+    addu $s7, $t6, $s7
+    addu $s7, $s7, $t4
+    addiu $s2, $s2, 1
+    li   $t6, 4
+    blt  $s2, $t6, row_loop
+    addiu $s0, $s0, 8          # next vertex (4 halfwords)
+    addiu $s1, $s1, -1
+    bgtz $s1, vert_loop
+%s
+.data
+matrix:
+%s
+verts:
+%s
+`, mesaVerts, mesaQ, mesaVerts, mesaQ, exitOK, wordData(m), halfData(vs))
+	return Benchmark{
+		Name:        "mesa",
+		Description: "Mesa-style fixed-point 4x4 vertex transform (3-D geometry stage)",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

@@ -1,0 +1,183 @@
+package bench
+
+import "fmt"
+
+func init() {
+	kernelBuilders = append(kernelBuilders, mpeg2Motion)
+}
+
+const (
+	meFrameW = 64
+	meFrameH = 64
+	meBlock  = 8 // macroblock edge
+	meGrid   = 4 // 4x4 macroblocks
+	meOrigin = 8 // first MB origin; keeps the ±2 window in bounds
+	meWindow = 2 // search ±2 pixels
+)
+
+// mpeg2Frames synthesizes a current frame and a reference frame that is the
+// current frame shifted by (1,2) with added noise, so the search has real
+// motion to find.
+func mpeg2Frames() (cur, ref []byte) {
+	cur = synthImage(meFrameW, meFrameH)
+	ref = make([]byte, len(cur))
+	rng := newXorshift(0x51ed0)
+	for y := 0; y < meFrameH; y++ {
+		for x := 0; x < meFrameW; x++ {
+			sy, sx := (y+1)%meFrameH, (x+2)%meFrameW
+			v := int32(cur[sy*meFrameW+sx]) + int32(rng.next()%7) - 3
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			ref[y*meFrameW+x] = byte(v)
+		}
+	}
+	return cur, ref
+}
+
+// mpeg2MotionRef performs the full-search SAD motion estimation and folds
+// each macroblock's best SAD and encoded motion vector into the checksum.
+func mpeg2MotionRef(cur, ref []byte) uint32 {
+	sum := uint32(0)
+	for mby := 0; mby < meGrid; mby++ {
+		for mbx := 0; mbx < meGrid; mbx++ {
+			oy, ox := meOrigin+mby*meBlock, meOrigin+mbx*meBlock
+			best := int32(1<<31 - 1)
+			bmv := int32(0)
+			for dy := -meWindow; dy <= meWindow; dy++ {
+				for dx := -meWindow; dx <= meWindow; dx++ {
+					var sad int32
+					for y := 0; y < meBlock; y++ {
+						for x := 0; x < meBlock; x++ {
+							a := int32(cur[(oy+y)*meFrameW+ox+x])
+							b := int32(ref[(oy+y+dy)*meFrameW+ox+x+dx])
+							d := a - b
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+						}
+					}
+					if sad < best {
+						best = sad
+						bmv = int32((dy+meWindow)*(2*meWindow+1) + dx + meWindow)
+					}
+				}
+			}
+			sum = mix(sum, uint32(best))
+			sum = mix(sum, uint32(bmv))
+		}
+	}
+	return sum
+}
+
+// mpeg2Motion builds the mpeg2me benchmark: exhaustive-search motion
+// estimation (the dominant kernel of Mediabench's mpeg2 encoder).
+func mpeg2Motion() Benchmark {
+	cur, ref := mpeg2Frames()
+	sum := mpeg2MotionRef(cur, ref)
+	src := fmt.Sprintf(`
+# mpeg2me: full-search SAD motion estimation, %dx%d MBs of %dx%d, window +-%d.
+.text
+main:
+    li   $s7, 0
+    li   $s0, 0                # mby
+mb_row:
+    li   $s1, 0                # mbx
+mb_col:
+    li   $s4, 0x7fffffff       # best
+    li   $s5, 0                # best mv code
+    li   $s2, -%d              # dy
+cand_dy:
+    li   $s3, -%d              # dx
+cand_dx:
+    li   $t8, 0                # sad
+    li   $t5, 0                # y
+sad_row:
+    li   $t6, 0                # x
+sad_col:
+    # a = cur[(origin+mby*8+y)*64 + origin+mbx*8+x]
+    sll  $t7, $s0, 3
+    addu $t7, $t7, $t5
+    addiu $t7, $t7, %d
+    sll  $t7, $t7, 6
+    sll  $t9, $s1, 3
+    addu $t7, $t7, $t9
+    addu $t7, $t7, $t6
+    addiu $t7, $t7, %d
+    la   $t9, curframe
+    addu $t9, $t9, $t7
+    lbu  $t0, 0($t9)
+    # b = ref[same + dy*64 + dx]
+    sll  $t9, $s2, 6
+    addu $t7, $t7, $t9
+    addu $t7, $t7, $s3
+    la   $t9, refframe
+    addu $t9, $t9, $t7
+    lbu  $t1, 0($t9)
+    subu $t2, $t0, $t1
+    bgez $t2, sad_acc
+    subu $t2, $zero, $t2
+sad_acc:
+    addu $t8, $t8, $t2
+    addiu $t6, $t6, 1
+    li   $t7, %d
+    blt  $t6, $t7, sad_col
+    addiu $t5, $t5, 1
+    li   $t7, %d
+    blt  $t5, $t7, sad_row
+    # keep if strictly better
+    bge  $t8, $s4, next_cand
+    move $s4, $t8
+    addiu $t7, $s2, %d         # (dy+w)*(2w+1) + dx+w
+    li   $t9, %d
+    mult $t7, $t9
+    mflo $t7
+    addu $t7, $t7, $s3
+    addiu $t7, $t7, %d
+    move $s5, $t7
+next_cand:
+    addiu $s3, $s3, 1
+    li   $t7, %d
+    ble  $s3, $t7, cand_dx
+    addiu $s2, $s2, 1
+    li   $t7, %d
+    ble  $s2, $t7, cand_dy
+    # fold best SAD and mv
+    sll  $t7, $s7, 5
+    addu $s7, $t7, $s7
+    addu $s7, $s7, $s4
+    sll  $t7, $s7, 5
+    addu $s7, $t7, $s7
+    addu $s7, $s7, $s5
+    addiu $s1, $s1, 1
+    li   $t7, %d
+    blt  $s1, $t7, mb_col
+    addiu $s0, $s0, 1
+    li   $t7, %d
+    blt  $s0, $t7, mb_row
+%s
+.data
+curframe:
+%s
+refframe:
+%s
+`, meGrid, meGrid, meBlock, meBlock, meWindow,
+		meWindow, meWindow,
+		meOrigin, meOrigin,
+		meBlock, meBlock,
+		meWindow, 2*meWindow+1, meWindow,
+		meWindow, meWindow,
+		meGrid, meGrid, exitOK,
+		byteData(cur), byteData(ref))
+	return Benchmark{
+		Name:        "mpeg2me",
+		Description: "MPEG-2 encoder motion estimation: exhaustive SAD search over 8x8 macroblocks",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    3_000_000,
+	}
+}

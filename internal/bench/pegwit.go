@@ -1,0 +1,102 @@
+package bench
+
+import "fmt"
+
+func init() {
+	kernelBuilders = append(kernelBuilders, pegwitModExp)
+}
+
+const (
+	pegwitPrime = 65521 // largest 16-bit prime
+	pegwitPairs = 256
+)
+
+// pegwitRef computes base^exp mod p by square-and-multiply for every input
+// pair and folds each residue into the checksum.
+func pegwitRef(bases, exps []uint32) uint32 {
+	sum := uint32(0)
+	for i := range bases {
+		r := uint32(1)
+		b := bases[i] % pegwitPrime
+		e := exps[i]
+		for e != 0 {
+			if e&1 != 0 {
+				r = r * b % pegwitPrime
+			}
+			b = b * b % pegwitPrime
+			e >>= 1
+		}
+		sum = mix(sum, r)
+	}
+	return sum
+}
+
+// pegwitModExp builds the pegwit benchmark: modular exponentiation, the
+// arithmetic core of Mediabench's pegwit public-key cryptography program.
+func pegwitModExp() Benchmark {
+	rng := newXorshift(0xc0ffee)
+	bases := make([]uint32, pegwitPairs)
+	exps := make([]uint32, pegwitPairs)
+	bw := make([]int32, pegwitPairs)
+	ew := make([]int32, pegwitPairs)
+	for i := range bases {
+		bases[i] = rng.next()%(pegwitPrime-2) + 2
+		exps[i] = rng.next() | 0x8000_0000 // force 32 squaring rounds
+		bw[i] = int32(bases[i])
+		ew[i] = int32(exps[i])
+	}
+	sum := pegwitRef(bases, exps)
+	src := fmt.Sprintf(`
+# pegwit: modular exponentiation mod %d over %d (base, exponent) pairs.
+.text
+main:
+    la   $s0, bases
+    la   $s1, exps
+    li   $s2, %d               # pairs remaining
+    li   $s6, %d               # modulus
+    li   $s7, 0
+pair_loop:
+    lw   $t0, 0($s0)           # base
+    divu $t0, $s6              # base %%= p
+    mfhi $t0
+    lw   $t1, 0($s1)           # exponent
+    li   $t2, 1                # result
+modexp:
+    beqz $t1, pair_done
+    andi $t3, $t1, 1
+    beqz $t3, squarestep
+    multu $t2, $t0             # r = r*b mod p
+    mflo $t2
+    divu $t2, $s6
+    mfhi $t2
+squarestep:
+    multu $t0, $t0             # b = b*b mod p
+    mflo $t0
+    divu $t0, $s6
+    mfhi $t0
+    srl  $t1, $t1, 1
+    j    modexp
+pair_done:
+    sll  $t3, $s7, 5
+    addu $s7, $t3, $s7
+    addu $s7, $s7, $t2
+    addiu $s0, $s0, 4
+    addiu $s1, $s1, 4
+    addiu $s2, $s2, -1
+    bgtz $s2, pair_loop
+%s
+.data
+bases:
+%s
+exps:
+%s
+`, pegwitPrime, pegwitPairs, pegwitPairs, pegwitPrime, exitOK,
+		wordData(bw), wordData(ew))
+	return Benchmark{
+		Name:        "pegwit",
+		Description: "Pegwit-style public-key arithmetic: square-and-multiply modular exponentiation",
+		Source:      src,
+		Checksum:    sum,
+		MaxInsts:    2_000_000,
+	}
+}

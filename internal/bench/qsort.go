@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+func init() {
+	kernelBuilders = append(kernelBuilders, qsortKernel)
+}
+
+const qsortN = 512
+
+// qsortInput synthesizes the array to sort.
+func qsortInput() []int32 {
+	rng := newXorshift(0x9507a7)
+	vals := make([]int32, qsortN)
+	for i := range vals {
+		vals[i] = int32(rng.next()%65536) - 32768
+	}
+	return vals
+}
+
+// qsortRef sorts a copy with the same comparison semantics and folds the
+// result into the checksum.
+func qsortRef(vals []int32) uint32 {
+	s := make([]int32, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	sum := uint32(0)
+	for _, v := range s {
+		sum = mix(sum, uint32(uint16(v)))
+	}
+	return sum
+}
+
+// qsortKernel builds the qsort benchmark: recursive quicksort *compiled
+// from C* by the repository's minic compiler — unlike the hand-written
+// kernels it carries full compiled-code character (stack frames, calling
+// convention traffic, caller-saved temporaries), which is what the paper's
+// gcc-compiled Mediabench binaries look like.
+func qsortKernel() Benchmark {
+	vals := qsortInput()
+	sum := qsortRef(vals)
+
+	var initList strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			initList.WriteString(", ")
+		}
+		fmt.Fprintf(&initList, "%d", v)
+	}
+
+	csrc := fmt.Sprintf(`
+// qsort: recursive quicksort of %d 16-bit values (compiled by minic).
+int data[%d] = {%s};
+
+int partition(int lo, int hi) {
+    int pivot = data[hi];
+    int i = lo - 1;
+    int j;
+    for (j = lo; j < hi; j += 1) {
+        if (data[j] < pivot) {
+            i += 1;
+            int tmp = data[i];
+            data[i] = data[j];
+            data[j] = tmp;
+        }
+    }
+    int tmp2 = data[i + 1];
+    data[i + 1] = data[hi];
+    data[hi] = tmp2;
+    return i + 1;
+}
+
+int quicksort(int lo, int hi) {
+    if (lo < hi) {
+        int p = partition(lo, hi);
+        quicksort(lo, p - 1);
+        quicksort(p + 1, hi);
+    }
+    return 0;
+}
+
+int main() {
+    quicksort(0, %d);
+    int sum = 0;
+    int i;
+    for (i = 0; i < %d; i += 1) {
+        sum = (sum << 5) + sum + (data[i] & 0xffff);
+    }
+    return sum;
+}
+`, qsortN, qsortN, initList.String(), qsortN-1, qsortN)
+
+	asmText, err := minic.CompileToAsm(csrc)
+	if err != nil {
+		panic(fmt.Sprintf("bench qsort: %v", err))
+	}
+	return Benchmark{
+		Name:        "qsort",
+		Description: "recursive quicksort compiled from C by minic (MiBench qsort): compiled-code stack/call traffic",
+		Source:      asmText,
+		Checksum:    sum,
+		MaxInsts:    5_000_000,
+	}
+}

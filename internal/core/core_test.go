@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+const testProg = `
+main:
+    li   $t0, 100
+    li   $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    move $a0, $t1
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+`
+
+func TestMachineEvaluateSource(t *testing.T) {
+	m := NewMachine(Config{})
+	rep, err := m.EvaluateSource(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Output != "5050" {
+		t.Fatalf("output: %q", rep.Output)
+	}
+	if rep.ExitCode != 0 {
+		t.Fatalf("exit: %d", rep.ExitCode)
+	}
+	if len(rep.Pipelines) != len(pipeline.AllNames()) {
+		t.Fatalf("models: %d", len(rep.Pipelines))
+	}
+	if len(rep.Activity) != 2 {
+		t.Fatalf("granularities: %d", len(rep.Activity))
+	}
+	// Sanity on the embedded results.
+	if rep.CPI(pipeline.NameBaseline32) <= 0 {
+		t.Fatal("baseline CPI missing")
+	}
+	if rep.Overhead(pipeline.NameByteSerial) <= 0 {
+		t.Fatal("byte-serial should cost CPI over the baseline")
+	}
+	if rep.Activity[1].PCIncr.Reduction() <= 0 {
+		t.Fatal("expected PC-increment activity savings")
+	}
+}
+
+func TestMachineSubsetConfig(t *testing.T) {
+	m := NewMachine(Config{
+		Models:        []string{pipeline.NameBaseline32},
+		Granularities: []int{1},
+	})
+	rep, err := m.EvaluateSource(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pipelines) != 1 || len(rep.Activity) != 1 {
+		t.Fatalf("subset config not honoured: %d models, %d grans",
+			len(rep.Pipelines), len(rep.Activity))
+	}
+	if rep.CPI(pipeline.NameByteSerial) != 0 {
+		t.Fatal("unrequested model present")
+	}
+	if rep.Overhead(pipeline.NameBaseline32) != 0 {
+		t.Fatal("baseline overhead must be zero")
+	}
+}
+
+func TestMachineErrors(t *testing.T) {
+	if _, err := NewMachine(Config{Models: []string{"warpdrive"}}).EvaluateSource(testProg); err == nil || !strings.Contains(err.Error(), "unknown pipeline model") {
+		t.Fatalf("unknown model: err=%v", err)
+	}
+	if _, err := NewMachine(Config{Granularities: []int{3}}).EvaluateSource(testProg); err == nil || !strings.Contains(err.Error(), "granularity") {
+		t.Fatalf("bad granularity: err=%v", err)
+	}
+	if _, err := NewMachine(Config{}).EvaluateSource("bogus $t0"); err == nil {
+		t.Fatal("assembly errors must surface")
+	}
+	if _, err := NewMachine(Config{MaxInsts: 10}).EvaluateSource(testProg); err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Fatalf("instruction limit: err=%v", err)
+	}
+}
+
+func TestOverheadWithoutBaseline(t *testing.T) {
+	m := NewMachine(Config{Models: []string{pipeline.NameByteSerial}})
+	rep, err := m.EvaluateSource(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overhead(pipeline.NameByteSerial) != 0 {
+		t.Fatal("overhead without a baseline should be 0")
+	}
+}

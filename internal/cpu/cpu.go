@@ -1,0 +1,364 @@
+// Package cpu implements the functional MIPS-subset interpreter that plays
+// the role SimpleScalar's instruction interpreter plays in the paper (§3):
+// it executes programs and emits one Exec record per retired instruction.
+// Trace consumers (activity analysis, pipeline timing models) are driven
+// from that stream.
+//
+// The machine has no branch delay slots (like SimpleScalar's PISA): the
+// paper's pipelines stall fetch on every branch until resolution, so delay
+// slots would only obscure the model.
+package cpu
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Exec records everything the timing and activity models need to know about
+// one retired instruction.
+type Exec struct {
+	PC   uint32
+	Raw  uint32
+	Inst isa.Inst
+
+	// Register source operands, valid when the corresponding flag is set.
+	SrcA, SrcB     uint32 // rs and rt values
+	ReadsA, ReadsB bool
+
+	// Destination register and the value written, when HasDest.
+	Dest    isa.Reg
+	Result  uint32
+	HasDest bool
+
+	// Data-memory access, when the instruction is a load or store.
+	Addr     uint32
+	MemWidth int    // bytes: 1, 2 or 4 (0 when no access)
+	StoreVal uint32 // value stored (stores only)
+	Loaded   uint32 // register value produced (loads only; equals Result)
+
+	// Control flow.
+	Taken  bool // branch taken / jump
+	NextPC uint32
+}
+
+// Syscall numbers honoured by the interpreter ($v0 at a SYSCALL).
+const (
+	SysPrintInt    = 1
+	SysPrintString = 4
+	SysExit        = 10
+	SysPutChar     = 11
+	SysExit2       = 17
+)
+
+// CPU is the architected state plus the loaded memory image.
+type CPU struct {
+	Regs [32]uint32
+	HI   uint32
+	LO   uint32
+	PC   uint32
+	Mem  *mem.Memory
+
+	// Done is set once an exit syscall retires; ExitCode carries its code.
+	Done     bool
+	ExitCode uint32
+
+	// Output accumulates bytes written by print/putc syscalls, so kernel
+	// results can be validated against reference implementations.
+	Output bytes.Buffer
+
+	// Retired counts executed instructions.
+	Retired uint64
+}
+
+// New returns a CPU with the given memory image, entry point and stack
+// pointer.
+func New(m *mem.Memory, entry, sp uint32) *CPU {
+	c := &CPU{Mem: m, PC: entry}
+	c.Regs[isa.RegSP] = sp
+	return c
+}
+
+func (c *CPU) reg(r isa.Reg) uint32 { return c.Regs[r&31] }
+
+func (c *CPU) setReg(r isa.Reg, v uint32) {
+	if r != isa.RegZero {
+		c.Regs[r&31] = v
+	}
+}
+
+// Step executes one instruction and returns its Exec record. Calling Step
+// on a finished CPU returns an error.
+func (c *CPU) Step() (Exec, error) {
+	if c.Done {
+		return Exec{}, fmt.Errorf("cpu: program has exited (code %d)", c.ExitCode)
+	}
+	if c.PC&3 != 0 {
+		return Exec{}, fmt.Errorf("cpu: misaligned PC %#x", c.PC)
+	}
+	raw := c.Mem.Load32(c.PC)
+	inst := isa.Decode(raw)
+	if err := inst.Validate(); err != nil {
+		return Exec{}, fmt.Errorf("cpu: at PC %#x: %w", c.PC, err)
+	}
+
+	e := Exec{PC: c.PC, Raw: raw, Inst: inst, NextPC: c.PC + 4}
+	if inst.ReadsRs() {
+		e.SrcA, e.ReadsA = c.reg(inst.Rs), true
+	}
+	if inst.ReadsRt() {
+		e.SrcB, e.ReadsB = c.reg(inst.Rt), true
+	}
+	a, b := e.SrcA, e.SrcB
+	simm := uint32(int32(inst.Imm))
+	zimm := uint32(uint16(inst.Imm))
+
+	setDest := func(r isa.Reg, v uint32) {
+		if r != isa.RegZero {
+			e.Dest, e.Result, e.HasDest = r, v, true
+		}
+		c.setReg(r, v)
+	}
+
+	switch inst.Op {
+	case isa.OpSpecial:
+		if err := c.execSpecial(inst, a, b, &e, setDest); err != nil {
+			return Exec{}, err
+		}
+	case isa.OpRegimm:
+		taken := false
+		switch uint8(inst.Rt) {
+		case isa.RegimmBLTZ:
+			taken = int32(a) < 0
+		case isa.RegimmBGEZ:
+			taken = int32(a) >= 0
+		}
+		if taken {
+			e.Taken, e.NextPC = true, inst.BranchTarget(e.PC)
+		}
+	case isa.OpJ:
+		e.Taken, e.NextPC = true, inst.JumpTarget(e.PC)
+	case isa.OpJAL:
+		setDest(isa.RegRA, e.PC+4)
+		e.Taken, e.NextPC = true, inst.JumpTarget(e.PC)
+	case isa.OpBEQ:
+		if a == b {
+			e.Taken, e.NextPC = true, inst.BranchTarget(e.PC)
+		}
+	case isa.OpBNE:
+		if a != b {
+			e.Taken, e.NextPC = true, inst.BranchTarget(e.PC)
+		}
+	case isa.OpBLEZ:
+		if int32(a) <= 0 {
+			e.Taken, e.NextPC = true, inst.BranchTarget(e.PC)
+		}
+	case isa.OpBGTZ:
+		if int32(a) > 0 {
+			e.Taken, e.NextPC = true, inst.BranchTarget(e.PC)
+		}
+	case isa.OpADDI, isa.OpADDIU:
+		// Overflow traps are not modelled; ADDI behaves as ADDIU.
+		setDest(inst.Rt, a+simm)
+	case isa.OpSLTI:
+		var v uint32
+		if int32(a) < int32(simm) {
+			v = 1
+		}
+		setDest(inst.Rt, v)
+	case isa.OpSLTIU:
+		var v uint32
+		if a < simm {
+			v = 1
+		}
+		setDest(inst.Rt, v)
+	case isa.OpANDI:
+		setDest(inst.Rt, a&zimm)
+	case isa.OpORI:
+		setDest(inst.Rt, a|zimm)
+	case isa.OpXORI:
+		setDest(inst.Rt, a^zimm)
+	case isa.OpLUI:
+		setDest(inst.Rt, zimm<<16)
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
+		addr := a + simm
+		e.Addr, e.MemWidth = addr, inst.MemBytes()
+		if err := checkAlign(addr, e.MemWidth, e.PC); err != nil {
+			return Exec{}, err
+		}
+		var v uint32
+		switch inst.Op {
+		case isa.OpLB:
+			v = uint32(int32(int8(c.Mem.Load8(addr))))
+		case isa.OpLBU:
+			v = uint32(c.Mem.Load8(addr))
+		case isa.OpLH:
+			v = uint32(int32(int16(c.Mem.Load16(addr))))
+		case isa.OpLHU:
+			v = uint32(c.Mem.Load16(addr))
+		case isa.OpLW:
+			v = c.Mem.Load32(addr)
+		}
+		e.Loaded = v
+		setDest(inst.Rt, v)
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		addr := a + simm
+		e.Addr, e.MemWidth = addr, inst.MemBytes()
+		if err := checkAlign(addr, e.MemWidth, e.PC); err != nil {
+			return Exec{}, err
+		}
+		e.StoreVal = b
+		switch inst.Op {
+		case isa.OpSB:
+			c.Mem.Store8(addr, byte(b))
+		case isa.OpSH:
+			c.Mem.Store16(addr, uint16(b))
+		case isa.OpSW:
+			c.Mem.Store32(addr, b)
+		}
+	default:
+		return Exec{}, fmt.Errorf("cpu: unimplemented opcode %#x at PC %#x", uint8(inst.Op), e.PC)
+	}
+
+	c.PC = e.NextPC
+	c.Retired++
+	return e, nil
+}
+
+func (c *CPU) execSpecial(inst isa.Inst, a, b uint32, e *Exec, setDest func(isa.Reg, uint32)) error {
+	switch inst.Funct {
+	case isa.FnSLL:
+		setDest(inst.Rd, b<<inst.Shamt)
+	case isa.FnSRL:
+		setDest(inst.Rd, b>>inst.Shamt)
+	case isa.FnSRA:
+		setDest(inst.Rd, uint32(int32(b)>>inst.Shamt))
+	case isa.FnSLLV:
+		setDest(inst.Rd, b<<(a&31))
+	case isa.FnSRLV:
+		setDest(inst.Rd, b>>(a&31))
+	case isa.FnSRAV:
+		setDest(inst.Rd, uint32(int32(b)>>(a&31)))
+	case isa.FnJR:
+		if a&3 != 0 {
+			return fmt.Errorf("cpu: jr to misaligned %#x at PC %#x", a, e.PC)
+		}
+		e.Taken, e.NextPC = true, a
+	case isa.FnJALR:
+		if a&3 != 0 {
+			return fmt.Errorf("cpu: jalr to misaligned %#x at PC %#x", a, e.PC)
+		}
+		setDest(inst.Rd, e.PC+4)
+		e.Taken, e.NextPC = true, a
+	case isa.FnSYSCALL:
+		return c.syscall(e)
+	case isa.FnBREAK:
+		return fmt.Errorf("cpu: BREAK at PC %#x", e.PC)
+	case isa.FnMFHI:
+		setDest(inst.Rd, c.HI)
+	case isa.FnMTHI:
+		c.HI = a
+	case isa.FnMFLO:
+		setDest(inst.Rd, c.LO)
+	case isa.FnMTLO:
+		c.LO = a
+	case isa.FnMULT:
+		p := int64(int32(a)) * int64(int32(b))
+		c.HI, c.LO = uint32(uint64(p)>>32), uint32(uint64(p))
+	case isa.FnMULTU:
+		p := uint64(a) * uint64(b)
+		c.HI, c.LO = uint32(p>>32), uint32(p)
+	case isa.FnDIV:
+		if b != 0 {
+			c.LO = uint32(int32(a) / int32(b))
+			c.HI = uint32(int32(a) % int32(b))
+		} else {
+			c.LO, c.HI = ^uint32(0), a
+		}
+	case isa.FnDIVU:
+		if b != 0 {
+			c.LO, c.HI = a/b, a%b
+		} else {
+			c.LO, c.HI = ^uint32(0), a
+		}
+	case isa.FnADD, isa.FnADDU:
+		setDest(inst.Rd, a+b)
+	case isa.FnSUB, isa.FnSUBU:
+		setDest(inst.Rd, a-b)
+	case isa.FnAND:
+		setDest(inst.Rd, a&b)
+	case isa.FnOR:
+		setDest(inst.Rd, a|b)
+	case isa.FnXOR:
+		setDest(inst.Rd, a^b)
+	case isa.FnNOR:
+		setDest(inst.Rd, ^(a | b))
+	case isa.FnSLT:
+		var v uint32
+		if int32(a) < int32(b) {
+			v = 1
+		}
+		setDest(inst.Rd, v)
+	case isa.FnSLTU:
+		var v uint32
+		if a < b {
+			v = 1
+		}
+		setDest(inst.Rd, v)
+	default:
+		return fmt.Errorf("cpu: unimplemented funct %#x at PC %#x", uint8(inst.Funct), e.PC)
+	}
+	return nil
+}
+
+func (c *CPU) syscall(e *Exec) error {
+	switch c.reg(isa.RegV0) {
+	case SysPrintInt:
+		fmt.Fprintf(&c.Output, "%d", int32(c.reg(isa.RegA0)))
+	case SysPrintString:
+		addr := c.reg(isa.RegA0)
+		for i := 0; i < 1<<20; i++ {
+			ch := c.Mem.Load8(addr)
+			if ch == 0 {
+				return nil
+			}
+			c.Output.WriteByte(ch)
+			addr++
+		}
+		return fmt.Errorf("cpu: unterminated string in print syscall at PC %#x", e.PC)
+	case SysExit:
+		c.Done, c.ExitCode = true, 0
+	case SysPutChar:
+		c.Output.WriteByte(byte(c.reg(isa.RegA0)))
+	case SysExit2:
+		c.Done, c.ExitCode = true, c.reg(isa.RegA0)
+	default:
+		return fmt.Errorf("cpu: unknown syscall %d at PC %#x", c.reg(isa.RegV0), e.PC)
+	}
+	return nil
+}
+
+func checkAlign(addr uint32, width int, pc uint32) error {
+	if addr&(uint32(width)-1) != 0 {
+		return fmt.Errorf("cpu: misaligned %d-byte access to %#x at PC %#x", width, addr, pc)
+	}
+	return nil
+}
+
+// Run executes until exit or until max instructions retire, returning the
+// number retired. A max of 0 means no limit.
+func (c *CPU) Run(max uint64) (uint64, error) {
+	var n uint64
+	for !c.Done {
+		if max > 0 && n >= max {
+			break
+		}
+		if _, err := c.Step(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

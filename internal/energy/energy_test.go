@@ -1,0 +1,96 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/activity"
+)
+
+func synthCounts() activity.Counts {
+	var c activity.Counts
+	c.Fetch.Add(3200, 2500)
+	c.RFRead.Add(6400, 3400)
+	c.RFWrite.Add(3200, 1800)
+	c.ALU.Add(3200, 2100)
+	c.DCacheData.Add(1000, 700)
+	c.DCacheTag.Add(190, 190)
+	c.PCIncr.Add(3200, 810)
+	c.Latch.Add(16000, 8500)
+	c.Insts = 100
+	return c
+}
+
+func TestDefaultWeightsValid(t *testing.T) {
+	if err := DefaultWeights().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultWeights()
+	bad.ALUBit = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero weight should be invalid")
+	}
+}
+
+func TestEstimateSavings(t *testing.T) {
+	e := FromCounts(synthCounts(), DefaultWeights())
+	if len(e.Stages) != 8 {
+		t.Fatalf("stages: %d", len(e.Stages))
+	}
+	b, c := e.Totals()
+	if b <= 0 || c <= 0 || c >= b {
+		t.Fatalf("totals: %f/%f", c, b)
+	}
+	s := e.Saving()
+	if s < 20 || s > 60 {
+		t.Fatalf("overall saving %.1f%% outside sanity band", s)
+	}
+	// Tag stage saves nothing.
+	for _, st := range e.Stages {
+		if st.Stage == "dcache-tag" && st.Saving() != 0 {
+			t.Fatalf("tag saving %.1f%%", st.Saving())
+		}
+	}
+}
+
+func TestStageWeighting(t *testing.T) {
+	// Doubling a stage's weight doubles its energy but leaves its
+	// percentage saving unchanged.
+	w := DefaultWeights()
+	e1 := FromCounts(synthCounts(), w)
+	w.RFBit *= 2
+	e2 := FromCounts(synthCounts(), w)
+	var r1, r2 StageEstimate
+	for i := range e1.Stages {
+		if e1.Stages[i].Stage == "rf-read" {
+			r1, r2 = e1.Stages[i], e2.Stages[i]
+		}
+	}
+	if r2.Baseline != 2*r1.Baseline {
+		t.Fatalf("weight scaling: %f vs %f", r2.Baseline, r1.Baseline)
+	}
+	if r1.Saving() != r2.Saving() {
+		t.Fatal("saving must be weight-invariant")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if EDP(100, 50) != 5000 {
+		t.Fatal("EDP arithmetic")
+	}
+	// A design with lower energy but more cycles can lose on EDP.
+	if EDP(70, 180) <= EDP(100, 100) {
+		t.Fatal("expected the slow design to lose on EDP here")
+	}
+}
+
+func TestZeroCountsSafe(t *testing.T) {
+	var c activity.Counts
+	e := FromCounts(c, DefaultWeights())
+	if e.Saving() != 0 {
+		t.Fatal("empty counts should report zero saving")
+	}
+	var s StageEstimate
+	if s.Saving() != 0 {
+		t.Fatal("empty stage should report zero saving")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CacheSweep evaluates the robustness of the paper's conclusions to the L1
+// geometry (§2.3 notes the fill overhead argument "assumes a reasonable
+// instruction cache miss rate"): baseline and byte-serial mean CPI at
+// several split-L1 sizes. It runs its own traces (geometry is a model
+// parameter, not part of the cached one-pass evaluation).
+func CacheSweep(sizes []int) (*stats.Table, error) {
+	suite := bench.All()
+	rc, _, err := trace.SuiteRecoder(suite)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Sensitivity: L1 size (split I/D) vs mean CPI",
+		"L1 size", "baseline32", "byteserial", "serial overhead")
+	for _, size := range sizes {
+		cfg := mem.DefaultHierarchyConfig()
+		cfg.L1I.Size = size
+		cfg.L1D.Size = size
+		var baseSum, serialSum float64
+		for _, b := range suite {
+			base := pipeline.NewBaseline32().SetHierarchy(cfg)
+			serial := pipeline.NewByteSerial().SetHierarchy(cfg)
+			if _, err := trace.Run(b, rc, base, serial); err != nil {
+				return nil, err
+			}
+			baseSum += base.Result().CPI()
+			serialSum += serial.Result().CPI()
+		}
+		n := float64(len(suite))
+		t.AddStringRow(
+			fmt.Sprintf("%d KB", size>>10),
+			fmt.Sprintf("%.3f", baseSum/n),
+			fmt.Sprintf("%.3f", serialSum/n),
+			fmt.Sprintf("%+.1f%%", 100*(serialSum/baseSum-1)))
+	}
+	return t, nil
+}
+
+// DefaultCacheSweepSizes are the L1 sizes the sensitivity study covers
+// (the paper's configuration is 8 KB).
+func DefaultCacheSweepSizes() []int {
+	return []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// The integration assertions of DESIGN.md §6: the qualitative shape of the
+// paper's results must hold.
+
+func load(t testing.TB) *Results {
+	t.Helper()
+	r, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// CPI ordering across the design space (DESIGN.md §6 item 3/4).
+func TestCPIOrdering(t *testing.T) {
+	r := load(t)
+	base := r.MeanCPI(pipeline.NameBaseline32)
+	byteS := r.MeanCPI(pipeline.NameByteSerial)
+	halfS := r.MeanCPI(pipeline.NameHalfwordSerial)
+	semi := r.MeanCPI(pipeline.NameSemiParallel)
+	comp := r.MeanCPI(pipeline.NameParallelCompressed)
+	skew := r.MeanCPI(pipeline.NameParallelSkewed)
+	byp := r.MeanCPI(pipeline.NameParallelSkewedBypass)
+
+	t.Logf("base %.3f | byte %.3f | half %.3f | semi %.3f | comp %.3f | skew %.3f | byp %.3f",
+		base, byteS, halfS, semi, comp, skew, byp)
+
+	if !(byteS > halfS && halfS > semi && semi > comp && comp > skew && skew >= byp && byp > base) {
+		t.Fatal("CPI ordering violated")
+	}
+}
+
+// The byte-serial penalty is tens of percent (paper: +79%); the parallel
+// designs are within single digits (paper: 2-6%).
+func TestCPIMagnitudes(t *testing.T) {
+	r := load(t)
+	if o := r.CPIOverhead(pipeline.NameByteSerial); o < 50 || o > 120 {
+		t.Errorf("byte-serial overhead %.1f%%, paper ~79%%", o)
+	}
+	if o := r.CPIOverhead(pipeline.NameHalfwordSerial); o < 15 || o > 50 {
+		t.Errorf("halfword-serial overhead %.1f%%, paper ~29%%", o)
+	}
+	if o := r.CPIOverhead(pipeline.NameSemiParallel); o < 10 || o > 35 {
+		t.Errorf("semi-parallel overhead %.1f%%, paper ~24%%", o)
+	}
+	if o := r.CPIOverhead(pipeline.NameParallelCompressed); o < 2 || o > 20 {
+		t.Errorf("compressed overhead %.1f%%, paper ~6%%", o)
+	}
+	if o := r.CPIOverhead(pipeline.NameParallelSkewedBypass); o < 0 || o > 10 {
+		t.Errorf("skewed+bypass overhead %.1f%%, paper ~2%%", o)
+	}
+	// Baseline CPI itself must be plausible for a 5-stage in-order machine
+	// without branch prediction (the paper's bandwidth analysis uses 1.5).
+	if b := r.MeanCPI(pipeline.NameBaseline32); b < 1.1 || b > 1.7 {
+		t.Errorf("baseline CPI %.3f, expected ~1.4-1.5", b)
+	}
+}
+
+// The §5 bottleneck claim: structural hazards in EX dominate byte-serial
+// stalls (paper: 72% of stalls).
+func TestByteSerialEXBottleneck(t *testing.T) {
+	r := load(t)
+	var ex, total uint64
+	for _, b := range r.Bench {
+		for k, v := range b.Stalls[pipeline.NameByteSerial] {
+			total += v
+			if k == pipeline.StallStructEX {
+				ex += v
+			}
+		}
+	}
+	share := 100 * float64(ex) / float64(total)
+	t.Logf("EX structural share of byte-serial stalls: %.1f%%", share)
+	if share < 35 {
+		t.Errorf("EX structural stalls only %.1f%% of byte-serial stalls; expected the dominant class", share)
+	}
+	// EX must be the largest structural class.
+	classes := map[pipeline.StallKind]uint64{}
+	for _, b := range r.Bench {
+		for k, v := range b.Stalls[pipeline.NameByteSerial] {
+			classes[k] += v
+		}
+	}
+	for k, v := range classes {
+		if strings.HasPrefix(string(k), "struct-") && k != pipeline.StallStructEX && v > classes[pipeline.StallStructEX] {
+			t.Errorf("structural class %s (%d) exceeds EX (%d)", k, v, classes[pipeline.StallStructEX])
+		}
+	}
+}
+
+// Table/figure renderers must produce one row per benchmark plus summary
+// rows, and never be empty.
+func TestRenderers(t *testing.T) {
+	r := load(t)
+	n := len(r.Bench)
+	cases := []struct {
+		name string
+		tbl  interface{ Rows() int }
+		want int
+	}{
+		{"Table1", r.Table1(), 8},
+		{"Table2", r.Table2(), 8},
+		{"Table5", r.Table5(), n + 1},
+		{"Table6", r.Table6(), n + 1},
+		{"Fig4", r.Fig4(), n + 2},
+		{"Fig6", r.Fig6(), n + 2},
+		{"Fig8", r.Fig8(), n + 2},
+		{"Fig10", r.Fig10(), n + 2},
+		{"Bottleneck", r.Bottleneck(), n + 1},
+	}
+	for _, c := range cases {
+		if got := c.tbl.Rows(); got != c.want {
+			t.Errorf("%s: %d rows, want %d", c.name, got, c.want)
+		}
+	}
+	if r.Table3().Rows() < 8 {
+		t.Error("Table3 should list at least the top-8 functs")
+	}
+	if !strings.Contains(r.FetchSummary(), "bytes/inst") {
+		t.Error("fetch summary malformed")
+	}
+}
+
+// Per-benchmark spread (paper: ALU savings range 15-68%, RF read 34-72%):
+// the suite must show a real spread, not uniform savings.
+func TestActivitySpread(t *testing.T) {
+	r := load(t)
+	min, max := 200.0, -200.0
+	for _, b := range r.Bench {
+		v := b.ByteAct.ALU.Reduction()
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 15 {
+		t.Errorf("ALU savings spread %.1f..%.1f too uniform", min, max)
+	}
+	t.Logf("ALU savings spread: %.1f%% .. %.1f%%", min, max)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"repro/internal/activity"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+	"repro/internal/pcincr"
+)
+
+// jsonResults is the machine-readable export of a full evaluation.
+type jsonResults struct {
+	Benchmarks []jsonBench        `json:"benchmarks"`
+	Patterns   []jsonPattern      `json:"significantBytePatterns"`
+	PCIncr     []pcincr.TableRow  `json:"pcIncrementModel"`
+	Functs     []jsonFunct        `json:"functProfile"`
+	Fetch      jsonFetch          `json:"instructionCompression"`
+	Partitions []jsonPartitionRow `json:"partitionAblation"`
+}
+
+type jsonBench struct {
+	Name       string             `json:"name"`
+	Insts      uint64             `json:"instructions"`
+	CPI        map[string]float64 `json:"cpi"`
+	ByteSaving map[string]float64 `json:"activitySavingByte"`
+	HalfSaving map[string]float64 `json:"activitySavingHalfword"`
+	PredictAcc float64            `json:"branchPredictorAccuracy"`
+}
+
+type jsonPattern struct {
+	Pattern    string  `json:"pattern"`
+	Percent    float64 `json:"percent"`
+	Cumulative float64 `json:"cumulative"`
+	TwoBitOK   bool    `json:"twoBitEncodable"`
+}
+
+type jsonFunct struct {
+	Funct   string  `json:"funct"`
+	Percent float64 `json:"percent"`
+	Compact bool    `json:"recodedCompact"`
+}
+
+type jsonFetch struct {
+	MeanBytes        float64 `json:"meanBytesPerInstruction"`
+	MeanBytesWithExt float64 `json:"meanBytesWithExtensionBit"`
+	ThreeByteShare   float64 `json:"threeByteShare"`
+}
+
+type jsonPartitionRow struct {
+	Partition string  `json:"partition"`
+	MeanBits  float64 `json:"meanBitsPerValue"`
+	Saving    float64 `json:"savingPercent"`
+}
+
+func savingMap(c activity.Counts) map[string]float64 {
+	out := make(map[string]float64, 8)
+	row := c.Row()
+	for i, s := range activity.Stages() {
+		out[s] = row[i]
+	}
+	return out
+}
+
+// JSON renders the complete evaluation as indented JSON.
+func (r *Results) JSON() ([]byte, error) {
+	out := jsonResults{PCIncr: pcincr.Table2()}
+	for _, b := range r.Bench {
+		out.Benchmarks = append(out.Benchmarks, jsonBench{
+			Name:       b.Name,
+			Insts:      b.Insts,
+			CPI:        b.CPI,
+			ByteSaving: savingMap(b.ByteAct),
+			HalfSaving: savingMap(b.HalfAct),
+			PredictAcc: b.PredAcc,
+		})
+	}
+	for _, p := range r.Patterns.Rows() {
+		out.Patterns = append(out.Patterns, jsonPattern{
+			Pattern: p.Pattern, Percent: p.Percent,
+			Cumulative: p.Cumulative, TwoBitOK: p.TwoBitOK,
+		})
+	}
+	var total uint64
+	for _, n := range r.Functs {
+		total += n
+	}
+	for _, fn := range icomp.TopFuncts(r.Functs, 64) {
+		out.Functs = append(out.Functs, jsonFunct{
+			Funct:   isa.FunctName(fn),
+			Percent: 100 * float64(r.Functs[fn]) / float64(total),
+			Compact: r.Recoder.IsCompact(fn),
+		})
+	}
+	f := r.Fetch
+	out.Fetch = jsonFetch{
+		MeanBytes:        f.MeanBytes(),
+		MeanBytesWithExt: f.MeanBytesWithExt(),
+		ThreeByteShare:   100 * float64(f.ThreeByte) / float64(f.Insts),
+	}
+	for _, row := range r.Partitions.Rows() {
+		out.Partitions = append(out.Partitions, jsonPartitionRow{
+			Partition: row.Name, MeanBits: row.MeanBits, Saving: row.Saving,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

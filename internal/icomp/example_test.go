@@ -1,0 +1,33 @@
+package icomp_test
+
+import (
+	"fmt"
+
+	"repro/internal/icomp"
+	"repro/internal/isa"
+)
+
+// Most instructions fetch as three bytes after the §2.3 recode; a funct
+// outside the top-8 needs all four.
+func ExampleRecoder_FetchBytes() {
+	rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+	addu := isa.EncodeR(isa.FnADDU, 1, 2, 3, 0)
+	nor := isa.EncodeR(isa.FnNOR, 1, 2, 3, 0)
+	addiuSmall := isa.EncodeI(isa.OpADDIU, 1, 2, 5)
+	addiuWide := isa.EncodeI(isa.OpADDIU, 1, 2, 1000)
+	fmt.Println(rc.FetchBytes(addu), rc.FetchBytes(nor),
+		rc.FetchBytes(addiuSmall), rc.FetchBytes(addiuWide))
+	// Output:
+	// 3 4 3 4
+}
+
+// Encode/Decode round-trips exactly; three-byte instructions do not depend
+// on the dropped byte.
+func ExampleRecoder_Encode() {
+	rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+	raw := isa.EncodeR(isa.FnADDU, isa.RegT0, isa.RegT1, isa.RegT2, 0)
+	s := rc.Encode(raw)
+	fmt.Println(s.Bytes(), rc.Decode(s) == raw)
+	// Output:
+	// 3 true
+}

@@ -1,0 +1,251 @@
+// Package icomp implements the paper's instruction-cache significance
+// compression (§2.3): a permutation of instruction bits plus a recoding of
+// the R-format function field that lets most instructions be fetched and
+// latched as three bytes instead of four. One extension bit per instruction
+// word records whether the fourth byte is needed.
+//
+// The stored layouts (most significant byte first; byte 0 is the droppable
+// one) follow the paper's Figure 2:
+//
+//	R-format (fig. 2a):  opcode(6) rs(5) rt(5) | rd(5) f1(3) | f2(3) shamt(5)
+//	R-shift  (fig. 2b):  opcode(6) shamt(5) rt(5) | rd(5) f1(3) | f2(3) rs(5)
+//	I-format (fig. 2c):  opcode(6) rs(5) rt(5) | imm-low(8) | imm-high(8)
+//	J-format:            stored unpermuted; always four bytes.
+//
+// The function field is split into f1 (the three bits kept in byte 1) and
+// f2 (the three bits in the droppable byte 0). The eight most frequent
+// function codes are recoded so that f2 = 000; for them — when the
+// remaining bits of byte 0 are also zero — only three bytes need to be
+// fetched. Immediate-shift instructions do not use rs, so rs and shamt
+// trade places, putting the zero rs field in the droppable byte. I-format
+// instructions drop the immediate's high byte when it is recoverable from
+// the low byte under the opcode's own extension rule (sign extension for
+// arithmetic/compare/memory/branch immediates, zero extension for logical
+// immediates).
+package icomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// FetchExtBits is the per-instruction-word overhead of the scheme: a single
+// extension bit ("3.29 bytes if we include the extension bit", §2.3).
+const FetchExtBits = 1
+
+// zeroExtImm reports whether the opcode's 16-bit immediate is consumed
+// zero-extended (the logical immediates); all other immediates are
+// sign-extended (or are branch displacements, also sign-extended).
+func zeroExtImm(op isa.Opcode) bool {
+	return op == isa.OpANDI || op == isa.OpORI || op == isa.OpXORI
+}
+
+// Recoder holds the profile-driven function-code recoding and performs the
+// permutation in both directions.
+type Recoder struct {
+	enc [64]uint8 // original funct -> recoded 6-bit value
+	dec [64]uint8 // recoded value  -> original funct
+}
+
+// TopFuncts returns the n most frequent function codes in counts, most
+// frequent first, with deterministic (ascending code) tie-breaking.
+func TopFuncts(counts map[isa.Funct]uint64, n int) []isa.Funct {
+	all := make([]isa.Funct, 0, len(counts))
+	for fn := range counts {
+		all = append(all, fn)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if counts[all[i]] != counts[all[j]] {
+			return counts[all[i]] > counts[all[j]]
+		}
+		return all[i] < all[j]
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// DefaultTopFuncts is a reasonable static top-8 for MIPS integer code,
+// mirroring the paper's Table 3 (ADDU and SLL dominate; SLL is also the
+// NOP encoding). Used when no profile is available.
+func DefaultTopFuncts() []isa.Funct {
+	return []isa.Funct{
+		isa.FnADDU, isa.FnSLL, isa.FnSLT, isa.FnOR,
+		isa.FnSRA, isa.FnSUBU, isa.FnSLTU, isa.FnXOR,
+	}
+}
+
+// NewRecoder builds a Recoder giving the (up to eight) listed function
+// codes the compact f2=000 encodings, in order. Remaining function codes
+// are assigned the non-compact encodings deterministically.
+func NewRecoder(top []isa.Funct) (*Recoder, error) {
+	if len(top) > 8 {
+		return nil, fmt.Errorf("icomp: %d top functs; the compact space holds 8", len(top))
+	}
+	r := &Recoder{}
+	const unset = 0xff
+	for i := range r.enc {
+		r.enc[i], r.dec[i] = unset, unset
+	}
+	seen := map[isa.Funct]bool{}
+	for i, fn := range top {
+		if fn > 0x3f {
+			return nil, fmt.Errorf("icomp: funct %#x out of range", uint8(fn))
+		}
+		if seen[fn] {
+			return nil, fmt.Errorf("icomp: duplicate top funct %#x", uint8(fn))
+		}
+		seen[fn] = true
+		// Compact code: f1 = i (kept bits), f2 = 000 (dropped bits).
+		// Within the 6-bit recoded value we place f1 in the high three
+		// bits and f2 in the low three, matching the stored layout.
+		code := uint8(i) << 3
+		r.enc[fn] = code
+		r.dec[code] = uint8(fn)
+	}
+	// Assign every other funct a remaining encoding, preferring f2 != 000;
+	// when fewer than eight compact codes were claimed the leftovers are
+	// handed out too (harmless: those functs simply also fetch compactly).
+	var free []uint8
+	for code := 0; code < 64; code++ {
+		if code&0x7 != 0 && r.dec[code] == unset {
+			free = append(free, uint8(code))
+		}
+	}
+	for code := 0; code < 64; code++ {
+		if code&0x7 == 0 && r.dec[code] == unset {
+			free = append(free, uint8(code))
+		}
+	}
+	for fn := 0; fn < 64; fn++ {
+		if r.enc[fn] != unset {
+			continue
+		}
+		code := free[0]
+		free = free[1:]
+		r.enc[fn] = code
+		r.dec[code] = uint8(fn)
+	}
+	return r, nil
+}
+
+// MustNewRecoder is NewRecoder for statically known-good inputs.
+func MustNewRecoder(top []isa.Funct) *Recoder {
+	r, err := NewRecoder(top)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Stored is the cache-resident form of one instruction.
+type Stored struct {
+	// Word is the permuted/recoded 32-bit pattern.
+	Word uint32
+	// Ext is the instruction extension bit: true means all four bytes must
+	// be fetched; false means the low (droppable) byte is zero and only
+	// three bytes are fetched and latched.
+	Ext bool
+}
+
+// Bytes returns the number of instruction bytes fetched (3 or 4).
+func (s Stored) Bytes() int {
+	if s.Ext {
+		return 4
+	}
+	return 3
+}
+
+// Encode permutes and recodes a raw instruction for cache residence.
+func (r *Recoder) Encode(raw uint32) Stored {
+	inst := isa.Decode(raw)
+	switch inst.Format() {
+	case isa.FormatR:
+		rc := r.enc[inst.Funct&0x3f]
+		f1, f2 := uint32(rc>>3), uint32(rc&0x7)
+		var hi16, b0 uint32
+		if inst.IsShiftImm() {
+			// Fig 2b: shamt occupies the rs slot; rs (always zero for
+			// immediate shifts, but preserved for exactness) moves to the
+			// droppable byte.
+			hi16 = uint32(inst.Op)<<26 | uint32(inst.Shamt)<<21 | uint32(inst.Rt)<<16
+			b0 = f2<<5 | uint32(inst.Rs)
+		} else {
+			hi16 = uint32(inst.Op)<<26 | uint32(inst.Rs)<<21 | uint32(inst.Rt)<<16
+			b0 = f2<<5 | uint32(inst.Shamt)
+		}
+		word := hi16 | uint32(inst.Rd)<<11 | f1<<8 | b0
+		return Stored{Word: word, Ext: b0 != 0}
+	case isa.FormatI:
+		imm := uint16(inst.Imm)
+		lo, hi := uint32(imm&0xff), uint32(imm>>8)
+		word := uint32(inst.Op)<<26 | uint32(inst.Rs)<<21 | uint32(inst.Rt)<<16 |
+			lo<<8 | hi
+		var need4 bool
+		if zeroExtImm(inst.Op) {
+			need4 = hi != 0
+		} else {
+			var ext uint32
+			if lo&0x80 != 0 {
+				ext = 0xff
+			}
+			need4 = hi != ext
+		}
+		return Stored{Word: word, Ext: need4}
+	default: // J-format: no compression opportunity in a 26-bit target.
+		return Stored{Word: raw, Ext: true}
+	}
+}
+
+// Decode inverts Encode, reconstructing the original raw instruction. When
+// the extension bit is clear the low byte of s.Word is ignored and
+// regenerated (three-byte fetch), so callers may zero it.
+func (r *Recoder) Decode(s Stored) uint32 {
+	op := isa.Opcode(s.Word >> 26)
+	switch {
+	case op == isa.OpSpecial:
+		word := s.Word
+		if !s.Ext {
+			word &^= 0xff // only three bytes were fetched
+		}
+		f1 := (word >> 8) & 0x7
+		f2 := (word >> 5) & 0x7
+		fn := isa.Funct(r.dec[f1<<3|f2])
+		rd := isa.Reg(word >> 11 & 0x1f)
+		slotA := isa.Reg(word >> 21 & 0x1f) // rs or shamt
+		slotB := isa.Reg(word >> 16 & 0x1f) // rt
+		low5 := uint8(word & 0x1f)          // shamt or rs
+		if fn == isa.FnSLL || fn == isa.FnSRL || fn == isa.FnSRA {
+			return isa.EncodeR(fn, isa.Reg(low5), slotB, rd, uint8(slotA))
+		}
+		return isa.EncodeR(fn, slotA, slotB, rd, low5)
+	case op == isa.OpJ || op == isa.OpJAL:
+		return s.Word
+	default: // I-format
+		word := s.Word
+		lo := word >> 8 & 0xff
+		var hi uint32
+		if s.Ext {
+			hi = word & 0xff
+		} else if !zeroExtImm(op) && lo&0x80 != 0 {
+			hi = 0xff
+		}
+		imm := int16(uint16(hi<<8 | lo))
+		return isa.EncodeI(op, isa.Reg(word>>21&0x1f), isa.Reg(word>>16&0x1f), imm)
+	}
+}
+
+// FetchBytes reports how many instruction bytes a fetch of raw moves
+// through the I-cache read port (3 or 4).
+func (r *Recoder) FetchBytes(raw uint32) int { return r.Encode(raw).Bytes() }
+
+// FetchBits reports the fetched bits including the per-word extension bit.
+func (r *Recoder) FetchBits(raw uint32) int {
+	return 8*r.FetchBytes(raw) + FetchExtBits
+}
+
+// IsCompact reports whether funct has one of the eight f2=000 encodings.
+func (r *Recoder) IsCompact(fn isa.Funct) bool { return r.enc[fn&0x3f]&0x7 == 0 }

@@ -1,0 +1,225 @@
+package icomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func testRecoder(t *testing.T) *Recoder {
+	t.Helper()
+	r, err := NewRecoder(DefaultTopFuncts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// validInstructions generates a broad sample of well-formed instructions.
+func validInstructions(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	rfuncts := []isa.Funct{
+		isa.FnSLL, isa.FnSRL, isa.FnSRA, isa.FnSLLV, isa.FnSRLV, isa.FnSRAV,
+		isa.FnJR, isa.FnJALR, isa.FnSYSCALL, isa.FnMFHI, isa.FnMFLO,
+		isa.FnMTHI, isa.FnMTLO, isa.FnMULT, isa.FnMULTU, isa.FnDIV, isa.FnDIVU,
+		isa.FnADD, isa.FnADDU, isa.FnSUB, isa.FnSUBU, isa.FnAND, isa.FnOR,
+		isa.FnXOR, isa.FnNOR, isa.FnSLT, isa.FnSLTU,
+	}
+	iops := []isa.Opcode{
+		isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ,
+		isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU,
+		isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpLUI,
+		isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU,
+		isa.OpSB, isa.OpSH, isa.OpSW,
+	}
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		switch rng.Intn(4) {
+		case 0: // R-format
+			fn := rfuncts[rng.Intn(len(rfuncts))]
+			rs, rt, rd := isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32))
+			var shamt uint8
+			if fn == isa.FnSLL || fn == isa.FnSRL || fn == isa.FnSRA {
+				shamt = uint8(rng.Intn(32))
+				rs = 0
+			}
+			out = append(out, isa.EncodeR(fn, rs, rt, rd, shamt))
+		case 1: // I-format with small immediate
+			op := iops[rng.Intn(len(iops))]
+			out = append(out, isa.EncodeI(op, isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32)), int16(rng.Intn(256)-128)))
+		case 2: // I-format with wide immediate
+			op := iops[rng.Intn(len(iops))]
+			out = append(out, isa.EncodeI(op, isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32)), int16(rng.Uint32())))
+		default: // J-format
+			op := isa.OpJ
+			if rng.Intn(2) == 1 {
+				op = isa.OpJAL
+			}
+			out = append(out, isa.EncodeJ(op, rng.Uint32()&0x03ffffff))
+		}
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := testRecoder(t)
+	for _, raw := range validInstructions(5000, 1) {
+		s := r.Encode(raw)
+		if got := r.Decode(s); got != raw {
+			t.Fatalf("roundtrip %#08x (%s): got %#08x (%s), stored %#08x ext=%v",
+				raw, isa.Decode(raw).Disassemble(0), got, isa.Decode(got).Disassemble(0), s.Word, s.Ext)
+		}
+	}
+}
+
+func TestThreeByteFetchDropsLowByte(t *testing.T) {
+	// When Ext is clear, decode must not depend on the dropped byte.
+	r := testRecoder(t)
+	for _, raw := range validInstructions(5000, 2) {
+		s := r.Encode(raw)
+		if s.Ext {
+			continue
+		}
+		// For R-format the recode guarantees the dropped byte is zero; for
+		// I-format it holds the redundant immediate-high byte.
+		if isa.Decode(raw).Format() == isa.FormatR && s.Word&0xff != 0 {
+			t.Fatalf("%#08x: compact R encoding has nonzero droppable byte %#08x", raw, s.Word)
+		}
+		garbled := s
+		garbled.Word |= 0xa5 // simulate not fetching the byte
+		if got := r.Decode(garbled); got != raw {
+			t.Fatalf("%#08x: decode depends on dropped byte", raw)
+		}
+	}
+}
+
+func TestCompactRFormatIsThreeBytes(t *testing.T) {
+	r := testRecoder(t)
+	// addu with any registers: compact.
+	s := r.Encode(isa.EncodeR(isa.FnADDU, 1, 2, 3, 0))
+	if s.Bytes() != 3 {
+		t.Fatalf("addu: %d bytes", s.Bytes())
+	}
+	// A funct outside the top-8: four bytes.
+	s = r.Encode(isa.EncodeR(isa.FnNOR, 1, 2, 3, 0))
+	if s.Bytes() != 4 {
+		t.Fatalf("nor: %d bytes", s.Bytes())
+	}
+	// Immediate shift in the top-8: compact despite nonzero shamt.
+	s = r.Encode(isa.EncodeR(isa.FnSLL, 0, 2, 3, 7))
+	if s.Bytes() != 3 {
+		t.Fatalf("sll: %d bytes", s.Bytes())
+	}
+}
+
+func TestIFormatImmediateCompression(t *testing.T) {
+	r := testRecoder(t)
+	cases := []struct {
+		raw   uint32
+		bytes int
+		desc  string
+	}{
+		{isa.EncodeI(isa.OpADDIU, 1, 2, 5), 3, "small positive"},
+		{isa.EncodeI(isa.OpADDIU, 1, 2, -5), 3, "small negative"},
+		{isa.EncodeI(isa.OpADDIU, 1, 2, 127), 3, "max 8-bit"},
+		{isa.EncodeI(isa.OpADDIU, 1, 2, 128), 4, "needs 9 bits"},
+		{isa.EncodeI(isa.OpADDIU, 1, 2, -128), 3, "min 8-bit"},
+		{isa.EncodeI(isa.OpADDIU, 1, 2, -129), 4, "needs 9 bits negative"},
+		{isa.EncodeI(isa.OpORI, 1, 2, 0xff), 3, "ori zero-extended 8-bit"},
+		{isa.EncodeI(isa.OpORI, 1, 2, 0x100), 4, "ori 9-bit"},
+		{isa.EncodeI(isa.OpANDI, 1, 2, int16(-1)), 4, "andi 0xffff is not 8-bit"},
+		{isa.EncodeI(isa.OpLUI, 0, 2, 0x1000), 4, "lui wide"},
+		{isa.EncodeI(isa.OpBEQ, 1, 2, -3), 3, "short branch"},
+	}
+	for _, c := range cases {
+		if got := r.FetchBytes(c.raw); got != c.bytes {
+			t.Errorf("%s: %d bytes, want %d", c.desc, got, c.bytes)
+		}
+	}
+}
+
+func TestJFormatAlwaysFour(t *testing.T) {
+	r := testRecoder(t)
+	if got := r.FetchBytes(isa.EncodeJ(isa.OpJ, 4)); got != 4 {
+		t.Fatalf("j: %d bytes", got)
+	}
+}
+
+func TestFetchBits(t *testing.T) {
+	r := testRecoder(t)
+	if got := r.FetchBits(isa.EncodeI(isa.OpADDIU, 1, 2, 5)); got != 25 {
+		t.Fatalf("compact fetch bits: %d", got)
+	}
+	if got := r.FetchBits(isa.EncodeJ(isa.OpJ, 4)); got != 33 {
+		t.Fatalf("full fetch bits: %d", got)
+	}
+}
+
+func TestTopFuncts(t *testing.T) {
+	counts := map[isa.Funct]uint64{
+		isa.FnADDU: 100, isa.FnSLL: 90, isa.FnOR: 80, isa.FnSUBU: 10,
+	}
+	top := TopFuncts(counts, 3)
+	if len(top) != 3 || top[0] != isa.FnADDU || top[1] != isa.FnSLL || top[2] != isa.FnOR {
+		t.Fatalf("top: %v", top)
+	}
+	// Deterministic tie-break by code.
+	counts = map[isa.Funct]uint64{isa.FnXOR: 5, isa.FnAND: 5}
+	top = TopFuncts(counts, 2)
+	if top[0] != isa.FnAND || top[1] != isa.FnXOR {
+		t.Fatalf("tie-break: %v", top)
+	}
+}
+
+func TestNewRecoderErrors(t *testing.T) {
+	if _, err := NewRecoder(make([]isa.Funct, 9)); err == nil {
+		t.Error("more than 8 top functs should error")
+	}
+	if _, err := NewRecoder([]isa.Funct{isa.FnADDU, isa.FnADDU}); err == nil {
+		t.Error("duplicate functs should error")
+	}
+	if _, err := NewRecoder([]isa.Funct{isa.Funct(0x40)}); err == nil {
+		t.Error("out-of-range funct should error")
+	}
+}
+
+func TestRecoderBijection(t *testing.T) {
+	r := testRecoder(t)
+	seen := map[uint8]bool{}
+	for fn := 0; fn < 64; fn++ {
+		code := r.enc[fn]
+		if code > 0x3f {
+			t.Fatalf("funct %#x: encoding %#x out of range", fn, code)
+		}
+		if seen[code] {
+			t.Fatalf("encoding %#x assigned twice", code)
+		}
+		seen[code] = true
+		if r.dec[code] != uint8(fn) {
+			t.Fatalf("decode table mismatch for funct %#x", fn)
+		}
+	}
+}
+
+func TestIsCompact(t *testing.T) {
+	r := testRecoder(t)
+	for _, fn := range DefaultTopFuncts() {
+		if !r.IsCompact(fn) {
+			t.Errorf("funct %s should be compact", isa.FunctName(fn))
+		}
+	}
+	if r.IsCompact(isa.FnNOR) {
+		t.Error("nor should not be compact")
+	}
+}
+
+func TestProfileDrivenRecoderRoundTrip(t *testing.T) {
+	// A recoder built from a different top-8 must also round-trip.
+	r := MustNewRecoder([]isa.Funct{isa.FnAND, isa.FnNOR, isa.FnDIV})
+	for _, raw := range validInstructions(2000, 3) {
+		if got := r.Decode(r.Encode(raw)); got != raw {
+			t.Fatalf("roundtrip %#08x failed with custom recoder", raw)
+		}
+	}
+}

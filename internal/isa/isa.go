@@ -1,0 +1,511 @@
+// Package isa defines the MIPS-I integer instruction subset used throughout
+// the simulator: binary encodings, a decoder, encoders, instruction
+// classification helpers and a disassembler.
+//
+// The subset covers the integer ISA the paper's evaluation depends on
+// (Mediabench compiled to a "MIPS-like ISA", §3): R-format ALU and shift
+// operations, multiply/divide with HI/LO, I-format ALU-immediate forms,
+// loads and stores of byte/halfword/word width, branches (including the
+// REGIMM BLTZ/BGEZ pair), and J-format jumps. Floating point is out of
+// scope, as in the paper ("we focus on integer instructions").
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 general-purpose registers.
+type Reg uint8
+
+// Conventional MIPS register aliases.
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegAT   Reg = 1 // assembler temporary
+	RegV0   Reg = 2 // results
+	RegV1   Reg = 3
+	RegA0   Reg = 4 // arguments
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegT0   Reg = 8 // caller-saved temporaries
+	RegT1   Reg = 9
+	RegT2   Reg = 10
+	RegT3   Reg = 11
+	RegT4   Reg = 12
+	RegT5   Reg = 13
+	RegT6   Reg = 14
+	RegT7   Reg = 15
+	RegS0   Reg = 16 // callee-saved
+	RegS1   Reg = 17
+	RegS2   Reg = 18
+	RegS3   Reg = 19
+	RegS4   Reg = 20
+	RegS5   Reg = 21
+	RegS6   Reg = 22
+	RegS7   Reg = 23
+	RegT8   Reg = 24
+	RegT9   Reg = 25
+	RegK0   Reg = 26 // reserved for OS
+	RegK1   Reg = 27
+	RegGP   Reg = 28 // global pointer
+	RegSP   Reg = 29 // stack pointer
+	RegFP   Reg = 30 // frame pointer
+	RegRA   Reg = 31 // return address
+)
+
+var regNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// Name returns the conventional assembly name ("$t0" style without the $).
+func (r Reg) Name() string {
+	if r < 32 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// String implements fmt.Stringer with the leading $.
+func (r Reg) String() string { return "$" + r.Name() }
+
+// RegByName resolves both numeric ($5) and symbolic ($a1) register names.
+// The leading $ must already be stripped.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	// numeric form
+	var v int
+	if _, err := fmt.Sscanf(name, "%d", &v); err == nil && v >= 0 && v < 32 {
+		// Reject trailing junk such as "1x".
+		if fmt.Sprintf("%d", v) == name {
+			return Reg(v), true
+		}
+	}
+	return 0, false
+}
+
+// Opcode is the primary 6-bit opcode field (bits 31:26).
+type Opcode uint8
+
+// Primary opcodes.
+const (
+	OpSpecial Opcode = 0x00 // R-format; funct field selects operation
+	OpRegimm  Opcode = 0x01 // BLTZ/BGEZ family; rt field selects
+	OpJ       Opcode = 0x02
+	OpJAL     Opcode = 0x03
+	OpBEQ     Opcode = 0x04
+	OpBNE     Opcode = 0x05
+	OpBLEZ    Opcode = 0x06
+	OpBGTZ    Opcode = 0x07
+	OpADDI    Opcode = 0x08
+	OpADDIU   Opcode = 0x09
+	OpSLTI    Opcode = 0x0a
+	OpSLTIU   Opcode = 0x0b
+	OpANDI    Opcode = 0x0c
+	OpORI     Opcode = 0x0d
+	OpXORI    Opcode = 0x0e
+	OpLUI     Opcode = 0x0f
+	OpLB      Opcode = 0x20
+	OpLH      Opcode = 0x21
+	OpLW      Opcode = 0x23
+	OpLBU     Opcode = 0x24
+	OpLHU     Opcode = 0x25
+	OpSB      Opcode = 0x28
+	OpSH      Opcode = 0x29
+	OpSW      Opcode = 0x2b
+)
+
+// Funct is the 6-bit function field of R-format instructions (bits 5:0).
+type Funct uint8
+
+// R-format function codes.
+const (
+	FnSLL     Funct = 0x00
+	FnSRL     Funct = 0x02
+	FnSRA     Funct = 0x03
+	FnSLLV    Funct = 0x04
+	FnSRLV    Funct = 0x06
+	FnSRAV    Funct = 0x07
+	FnJR      Funct = 0x08
+	FnJALR    Funct = 0x09
+	FnSYSCALL Funct = 0x0c
+	FnBREAK   Funct = 0x0d
+	FnMFHI    Funct = 0x10
+	FnMTHI    Funct = 0x11
+	FnMFLO    Funct = 0x12
+	FnMTLO    Funct = 0x13
+	FnMULT    Funct = 0x18
+	FnMULTU   Funct = 0x19
+	FnDIV     Funct = 0x1a
+	FnDIVU    Funct = 0x1b
+	FnADD     Funct = 0x20
+	FnADDU    Funct = 0x21
+	FnSUB     Funct = 0x22
+	FnSUBU    Funct = 0x23
+	FnAND     Funct = 0x24
+	FnOR      Funct = 0x25
+	FnXOR     Funct = 0x26
+	FnNOR     Funct = 0x27
+	FnSLT     Funct = 0x2a
+	FnSLTU    Funct = 0x2b
+)
+
+// REGIMM rt selectors.
+const (
+	RegimmBLTZ = 0x00
+	RegimmBGEZ = 0x01
+)
+
+// Format distinguishes the three MIPS instruction encodings.
+type Format uint8
+
+const (
+	FormatR Format = iota
+	FormatI
+	FormatJ
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatR:
+		return "R"
+	case FormatI:
+		return "I"
+	default:
+		return "J"
+	}
+}
+
+// Inst is a decoded instruction. Raw always holds the 32-bit encoding the
+// instruction was decoded from (or would encode to).
+type Inst struct {
+	Raw    uint32
+	Op     Opcode
+	Rs     Reg
+	Rt     Reg
+	Rd     Reg
+	Shamt  uint8
+	Funct  Funct
+	Imm    int16  // sign-extended I-format immediate
+	Target uint32 // 26-bit J-format target field
+}
+
+// Decode splits a raw 32-bit word into its fields. Every 32-bit pattern
+// decodes to *something*; use Validate to check it is a defined instruction.
+func Decode(raw uint32) Inst {
+	return Inst{
+		Raw:    raw,
+		Op:     Opcode(raw >> 26),
+		Rs:     Reg((raw >> 21) & 0x1f),
+		Rt:     Reg((raw >> 16) & 0x1f),
+		Rd:     Reg((raw >> 11) & 0x1f),
+		Shamt:  uint8((raw >> 6) & 0x1f),
+		Funct:  Funct(raw & 0x3f),
+		Imm:    int16(raw & 0xffff),
+		Target: raw & 0x03ffffff,
+	}
+}
+
+// EncodeR builds an R-format instruction.
+func EncodeR(fn Funct, rs, rt, rd Reg, shamt uint8) uint32 {
+	return uint32(rs&0x1f)<<21 | uint32(rt&0x1f)<<16 | uint32(rd&0x1f)<<11 |
+		uint32(shamt&0x1f)<<6 | uint32(fn&0x3f)
+}
+
+// EncodeI builds an I-format instruction.
+func EncodeI(op Opcode, rs, rt Reg, imm int16) uint32 {
+	return uint32(op&0x3f)<<26 | uint32(rs&0x1f)<<21 | uint32(rt&0x1f)<<16 |
+		uint32(uint16(imm))
+}
+
+// EncodeJ builds a J-format instruction from a 26-bit target field.
+func EncodeJ(op Opcode, target uint32) uint32 {
+	return uint32(op&0x3f)<<26 | target&0x03ffffff
+}
+
+// EncodeRegimm builds a REGIMM branch (BLTZ/BGEZ).
+func EncodeRegimm(sel uint8, rs Reg, imm int16) uint32 {
+	return uint32(OpRegimm)<<26 | uint32(rs&0x1f)<<21 | uint32(sel&0x1f)<<16 |
+		uint32(uint16(imm))
+}
+
+// Format reports the encoding format of the instruction.
+func (i Inst) Format() Format {
+	switch i.Op {
+	case OpSpecial:
+		return FormatR
+	case OpJ, OpJAL:
+		return FormatJ
+	default:
+		return FormatI
+	}
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool {
+	switch i.Op {
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool {
+	switch i.Op {
+	case OpSB, OpSH, OpSW:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// MemBytes reports the access width in bytes of a load or store (0 if the
+// instruction does not touch memory).
+func (i Inst) MemBytes() int {
+	switch i.Op {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpSW:
+		return 4
+	}
+	return 0
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpRegimm:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the instruction is an unconditional jump (J, JAL,
+// JR, JALR).
+func (i Inst) IsJump() bool {
+	if i.Op == OpJ || i.Op == OpJAL {
+		return true
+	}
+	return i.Op == OpSpecial && (i.Funct == FnJR || i.Funct == FnJALR)
+}
+
+// IsControl reports whether the instruction redirects the PC.
+func (i Inst) IsControl() bool { return i.IsBranch() || i.IsJump() }
+
+// IsShiftImm reports whether the instruction is an immediate shift, which
+// uses the shamt field but not rs (relevant for the paper's R-format
+// permutation, §2.3).
+func (i Inst) IsShiftImm() bool {
+	return i.Op == OpSpecial && (i.Funct == FnSLL || i.Funct == FnSRL || i.Funct == FnSRA)
+}
+
+// UsesFunct reports whether an R-format instruction meaningfully uses its
+// function field (true for all OpSpecial encodings in this subset).
+func (i Inst) UsesFunct() bool { return i.Op == OpSpecial }
+
+// ReadsRs reports whether the rs register value is a source operand.
+func (i Inst) ReadsRs() bool {
+	switch i.Op {
+	case OpJ, OpJAL, OpLUI:
+		return false
+	case OpSpecial:
+		switch i.Funct {
+		case FnSLL, FnSRL, FnSRA, FnMFHI, FnMFLO, FnSYSCALL, FnBREAK:
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// ReadsRt reports whether the rt register value is a source operand.
+func (i Inst) ReadsRt() bool {
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnJR, FnJALR, FnMFHI, FnMFLO, FnMTHI, FnMTLO, FnSYSCALL, FnBREAK:
+			return false
+		}
+		return true
+	case OpBEQ, OpBNE:
+		return true
+	case OpSB, OpSH, OpSW:
+		return true // store data
+	}
+	return false
+}
+
+// DestReg reports the GPR written by the instruction, and whether one is
+// written at all. Writes to $zero are reported as no write.
+func (i Inst) DestReg() (Reg, bool) {
+	var d Reg
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnJR, FnSYSCALL, FnBREAK, FnMTHI, FnMTLO, FnMULT, FnMULTU, FnDIV, FnDIVU:
+			return 0, false
+		}
+		d = i.Rd
+	case OpJAL:
+		d = RegRA
+	case OpJ, OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpRegimm, OpSB, OpSH, OpSW:
+		return 0, false
+	default:
+		d = i.Rt
+	}
+	if d == RegZero {
+		return 0, false
+	}
+	return d, true
+}
+
+// WritesHILO reports whether the instruction writes the HI/LO pair.
+func (i Inst) WritesHILO() bool {
+	if i.Op != OpSpecial {
+		return false
+	}
+	switch i.Funct {
+	case FnMULT, FnMULTU, FnDIV, FnDIVU, FnMTHI, FnMTLO:
+		return true
+	}
+	return false
+}
+
+// BranchTarget computes the branch destination given the branch's own PC.
+func (i Inst) BranchTarget(pc uint32) uint32 {
+	return pc + 4 + uint32(int32(i.Imm))<<2
+}
+
+// JumpTarget computes a J/JAL destination given the jump's own PC.
+func (i Inst) JumpTarget(pc uint32) uint32 {
+	return (pc+4)&0xf0000000 | i.Target<<2
+}
+
+// Validate reports a non-nil error if the encoding is not a defined
+// instruction of the subset.
+func (i Inst) Validate() error {
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnSLL, FnSRL, FnSRA, FnSLLV, FnSRLV, FnSRAV, FnJR, FnJALR,
+			FnSYSCALL, FnBREAK, FnMFHI, FnMTHI, FnMFLO, FnMTLO,
+			FnMULT, FnMULTU, FnDIV, FnDIVU,
+			FnADD, FnADDU, FnSUB, FnSUBU, FnAND, FnOR, FnXOR, FnNOR,
+			FnSLT, FnSLTU:
+			return nil
+		}
+		return fmt.Errorf("isa: undefined funct %#02x", uint8(i.Funct))
+	case OpRegimm:
+		if uint8(i.Rt) == RegimmBLTZ || uint8(i.Rt) == RegimmBGEZ {
+			return nil
+		}
+		return fmt.Errorf("isa: undefined regimm selector %#02x", uint8(i.Rt))
+	case OpJ, OpJAL, OpBEQ, OpBNE, OpBLEZ, OpBGTZ,
+		OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI,
+		OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW:
+		return nil
+	}
+	return fmt.Errorf("isa: undefined opcode %#02x", uint8(i.Op))
+}
+
+// FunctName returns the mnemonic for an R-format function code.
+func FunctName(fn Funct) string {
+	if n, ok := functNames[fn]; ok {
+		return n
+	}
+	return fmt.Sprintf("funct%#02x", uint8(fn))
+}
+
+var functNames = map[Funct]string{
+	FnSLL: "sll", FnSRL: "srl", FnSRA: "sra",
+	FnSLLV: "sllv", FnSRLV: "srlv", FnSRAV: "srav",
+	FnJR: "jr", FnJALR: "jalr", FnSYSCALL: "syscall", FnBREAK: "break",
+	FnMFHI: "mfhi", FnMTHI: "mthi", FnMFLO: "mflo", FnMTLO: "mtlo",
+	FnMULT: "mult", FnMULTU: "multu", FnDIV: "div", FnDIVU: "divu",
+	FnADD: "add", FnADDU: "addu", FnSUB: "sub", FnSUBU: "subu",
+	FnAND: "and", FnOR: "or", FnXOR: "xor", FnNOR: "nor",
+	FnSLT: "slt", FnSLTU: "sltu",
+}
+
+var opNames = map[Opcode]string{
+	OpJ: "j", OpJAL: "jal", OpBEQ: "beq", OpBNE: "bne",
+	OpBLEZ: "blez", OpBGTZ: "bgtz",
+	OpADDI: "addi", OpADDIU: "addiu", OpSLTI: "slti", OpSLTIU: "sltiu",
+	OpANDI: "andi", OpORI: "ori", OpXORI: "xori", OpLUI: "lui",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLBU: "lbu", OpLHU: "lhu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw",
+}
+
+// Mnemonic returns the assembly mnemonic of the instruction.
+func (i Inst) Mnemonic() string {
+	switch i.Op {
+	case OpSpecial:
+		return FunctName(i.Funct)
+	case OpRegimm:
+		if uint8(i.Rt) == RegimmBGEZ {
+			return "bgez"
+		}
+		return "bltz"
+	}
+	if n, ok := opNames[i.Op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%#02x", uint8(i.Op))
+}
+
+// Disassemble renders the instruction in conventional MIPS assembly. The pc
+// is used to render branch and jump targets as absolute addresses.
+func (i Inst) Disassemble(pc uint32) string {
+	m := i.Mnemonic()
+	switch i.Op {
+	case OpSpecial:
+		switch i.Funct {
+		case FnSLL, FnSRL, FnSRA:
+			if i.Raw == 0 {
+				return "nop"
+			}
+			return fmt.Sprintf("%s %s, %s, %d", m, i.Rd, i.Rt, i.Shamt)
+		case FnSLLV, FnSRLV, FnSRAV:
+			return fmt.Sprintf("%s %s, %s, %s", m, i.Rd, i.Rt, i.Rs)
+		case FnJR:
+			return fmt.Sprintf("%s %s", m, i.Rs)
+		case FnJALR:
+			return fmt.Sprintf("%s %s, %s", m, i.Rd, i.Rs)
+		case FnSYSCALL, FnBREAK:
+			return m
+		case FnMFHI, FnMFLO:
+			return fmt.Sprintf("%s %s", m, i.Rd)
+		case FnMTHI, FnMTLO:
+			return fmt.Sprintf("%s %s", m, i.Rs)
+		case FnMULT, FnMULTU, FnDIV, FnDIVU:
+			return fmt.Sprintf("%s %s, %s", m, i.Rs, i.Rt)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", m, i.Rd, i.Rs, i.Rt)
+		}
+	case OpRegimm:
+		return fmt.Sprintf("%s %s, %#x", m, i.Rs, i.BranchTarget(pc))
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s %#x", m, i.JumpTarget(pc))
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s %s, %s, %#x", m, i.Rs, i.Rt, i.BranchTarget(pc))
+	case OpBLEZ, OpBGTZ:
+		return fmt.Sprintf("%s %s, %#x", m, i.Rs, i.BranchTarget(pc))
+	case OpLUI:
+		return fmt.Sprintf("%s %s, %#x", m, i.Rt, uint16(i.Imm))
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", m, i.Rt, i.Imm, i.Rs)
+	case OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%s %s, %s, %#x", m, i.Rt, i.Rs, uint16(i.Imm))
+	default:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rt, i.Rs, i.Imm)
+	}
+}

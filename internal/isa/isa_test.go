@@ -1,0 +1,229 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEncodeRoundTripR(t *testing.T) {
+	raw := EncodeR(FnADDU, RegT1, RegT2, RegT0, 0)
+	i := Decode(raw)
+	if i.Op != OpSpecial || i.Funct != FnADDU {
+		t.Fatalf("decode R: got op=%#x funct=%#x", i.Op, i.Funct)
+	}
+	if i.Rs != RegT1 || i.Rt != RegT2 || i.Rd != RegT0 {
+		t.Fatalf("decode R regs: %v %v %v", i.Rs, i.Rt, i.Rd)
+	}
+	if err := i.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestDecodeEncodeRoundTripI(t *testing.T) {
+	raw := EncodeI(OpADDIU, RegSP, RegSP, -16)
+	i := Decode(raw)
+	if i.Op != OpADDIU || i.Rs != RegSP || i.Rt != RegSP || i.Imm != -16 {
+		t.Fatalf("decode I: %+v", i)
+	}
+}
+
+func TestDecodeEncodeRoundTripJ(t *testing.T) {
+	raw := EncodeJ(OpJAL, 0x0010_0000>>2)
+	i := Decode(raw)
+	if i.Op != OpJAL || i.Target != 0x0010_0000>>2 {
+		t.Fatalf("decode J: %+v", i)
+	}
+	if got := i.JumpTarget(0x0040_0000); got != 0x0010_0000 {
+		t.Fatalf("jump target: %#x", got)
+	}
+}
+
+func TestDecodeFieldExtractionProperty(t *testing.T) {
+	// Reassembling the decoded fields must reproduce the raw word.
+	f := func(raw uint32) bool {
+		i := Decode(raw)
+		re := uint32(i.Op)<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 |
+			uint32(i.Rd)<<11 | uint32(i.Shamt)<<6 | uint32(i.Funct)
+		return re == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmSignExtension(t *testing.T) {
+	i := Decode(EncodeI(OpADDI, RegT0, RegT1, -1))
+	if i.Imm != -1 {
+		t.Fatalf("imm: got %d", i.Imm)
+	}
+	if uint16(i.Imm) != 0xffff {
+		t.Fatalf("imm bits: %#x", uint16(i.Imm))
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	// beq taken backward by 3 instructions from pc.
+	i := Decode(EncodeI(OpBEQ, RegT0, RegT1, -4))
+	pc := uint32(0x0040_0010)
+	if got, want := i.BranchTarget(pc), pc+4-16; got != want {
+		t.Fatalf("target: got %#x want %#x", got, want)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		raw                          uint32
+		load, store, branch, jump, r bool
+		memBytes                     int
+	}{
+		{EncodeI(OpLW, RegSP, RegT0, 4), true, false, false, false, false, 4},
+		{EncodeI(OpLBU, RegSP, RegT0, 0), true, false, false, false, false, 1},
+		{EncodeI(OpSH, RegSP, RegT0, 2), false, true, false, false, false, 2},
+		{EncodeI(OpBNE, RegT0, RegT1, 8), false, false, true, false, false, 0},
+		{EncodeRegimm(RegimmBLTZ, RegT0, 4), false, false, true, false, false, 0},
+		{EncodeJ(OpJ, 100), false, false, false, true, false, 0},
+		{EncodeR(FnJR, RegRA, 0, 0, 0), false, false, false, true, true, 0},
+		{EncodeR(FnADDU, RegT0, RegT1, RegT2, 0), false, false, false, false, true, 0},
+	}
+	for _, c := range cases {
+		i := Decode(c.raw)
+		name := i.Disassemble(0)
+		if i.IsLoad() != c.load {
+			t.Errorf("%s: IsLoad=%v", name, i.IsLoad())
+		}
+		if i.IsStore() != c.store {
+			t.Errorf("%s: IsStore=%v", name, i.IsStore())
+		}
+		if i.IsBranch() != c.branch {
+			t.Errorf("%s: IsBranch=%v", name, i.IsBranch())
+		}
+		if i.IsJump() != c.jump {
+			t.Errorf("%s: IsJump=%v", name, i.IsJump())
+		}
+		if (i.Format() == FormatR) != c.r {
+			t.Errorf("%s: Format=%v", name, i.Format())
+		}
+		if i.MemBytes() != c.memBytes {
+			t.Errorf("%s: MemBytes=%d", name, i.MemBytes())
+		}
+	}
+}
+
+func TestDestReg(t *testing.T) {
+	cases := []struct {
+		raw  uint32
+		reg  Reg
+		ok   bool
+		desc string
+	}{
+		{EncodeR(FnADDU, RegT0, RegT1, RegT2, 0), RegT2, true, "addu"},
+		{EncodeR(FnADDU, RegT0, RegT1, RegZero, 0), 0, false, "addu to $zero"},
+		{EncodeI(OpADDIU, RegT0, RegT3, 1), RegT3, true, "addiu"},
+		{EncodeI(OpLW, RegSP, RegT4, 0), RegT4, true, "lw"},
+		{EncodeI(OpSW, RegSP, RegT4, 0), 0, false, "sw"},
+		{EncodeJ(OpJAL, 64), RegRA, true, "jal"},
+		{EncodeJ(OpJ, 64), 0, false, "j"},
+		{EncodeI(OpBEQ, RegT0, RegT1, 4), 0, false, "beq"},
+		{EncodeR(FnMULT, RegT0, RegT1, 0, 0), 0, false, "mult"},
+		{EncodeR(FnMFLO, 0, 0, RegT5, 0), RegT5, true, "mflo"},
+	}
+	for _, c := range cases {
+		r, ok := Decode(c.raw).DestReg()
+		if ok != c.ok || (ok && r != c.reg) {
+			t.Errorf("%s: DestReg=(%v,%v) want (%v,%v)", c.desc, r, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestReadsRsRt(t *testing.T) {
+	cases := []struct {
+		raw    uint32
+		rs, rt bool
+		desc   string
+	}{
+		{EncodeR(FnADDU, RegT0, RegT1, RegT2, 0), true, true, "addu"},
+		{EncodeR(FnSLL, 0, RegT1, RegT2, 3), false, true, "sll"},
+		{EncodeR(FnSLLV, RegT0, RegT1, RegT2, 0), true, true, "sllv"},
+		{EncodeR(FnJR, RegRA, 0, 0, 0), true, false, "jr"},
+		{EncodeR(FnMFLO, 0, 0, RegT2, 0), false, false, "mflo"},
+		{EncodeI(OpADDIU, RegT0, RegT1, 4), true, false, "addiu"},
+		{EncodeI(OpLW, RegT0, RegT1, 4), true, false, "lw"},
+		{EncodeI(OpSW, RegT0, RegT1, 4), true, true, "sw"},
+		{EncodeI(OpLUI, 0, RegT1, 0x10), false, false, "lui"},
+		{EncodeI(OpBEQ, RegT0, RegT1, 4), true, true, "beq"},
+		{EncodeI(OpBLEZ, RegT0, 0, 4), true, false, "blez"},
+		{EncodeJ(OpJ, 16), false, false, "j"},
+	}
+	for _, c := range cases {
+		i := Decode(c.raw)
+		if i.ReadsRs() != c.rs || i.ReadsRt() != c.rt {
+			t.Errorf("%s: reads=(%v,%v) want (%v,%v)", c.desc, i.ReadsRs(), i.ReadsRt(), c.rs, c.rt)
+		}
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	cases := []struct {
+		in  string
+		reg Reg
+		ok  bool
+	}{
+		{"zero", RegZero, true},
+		{"t0", RegT0, true},
+		{"sp", RegSP, true},
+		{"ra", RegRA, true},
+		{"31", RegRA, true},
+		{"0", RegZero, true},
+		{"32", 0, false},
+		{"x9", 0, false},
+		{"1x", 0, false},
+	}
+	for _, c := range cases {
+		r, ok := RegByName(c.in)
+		if ok != c.ok || (ok && r != c.reg) {
+			t.Errorf("RegByName(%q) = (%v,%v), want (%v,%v)", c.in, r, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestValidateRejectsUndefined(t *testing.T) {
+	bad := []uint32{
+		uint32(0x3f) << 26,               // undefined opcode
+		EncodeR(Funct(0x3f), 0, 0, 0, 0), // undefined funct
+		EncodeRegimm(0x1f, RegT0, 0),     // undefined regimm selector
+	}
+	for _, raw := range bad {
+		if err := Decode(raw).Validate(); err == nil {
+			t.Errorf("Validate(%#08x): expected error", raw)
+		}
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	cases := []struct {
+		raw  uint32
+		pc   uint32
+		want string
+	}{
+		{EncodeR(FnADDU, RegT0, RegT1, RegT2, 0), 0, "addu $t2, $t0, $t1"},
+		{EncodeR(FnSLL, 0, RegT1, RegT2, 4), 0, "sll $t2, $t1, 4"},
+		{0, 0, "nop"},
+		{EncodeI(OpLW, RegSP, RegT0, 8), 0, "lw $t0, 8($sp)"},
+		{EncodeI(OpADDIU, RegT0, RegT1, -2), 0, "addiu $t1, $t0, -2"},
+		{EncodeI(OpLUI, 0, RegT0, 0x1000), 0, "lui $t0, 0x1000"},
+	}
+	for _, c := range cases {
+		if got := Decode(c.raw).Disassemble(c.pc); got != c.want {
+			t.Errorf("disasm %#08x: got %q want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestIsShiftImm(t *testing.T) {
+	if !Decode(EncodeR(FnSLL, 0, RegT1, RegT2, 4)).IsShiftImm() {
+		t.Error("sll should be shift-imm")
+	}
+	if Decode(EncodeR(FnSLLV, RegT0, RegT1, RegT2, 0)).IsShiftImm() {
+		t.Error("sllv should not be shift-imm")
+	}
+}

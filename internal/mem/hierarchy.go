@@ -1,0 +1,122 @@
+package mem
+
+// HierarchyConfig carries the latencies and geometries of the two-level
+// memory system. DefaultHierarchyConfig matches the paper's §3 exactly.
+type HierarchyConfig struct {
+	L1I, L1D, L2  CacheConfig
+	ITLBEntries   int
+	ITLBAssoc     int
+	DTLBEntries   int
+	DTLBAssoc     int
+	L1HitCycles   int
+	L2HitCycles   int
+	MemCycles     int // L2 miss penalty
+	TLBMissCycles int
+}
+
+// DefaultHierarchyConfig returns the paper's microarchitecture parameters:
+// split 8 KB direct-mapped L1s with 32-byte lines and 1-cycle hits, a
+// unified 64 KB 4-way L2 with 6-cycle hits and a 30-cycle miss penalty,
+// a 16-entry 4-way ITLB and a 32-entry 4-way DTLB with 30-cycle misses.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:           CacheConfig{Name: "L1I", Size: 8 << 10, LineBytes: 32, Assoc: 1},
+		L1D:           CacheConfig{Name: "L1D", Size: 8 << 10, LineBytes: 32, Assoc: 1},
+		L2:            CacheConfig{Name: "L2", Size: 64 << 10, LineBytes: 32, Assoc: 4},
+		ITLBEntries:   16,
+		ITLBAssoc:     4,
+		DTLBEntries:   32,
+		DTLBAssoc:     4,
+		L1HitCycles:   1,
+		L2HitCycles:   6,
+		MemCycles:     30,
+		TLBMissCycles: 30,
+	}
+}
+
+// Hierarchy simulates the paper's two-level cache system plus TLBs and
+// reports the access latency in cycles for instruction fetches and data
+// accesses. The latency of an L1 hit is folded into the pipeline stage (1
+// cycle), so Hierarchy returns only *additional* stall cycles beyond it.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	ITLB *TLB
+	DTLB *TLB
+
+	// DataFills counts L1D line fills (used by the activity model: fills
+	// move whole lines through the data array).
+	DataFills uint64
+	// InstFills counts L1I line fills.
+	InstFills uint64
+}
+
+// NewHierarchy builds the memory system from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		L1I:  NewCache(cfg.L1I),
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		ITLB: NewTLB("ITLB", cfg.ITLBEntries, cfg.ITLBAssoc),
+		DTLB: NewTLB("DTLB", cfg.DTLBEntries, cfg.DTLBAssoc),
+	}
+}
+
+// Config returns the hierarchy parameters.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+func (h *Hierarchy) l2Penalty(addr uint32, write bool) int {
+	if h.L2.Access(addr, write).Hit {
+		return h.cfg.L2HitCycles
+	}
+	return h.cfg.L2HitCycles + h.cfg.MemCycles
+}
+
+// Fetch performs an instruction fetch at addr and returns the stall cycles
+// beyond the 1-cycle pipelined L1I hit.
+func (h *Hierarchy) Fetch(addr uint32) int {
+	stall := 0
+	if !h.ITLB.Lookup(addr) {
+		stall += h.cfg.TLBMissCycles
+	}
+	res := h.L1I.Access(addr, false)
+	if !res.Hit {
+		h.InstFills++
+		stall += h.l2Penalty(addr, false)
+		if res.Writeback {
+			h.L2.Access(addr, true) // write the victim back into L2
+		}
+	}
+	return stall
+}
+
+// Data performs a load (write=false) or store (write=true) at addr and
+// returns the stall cycles beyond the 1-cycle pipelined L1D hit.
+func (h *Hierarchy) Data(addr uint32, write bool) int {
+	stall := 0
+	if !h.DTLB.Lookup(addr) {
+		stall += h.cfg.TLBMissCycles
+	}
+	res := h.L1D.Access(addr, write)
+	if !res.Hit {
+		h.DataFills++
+		stall += h.l2Penalty(addr, false)
+		if res.Writeback {
+			h.L2.Access(addr, true)
+		}
+	}
+	return stall
+}
+
+// Reset clears all arrays and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.DataFills, h.InstFills = 0, 0
+}

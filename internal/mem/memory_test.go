@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroInitialized(t *testing.T) {
+	m := NewMemory()
+	if m.Load32(0x1000_0000) != 0 {
+		t.Fatal("untouched memory should read zero")
+	}
+	if m.Load8(0xffff_ffff) != 0 {
+		t.Fatal("top of address space should read zero")
+	}
+}
+
+func TestMemoryWordRoundTrip(t *testing.T) {
+	f := func(addr, v uint32) bool {
+		m := NewMemory()
+		m.Store32(addr, v)
+		return m.Load32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x100, 0x04030201)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got := m.Load8(0x100 + uint32(i)); got != want {
+			t.Errorf("byte %d: got %d want %d", i, got, want)
+		}
+	}
+	if got := m.Load16(0x102); got != 0x0403 {
+		t.Errorf("half: got %#x", got)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2) // word straddles the page boundary
+	m.Store32(addr, 0xdeadbeef)
+	if got := m.Load32(addr); got != 0xdeadbeef {
+		t.Fatalf("cross-page word: got %#x", got)
+	}
+	addr = uint32(pageSize - 1)
+	m.Store16(addr, 0xa55a)
+	if got := m.Load16(addr); got != 0xa55a {
+		t.Fatalf("cross-page half: got %#x", got)
+	}
+}
+
+func TestMemoryLoadSegment(t *testing.T) {
+	m := NewMemory()
+	data := []byte{10, 20, 30, 40, 50}
+	m.LoadSegment(0x1000_0000, data)
+	for i, want := range data {
+		if got := m.Load8(0x1000_0000 + uint32(i)); got != want {
+			t.Errorf("segment byte %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "zero"},
+		{Name: "nondiv", Size: 100, LineBytes: 32, Assoc: 1},
+		{Name: "npo2", Size: 96, LineBytes: 32, Assoc: 1}, // 3 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.Name)
+		}
+	}
+	good := CacheConfig{Name: "ok", Size: 8 << 10, LineBytes: 32, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCacheDirectMappedConflict(t *testing.T) {
+	// 8 KB direct mapped, 32 B lines => 256 sets; addresses 8 KB apart
+	// conflict.
+	c := NewCache(CacheConfig{Name: "dm", Size: 8 << 10, LineBytes: 32, Assoc: 1})
+	if c.Access(0x0, false).Hit {
+		t.Fatal("cold miss expected")
+	}
+	if !c.Access(0x0, false).Hit {
+		t.Fatal("second access should hit")
+	}
+	if c.Access(8<<10, false).Hit {
+		t.Fatal("conflicting line should miss")
+	}
+	if c.Access(0x0, false).Hit {
+		t.Fatal("original line should have been evicted")
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, 1 set: two lines fit, third evicts the least recently used.
+	c := NewCache(CacheConfig{Name: "lru", Size: 64, LineBytes: 32, Assoc: 2})
+	c.Access(0*32, false) // A
+	c.Access(2*32, false) // B (same set: only one set exists)
+	c.Access(0*32, false) // touch A
+	c.Access(4*32, false) // C evicts B
+	if !c.Access(0*32, false).Hit {
+		t.Fatal("A should still be resident")
+	}
+	if c.Access(2*32, false).Hit {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "wb", Size: 32, LineBytes: 32, Assoc: 1})
+	c.Access(0, true) // dirty fill
+	res := c.Access(64, false)
+	if !res.Writeback {
+		t.Fatal("evicting a dirty line must report a writeback")
+	}
+	if c.Writeback != 1 {
+		t.Fatalf("writeback count: %d", c.Writeback)
+	}
+	// Clean eviction: no writeback.
+	if res := c.Access(128, false); res.Writeback {
+		t.Fatal("clean eviction should not write back")
+	}
+}
+
+func TestCacheSpatialLocalityWithinLine(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "line", Size: 8 << 10, LineBytes: 32, Assoc: 1})
+	c.Access(0x40, false)
+	for off := uint32(0x40); off < 0x60; off += 4 {
+		if !c.Access(off, false).Hit {
+			t.Fatalf("same-line access at %#x should hit", off)
+		}
+	}
+	if c.Misses != 1 {
+		t.Fatalf("misses: %d", c.Misses)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "st", Size: 1 << 10, LineBytes: 32, Assoc: 1})
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(32, false)
+	if c.Accesses != 3 || c.Misses != 2 {
+		t.Fatalf("stats: %d/%d", c.Misses, c.Accesses)
+	}
+	if got, want := c.MissRate(), 2.0/3.0; got != want {
+		t.Fatalf("miss rate: %v", got)
+	}
+	c.Reset()
+	if c.Accesses != 0 || c.MissRate() != 0 {
+		t.Fatal("reset should clear stats")
+	}
+	if c.Access(0, false).Hit {
+		t.Fatal("reset should clear contents")
+	}
+}
+
+func TestTLBBehaviour(t *testing.T) {
+	tlb := NewTLB("itlb", 16, 4)
+	if tlb.Lookup(0x0040_0000) {
+		t.Fatal("cold TLB should miss")
+	}
+	if !tlb.Lookup(0x0040_0ffc) {
+		t.Fatal("same page should hit")
+	}
+	if tlb.Lookup(0x0040_1000) {
+		t.Fatal("next page should miss")
+	}
+	if tlb.Misses() != 2 || tlb.Accesses() != 3 {
+		t.Fatalf("tlb stats: %d/%d", tlb.Misses(), tlb.Accesses())
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// Cold fetch: ITLB miss (30) + L1I miss -> L2 cold miss (6+30).
+	if got, want := h.Fetch(0x0040_0000), 30+6+30; got != want {
+		t.Fatalf("cold fetch stall: got %d want %d", got, want)
+	}
+	// Warm fetch: everything hits, no extra stall.
+	if got := h.Fetch(0x0040_0000); got != 0 {
+		t.Fatalf("warm fetch stall: got %d", got)
+	}
+	// Same line, different word: still a hit.
+	if got := h.Fetch(0x0040_0004); got != 0 {
+		t.Fatalf("same-line fetch stall: got %d", got)
+	}
+	// Data access on a different page: cold.
+	if got, want := h.Data(0x1000_0000, false), 30+6+30; got != want {
+		t.Fatalf("cold data stall: got %d want %d", got, want)
+	}
+	if got := h.Data(0x1000_0000, true); got != 0 {
+		t.Fatalf("warm store stall: got %d", got)
+	}
+	if h.DataFills != 1 || h.InstFills != 1 {
+		t.Fatalf("fills: %d/%d", h.DataFills, h.InstFills)
+	}
+}
+
+func TestHierarchyL2CatchesL1Victims(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Data(0x0000_0000, false)
+	// Evict from L1D (8 KB apart) but stay within L2 (64 KB 4-way).
+	h.Data(0x0000_2000, false)
+	// Original line should now be an L1 miss but an L2 hit: 6-cycle stall.
+	if got, want := h.Data(0x0000_0000, false), 6; got != want {
+		t.Fatalf("L2 hit stall: got %d want %d", got, want)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Fetch(0x0040_0000)
+	h.Data(0x1000_0000, true)
+	h.Reset()
+	if h.L1I.Accesses != 0 || h.L1D.Accesses != 0 || h.DataFills != 0 {
+		t.Fatal("reset should clear statistics")
+	}
+	if got, want := h.Fetch(0x0040_0000), 30+6+30; got != want {
+		t.Fatalf("post-reset fetch should be cold: got %d", got)
+	}
+}

@@ -1,0 +1,136 @@
+package minic
+
+// AST node types. Every node records the source line for diagnostics.
+
+// program is a parsed translation unit.
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+// globalDecl is `int name;`, `int name = n;` or `int name[N] = {...};`.
+type globalDecl struct {
+	name string
+	size int // 0 for scalars, element count for arrays
+	init []int64
+	line int
+}
+
+// funcDecl is a function definition.
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+type stmt interface{ stmtLine() int }
+
+type blockStmt struct {
+	stmts []stmt
+	line  int
+}
+
+type declStmt struct { // int x; / int x = e; / int x[N];
+	name string
+	size int // 0 for scalars, element count for local arrays
+	init expr
+	line int
+}
+
+type assignStmt struct { // lvalue = e; also +=, -=, *=, /=, %=
+	target expr // identExpr or indexExpr
+	op     string
+	value  expr
+	line   int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // may be nil
+	cond expr // may be nil (infinite)
+	post stmt // may be nil
+	body stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+type breakStmt struct{ line int }
+
+type continueStmt struct{ line int }
+
+func (s *blockStmt) stmtLine() int    { return s.line }
+func (s *declStmt) stmtLine() int     { return s.line }
+func (s *assignStmt) stmtLine() int   { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+
+// Expressions.
+type expr interface{ exprLine() int }
+
+type numExpr struct {
+	val  int64
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct { // arr[e]
+	array string
+	index expr
+	line  int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // - ! ~
+	x    expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+func (e *numExpr) exprLine() int    { return e.line }
+func (e *identExpr) exprLine() int  { return e.line }
+func (e *indexExpr) exprLine() int  { return e.line }
+func (e *callExpr) exprLine() int   { return e.line }
+func (e *unaryExpr) exprLine() int  { return e.line }
+func (e *binaryExpr) exprLine() int { return e.line }

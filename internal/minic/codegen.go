@@ -1,0 +1,661 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code generation: a straightforward single-pass generator using an
+// expression temp-register stack ($t0..$t9), sp-relative stack frames for
+// locals, and the simulator's calling convention (args in $a0..$a3, result
+// in $v0, $ra saved in the frame). All user symbols are prefixed to keep
+// the generated namespace separate from the startup stub.
+
+const symPrefix = "mc_"
+
+// tempRegs is the expression evaluation stack, in allocation order.
+var tempRegs = []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9"}
+
+// builtins maps names to syscall numbers.
+var builtins = map[string]int{
+	"print_int": 1,
+	"putc":      11,
+	"exit":      17,
+}
+
+type codegen struct {
+	prog   *program
+	out    strings.Builder
+	data   strings.Builder
+	labels int
+
+	// per-function state
+	fn      *funcDecl
+	locals  map[string]int // scalar name -> frame offset
+	arrays  map[string]localArray
+	frame   int
+	depth   int // temp stack depth
+	globals map[string]*globalDecl
+	funcs   map[string]*funcDecl
+	loops   []loopLabels // innermost last
+}
+
+// localArray is a stack-allocated array's frame placement.
+type localArray struct {
+	offset, size int
+}
+
+// loopLabels carries the jump targets for break/continue.
+type loopLabels struct {
+	brk, cont string
+}
+
+func (g *codegen) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (g *codegen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.out, "    "+format+"\n", args...)
+}
+
+func (g *codegen) label(format string, args ...interface{}) {
+	fmt.Fprintf(&g.out, format+":\n", args...)
+}
+
+func (g *codegen) newLabel(hint string) string {
+	g.labels++
+	return fmt.Sprintf("%s_L%d_%s", symPrefix, g.labels, hint)
+}
+
+// push allocates the next temp register.
+func (g *codegen) push(line int) (string, error) {
+	if g.depth >= len(tempRegs) {
+		return "", g.errf(line, "expression too deeply nested (more than %d live temporaries)", len(tempRegs))
+	}
+	r := tempRegs[g.depth]
+	g.depth++
+	return r, nil
+}
+
+// pop releases the top temp register.
+func (g *codegen) pop() string {
+	g.depth--
+	return tempRegs[g.depth]
+}
+
+// generate compiles the whole program to assembly text.
+func generate(prog *program) (string, error) {
+	g := &codegen{
+		prog:    prog,
+		globals: make(map[string]*globalDecl),
+		funcs:   make(map[string]*funcDecl),
+	}
+	for _, gd := range prog.globals {
+		if g.globals[gd.name] != nil {
+			return "", g.errf(gd.line, "global %s redefined", gd.name)
+		}
+		g.globals[gd.name] = gd
+	}
+	hasMain := false
+	for _, fn := range prog.funcs {
+		if g.funcs[fn.name] != nil {
+			return "", g.errf(fn.line, "function %s redefined", fn.name)
+		}
+		if builtins[fn.name] != 0 {
+			return "", g.errf(fn.line, "%s is a builtin", fn.name)
+		}
+		g.funcs[fn.name] = fn
+		if fn.name == "main" {
+			hasMain = true
+		}
+	}
+	if !hasMain {
+		return "", fmt.Errorf("minic: no main function")
+	}
+
+	// Startup stub: call the user's main, leave its result in $s7 (the
+	// benchmark checksum convention) and exit cleanly. A nonzero process
+	// exit code is produced only by an explicit exit(n) call.
+	g.out.WriteString(".text\nmain:\n")
+	g.emit("jal  %smain", symPrefix)
+	g.emit("move $s7, $v0")
+	g.emit("li   $v0, 10")
+	g.emit("syscall")
+
+	for _, fn := range prog.funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+
+	// Data segment.
+	g.data.WriteString(".data\n")
+	for _, gd := range prog.globals {
+		fmt.Fprintf(&g.data, "%s%s:\n", symPrefix, gd.name)
+		n := gd.size
+		if n == 0 {
+			n = 1
+		}
+		vals := make([]int64, n)
+		copy(vals, gd.init)
+		for i := 0; i < n; i += 8 {
+			end := i + 8
+			if end > n {
+				end = n
+			}
+			parts := make([]string, 0, 8)
+			for _, v := range vals[i:end] {
+				parts = append(parts, fmt.Sprintf("%d", v))
+			}
+			fmt.Fprintf(&g.data, "    .word %s\n", strings.Join(parts, ", "))
+		}
+	}
+	return g.out.String() + g.data.String(), nil
+}
+
+// collectLocals walks a function body gathering declarations.
+func collectLocals(s stmt, decls *[]*declStmt) {
+	switch t := s.(type) {
+	case *blockStmt:
+		for _, c := range t.stmts {
+			collectLocals(c, decls)
+		}
+	case *declStmt:
+		*decls = append(*decls, t)
+	case *ifStmt:
+		collectLocals(t.then, decls)
+		if t.els != nil {
+			collectLocals(t.els, decls)
+		}
+	case *whileStmt:
+		collectLocals(t.body, decls)
+	case *forStmt:
+		if t.init != nil {
+			collectLocals(t.init, decls)
+		}
+		collectLocals(t.body, decls)
+	}
+}
+
+func (g *codegen) genFunc(fn *funcDecl) error {
+	g.fn = fn
+	g.locals = make(map[string]int)
+	g.arrays = make(map[string]localArray)
+	g.depth = 0
+	g.loops = nil
+
+	offset := 0
+	for _, pn := range fn.params {
+		g.locals[pn] = offset
+		offset += 4
+	}
+	var decls []*declStmt
+	collectLocals(fn.body, &decls)
+	// Assign frame slots. Re-declarations of the same scalar name (e.g.
+	// `int i` in two loops) share one slot — block scoping is not modelled.
+	for _, d := range decls {
+		if d.size > 0 {
+			if _, ok := g.arrays[d.name]; ok {
+				return g.errf(d.line, "local array %s declared twice", d.name)
+			}
+			g.arrays[d.name] = localArray{offset: offset, size: d.size}
+			offset += 4 * d.size
+			continue
+		}
+		if _, ok := g.locals[d.name]; ok {
+			continue
+		}
+		g.locals[d.name] = offset
+		offset += 4
+	}
+	// Temp-save area (spill slots around calls) sits above locals; computed
+	// worst-case as the full temp stack.
+	g.frame = offset + 4*len(tempRegs) + 4 // + saved ra
+
+	g.label("%s%s", symPrefix, fn.name)
+	g.emit("addiu $sp, $sp, -%d", g.frame)
+	g.emit("sw   $ra, %d($sp)", g.frame-4)
+	for i, pn := range fn.params {
+		g.emit("sw   $a%d, %d($sp)", i, g.locals[pn])
+	}
+
+	if err := g.genStmt(fn.body); err != nil {
+		return err
+	}
+
+	// Implicit return 0.
+	g.emit("li   $v0, 0")
+	g.label("%s%s_ret", symPrefix, fn.name)
+	g.emit("lw   $ra, %d($sp)", g.frame-4)
+	g.emit("addiu $sp, $sp, %d", g.frame)
+	g.emit("jr   $ra")
+	return nil
+}
+
+func (g *codegen) genStmt(s stmt) error {
+	switch t := s.(type) {
+	case *blockStmt:
+		for _, c := range t.stmts {
+			if err := g.genStmt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *declStmt:
+		if t.size > 0 {
+			// Zero the array at its declaration, giving C-like defined
+			// behaviour for the subset.
+			arr := g.arrays[t.name]
+			r, err := g.push(t.line)
+			if err != nil {
+				return err
+			}
+			g.emit("li   %s, %d", r, arr.size)
+			idx, err := g.push(t.line)
+			if err != nil {
+				return err
+			}
+			g.emit("addiu %s, $sp, %d", idx, arr.offset)
+			top := g.newLabel("zinit")
+			g.label("%s", top)
+			g.emit("sw   $zero, 0(%s)", idx)
+			g.emit("addiu %s, %s, 4", idx, idx)
+			g.emit("addiu %s, %s, -1", r, r)
+			g.emit("bgtz %s, %s", r, top)
+			g.pop()
+			g.pop()
+			return nil
+		}
+		if t.init == nil {
+			return nil
+		}
+		r, err := g.genExpr(t.init)
+		if err != nil {
+			return err
+		}
+		g.emit("sw   %s, %d($sp)", r, g.locals[t.name])
+		g.pop()
+		return nil
+	case *assignStmt:
+		return g.genAssign(t)
+	case *ifStmt:
+		cond, err := g.genExpr(t.cond)
+		if err != nil {
+			return err
+		}
+		elseL, endL := g.newLabel("else"), g.newLabel("endif")
+		g.emit("beqz %s, %s", cond, elseL)
+		g.pop()
+		if err := g.genStmt(t.then); err != nil {
+			return err
+		}
+		g.emit("j    %s", endL)
+		g.label("%s", elseL)
+		if t.els != nil {
+			if err := g.genStmt(t.els); err != nil {
+				return err
+			}
+		}
+		g.label("%s", endL)
+		return nil
+	case *whileStmt:
+		top, end := g.newLabel("while"), g.newLabel("wend")
+		g.label("%s", top)
+		cond, err := g.genExpr(t.cond)
+		if err != nil {
+			return err
+		}
+		g.emit("beqz %s, %s", cond, end)
+		g.pop()
+		g.loops = append(g.loops, loopLabels{brk: end, cont: top})
+		if err := g.genStmt(t.body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.emit("j    %s", top)
+		g.label("%s", end)
+		return nil
+	case *forStmt:
+		if t.init != nil {
+			if err := g.genStmt(t.init); err != nil {
+				return err
+			}
+		}
+		top, end := g.newLabel("for"), g.newLabel("fend")
+		g.label("%s", top)
+		if t.cond != nil {
+			cond, err := g.genExpr(t.cond)
+			if err != nil {
+				return err
+			}
+			g.emit("beqz %s, %s", cond, end)
+			g.pop()
+		}
+		post := g.newLabel("fpost")
+		g.loops = append(g.loops, loopLabels{brk: end, cont: post})
+		if err := g.genStmt(t.body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.label("%s", post)
+		if t.post != nil {
+			if err := g.genStmt(t.post); err != nil {
+				return err
+			}
+		}
+		g.emit("j    %s", top)
+		g.label("%s", end)
+		return nil
+	case *returnStmt:
+		if t.value != nil {
+			r, err := g.genExpr(t.value)
+			if err != nil {
+				return err
+			}
+			g.emit("move $v0, %s", r)
+			g.pop()
+		} else {
+			g.emit("li   $v0, 0")
+		}
+		g.emit("j    %s%s_ret", symPrefix, g.fn.name)
+		return nil
+	case *exprStmt:
+		r, err := g.genExpr(t.e)
+		if err != nil {
+			return err
+		}
+		_ = r
+		g.pop()
+		return nil
+	case *breakStmt:
+		if len(g.loops) == 0 {
+			return g.errf(t.line, "break outside loop")
+		}
+		g.emit("j    %s", g.loops[len(g.loops)-1].brk)
+		return nil
+	case *continueStmt:
+		if len(g.loops) == 0 {
+			return g.errf(t.line, "continue outside loop")
+		}
+		g.emit("j    %s", g.loops[len(g.loops)-1].cont)
+		return nil
+	}
+	return g.errf(s.stmtLine(), "unhandled statement %T", s)
+}
+
+func (g *codegen) genAssign(t *assignStmt) error {
+	// Compound assignment: rewrite a op= b as a = a op b.
+	value := t.value
+	if t.op != "=" {
+		value = &binaryExpr{op: strings.TrimSuffix(t.op, "="), x: t.target, y: t.value, line: t.line}
+	}
+	switch target := t.target.(type) {
+	case *identExpr:
+		r, err := g.genExpr(value)
+		if err != nil {
+			return err
+		}
+		if off, ok := g.locals[target.name]; ok {
+			g.emit("sw   %s, %d($sp)", r, off)
+		} else if gd, ok := g.globals[target.name]; ok {
+			if gd.size > 0 {
+				return g.errf(t.line, "cannot assign whole array %s", target.name)
+			}
+			addr, err := g.push(t.line)
+			if err != nil {
+				return err
+			}
+			g.emit("la   %s, %s%s", addr, symPrefix, target.name)
+			g.emit("sw   %s, 0(%s)", r, addr)
+			g.pop()
+		} else {
+			return g.errf(t.line, "undefined variable %s", target.name)
+		}
+		g.pop()
+		return nil
+	case *indexExpr:
+		v, err := g.genExpr(value)
+		if err != nil {
+			return err
+		}
+		idx, err := g.genExpr(target.index)
+		if err != nil {
+			return err
+		}
+		g.emit("sll  %s, %s, 2", idx, idx)
+		if arr, ok := g.arrays[target.array]; ok {
+			g.emit("addu %s, %s, $sp", idx, idx)
+			g.emit("sw   %s, %d(%s)", v, arr.offset, idx)
+			g.pop() // idx
+			g.pop() // v
+			return nil
+		}
+		gd, ok := g.globals[target.array]
+		if !ok || gd.size == 0 {
+			return g.errf(t.line, "%s is not an array", target.array)
+		}
+		addr, err := g.push(t.line)
+		if err != nil {
+			return err
+		}
+		g.emit("la   %s, %s%s", addr, symPrefix, target.array)
+		g.emit("addu %s, %s, %s", addr, addr, idx)
+		g.emit("sw   %s, 0(%s)", v, addr)
+		g.pop() // addr
+		g.pop() // idx
+		g.pop() // v
+		return nil
+	}
+	return g.errf(t.line, "invalid assignment target")
+}
+
+// genExpr evaluates e into a freshly pushed temp register and returns it.
+func (g *codegen) genExpr(e expr) (string, error) {
+	switch t := e.(type) {
+	case *numExpr:
+		r, err := g.push(t.line)
+		if err != nil {
+			return "", err
+		}
+		g.emit("li   %s, %d", r, int32(t.val))
+		return r, nil
+	case *identExpr:
+		r, err := g.push(t.line)
+		if err != nil {
+			return "", err
+		}
+		if off, ok := g.locals[t.name]; ok {
+			g.emit("lw   %s, %d($sp)", r, off)
+			return r, nil
+		}
+		if gd, ok := g.globals[t.name]; ok {
+			if gd.size > 0 {
+				return "", g.errf(t.line, "array %s used without index", t.name)
+			}
+			g.emit("la   %s, %s%s", r, symPrefix, t.name)
+			g.emit("lw   %s, 0(%s)", r, r)
+			return r, nil
+		}
+		return "", g.errf(t.line, "undefined variable %s", t.name)
+	case *indexExpr:
+		idx, err := g.genExpr(t.index)
+		if err != nil {
+			return "", err
+		}
+		g.emit("sll  %s, %s, 2", idx, idx)
+		if arr, ok := g.arrays[t.array]; ok {
+			g.emit("addu %s, %s, $sp", idx, idx)
+			g.emit("lw   %s, %d(%s)", idx, arr.offset, idx)
+			return idx, nil
+		}
+		gd, ok := g.globals[t.array]
+		if !ok || gd.size == 0 {
+			return "", g.errf(t.line, "%s is not an array", t.array)
+		}
+		addr, err := g.push(t.line)
+		if err != nil {
+			return "", err
+		}
+		g.emit("la   %s, %s%s", addr, symPrefix, t.array)
+		g.emit("addu %s, %s, %s", addr, addr, idx)
+		g.emit("lw   %s, 0(%s)", idx, addr)
+		g.pop() // addr; idx now holds the loaded value
+		return idx, nil
+	case *unaryExpr:
+		x, err := g.genExpr(t.x)
+		if err != nil {
+			return "", err
+		}
+		switch t.op {
+		case "-":
+			g.emit("subu %s, $zero, %s", x, x)
+		case "!":
+			g.emit("sltiu %s, %s, 1", x, x)
+		case "~":
+			g.emit("nor  %s, %s, $zero", x, x)
+		}
+		return x, nil
+	case *binaryExpr:
+		return g.genBinary(t)
+	case *callExpr:
+		return g.genCall(t)
+	}
+	return "", g.errf(e.exprLine(), "unhandled expression %T", e)
+}
+
+func (g *codegen) genBinary(t *binaryExpr) (string, error) {
+	// Short-circuit forms evaluate the right side conditionally.
+	if t.op == "&&" || t.op == "||" {
+		x, err := g.genExpr(t.x)
+		if err != nil {
+			return "", err
+		}
+		end := g.newLabel("sc")
+		g.emit("sltu %s, $zero, %s", x, x) // normalize to 0/1
+		if t.op == "&&" {
+			g.emit("beqz %s, %s", x, end)
+		} else {
+			g.emit("bnez %s, %s", x, end)
+		}
+		y, err := g.genExpr(t.y)
+		if err != nil {
+			return "", err
+		}
+		g.emit("sltu %s, $zero, %s", y, y)
+		g.emit("move %s, %s", x, y)
+		g.pop()
+		g.label("%s", end)
+		return x, nil
+	}
+
+	x, err := g.genExpr(t.x)
+	if err != nil {
+		return "", err
+	}
+	y, err := g.genExpr(t.y)
+	if err != nil {
+		return "", err
+	}
+	switch t.op {
+	case "+":
+		g.emit("addu %s, %s, %s", x, x, y)
+	case "-":
+		g.emit("subu %s, %s, %s", x, x, y)
+	case "*":
+		g.emit("mult %s, %s", x, y)
+		g.emit("mflo %s", x)
+	case "/":
+		g.emit("div  %s, %s", x, y)
+		g.emit("mflo %s", x)
+	case "%":
+		g.emit("div  %s, %s", x, y)
+		g.emit("mfhi %s", x)
+	case "&":
+		g.emit("and  %s, %s, %s", x, x, y)
+	case "|":
+		g.emit("or   %s, %s, %s", x, x, y)
+	case "^":
+		g.emit("xor  %s, %s, %s", x, x, y)
+	case "<<":
+		g.emit("sllv %s, %s, %s", x, x, y)
+	case ">>":
+		g.emit("srav %s, %s, %s", x, x, y)
+	case "<":
+		g.emit("slt  %s, %s, %s", x, x, y)
+	case ">":
+		g.emit("slt  %s, %s, %s", x, y, x)
+	case "<=":
+		g.emit("slt  %s, %s, %s", x, y, x)
+		g.emit("xori %s, %s, 1", x, x)
+	case ">=":
+		g.emit("slt  %s, %s, %s", x, x, y)
+		g.emit("xori %s, %s, 1", x, x)
+	case "==":
+		g.emit("xor  %s, %s, %s", x, x, y)
+		g.emit("sltiu %s, %s, 1", x, x)
+	case "!=":
+		g.emit("xor  %s, %s, %s", x, x, y)
+		g.emit("sltu %s, $zero, %s", x, x)
+	default:
+		return "", g.errf(t.line, "unhandled operator %q", t.op)
+	}
+	g.pop() // y
+	return x, nil
+}
+
+func (g *codegen) genCall(t *callExpr) (string, error) {
+	// Evaluate arguments onto the temp stack.
+	for _, a := range t.args {
+		if _, err := g.genExpr(a); err != nil {
+			return "", err
+		}
+	}
+	argBase := g.depth - len(t.args)
+
+	if sys, ok := builtins[t.name]; ok {
+		if len(t.args) != 1 {
+			return "", g.errf(t.line, "%s takes one argument", t.name)
+		}
+		g.emit("move $a0, %s", tempRegs[argBase])
+		g.emit("li   $v0, %d", sys)
+		g.emit("syscall")
+		g.pop()
+		r, err := g.push(t.line)
+		if err != nil {
+			return "", err
+		}
+		g.emit("li   %s, 0", r)
+		return r, nil
+	}
+
+	if g.funcs[t.name] == nil {
+		return "", g.errf(t.line, "undefined function %s", t.name)
+	}
+	if len(t.args) != len(g.funcs[t.name].params) {
+		return "", g.errf(t.line, "%s expects %d arguments, got %d",
+			t.name, len(g.funcs[t.name].params), len(t.args))
+	}
+
+	// Save live temps below the arguments (the callee clobbers $t regs),
+	// move arguments into place, call, restore.
+	saveBase := g.frame - 4 - 4*len(tempRegs)
+	for i := 0; i < argBase; i++ {
+		g.emit("sw   %s, %d($sp)", tempRegs[i], saveBase+4*i)
+	}
+	for i := range t.args {
+		g.emit("move $a%d, %s", i, tempRegs[argBase+i])
+	}
+	g.emit("jal  %s%s", symPrefix, t.name)
+	for range t.args {
+		g.pop()
+	}
+	for i := 0; i < argBase; i++ {
+		g.emit("lw   %s, %d($sp)", tempRegs[i], saveBase+4*i)
+	}
+	r, err := g.push(t.line)
+	if err != nil {
+		return "", err
+	}
+	g.emit("move %s, $v0", r)
+	return r, nil
+}

@@ -1,0 +1,252 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Differential testing: random programs are executed by the reference AST
+// interpreter and by the compiled binary on the CPU simulator; the results
+// must agree bit-for-bit. This covers the lexer, parser, code generator,
+// assembler and CPU in one loop.
+
+// progGen emits random programs over a crash-free grammar: array indices
+// are masked to stay in bounds, divisors are forced odd (never zero), and
+// loops have fixed small trip counts.
+type progGen struct {
+	rng       *rand.Rand
+	sb        strings.Builder
+	locals    []string // assignable locals
+	iters     []string // loop iterators: readable but never reassigned
+	funcs     []string // callable helpers, in definition order
+	loopDepth int
+}
+
+// anyVar picks a readable variable (local or iterator).
+func (g *progGen) anyVar() (string, bool) {
+	all := append(append([]string{}, g.locals...), g.iters...)
+	if len(all) == 0 {
+		return "", false
+	}
+	return all[g.rng.Intn(len(all))], true
+}
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(2048)-1024)
+		case 1:
+			if v, ok := g.anyVar(); ok {
+				return v
+			}
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		default:
+			return fmt.Sprintf("g%d", g.rng.Intn(2))
+		}
+	}
+	switch g.rng.Intn(12) {
+	case 0, 1, 2:
+		op := []string{"+", "-", "*", "&", "|", "^"}[g.rng.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 3:
+		op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s %s %d)", g.expr(depth-1),
+			[]string{"<<", ">>"}[g.rng.Intn(2)], g.rng.Intn(31))
+	case 5:
+		// Safe division: odd divisor.
+		return fmt.Sprintf("(%s %s (%s | 1))", g.expr(depth-1),
+			[]string{"/", "%"}[g.rng.Intn(2)], g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s%s)", []string{"-", "!", "~"}[g.rng.Intn(3)], g.expr(depth-1))
+	case 7:
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("lbuf[%s & 7]", g.expr(depth-1))
+		}
+		return fmt.Sprintf("arr[%s & 15]", g.expr(depth-1))
+	case 8:
+		op := []string{"&&", "||"}[g.rng.Intn(2)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 9:
+		if len(g.funcs) > 0 {
+			fn := g.funcs[g.rng.Intn(len(g.funcs))]
+			return fmt.Sprintf("%s(%s)", fn, g.expr(depth-1))
+		}
+		return g.expr(depth - 1)
+	default:
+		return g.expr(depth - 1)
+	}
+}
+
+func (g *progGen) stmt(depth, indent int) {
+	pad := strings.Repeat("    ", indent)
+	switch g.rng.Intn(6) {
+	case 0: // global or array store
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%sg%d = %s;\n", pad, g.rng.Intn(2), g.expr(2))
+		} else {
+			fmt.Fprintf(&g.sb, "%sarr[%s & 15] = %s;\n", pad, g.expr(1), g.expr(2))
+		}
+	case 1: // local update
+		if len(g.locals) > 0 {
+			l := g.locals[g.rng.Intn(len(g.locals))]
+			op := []string{"=", "+=", "-=", "*="}[g.rng.Intn(4)]
+			fmt.Fprintf(&g.sb, "%s%s %s %s;\n", pad, l, op, g.expr(2))
+			return
+		}
+		fmt.Fprintf(&g.sb, "%sg0 += 1;\n", pad)
+	case 2: // if/else, occasionally guarding a break/continue inside loops
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", pad, g.expr(2))
+		if g.loopDepth > 0 && g.rng.Intn(4) == 0 {
+			fmt.Fprintf(&g.sb, "%s    %s;\n", pad,
+				[]string{"break", "continue"}[g.rng.Intn(2)])
+		} else if depth > 0 {
+			g.stmt(depth-1, indent+1)
+		}
+		fmt.Fprintf(&g.sb, "%s} else {\n", pad)
+		if depth > 0 {
+			g.stmt(depth-1, indent+1)
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", pad)
+	case 3: // bounded loop over a fresh iterator
+		if indent > 1 {
+			// Declarations only at function-body level, so every local the
+			// expression generator can reference is initialized on all
+			// paths (the compiled frame slot would otherwise read stack
+			// garbage the interpreter cannot model).
+			fmt.Fprintf(&g.sb, "%sg%d -= %s;\n", pad, g.rng.Intn(2), g.expr(1))
+			return
+		}
+		iter := fmt.Sprintf("it%d", len(g.iters))
+		g.iters = append(g.iters, iter)
+		fmt.Fprintf(&g.sb, "%sint %s;\n", pad, iter)
+		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s += 1) {\n",
+			pad, iter, iter, 2+g.rng.Intn(6), iter)
+		g.loopDepth++
+		if depth > 0 {
+			g.stmt(depth-1, indent+1)
+		} else {
+			fmt.Fprintf(&g.sb, "%s    g0 += %s;\n", pad, iter)
+		}
+		g.loopDepth--
+		fmt.Fprintf(&g.sb, "%s}\n", pad)
+	case 4: // fresh local declaration
+		if indent > 1 {
+			fmt.Fprintf(&g.sb, "%sg%d |= %s;\n", pad, g.rng.Intn(2), g.expr(1))
+			return
+		}
+		l := fmt.Sprintf("v%d", len(g.locals))
+		init := g.expr(2) // generated before the name becomes referencable
+		g.locals = append(g.locals, l)
+		fmt.Fprintf(&g.sb, "%sint %s = %s;\n", pad, l, init)
+	default:
+		fmt.Fprintf(&g.sb, "%sg%d ^= %s;\n", pad, g.rng.Intn(2), g.expr(2))
+	}
+}
+
+func (g *progGen) generate() string {
+	g.sb.Reset()
+	fmt.Fprintf(&g.sb, "int g0 = %d;\nint g1 = %d;\n", g.rng.Intn(100), g.rng.Intn(100)-50)
+	g.sb.WriteString("int arr[16] = {3, 1, 4, 1, 5, 9, 2, 6};\n")
+
+	// One or two non-recursive helpers.
+	nHelpers := 1 + g.rng.Intn(2)
+	for h := 0; h < nHelpers; h++ {
+		name := fmt.Sprintf("helper%d", h)
+		g.locals = []string{"x"}
+		g.iters = nil
+		g.loopDepth = 0
+		fmt.Fprintf(&g.sb, "int %s(int x) {\n", name)
+		g.sb.WriteString("    int lbuf[8];\n")
+		fmt.Fprintf(&g.sb, "    lbuf[%d] = x;\n", g.rng.Intn(8))
+		n := 1 + g.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			g.stmt(1, 1)
+		}
+		fmt.Fprintf(&g.sb, "    return %s;\n}\n", g.expr(2))
+		g.funcs = append(g.funcs, name)
+	}
+
+	g.locals = nil
+	g.iters = nil
+	g.loopDepth = 0
+	g.sb.WriteString("int main() {\n")
+	g.sb.WriteString("    int lbuf[8];\n")
+	g.sb.WriteString("    lbuf[3] = 41;\n")
+	n := 3 + g.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		g.stmt(2, 1)
+	}
+	fmt.Fprintf(&g.sb, "    return %s + g0 * 31 + g1;\n}\n", g.expr(3))
+	return g.sb.String()
+}
+
+// interpret runs the program through the reference interpreter.
+func interpret(src string) (int32, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := parse(toks)
+	if err != nil {
+		return 0, err
+	}
+	in, err := newInterp(prog)
+	if err != nil {
+		return 0, err
+	}
+	return in.call("main", nil)
+}
+
+// compileAndRun executes the compiled program on the simulator.
+func compileAndRun(src string) (int32, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return 0, err
+	}
+	m := mem.NewMemory()
+	p.LoadInto(m)
+	c := cpu.New(m, p.Entry, asm.DefaultStackTop)
+	if _, err := c.Run(5_000_000); err != nil {
+		return 0, err
+	}
+	if !c.Done {
+		return 0, fmt.Errorf("did not finish")
+	}
+	return int32(c.Regs[23]), nil // $s7
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	count := 150
+	if testing.Short() {
+		count = 20
+	}
+	mismatches := 0
+	for seed := 0; seed < count; seed++ {
+		g := &progGen{rng: rand.New(rand.NewSource(int64(seed)))}
+		src := g.generate()
+		want, err := interpret(src)
+		if err != nil {
+			t.Fatalf("seed %d: interpreter: %v\nprogram:\n%s", seed, err, src)
+		}
+		got, err := compileAndRun(src)
+		if err != nil {
+			t.Fatalf("seed %d: compiled run: %v\nprogram:\n%s", seed, err, src)
+		}
+		if got != want {
+			mismatches++
+			t.Errorf("seed %d: compiled %d != interpreted %d\nprogram:\n%s", seed, got, want, src)
+			if mismatches > 3 {
+				t.Fatal("too many mismatches")
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// Reference AST interpreter, used only for differential testing: a random
+// program is executed both by this interpreter and by the compiled binary
+// on the CPU simulator; results must agree exactly.
+
+type interp struct {
+	globals map[string]*[]int32
+	funcs   map[string]*funcDecl
+	steps   int
+}
+
+type interpBreakErr struct{}
+type interpContinueErr struct{}
+
+func (e *interpBreakErr) Error() string    { return "break" }
+func (e *interpContinueErr) Error() string { return "continue" }
+
+const interpMaxSteps = 2_000_000
+
+func newInterp(prog *program) (*interp, error) {
+	in := &interp{
+		globals: make(map[string]*[]int32),
+		funcs:   make(map[string]*funcDecl),
+	}
+	for _, g := range prog.globals {
+		n := g.size
+		if n == 0 {
+			n = 1
+		}
+		vals := make([]int32, n)
+		for i, v := range g.init {
+			vals[i] = int32(v)
+		}
+		in.globals[g.name] = &vals
+	}
+	for _, f := range prog.funcs {
+		in.funcs[f.name] = f
+	}
+	return in, nil
+}
+
+func (in *interp) tick() error {
+	in.steps++
+	if in.steps > interpMaxSteps {
+		return fmt.Errorf("interpreter step limit")
+	}
+	return nil
+}
+
+// frame is one function activation: scalar cells plus local arrays.
+type frame struct {
+	vars   map[string]*int32
+	arrays map[string][]int32
+}
+
+// call runs a function and returns its result.
+func (in *interp) call(name string, args []int32) (int32, error) {
+	fn := in.funcs[name]
+	env := &frame{vars: make(map[string]*int32), arrays: make(map[string][]int32)}
+	for i, p := range fn.params {
+		v := args[i]
+		env.vars[p] = &v
+	}
+	err := in.execStmt(fn.body, env)
+	if r, ok := err.(*interpReturnErr); ok {
+		return r.val, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return 0, nil // implicit return 0
+}
+
+type interpReturnErr struct{ val int32 }
+
+func (e *interpReturnErr) Error() string { return "return" }
+
+func (in *interp) execStmt(s stmt, env *frame) error {
+	if err := in.tick(); err != nil {
+		return err
+	}
+	switch t := s.(type) {
+	case *blockStmt:
+		for _, c := range t.stmts {
+			if err := in.execStmt(c, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *declStmt:
+		if t.size > 0 {
+			env.arrays[t.name] = make([]int32, t.size) // zeroed at declaration
+			return nil
+		}
+		var v int32
+		if t.init != nil {
+			x, err := in.eval(t.init, env)
+			if err != nil {
+				return err
+			}
+			v = x
+		}
+		if cell, ok := env.vars[t.name]; ok {
+			*cell = v // shared slot semantics, as in the code generator
+			return nil
+		}
+		env.vars[t.name] = &v
+		return nil
+	case *assignStmt:
+		value := t.value
+		if t.op != "=" {
+			value = &binaryExpr{op: t.op[:len(t.op)-1], x: t.target, y: t.value, line: t.line}
+		}
+		v, err := in.eval(value, env)
+		if err != nil {
+			return err
+		}
+		switch target := t.target.(type) {
+		case *identExpr:
+			if cell, ok := env.vars[target.name]; ok {
+				*cell = v
+				return nil
+			}
+			if g, ok := in.globals[target.name]; ok {
+				(*g)[0] = v
+				return nil
+			}
+			return fmt.Errorf("undefined %s", target.name)
+		case *indexExpr:
+			idx, err := in.eval(target.index, env)
+			if err != nil {
+				return err
+			}
+			if a, ok := env.arrays[target.array]; ok {
+				if int(idx) < 0 || int(idx) >= len(a) {
+					return fmt.Errorf("index out of range")
+				}
+				a[idx] = v
+				return nil
+			}
+			g := in.globals[target.array]
+			if g == nil || int(idx) < 0 || int(idx) >= len(*g) {
+				return fmt.Errorf("index out of range")
+			}
+			(*g)[idx] = v
+			return nil
+		}
+		return fmt.Errorf("bad assign")
+	case *ifStmt:
+		c, err := in.eval(t.cond, env)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.execStmt(t.then, env)
+		}
+		if t.els != nil {
+			return in.execStmt(t.els, env)
+		}
+		return nil
+	case *whileStmt:
+		for {
+			c, err := in.eval(t.cond, env)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			err = in.execStmt(t.body, env)
+			if _, ok := err.(*interpBreakErr); ok {
+				return nil
+			}
+			if _, ok := err.(*interpContinueErr); ok {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+		}
+	case *forStmt:
+		if t.init != nil {
+			if err := in.execStmt(t.init, env); err != nil {
+				return err
+			}
+		}
+		for {
+			if t.cond != nil {
+				c, err := in.eval(t.cond, env)
+				if err != nil {
+					return err
+				}
+				if c == 0 {
+					return nil
+				}
+			}
+			err := in.execStmt(t.body, env)
+			if _, ok := err.(*interpBreakErr); ok {
+				return nil
+			}
+			if _, okc := err.(*interpContinueErr); !okc && err != nil {
+				return err
+			}
+			if t.post != nil {
+				if err := in.execStmt(t.post, env); err != nil {
+					return err
+				}
+			}
+		}
+	case *returnStmt:
+		var v int32
+		if t.value != nil {
+			x, err := in.eval(t.value, env)
+			if err != nil {
+				return err
+			}
+			v = x
+		}
+		return &interpReturnErr{val: v}
+	case *exprStmt:
+		_, err := in.eval(t.e, env)
+		return err
+	case *breakStmt:
+		return &interpBreakErr{}
+	case *continueStmt:
+		return &interpContinueErr{}
+	}
+	return fmt.Errorf("unhandled stmt %T", s)
+}
+
+func (in *interp) eval(e expr, env *frame) (int32, error) {
+	if err := in.tick(); err != nil {
+		return 0, err
+	}
+	switch t := e.(type) {
+	case *numExpr:
+		return int32(t.val), nil
+	case *identExpr:
+		if cell, ok := env.vars[t.name]; ok {
+			return *cell, nil
+		}
+		if g, ok := in.globals[t.name]; ok {
+			return (*g)[0], nil
+		}
+		return 0, fmt.Errorf("undefined %s", t.name)
+	case *indexExpr:
+		idx, err := in.eval(t.index, env)
+		if err != nil {
+			return 0, err
+		}
+		if a, ok := env.arrays[t.array]; ok {
+			if int(idx) < 0 || int(idx) >= len(a) {
+				return 0, fmt.Errorf("index out of range")
+			}
+			return a[idx], nil
+		}
+		g := in.globals[t.array]
+		if g == nil || int(idx) < 0 || int(idx) >= len(*g) {
+			return 0, fmt.Errorf("index out of range")
+		}
+		return (*g)[idx], nil
+	case *unaryExpr:
+		x, err := in.eval(t.x, env)
+		if err != nil {
+			return 0, err
+		}
+		switch t.op {
+		case "-":
+			return -x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "~":
+			return ^x, nil
+		}
+	case *binaryExpr:
+		if t.op == "&&" {
+			x, err := in.eval(t.x, env)
+			if err != nil || x == 0 {
+				return 0, err
+			}
+			y, err := in.eval(t.y, env)
+			if err != nil || y == 0 {
+				return 0, err
+			}
+			return 1, nil
+		}
+		if t.op == "||" {
+			x, err := in.eval(t.x, env)
+			if err != nil {
+				return 0, err
+			}
+			if x != 0 {
+				return 1, nil
+			}
+			y, err := in.eval(t.y, env)
+			if err != nil {
+				return 0, err
+			}
+			if y != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		x, err := in.eval(t.x, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := in.eval(t.y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch t.op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return x % y, nil
+		case "&":
+			return x & y, nil
+		case "|":
+			return x | y, nil
+		case "^":
+			return x ^ y, nil
+		case "<<":
+			return x << (uint32(y) & 31), nil
+		case ">>":
+			return x >> (uint32(y) & 31), nil
+		case "<":
+			return b2i(x < y), nil
+		case ">":
+			return b2i(x > y), nil
+		case "<=":
+			return b2i(x <= y), nil
+		case ">=":
+			return b2i(x >= y), nil
+		case "==":
+			return b2i(x == y), nil
+		case "!=":
+			return b2i(x != y), nil
+		}
+	case *callExpr:
+		var args []int32
+		for _, a := range t.args {
+			v, err := in.eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args = append(args, v)
+		}
+		if _, ok := builtins[t.name]; ok {
+			return 0, nil // builtins return 0 and have no interpreted effect
+		}
+		return in.call(t.name, args)
+	}
+	return 0, fmt.Errorf("unhandled expr %T", e)
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+// Package minic is a small C-subset compiler targeting the simulator's
+// MIPS-subset assembly — the stand-in for the paper's gcc toolchain (§3
+// compiles Mediabench with gcc -O3). Kernels written in minic exhibit
+// compiled-code character the hand assembly lacks: stack frames, calling
+// conventions, register temporaries and spills.
+//
+// The language: 32-bit signed int is the only scalar type; global scalars
+// and arrays (with initializer lists); functions with up to four int
+// parameters; locals; the usual expression operators with C precedence and
+// short-circuit && / ||; if/else, while, for, return; and three builtins
+// (print_int, putc, exit) mapped to simulator syscalls.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+}
+
+// token is one lexeme with its source line.
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // numbers
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+}
+
+// lex splits source into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("minic: line %d: unterminated comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case isDigit(c):
+			start := i
+			base := 10
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+			}
+			for i < len(src) && isNumChar(src[i], base) {
+				i++
+			}
+			text := src[start:i]
+			v, err := parseNum(text)
+			if err != nil {
+				return nil, fmt.Errorf("minic: line %d: bad number %q", line, text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			text := src[start:i]
+			k := tokIdent
+			if keywords[text] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: text, line: line})
+		case c == '\'':
+			// Character literal with the usual escapes.
+			j := i + 1
+			if j >= len(src) {
+				return nil, fmt.Errorf("minic: line %d: unterminated char literal", line)
+			}
+			var v int64
+			if src[j] == '\\' {
+				if j+1 >= len(src) {
+					return nil, fmt.Errorf("minic: line %d: bad escape", line)
+				}
+				switch src[j+1] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\':
+					v = '\\'
+				case '\'':
+					v = '\''
+				default:
+					return nil, fmt.Errorf("minic: line %d: bad escape \\%c", line, src[j+1])
+				}
+				j += 2
+			} else {
+				v = int64(src[j])
+				j++
+			}
+			if j >= len(src) || src[j] != '\'' {
+				return nil, fmt.Errorf("minic: line %d: unterminated char literal", line)
+			}
+			toks = append(toks, token{kind: tokNumber, text: "'c'", val: v, line: line})
+			i = j + 1
+		default:
+			matched := false
+			for _, op := range punct2 {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: tokPunct, text: op, line: line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,", rune(c)) {
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("minic: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNumChar(c byte, base int) bool {
+	if base == 16 {
+		return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return isDigit(c)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,34 @@
+package minic
+
+import (
+	"strconv"
+
+	"repro/internal/asm"
+)
+
+// CompileToAsm translates minic source to MIPS-subset assembly text.
+func CompileToAsm(src string) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", err
+	}
+	prog, err := parse(toks)
+	if err != nil {
+		return "", err
+	}
+	return generate(prog)
+}
+
+// Compile translates minic source all the way to a loadable program.
+func Compile(src string) (*asm.Program, error) {
+	text, err := CompileToAsm(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(text)
+}
+
+// parseNum is used by the lexer for both decimal and hex literals.
+func parseNum(text string) (int64, error) {
+	return strconv.ParseInt(text, 0, 64)
+}

@@ -1,0 +1,348 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// run compiles and executes src, returning the finished CPU.
+func run(t *testing.T, src string) *cpu.CPU {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := mem.NewMemory()
+	p.LoadInto(m)
+	c := cpu.New(m, p.Entry, asm.DefaultStackTop)
+	if _, err := c.Run(5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Done {
+		t.Fatal("program did not exit")
+	}
+	return c
+}
+
+// exitCode compiles, runs and returns main's result (left in $s7 by the
+// startup stub; the process exit code itself is 0 unless exit(n) is
+// called).
+func exitCode(t *testing.T, src string) uint32 {
+	t.Helper()
+	return run(t, src).Regs[23] // $s7
+}
+
+func TestReturnConstant(t *testing.T) {
+	if got := exitCode(t, "int main() { return 42; }"); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want uint32
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"100 / 7", 14},
+		{"100 % 7", 2},
+		{"-5 + 8", 3},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"~0 & 0xff", 255},
+		{"!0", 1},
+		{"!7", 0},
+		{"3 < 4", 1},
+		{"4 < 3", 0},
+		{"4 <= 4", 1},
+		{"5 > 4", 1},
+		{"5 >= 6", 0},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 5", 1},
+		{"0 || 0", 0},
+		{"-8 >> 1 & 0xff", 0xfc}, // arithmetic shift, then mask
+	}
+	for _, c := range cases {
+		src := "int main() { return " + c.expr + "; }"
+		if got := exitCode(t, src); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestVariablesAndCompoundAssign(t *testing.T) {
+	src := `
+int main() {
+    int x = 5;
+    int y = 3;
+    x += y;     // 8
+    x *= 2;     // 16
+    x -= 1;     // 15
+    x /= 3;     // 5
+    x %= 3;     // 2
+    return x * 10 + y;
+}`
+	if got := exitCode(t, src); got != 23 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 1; i <= 100; i += 1) {
+        if (i % 2 == 0) { sum += i; } else { sum -= 1; }
+    }
+    int j = 0;
+    while (j < 5) { sum += 1000; j += 1; }
+    return sum;
+}`
+	// even sum 2..100 = 2550, minus 50 odds, plus 5000.
+	if got := exitCode(t, src); got != 2550-50+5000 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+int counter = 7;
+int table[8] = {1, 2, 3, 4};
+int main() {
+    counter += 1;
+    table[5] = 10;
+    int sum = 0;
+    int i;
+    for (i = 0; i < 8; i += 1) { sum += table[i]; }
+    return sum * 100 + counter;
+}`
+	// table: 1+2+3+4+0+10+0+0 = 20; counter = 8.
+	if got := exitCode(t, src); got != 2008 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(15); }`
+	if got := exitCode(t, src); got != 610 {
+		t.Fatalf("fib(15) = %d", got)
+	}
+}
+
+func TestFourArgsAndCallerSavedTemps(t *testing.T) {
+	src := `
+int combine(int a, int b, int c, int d) {
+    return a * 1000 + b * 100 + c * 10 + d;
+}
+int main() {
+    // Nested calls force temp saves across the inner call.
+    return combine(1, 2, 3, 4) + combine(0, 0, 0, 1) * (2 + combine(0,0,0,0));
+}`
+	if got := exitCode(t, src); got != 1234+1*2 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	c := run(t, `
+int main() {
+    print_int(123);
+    putc('\n');
+    putc('x');
+    return 0;
+}`)
+	if got := c.Output.String(); got != "123\nx" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+int hits = 0;
+int bump() { hits += 1; return 1; }
+int main() {
+    0 && bump();        // must not call
+    1 || bump();        // must not call
+    1 && bump();        // calls
+    0 || bump();        // calls
+    return hits;
+}`
+	if got := exitCode(t, src); got != 2 {
+		t.Fatalf("hits = %d", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"int main() { return x; }", "undefined variable"},
+		{"int main() { y = 1; return 0; }", "undefined variable"},
+		{"int main() { return f(); }", "undefined function"},
+		{"int f(int a) { return a; } int main() { return f(1,2); }", "expects 1 arguments"},
+		{"int main() { 1 = 2; return 0; }", "not assignable"},
+		{"int g[3]; int main() { return g; }", "without index"},
+		{"int main() {", "unterminated block"},
+		{"int 3x;", "expected identifier"},
+		{"int a[0]; int main(){return 0;}", "positive"},
+		{"int main(){ int x @ 3; }", "unexpected character"},
+		{"int f(){return 0;} int f(){return 0;} int main(){return 0;}", "redefined"},
+		{"int print_int(){return 0;} int main(){return 0;}", "builtin"},
+		{"int a; int a; int main(){return 0;}", "redefined"},
+		{"int f(){return 0;}", "no main"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestChecksumConvention(t *testing.T) {
+	// The startup stub leaves main's result in $s7 for the benchmark
+	// harness.
+	c := run(t, "int main() { return 0x1234; }")
+	if c.Regs[23] != 0x1234 { // $s7
+		t.Fatalf("$s7 = %#x", c.Regs[23])
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+int main() {
+    /* block
+       comment */
+    return 9; // trailing
+}`
+	if got := exitCode(t, src); got != 9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestHexAndCharLiterals(t *testing.T) {
+	if got := exitCode(t, "int main() { return 0xFF - 'A'; }"); got != 255-65 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 100; i += 1) {
+        if (i == 10) { break; }
+        if (i % 2 == 1) { continue; }
+        sum += i;    // 0+2+4+6+8 = 20
+    }
+    int j = 0;
+    while (1) {
+        j += 1;
+        if (j >= 7) { break; }
+    }
+    return sum * 10 + j;
+}`
+	if got := exitCode(t, src); got != 207 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBreakOutsideLoopError(t *testing.T) {
+	if _, err := Compile("int main() { break; return 0; }"); err == nil || !strings.Contains(err.Error(), "break outside loop") {
+		t.Fatalf("err: %v", err)
+	}
+	if _, err := Compile("int main() { continue; return 0; }"); err == nil || !strings.Contains(err.Error(), "continue outside loop") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	src := `
+int sumbuf(int n) {
+    int buf[8];
+    int i;
+    for (i = 0; i < n; i += 1) { buf[i] = i * i; }
+    int s = 0;
+    for (i = 0; i < 8; i += 1) { s += buf[i]; }   // zero-filled tail
+    return s;
+}
+int main() {
+    // Two frames with arrays: recursion must not alias them.
+    return sumbuf(4) * 1000 + sumbuf(3);
+}`
+	// sumbuf(4): 0+1+4+9 = 14; sumbuf(3): 0+1+4 = 5.
+	if got := exitCode(t, src); got != 14005 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestLocalArrayIsolationAcrossCalls(t *testing.T) {
+	src := `
+int fill(int v) {
+    int a[4];
+    a[0] = v;
+    if (v > 0) { fill(v - 1); }
+    return a[0];    // must still be v after the recursive call
+}
+int main() { return fill(9); }`
+	if got := exitCode(t, src); got != 9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestNestedLoopBreakInnermost(t *testing.T) {
+	src := `
+int main() {
+    int hits = 0;
+    int i;
+    int j;
+    for (i = 0; i < 4; i += 1) {
+        for (j = 0; j < 100; j += 1) {
+            if (j == 2) { break; }   // breaks inner only
+            hits += 1;
+        }
+    }
+    return hits;   // 4 * 2
+}`
+	if got := exitCode(t, src); got != 8 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBitwiseCompoundAssign(t *testing.T) {
+	src := `
+int main() {
+    int x = 0xF0;
+    x |= 0x0F;   // 0xFF
+    x &= 0x3C;   // 0x3C
+    x ^= 0xFF;   // 0xC3
+    return x;
+}`
+	if got := exitCode(t, src); got != 0xC3 {
+		t.Fatalf("got %#x", got)
+	}
+}

@@ -1,0 +1,462 @@
+package minic
+
+import "fmt"
+
+// parser is a recursive-descent parser with C-style operator precedence.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().text == text && (p.cur().kind == tokPunct || p.cur().kind == tokKeyword) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+// parse builds the program AST.
+func parse(toks []token) (*program, error) {
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		if err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		line := p.cur().line
+		if p.accept("(") {
+			fn, err := p.parseFunc(name, line)
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, fn)
+			continue
+		}
+		g, err := p.parseGlobal(name, line)
+		if err != nil {
+			return nil, err
+		}
+		prog.globals = append(prog.globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal(name string, line int) (*globalDecl, error) {
+	g := &globalDecl{name: name, line: line}
+	if p.accept("[") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("array size must be a constant")
+		}
+		g.size = int(p.next().val)
+		if g.size <= 0 {
+			return nil, p.errf("array size must be positive")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if g.size > 0 {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.accept("}") {
+				v, err := p.constValue()
+				if err != nil {
+					return nil, err
+				}
+				g.init = append(g.init, v)
+				if !p.accept(",") {
+					if err := p.expect("}"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			if len(g.init) > g.size {
+				return nil, p.errf("%d initializers for array of %d", len(g.init), g.size)
+			}
+		} else {
+			v, err := p.constValue()
+			if err != nil {
+				return nil, err
+			}
+			g.init = []int64{v}
+		}
+	}
+	return g, p.expect(";")
+}
+
+// constValue parses a (possibly negated) numeric constant.
+func (p *parser) constValue() (int64, error) {
+	neg := p.accept("-")
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected constant, found %s", p.cur())
+	}
+	v := p.next().val
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseFunc(name string, line int) (*funcDecl, error) {
+	fn := &funcDecl{name: name, line: line}
+	for !p.accept(")") {
+		if err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		pn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		fn.params = append(fn.params, pn)
+		if !p.accept(",") {
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if len(fn.params) > 4 {
+		return nil, p.errf("function %s: at most 4 parameters", name)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*blockStmt, error) {
+	line := p.cur().line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{line: line}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.cur().text == "{" && p.cur().kind == tokPunct:
+		return p.parseBlock()
+	case p.accept("int"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &declStmt{name: name, line: line}
+		if p.accept("[") {
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("local array size must be a constant")
+			}
+			d.size = int(p.next().val)
+			if d.size <= 0 {
+				return nil, p.errf("array size must be positive")
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return d, p.expect(";")
+		}
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		return d, p.expect(";")
+	case p.accept("break"):
+		return &breakStmt{line: line}, p.expect(";")
+	case p.accept("continue"):
+		return &continueStmt{line: line}, p.expect(";")
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: line}
+		if p.accept("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+		return s, nil
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		s := &forStmt{line: line}
+		if !p.accept(";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.init = init
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.cond = cond
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().text != ")" {
+			post, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.body = body
+		return s, nil
+	case p.accept("return"):
+		s := &returnStmt{line: line}
+		if !p.accept(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.value = e
+			return s, p.expect(";")
+		}
+		return s, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// trailing semicolon), also used by for-clauses. `int x = e` declarations
+// are allowed in for-init.
+func (p *parser) parseSimpleStmt() (stmt, error) {
+	line := p.cur().line
+	if p.accept("int") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &declStmt{name: name, line: line}
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		return d, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|="} {
+		if p.accept(op) {
+			switch e.(type) {
+			case *identExpr, *indexExpr:
+			default:
+				return nil, p.errf("left side of %s is not assignable", op)
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{target: e, op: op, value: v, line: line}, nil
+		}
+	}
+	return &exprStmt{e: e, line: line}, nil
+}
+
+// Operator precedence, lowest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.cur().kind == tokPunct && p.cur().text == op {
+				line := p.cur().line
+				p.pos++
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &binaryExpr{op: op, x: x, y: y, line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	line := p.cur().line
+	for _, op := range []string{"-", "!", "~"} {
+		if p.cur().kind == tokPunct && p.cur().text == op {
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: op, x: x, line: line}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	line := p.cur().line
+	switch {
+	case p.cur().kind == tokNumber:
+		t := p.next()
+		return &numExpr{val: t.val, line: line}, nil
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case p.cur().kind == tokIdent:
+		name := p.next().text
+		if p.accept("(") {
+			c := &callExpr{name: name, line: line}
+			for !p.accept(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.args = append(c.args, a)
+				if !p.accept(",") {
+					if err := p.expect(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			if len(c.args) > 4 {
+				return nil, p.errf("call %s: at most 4 arguments", name)
+			}
+			return c, nil
+		}
+		if p.accept("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{array: name, index: idx, line: line}, nil
+		}
+		return &identExpr{name: name, line: line}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}

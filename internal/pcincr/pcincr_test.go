@@ -1,0 +1,88 @@
+package pcincr
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 2 of the paper, transcribed.
+var paperTable2 = []struct {
+	bits     int
+	activity float64
+	latency  float64
+}{
+	{1, 2.0000, 2.0000},
+	{2, 2.6667, 1.3333},
+	{3, 3.4286, 1.1429},
+	{4, 4.2667, 1.0667},
+	{5, 5.1613, 1.0323},
+	{6, 6.0952, 1.0159},
+	{7, 7.0551, 1.0079},
+	{8, 8.0314, 1.0039},
+}
+
+func TestAnalyticMatchesPaperTable2(t *testing.T) {
+	for _, row := range paperTable2 {
+		a, l := Analytic(row.bits)
+		if math.Abs(a-row.activity) > 5e-4 {
+			t.Errorf("b=%d: activity %.4f, paper %.4f", row.bits, a, row.activity)
+		}
+		if math.Abs(l-row.latency) > 5e-4 {
+			t.Errorf("b=%d: latency %.4f, paper %.4f", row.bits, l, row.latency)
+		}
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.BlockBits != i+1 {
+			t.Errorf("row %d: block bits %d", i, r.BlockBits)
+		}
+	}
+}
+
+// A long sequential counter stream must converge to the analytic values.
+func TestEmpiricalConvergesToAnalytic(t *testing.T) {
+	for _, b := range []int{1, 2, 4, 8} {
+		est := NewEmpirical(b)
+		for v := uint32(0); v < 1<<18; v++ {
+			est.Step(v)
+		}
+		wantA, wantL := Analytic(b)
+		if math.Abs(est.Activity()-wantA) > 0.01 {
+			t.Errorf("b=%d: empirical activity %.4f vs analytic %.4f", b, est.Activity(), wantA)
+		}
+		if math.Abs(est.Latency()-wantL) > 0.01 {
+			t.Errorf("b=%d: empirical latency %.4f vs analytic %.4f", b, est.Latency(), wantL)
+		}
+	}
+}
+
+func TestEmpiricalCarryChain(t *testing.T) {
+	est := NewEmpirical(8)
+	est.Step(0x000000ff) // carry into the second block
+	if est.Latency() != 2 {
+		t.Fatalf("latency: %v", est.Latency())
+	}
+	est = NewEmpirical(8)
+	est.Step(0x00ffffff) // carries through three blocks
+	if est.Latency() != 4 {
+		t.Fatalf("deep carry latency: %v", est.Latency())
+	}
+	est = NewEmpirical(8)
+	est.Step(0xffffffff) // wraps: all four blocks
+	if est.Latency() != 4 {
+		t.Fatalf("wrap latency: %v", est.Latency())
+	}
+}
+
+func TestEmpiricalIdle(t *testing.T) {
+	est := NewEmpirical(8)
+	if est.Activity() != 0 || est.Latency() != 0 || est.Increments() != 0 {
+		t.Fatal("idle estimator should report zeros")
+	}
+}

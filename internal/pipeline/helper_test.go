@@ -1,0 +1,11 @@
+package pipeline
+
+import "repro/internal/mem"
+
+// memDefaultConfigSmall returns a 2 KB split-L1 hierarchy for tests.
+func memDefaultConfigSmall() mem.HierarchyConfig {
+	cfg := mem.DefaultHierarchyConfig()
+	cfg.L1I.Size = 2 << 10
+	cfg.L1D.Size = 2 << 10
+	return cfg
+}

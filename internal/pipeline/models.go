@@ -1,0 +1,319 @@
+package pipeline
+
+import "repro/internal/trace"
+
+// Model name constants.
+const (
+	NameBaseline32           = "baseline32"
+	NameByteSerial           = "byteserial"
+	NameHalfwordSerial       = "halfserial"
+	NameSemiParallel         = "semiparallel"
+	NameParallelSkewed       = "skewed"
+	NameParallelCompressed   = "compressed"
+	NameParallelSkewedBypass = "skewed+bypass"
+)
+
+// ifOcc3Banks models the three-byte-wide instruction cache shared by all
+// compressed designs: three bytes in one cycle, a second cycle for the
+// fourth byte (§4: "three instruction cache banks ... the instruction
+// remains in this stage for one more cycle").
+func ifOcc3Banks(e trace.Event) int {
+	if e.IFBytes > 3 {
+		return 2
+	}
+	return 1
+}
+
+// pcCarryBlocks returns the extra serial PC-increment cycles at block size
+// g bytes: the increment processes low blocks until the carry dies (Table 2).
+func pcCarryBlocks(e trace.Event, g int) int {
+	if e.NextPC != e.PC+4 {
+		return 0 // redirects are charged to the branch machinery
+	}
+	extra := 0
+	mask := uint32(1)<<(8*g) - 1
+	add := uint32(4)
+	for b := 0; b < 4/g-1; b++ {
+		blk := (e.PC >> (8 * g * b)) & mask
+		if blk+add <= mask {
+			break // carry dies in this block
+		}
+		extra++
+		add = 1
+	}
+	return extra
+}
+
+func pcExtraByte(e trace.Event) int { return pcCarryBlocks(e, 1) }
+func pcExtraHalf(e trace.Event) int { return pcCarryBlocks(e, 2) }
+
+func maxSrcBytes(e trace.Event) int  { return e.MaxSrcBytes() }
+func maxSrcHalves(e trace.Event) int { return e.MaxSrcHalves() }
+
+func aluCyclesByte(e trace.Event) int { return maxInt(1, e.ALUOps) }
+func aluCyclesHalf(e trace.Event) int { return maxInt(1, e.ALUHalfOps) }
+
+func memOccByte(e trace.Event) int {
+	if e.MemWidth > 0 {
+		return maxInt(1, e.MemBytes)
+	}
+	return 1
+}
+
+func memOccHalf(e trace.Event) int {
+	if e.MemWidth > 0 {
+		return maxInt(1, e.MemHalves)
+	}
+	return 1
+}
+
+func wbOccByte(e trace.Event) int { return maxInt(1, e.WBBytes) }
+func wbOccHalf(e trace.Event) int { return maxInt(1, e.WBHalves) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewBaseline32 builds the conventional 32-bit 5-stage pipeline: the
+// reference machine of every figure.
+func NewBaseline32() *Model {
+	return newModel(spec{
+		name:     NameBaseline32,
+		stages:   []string{"IF", "ID", "EX", "MEM", "WB"},
+		occ:      []occFunc{one, one, one, one, one},
+		exStage:  2,
+		memStage: 3,
+		wbStage:  4,
+	})
+}
+
+// NewByteSerial builds the §4 byte-serial pipeline: one-byte datapath
+// everywhere except the three-byte instruction cache, with a serial PC
+// increment unit.
+//
+// The register bytes stream straight into the byte ALU (decode reads the
+// low byte plus extension bits in one cycle; further bytes arrive one per
+// cycle as the ALU consumes them), so the combined operand-plus-ALU
+// serialization is carried by the EX stage: its occupancy is
+// max(significant source bytes, ALU byte operations). This matches the
+// paper's bottleneck attribution ("72% of the stalls were caused by
+// structural hazards in the EX stage", §5) — and its remedy, which widens
+// the register file and the ALU together.
+func NewByteSerial() *Model {
+	exOcc := func(e trace.Event) int {
+		return maxInt(maxSrcBytes(e), aluCyclesByte(e))
+	}
+	return newModel(spec{
+		name:      NameByteSerial,
+		stages:    []string{"IF", "ID", "EX", "MEM", "WB"},
+		occ:       []occFunc{ifOcc3Banks, one, exOcc, memOccByte, wbOccByte},
+		exStage:   2,
+		memStage:  3,
+		wbStage:   4,
+		streaming: true,
+		pcExtra:   pcExtraByte,
+	})
+}
+
+// NewHalfwordSerial builds the 16-bit variant of the serial pipeline (§4's
+// "widened to 16-bits" design). The three-byte instruction cache is kept:
+// instruction compression is independent of the data granularity.
+func NewHalfwordSerial() *Model {
+	exOcc := func(e trace.Event) int {
+		return maxInt(maxSrcHalves(e), aluCyclesHalf(e))
+	}
+	return newModel(spec{
+		name:      NameHalfwordSerial,
+		stages:    []string{"IF", "ID", "EX", "MEM", "WB"},
+		occ:       []occFunc{ifOcc3Banks, one, exOcc, memOccHalf, wbOccHalf},
+		exStage:   2,
+		memStage:  3,
+		wbStage:   4,
+		streaming: true,
+		pcExtra:   pcExtraHalf,
+	})
+}
+
+// NewSemiParallel builds the §5 byte semi-parallel pipeline (Fig. 5):
+// bandwidth-balanced at 3 fetch bytes, 2 register/ALU bytes and 1 data
+// cache byte per cycle. The register access is skewed: the low byte and
+// extension bits are read in RF0; the remaining bytes are read two per
+// cycle in the next stage ("produce a full data word in 2 cycles instead
+// of 4") while the ALU begins on the low byte; the second ALU stage runs
+// for as many cycles as the register stage (§5). Write-back stores the low
+// byte plus one more in its first cycle, two per cycle after that.
+func NewSemiParallel() *Model {
+	// ceil((n-1)/2) with a floor of one cycle: the additional bytes beyond
+	// the low byte, two per cycle.
+	extra := func(n int) int { return maxInt(1, n/2) }
+	rfExtra := func(e trace.Event) int { return extra(e.MaxSrcBytes()) }
+	exExtra := func(e trace.Event) int {
+		// "used for as many cycles as the previous stage", bounded below
+		// by the ALU's own serial demand at two bytes per cycle.
+		return maxInt(extra(e.MaxSrcBytes()), extra(maxInt(1, e.ALUOps)))
+	}
+	wbOcc := func(e trace.Event) int { return maxInt(1, (e.WBBytes+1)/2) }
+	return newModel(spec{
+		name:      NameSemiParallel,
+		stages:    []string{"IF", "RF0", "RF1/EX0", "EX1", "MEM", "WB"},
+		occ:       []occFunc{ifOcc3Banks, one, rfExtra, exExtra, memOccByte, wbOcc},
+		exStage:   2,
+		memStage:  4,
+		wbStage:   5,
+		streaming: true,
+		pcExtra:   pcExtraByte,
+		// Result complete after all ALU bytes stream through EX0/EX1 at
+		// two bytes per cycle.
+		exSlices: func(e trace.Event) int { return (maxInt(1, e.ALUOps) + 1) / 2 },
+		// The byte-serial comparator resolves a branch once the last
+		// significant operand byte pair has been examined.
+		branchResolve: func(e trace.Event, exEnter, exEnd uint64) uint64 {
+			return exEnter + uint64((maxInt(e.MaxSrcBytes(), 1)+1)/2)
+		},
+	})
+}
+
+// newSkewed builds the §6 byte-parallel skewed pipeline (Fig. 7): a
+// full-width datapath whose EX is byte-sliced across two skewed stages, so
+// no stage is ever held more than one cycle ("optimized for the long data
+// case ... No stage is used more than once"). The data cache is indexed by
+// the low address bytes, so MEM follows the second slice stage; the upper
+// result slices (EX2/EX3 in the figure) complete in parallel with MEM and
+// are modelled through the forwarding-readiness horizon (exSlices) rather
+// than as occupied stages.
+//
+// With bypasses (the skewed+bypass design) short operands forward their
+// complete result as soon as the needed slices have run and the branch
+// outcome is collected from the slice that finishes the comparison; without
+// them the control unit picks the outcome up one slice later and full
+// results exist only after the last slice.
+func newSkewed(name string, bypasses bool) *Model {
+	s := spec{
+		name: name,
+		stages: []string{
+			"IF", "RF0", "EX0", "EX1", "MEM", "WB",
+		},
+		occ: []occFunc{
+			one, one, one, one, one, one,
+		},
+		exStage:   2,
+		memStage:  4,
+		wbStage:   5,
+		streaming: true,
+	}
+	// The byte-sliced comparator resolves a branch in the slice holding the
+	// last significant operand byte (intrinsic to the skewed datapath).
+	s.branchResolve = func(e trace.Event, exEnter, exEnd uint64) uint64 {
+		return exEnter + uint64(maxInt(e.MaxSrcBytes(), 1))
+	}
+	if bypasses {
+		s.exSlices = aluCyclesByte
+		// Short operations skip the second slice stage entirely.
+		shortOp := func(e trace.Event) bool {
+			return e.MaxSrcBytes() <= 1 && e.ALUOps <= 1
+		}
+		s.skip = []func(trace.Event) bool{nil, nil, nil, shortOp, nil, nil}
+	} else {
+		// Without the extra forwarding paths the full value exists only
+		// after the last slice.
+		s.exSlices = func(trace.Event) int { return 4 }
+	}
+	return newModel(s)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NewParallelSkewed builds the plain byte-parallel skewed pipeline.
+func NewParallelSkewed() *Model { return newSkewed(NameParallelSkewed, false) }
+
+// NewParallelSkewedBypass builds the skewed pipeline with forwarding paths
+// (§6's best-of-both design).
+func NewParallelSkewedBypass() *Model { return newSkewed(NameParallelSkewedBypass, true) }
+
+// NewParallelCompressed builds the §6 "compressed" parallel pipeline
+// (Fig. 9): the original five stages, full-width units with operand
+// gating; short data flows in single cycles while full-width data spends
+// "one more cycle in the same stage" for the fourth instruction byte, the
+// upper operand bytes and the upper loaded bytes. The second cycle reads
+// the upper-byte banks, which the successor's first cycle (low-byte bank
+// plus extension bits) does not touch, so it adds latency to the
+// instruction without holding the stage — that pipelining is the only
+// reading consistent with the paper's 6% average CPI cost.
+func NewParallelCompressed() *Model {
+	ifLat := func(e trace.Event) int {
+		if e.IFBytes > 3 {
+			return 1
+		}
+		return 0
+	}
+	rfLat := func(e trace.Event) int {
+		if e.MaxSrcBytes() > 1 {
+			return 1
+		}
+		return 0
+	}
+	memLat := func(e trace.Event) int {
+		if e.Inst.IsLoad() && e.MemBytes > 1 {
+			return 1
+		}
+		return 0
+	}
+	return newModel(spec{
+		name:     NameParallelCompressed,
+		stages:   []string{"IF", "RF", "EX", "MEM", "WB"},
+		occ:      []occFunc{one, one, one, one, one},
+		lat:      []occFunc{ifLat, rfLat, nil, memLat, nil},
+		exStage:  2,
+		memStage: 3,
+		wbStage:  4,
+		pcExtra:  pcExtraByte,
+	})
+}
+
+// New builds a model by name, or nil if unknown.
+func New(name string) *Model {
+	switch name {
+	case NameBaseline32:
+		return NewBaseline32()
+	case NameByteSerial:
+		return NewByteSerial()
+	case NameHalfwordSerial:
+		return NewHalfwordSerial()
+	case NameSemiParallel:
+		return NewSemiParallel()
+	case NameParallelSkewed:
+		return NewParallelSkewed()
+	case NameParallelCompressed:
+		return NewParallelCompressed()
+	case NameParallelSkewedBypass:
+		return NewParallelSkewedBypass()
+	}
+	return nil
+}
+
+// AllNames lists the models in presentation order (baseline first, then by
+// increasing hardware parallelism).
+func AllNames() []string {
+	return []string{
+		NameBaseline32, NameByteSerial, NameHalfwordSerial, NameSemiParallel,
+		NameParallelCompressed, NameParallelSkewed, NameParallelSkewedBypass,
+	}
+}
+
+// NewAll builds one of every model.
+func NewAll() []*Model {
+	names := AllNames()
+	out := make([]*Model, len(names))
+	for i, n := range names {
+		out[i] = New(n)
+	}
+	return out
+}

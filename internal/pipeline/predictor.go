@@ -1,0 +1,84 @@
+package pipeline
+
+// The paper's machines use no branch prediction ("this is in keeping with
+// some very low power embedded processors, although the trend is toward
+// implementing branch prediction. The implications of branch prediction
+// will be the subject of future study", §3). This file implements that
+// future study as an optional extension: a classic bimodal predictor (2-bit
+// saturating counters indexed by PC) with an implied branch target buffer,
+// attachable to any of the seven pipeline models.
+//
+// With prediction enabled, a correctly predicted not-taken branch costs
+// nothing; a correctly predicted taken branch redirects at the end of
+// decode (BTB hit); a misprediction blocks fetch until the branch resolves,
+// exactly as every branch does in the paper's base machines. Register
+// jumps (JR/JALR) still resolve in EX — no return-address stack is
+// modelled.
+
+// predictorEntries is the counter-table size (direct-mapped by word PC).
+const predictorEntries = 512
+
+type predictor struct {
+	counters [predictorEntries]uint8 // 2-bit saturating, initialized weakly not-taken
+	// statistics
+	Lookups uint64
+	Hits    uint64
+}
+
+func (p *predictor) index(pc uint32) uint32 {
+	return (pc >> 2) & (predictorEntries - 1)
+}
+
+// predict returns the taken/not-taken guess for the branch at pc.
+func (p *predictor) predict(pc uint32) bool {
+	return p.counters[p.index(pc)] >= 2
+}
+
+// update trains the counter with the actual outcome and records accuracy.
+func (p *predictor) update(pc uint32, predicted, taken bool) {
+	p.Lookups++
+	if predicted == taken {
+		p.Hits++
+	}
+	i := p.index(pc)
+	if taken {
+		if p.counters[i] < 3 {
+			p.counters[i]++
+		}
+	} else if p.counters[i] > 0 {
+		p.counters[i]--
+	}
+}
+
+// Accuracy returns the fraction of correct predictions (0 when unused).
+func (p *predictor) Accuracy() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Lookups)
+}
+
+// WithPrediction equips a model with the bimodal predictor and returns it.
+// The model's name gains a "+bp" suffix.
+func WithPrediction(m *Model) *Model {
+	m.pred = &predictor{}
+	m.spec.name += "+bp"
+	return m
+}
+
+// NewPredicted builds the named model with branch prediction attached.
+func NewPredicted(name string) *Model {
+	m := New(name)
+	if m == nil {
+		return nil
+	}
+	return WithPrediction(m)
+}
+
+// PredictorAccuracy reports the attached predictor's accuracy (0 if none).
+func (m *Model) PredictorAccuracy() float64 {
+	if m.pred == nil {
+		return 0
+	}
+	return m.pred.Accuracy()
+}

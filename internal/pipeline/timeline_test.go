@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func TestTimelineRecordsAndRenders(t *testing.T) {
+	m := NewBaseline32()
+	tl := NewTimeline(m, 5)
+	for _, e := range loopStream(8, func(i int, pc uint32) cpu.Exec {
+		return aluExec(pc, isa.RegT2, 1, 2)
+	}) {
+		m.Consume(annotate(e))
+	}
+	if tl.Len() != 5 {
+		t.Fatalf("recorded %d rows, want 5 (limit)", tl.Len())
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "addu") {
+		t.Fatalf("render missing disassembly:\n%s", out)
+	}
+	if !strings.Contains(out, "IF") || !strings.Contains(out, "WB") {
+		t.Fatalf("render missing stages:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 rows
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+}
+
+func TestTimelineMultiCycleStageLowercased(t *testing.T) {
+	m := NewByteSerial()
+	tl := NewTimeline(m, 3)
+	for _, e := range loopStream(3, func(i int, pc uint32) cpu.Exec {
+		return aluExec(pc, isa.RegT2, 0x12345678, 0x01020304) // 4 EX cycles
+	}) {
+		m.Consume(annotate(e))
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "ex") {
+		t.Fatalf("expected lower-case continuation cells for serial EX:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline(NewBaseline32(), 4)
+	if !strings.Contains(tl.Render(), "no instructions") {
+		t.Fatal("empty render should say so")
+	}
+}

@@ -1,0 +1,93 @@
+// Package rfmodel implements the paper's §2.4 register-file layout
+// analysis. The paper argues that splitting the 32-entry × 32-bit register
+// file into four 32 × 8-bit banks does not increase energy even when all
+// four banks end up being accessed:
+//
+//	"The word line consumption of each single access is reduced by a
+//	factor of about four, since every bank is about one fourth the width
+//	... Bit line consumption is reduced by about four ... Sense amplifier
+//	consumption is also reduced by a factor of four ... Thus, four
+//	accesses result in approximately the same word line, bit line and
+//	sense amplifier energy consumption as the 32-bit bank file."
+//
+// The model is the standard first-order SRAM access-energy decomposition
+// (after Wada, Rajan & Przybylski's access-time model, the paper's [17]):
+// per access, the energy splits into
+//
+//	word line:       ∝ bits per row (the wires driven across the row)
+//	bit lines:       ∝ columns swung (bitline pairs precharged/discharged)
+//	sense amplifiers: ∝ columns sensed
+//	decoder:          ∝ log2(rows) (address predecode, small)
+//
+// all in arbitrary relative units (1 unit = one bit-column of a 32-entry
+// array). Absolute calibration is circuit-level work the paper defers; the
+// *ratios* are what §2.4 argues from and what the tests verify.
+package rfmodel
+
+import "fmt"
+
+// Layout describes one register-file data-array organization.
+type Layout struct {
+	Name    string
+	Rows    int // word lines (register count)
+	RowBits int // bits per row (bank width)
+}
+
+// Validate reports malformed geometries.
+func (l Layout) Validate() error {
+	if l.Rows <= 0 || l.RowBits <= 0 {
+		return fmt.Errorf("rfmodel: non-positive geometry %+v", l)
+	}
+	return nil
+}
+
+// AccessEnergy returns the relative energy of one read or write access to
+// the array (all columns of one row).
+func (l Layout) AccessEnergy() float64 {
+	wordline := float64(l.RowBits)
+	bitlines := float64(l.RowBits)
+	sense := float64(l.RowBits)
+	decoder := log2f(l.Rows)
+	return wordline + bitlines + sense + decoder
+}
+
+func log2f(v int) float64 {
+	n := 0.0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Baseline32 is the paper's monolithic file: 32 words of 32 bits.
+func Baseline32() Layout { return Layout{Name: "32x32 monolithic", Rows: 32, RowBits: 32} }
+
+// ByteBank is one of the four banks of the proposed pipelines: 32 words of
+// 8 bits ("32 word lines of 8 bits each for the proposed pipelines", §2.4).
+func ByteBank() Layout { return Layout{Name: "32x8 bank", Rows: 32, RowBits: 8} }
+
+// HalfwordBank is the 16-bit bank of the halfword-granularity designs.
+func HalfwordBank() Layout { return Layout{Name: "32x16 bank", Rows: 32, RowBits: 16} }
+
+// WorstCaseRatio returns the energy of reading a full 32-bit value through
+// n-byte banks (n accesses) relative to one monolithic access — the §2.4
+// claim is that this ratio is ≈ 1 (slightly above, due to the per-access
+// decoder overhead).
+func WorstCaseRatio() float64 {
+	return 4 * ByteBank().AccessEnergy() / Baseline32().AccessEnergy()
+}
+
+// ExpectedRatio returns the energy ratio for an operand with the given
+// significant-byte distribution: dist[k] is the probability of needing k+1
+// bytes (k = 0..3). This is where significance compression wins — most
+// accesses touch one bank.
+func ExpectedRatio(dist [4]float64) float64 {
+	bank := ByteBank().AccessEnergy()
+	mono := Baseline32().AccessEnergy()
+	e := 0.0
+	for k, p := range dist {
+		e += p * float64(k+1) * bank
+	}
+	return e / mono
+}

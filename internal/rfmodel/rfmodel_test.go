@@ -1,0 +1,66 @@
+package rfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLayoutValidate(t *testing.T) {
+	if err := Baseline32().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Layout{Rows: 0, RowBits: 8}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rows should be invalid")
+	}
+}
+
+// §2.4: a byte bank costs about one quarter of the monolithic array per
+// access.
+func TestBankAccessIsQuarter(t *testing.T) {
+	ratio := ByteBank().AccessEnergy() / Baseline32().AccessEnergy()
+	if ratio < 0.23 || ratio > 0.30 {
+		t.Fatalf("byte bank per-access ratio %.3f, expected ~0.25", ratio)
+	}
+}
+
+// §2.4's worst case: even four serial accesses cost approximately the same
+// as one monolithic access.
+func TestWorstCaseApproximatelyEqual(t *testing.T) {
+	r := WorstCaseRatio()
+	if r < 0.95 || r > 1.25 {
+		t.Fatalf("worst-case ratio %.3f, paper argues ~1", r)
+	}
+}
+
+// With the measured operand distribution (Table 1: ~53% one byte, ~20% two,
+// ~6% three-significant variants, rest four) the expected banked energy is
+// roughly half the monolithic file — the mechanism behind Table 5's 47%
+// register-read saving.
+func TestExpectedRatioWithTable1Distribution(t *testing.T) {
+	dist := [4]float64{0.53, 0.25, 0.08, 0.14}
+	r := ExpectedRatio(dist)
+	if r < 0.35 || r > 0.65 {
+		t.Fatalf("expected ratio %.3f, want ~0.5", r)
+	}
+}
+
+func TestHalfwordBankBetweenByteAndMono(t *testing.T) {
+	b := ByteBank().AccessEnergy()
+	h := HalfwordBank().AccessEnergy()
+	m := Baseline32().AccessEnergy()
+	if !(b < h && h < m) {
+		t.Fatalf("ordering violated: %v %v %v", b, h, m)
+	}
+}
+
+func TestExpectedRatioDegenerate(t *testing.T) {
+	// All accesses full width: equals the worst case.
+	if got, want := ExpectedRatio([4]float64{0, 0, 0, 1}), WorstCaseRatio(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("full-width dist %.4f != worst case %.4f", got, want)
+	}
+	// All accesses one byte: a quarter-ish.
+	if got := ExpectedRatio([4]float64{1, 0, 0, 0}); got > 0.30 {
+		t.Fatalf("single-byte dist %.4f, want ~0.25", got)
+	}
+}

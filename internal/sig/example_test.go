@@ -1,0 +1,39 @@
+package sig_test
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+)
+
+// The paper's §2.1 example values under the 3-bit per-byte scheme.
+func ExampleCompressExt3() {
+	for _, v := range []uint32{0x00000004, 0xfffff504, 0x10000009, 0xffe70004} {
+		stored, ext := sig.CompressExt3(v)
+		fmt.Printf("%08x -> %s ext=%03b stored=% x\n", v, sig.PatternOf(v), uint8(ext), stored)
+	}
+	// Output:
+	// 00000004 -> eees ext=111 stored=04
+	// fffff504 -> eess ext=110 stored=04 f5
+	// 10000009 -> sees ext=011 stored=09 10
+	// ffe70004 -> eses ext=101 stored=04 e7
+}
+
+// The 2-bit count scheme compresses only contiguous top extension bytes.
+func ExampleExt2Representable() {
+	fmt.Println(sig.Ext2Representable(0xfffff504)) // top bytes contiguous
+	fmt.Println(sig.Ext2Representable(0x10000009)) // internal zeros: no
+	// Output:
+	// true
+	// false
+}
+
+// Arbitrary word partitions (the §2.1 future-work generalization).
+func ExamplePartition_StoredBits() {
+	p := sig.Partition{4, 4, 8, 16}
+	fmt.Println(p.StoredBits(7))      // fits the low nibble
+	fmt.Println(p.StoredBits(0x1234)) // needs the low three segments
+	// Output:
+	// 7
+	// 19
+}

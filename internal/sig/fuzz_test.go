@@ -1,0 +1,59 @@
+package sig
+
+import "testing"
+
+// Decompressors must never panic on arbitrary stored bytes and extension
+// fields: they either reconstruct a word or return an error.
+func FuzzDecompressExt3(f *testing.F) {
+	f.Add([]byte{0x04}, uint8(0b111))
+	f.Add([]byte{0x04, 0xf5}, uint8(0b110))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(0b101))
+	f.Fuzz(func(t *testing.T, stored []byte, ext uint8) {
+		v, err := DecompressExt3(stored, Ext3(ext&7))
+		if err != nil {
+			return
+		}
+		// A successful decompression must re-compress to the same length
+		// or shorter (our compression is maximal) and round-trip its value.
+		re, e2 := CompressExt3(v)
+		if len(re) > len(stored) {
+			t.Fatalf("recompression grew: %d > %d", len(re), len(stored))
+		}
+		v2, err := DecompressExt3(re, e2)
+		if err != nil || v2 != v {
+			t.Fatalf("canonical round trip failed: %v %v", v2, err)
+		}
+	})
+}
+
+// FuzzPartitionDecompress exercises the general partition scheme.
+func FuzzPartitionDecompress(f *testing.F) {
+	f.Add(uint32(0), uint32(0x1234), true, false, true)
+	f.Add(uint32(0xffffffff), uint32(7), false, true, true)
+	f.Fuzz(func(t *testing.T, s0, s1 uint32, e1, e2, e3 bool) {
+		p := Partition{8, 8, 8, 8}
+		ext := []bool{false, e1, e2, e3}
+		var segs []uint32
+		segs = append(segs, s0)
+		need := 0
+		for i := 1; i < 4; i++ {
+			if !ext[i] {
+				need++
+			}
+		}
+		for len(segs) < 1+need {
+			segs = append(segs, s1)
+		}
+		v, err := p.Decompress(segs, ext)
+		if err != nil {
+			return
+		}
+		// Round trip through the canonical compression.
+		cs, ce := p.Compress(v)
+		v2, err := p.Decompress(cs, ce)
+		if err != nil || v2 != v {
+			t.Fatalf("round trip: %#x vs %#x (%v)", v2, v, err)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package sig
+
+import "fmt"
+
+// Partition generalizes the significance scheme to arbitrary segment
+// widths — the paper's §2.1 future-work item ("one could consider
+// non-power-of-two bit sequences and dividing words into sequences of
+// different lengths, but this remains for future study").
+//
+// A Partition lists segment widths in bits, least significant first,
+// summing to 32. The lowest segment is always stored; each higher segment
+// carries one extension bit marking it as the sign extension of the
+// segment below (all bits equal to that segment's top bit). The byte
+// scheme is Partition{8, 8, 8, 8}; the halfword scheme is Partition{16, 16}.
+type Partition []int
+
+// Validate reports an error unless the widths are positive and sum to 32.
+func (p Partition) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("sig: empty partition")
+	}
+	total := 0
+	for _, w := range p {
+		if w <= 0 || w > 32 {
+			return fmt.Errorf("sig: invalid segment width %d", w)
+		}
+		total += w
+	}
+	if total != 32 {
+		return fmt.Errorf("sig: partition widths sum to %d, want 32", total)
+	}
+	return nil
+}
+
+// ExtBits returns the per-word extension overhead: one bit per elidable
+// segment.
+func (p Partition) ExtBits() int { return len(p) - 1 }
+
+// segments splits v by the partition, least significant first.
+func (p Partition) segments(v uint32) []uint32 {
+	segs := make([]uint32, len(p))
+	shift := 0
+	for i, w := range p {
+		segs[i] = (v >> uint(shift)) & (uint32(1)<<uint(w) - 1)
+		shift += w
+	}
+	return segs
+}
+
+// extOf returns the per-segment extension marking (index 1..len-1): true
+// means the segment equals the sign extension of the segment below it.
+func (p Partition) extOf(v uint32) []bool {
+	segs := p.segments(v)
+	ext := make([]bool, len(p))
+	for i := 1; i < len(p); i++ {
+		below := segs[i-1]
+		signBit := below >> uint(p[i-1]-1) & 1
+		var fill uint32
+		if signBit == 1 {
+			fill = uint32(1)<<uint(p[i]) - 1
+		}
+		ext[i] = segs[i] == fill
+	}
+	return ext
+}
+
+// StoredSegments returns how many segments of v must be stored (1..len(p)).
+func (p Partition) StoredSegments(v uint32) int {
+	ext := p.extOf(v)
+	n := 1
+	for i := 1; i < len(p); i++ {
+		if !ext[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// StoredBits returns total held bits for v: stored segment bits plus the
+// extension overhead.
+func (p Partition) StoredBits(v uint32) int {
+	ext := p.extOf(v)
+	bits := p[0]
+	for i := 1; i < len(p); i++ {
+		if !ext[i] {
+			bits += p[i]
+		}
+	}
+	return bits + p.ExtBits()
+}
+
+// Compress returns the stored segments (least significant first) and the
+// extension marking.
+func (p Partition) Compress(v uint32) (segs []uint32, ext []bool) {
+	all := p.segments(v)
+	ext = p.extOf(v)
+	segs = append(segs, all[0])
+	for i := 1; i < len(p); i++ {
+		if !ext[i] {
+			segs = append(segs, all[i])
+		}
+	}
+	return segs, ext
+}
+
+// Decompress reconstructs the word from stored segments and markings.
+func (p Partition) Decompress(segs []uint32, ext []bool) (uint32, error) {
+	if len(ext) != len(p) {
+		return 0, fmt.Errorf("sig: marking length %d, want %d", len(ext), len(p))
+	}
+	var v uint32
+	shift := 0
+	next := 0
+	var prev uint32
+	var prevW int
+	for i, w := range p {
+		var seg uint32
+		if i == 0 || !ext[i] {
+			if next >= len(segs) {
+				return 0, fmt.Errorf("sig: not enough stored segments")
+			}
+			seg = segs[next] & (uint32(1)<<uint(w) - 1)
+			next++
+		} else {
+			if prev>>uint(prevW-1)&1 == 1 {
+				seg = uint32(1)<<uint(w) - 1
+			}
+		}
+		v |= seg << uint(shift)
+		shift += w
+		prev, prevW = seg, w
+	}
+	if next != len(segs) {
+		return 0, fmt.Errorf("sig: %d unused stored segments", len(segs)-next)
+	}
+	return v, nil
+}
+
+// CandidatePartitions returns the partition designs studied by the
+// future-work ablation: the paper's byte and halfword schemes plus
+// non-uniform and non-power-of-two splits.
+func CandidatePartitions() map[string]Partition {
+	return map[string]Partition{
+		"8-8-8-8 (paper byte)": {8, 8, 8, 8},
+		"16-16 (paper half)":   {16, 16},
+		"8-8-16":               {8, 8, 16},
+		"8-24":                 {8, 24},
+		"12-20":                {12, 20},
+		"6-6-6-14":             {6, 6, 6, 14},
+		"4-4-8-16":             {4, 4, 8, 16},
+		"10-10-12":             {10, 10, 12},
+	}
+}

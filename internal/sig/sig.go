@@ -1,0 +1,260 @@
+// Package sig implements significance compression of 32-bit words — the
+// paper's central data representation (§2.1).
+//
+// A word is stored as its significant low-order bytes plus a small number of
+// extension bits that record which upper bytes are mere sign extensions:
+//
+//   - The 3-bit scheme (Ext3) keeps one bit per upper byte. Bit i set means
+//     byte i+1 equals the sign extension of byte i, so the byte need not be
+//     stored, read, written or latched. Internal extension bytes are allowed
+//     (e.g. the paper's 10 -- -- 09 : 011 memory address).
+//   - The 2-bit scheme (Ext2) keeps only the count of contiguous sign
+//     extension bytes at the most-significant end (0–3). It has lower
+//     overhead but cannot skip internal bytes.
+//   - The halfword scheme (ExtH) applies the same idea at 16-bit granularity
+//     with a single extension bit.
+//
+// The low-order byte (halfword) is always represented, as in the paper.
+package sig
+
+import "fmt"
+
+// WordBytes is the datapath word size in bytes.
+const WordBytes = 4
+
+// Overheads in extension bits per 32-bit word for each scheme (§2.1: "two
+// extra extension bits ... about 6 percent"; "three extension bits (approx.
+// 9% overhead)").
+const (
+	Ext2Bits = 2
+	Ext3Bits = 3
+	ExtHBits = 1
+)
+
+// signExtByte returns the byte that sign-extends b: 0xFF if b's top bit is
+// set, 0x00 otherwise.
+func signExtByte(b byte) byte {
+	if b&0x80 != 0 {
+		return 0xff
+	}
+	return 0x00
+}
+
+// byteOf extracts byte i (0 = least significant) of v.
+func byteOf(v uint32, i int) byte { return byte(v >> (8 * i)) }
+
+// SigBytes returns the minimal number of low-order bytes whose sign
+// extension reproduces v (1–4). It equals the storage cost under the 2-bit
+// scheme.
+func SigBytes(v uint32) int {
+	n := WordBytes
+	for n > 1 {
+		hi := byteOf(v, n-1)
+		if hi != signExtByte(byteOf(v, n-2)) {
+			break
+		}
+		n--
+	}
+	return n
+}
+
+// SigHalves returns the minimal number of low-order halfwords whose sign
+// extension reproduces v (1–2).
+func SigHalves(v uint32) int {
+	lo := uint16(v)
+	var ext uint16
+	if lo&0x8000 != 0 {
+		ext = 0xffff
+	}
+	if uint16(v>>16) == ext {
+		return 1
+	}
+	return 2
+}
+
+// Ext3 is the paper's 3-bit per-byte extension field. Bit i (i = 0..2)
+// corresponds to byte i+1 of the word; a set bit marks that byte as the sign
+// extension of the byte below it.
+type Ext3 uint8
+
+// Ext3Of computes the maximal (canonical) extension marking for v: every
+// upper byte that equals the sign extension of its predecessor is marked.
+func Ext3Of(v uint32) Ext3 {
+	var e Ext3
+	for i := 1; i < WordBytes; i++ {
+		if byteOf(v, i) == signExtByte(byteOf(v, i-1)) {
+			e |= 1 << (i - 1)
+		}
+	}
+	return e
+}
+
+// IsExt reports whether byte i (1–3) is marked as an extension byte.
+func (e Ext3) IsExt(i int) bool {
+	if i < 1 || i >= WordBytes {
+		return false
+	}
+	return e&(1<<(i-1)) != 0
+}
+
+// SigByteCount returns the number of stored bytes (1–4), i.e. the low byte
+// plus all unmarked upper bytes.
+func (e Ext3) SigByteCount() int {
+	n := 1
+	for i := 1; i < WordBytes; i++ {
+		if !e.IsExt(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Pattern renders the paper's Table-1 notation: four characters, most
+// significant byte first, 's' for a significant (stored) byte and 'e' for an
+// extension byte. The least significant byte is always 's'.
+func (e Ext3) Pattern() string {
+	var b [WordBytes]byte
+	for i := 0; i < WordBytes; i++ {
+		if e.IsExt(WordBytes - 1 - i) {
+			b[i] = 'e'
+		} else {
+			b[i] = 's'
+		}
+	}
+	return string(b[:])
+}
+
+// PatternOf is shorthand for Ext3Of(v).Pattern().
+func PatternOf(v uint32) string { return Ext3Of(v).Pattern() }
+
+// AllPatterns lists the eight possible byte-significance patterns in the
+// fixed order used for reporting (one significant byte first, then by
+// increasing stored size).
+func AllPatterns() []string {
+	return []string{"eees", "eess", "esss", "ssss", "eses", "sees", "sses", "sess"}
+}
+
+// Ext2Representable reports whether the pattern of v is expressible by the
+// 2-bit count scheme (no internal extension bytes below a significant one).
+func Ext2Representable(v uint32) bool {
+	e := Ext3Of(v)
+	// Representable iff the marked bytes form a contiguous run at the top.
+	// Walk from byte 3 downward: once a significant byte is seen, no byte
+	// below it may be needed... every marking of the form e...es...s works.
+	seenSig := false
+	for i := WordBytes - 1; i >= 1; i-- {
+		if e.IsExt(i) {
+			if seenSig {
+				return false
+			}
+		} else {
+			seenSig = true
+		}
+	}
+	return true
+}
+
+// CompressExt3 returns the stored bytes of v (least significant first) and
+// the extension field. len(stored) == e.SigByteCount().
+func CompressExt3(v uint32) (stored []byte, e Ext3) {
+	e = Ext3Of(v)
+	stored = make([]byte, 0, WordBytes)
+	stored = append(stored, byteOf(v, 0))
+	for i := 1; i < WordBytes; i++ {
+		if !e.IsExt(i) {
+			stored = append(stored, byteOf(v, i))
+		}
+	}
+	return stored, e
+}
+
+// DecompressExt3 reconstructs the word from stored bytes and extension
+// field. It fails if the number of stored bytes does not match e.
+func DecompressExt3(stored []byte, e Ext3) (uint32, error) {
+	if len(stored) != e.SigByteCount() {
+		return 0, fmt.Errorf("sig: %d stored bytes but extension field %03b needs %d",
+			len(stored), uint8(e), e.SigByteCount())
+	}
+	var bytes [WordBytes]byte
+	bytes[0] = stored[0]
+	next := 1
+	for i := 1; i < WordBytes; i++ {
+		if e.IsExt(i) {
+			bytes[i] = signExtByte(bytes[i-1])
+		} else {
+			bytes[i] = stored[next]
+			next++
+		}
+	}
+	return uint32(bytes[0]) | uint32(bytes[1])<<8 | uint32(bytes[2])<<16 | uint32(bytes[3])<<24, nil
+}
+
+// Ext2 is the 2-bit count scheme: the number of most-significant bytes that
+// are sign extensions (0–3).
+type Ext2 uint8
+
+// Ext2Of computes the extension count for v.
+func Ext2Of(v uint32) Ext2 { return Ext2(WordBytes - SigBytes(v)) }
+
+// SigByteCount returns the number of stored bytes (1–4).
+func (e Ext2) SigByteCount() int { return WordBytes - int(e) }
+
+// CompressExt2 returns the stored low-order bytes (least significant first)
+// and the count field.
+func CompressExt2(v uint32) (stored []byte, e Ext2) {
+	e = Ext2Of(v)
+	n := e.SigByteCount()
+	stored = make([]byte, n)
+	for i := 0; i < n; i++ {
+		stored[i] = byteOf(v, i)
+	}
+	return stored, e
+}
+
+// DecompressExt2 reconstructs the word from the stored bytes and count.
+func DecompressExt2(stored []byte, e Ext2) (uint32, error) {
+	if int(e) >= WordBytes || len(stored) != e.SigByteCount() {
+		return 0, fmt.Errorf("sig: %d stored bytes but count field %d needs %d",
+			len(stored), uint8(e), WordBytes-int(e))
+	}
+	var v uint32
+	for i, b := range stored {
+		v |= uint32(b) << (8 * i)
+	}
+	ext := signExtByte(stored[len(stored)-1])
+	for i := len(stored); i < WordBytes; i++ {
+		v |= uint32(ext) << (8 * i)
+	}
+	return v, nil
+}
+
+// ExtH is the halfword-granularity scheme: a single bit marking the upper
+// halfword as the sign extension of the lower one.
+type ExtH uint8
+
+// ExtHOf computes the halfword extension bit for v.
+func ExtHOf(v uint32) ExtH {
+	if SigHalves(v) == 1 {
+		return 1
+	}
+	return 0
+}
+
+// SigHalfCount returns the number of stored halfwords (1–2).
+func (e ExtH) SigHalfCount() int {
+	if e != 0 {
+		return 1
+	}
+	return 2
+}
+
+// StoredBits3 returns the total bits held for v under the 3-bit byte scheme
+// (stored data bytes plus extension bits).
+func StoredBits3(v uint32) int { return 8*Ext3Of(v).SigByteCount() + Ext3Bits }
+
+// StoredBits2 returns the total bits held for v under the 2-bit count
+// scheme.
+func StoredBits2(v uint32) int { return 8*SigBytes(v) + Ext2Bits }
+
+// StoredBitsH returns the total bits held for v under the halfword scheme.
+func StoredBitsH(v uint32) int { return 16*SigHalves(v) + ExtHBits }

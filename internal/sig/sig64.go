@@ -1,0 +1,73 @@
+package sig
+
+// 64-bit generalization of the significance schemes, supporting the
+// paper's closing observation in §2.9: "these results are for a 32 bit
+// architecture; if a 64-bit ISA were to be used (as in [1]), the savings
+// will likely be much greater." A 64-bit machine executing the same
+// integer code holds the same small values sign-extended across eight
+// bytes, so the compressible fraction of each word grows.
+
+// Word64Bytes is the 64-bit datapath width in bytes.
+const Word64Bytes = 8
+
+// Ext64Bits is the per-doubleword overhead of the per-byte scheme (one bit
+// for each of the seven upper bytes).
+const Ext64Bits = 7
+
+// SigBytes64 returns the minimal number of low-order bytes whose sign
+// extension reproduces v (1–8).
+func SigBytes64(v uint64) int {
+	n := Word64Bytes
+	for n > 1 {
+		hi := byte(v >> (8 * (n - 1)))
+		lowTop := byte(v>>(8*(n-2))) & 0x80
+		var ext byte
+		if lowTop != 0 {
+			ext = 0xff
+		}
+		if hi != ext {
+			break
+		}
+		n--
+	}
+	return n
+}
+
+// Ext64Of computes the maximal per-byte extension marking of a 64-bit
+// word: bit i set means byte i+1 is the sign extension of byte i.
+func Ext64Of(v uint64) uint8 {
+	var e uint8
+	for i := 1; i < Word64Bytes; i++ {
+		b := byte(v >> (8 * i))
+		below := byte(v >> (8 * (i - 1)))
+		var fill byte
+		if below&0x80 != 0 {
+			fill = 0xff
+		}
+		if b == fill {
+			e |= 1 << (i - 1)
+		}
+	}
+	return e
+}
+
+// SigByteCount64 returns the stored bytes under the per-byte marking.
+func SigByteCount64(e uint8) int {
+	n := 1
+	for i := 0; i < Word64Bytes-1; i++ {
+		if e&(1<<i) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StoredBits64 returns the held bits of v on a 64-bit significance-
+// compressed machine (stored bytes plus the 7 extension bits).
+func StoredBits64(v uint64) int {
+	return 8*SigByteCount64(Ext64Of(v)) + Ext64Bits
+}
+
+// Extend64 sign-extends a 32-bit register value to the 64-bit register a
+// 64-bit machine running the same integer program would hold.
+func Extend64(v uint32) uint64 { return uint64(int64(int32(v))) }

@@ -1,0 +1,274 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSigBytesExamples(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{0x00000000, 1},
+		{0x00000004, 1}, // paper: -- -- -- 04 : 11
+		{0x0000007f, 1},
+		{0x00000080, 2}, // top bit of low byte set -> needs a zero byte
+		{0xffffffff, 1}, // -1
+		{0xffffff80, 1}, // -128
+		{0xffffff7f, 2},
+		{0xfffff504, 2}, // paper: -- -- F5 04 : 10
+		{0x00007fff, 2},
+		{0x00008000, 3},
+		{0x12345678, 4},
+		{0x10000009, 4}, // 2-bit scheme cannot compress this
+		{0x7fffffff, 4},
+		{0x80000000, 4},
+	}
+	for _, c := range cases {
+		if got := SigBytes(c.v); got != c.want {
+			t.Errorf("SigBytes(%#08x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSigHalvesExamples(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		want int
+	}{
+		{0, 1}, {0x7fff, 1}, {0x8000, 2}, {0xffff8000, 1},
+		{0xffff7fff, 2}, {0x12345678, 2}, {0xffffffff, 1},
+	}
+	for _, c := range cases {
+		if got := SigHalves(c.v); got != c.want {
+			t.Errorf("SigHalves(%#08x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestExt3PaperExamples(t *testing.T) {
+	// 00 00 00 04 -> only byte0 stored (pattern eees, 3 ext bytes).
+	if got := PatternOf(0x00000004); got != "eees" {
+		t.Errorf("pattern(4) = %q", got)
+	}
+	// FF FF F5 04 -> two significant bytes: eess.
+	if got := PatternOf(0xfffff504); got != "eess" {
+		t.Errorf("pattern(fffff504) = %q", got)
+	}
+	// 10 00 00 09 -> paper: 10 -- -- 09 : 011 => pattern "sees".
+	e := Ext3Of(0x10000009)
+	if got := e.Pattern(); got != "sees" {
+		t.Errorf("pattern(10000009) = %q", got)
+	}
+	if e.SigByteCount() != 2 {
+		t.Errorf("sig bytes of 10000009 = %d", e.SigByteCount())
+	}
+	// FF E7 00 04 -> paper: -- E7 -- 04 : 101 => pattern "eses".
+	e = Ext3Of(0xffe70004)
+	if got := e.Pattern(); got != "eses" {
+		t.Errorf("pattern(ffe70004) = %q", got)
+	}
+	if e.SigByteCount() != 2 {
+		t.Errorf("sig bytes of ffe70004 = %d", e.SigByteCount())
+	}
+}
+
+func TestExt3ExtensionBitValues(t *testing.T) {
+	// 10 00 00 09: byte1 and byte2 are extensions, byte3 significant ->
+	// bits (byte1,byte2,byte3) = (1,1,0) -> value 0b011.
+	if e := Ext3Of(0x10000009); uint8(e) != 0b011 {
+		t.Errorf("ext bits = %03b, want 011", uint8(e))
+	}
+	// FF E7 00 04: byte1 ext, byte2 sig, byte3 ext -> 0b101.
+	if e := Ext3Of(0xffe70004); uint8(e) != 0b101 {
+		t.Errorf("ext bits = %03b, want 101", uint8(e))
+	}
+}
+
+func TestCompressDecompressExt3RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		stored, e := CompressExt3(v)
+		got, err := DecompressExt3(stored, e)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressDecompressExt2RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		stored, e := CompressExt2(v)
+		got, err := DecompressExt2(stored, e)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExt3NeverStoresMoreThanExt2(t *testing.T) {
+	// The 3-bit scheme is at least as compact as the 2-bit scheme.
+	f := func(v uint32) bool {
+		return Ext3Of(v).SigByteCount() <= SigBytes(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExt2RepresentableMatchesSchemes(t *testing.T) {
+	// When a value is 2-bit representable the two schemes store the same
+	// number of bytes; when not, the 3-bit scheme stores fewer.
+	f := func(v uint32) bool {
+		s3 := Ext3Of(v).SigByteCount()
+		s2 := SigBytes(v)
+		if Ext2Representable(v) {
+			return s3 == s2
+		}
+		return s3 < s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := DecompressExt3([]byte{1, 2}, Ext3Of(0x04)); err == nil {
+		t.Error("Ext3 length mismatch should error")
+	}
+	if _, err := DecompressExt2([]byte{1, 2}, Ext2(3)); err == nil {
+		t.Error("Ext2 length mismatch should error")
+	}
+	if _, err := DecompressExt2([]byte{1}, Ext2(7)); err == nil {
+		t.Error("Ext2 out-of-range count should error")
+	}
+}
+
+func TestPatternAlphabet(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range AllPatterns() {
+		if len(p) != 4 || p[3] != 's' {
+			t.Errorf("bad pattern %q", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pattern %q", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("expected 8 patterns, got %d", len(seen))
+	}
+	// Every value's pattern is in the alphabet.
+	f := func(v uint32) bool { return seen[PatternOf(v)] }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoredBits(t *testing.T) {
+	if got := StoredBits3(0x04); got != 8+3 {
+		t.Errorf("StoredBits3(4) = %d", got)
+	}
+	if got := StoredBits2(0x04); got != 8+2 {
+		t.Errorf("StoredBits2(4) = %d", got)
+	}
+	if got := StoredBitsH(0x04); got != 16+1 {
+		t.Errorf("StoredBitsH(4) = %d", got)
+	}
+	if got := StoredBits3(0x12345678); got != 32+3 {
+		t.Errorf("StoredBits3(big) = %d", got)
+	}
+}
+
+func TestExtHOf(t *testing.T) {
+	if ExtHOf(0x1234).SigHalfCount() != 1 {
+		t.Error("small value should store one halfword")
+	}
+	if ExtHOf(0x00018000).SigHalfCount() != 2 {
+		t.Error("0x00018000 needs both halfwords")
+	}
+}
+
+func TestSigBytesMatchesDecompressibility(t *testing.T) {
+	// Sign-extending the SigBytes(v) low bytes reproduces v; using one byte
+	// fewer must not (unless already at 1 byte).
+	f := func(v uint32) bool {
+		n := SigBytes(v)
+		ext := func(k int) uint32 {
+			shift := uint(32 - 8*k)
+			return uint32(int32(v<<shift) >> shift)
+		}
+		if ext(n) != v {
+			return false
+		}
+		if n > 1 && ext(n-1) == v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigBytes64Examples(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1},
+		{4, 1},
+		{0x7f, 1},
+		{0x80, 2},
+		{0xffffffffffffffff, 1}, // -1
+		{0x123456789abcdef0, 8},
+		{0x00007fffffffffff, 6},
+		{0xffffffff80000000, 4}, // INT32_MIN sign-extended
+	}
+	for _, c := range cases {
+		if got := SigBytes64(c.v); got != c.want {
+			t.Errorf("SigBytes64(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestExtend64PreservesValue(t *testing.T) {
+	f := func(v uint32) bool {
+		e := Extend64(v)
+		return uint32(e) == v && (int64(e) < 0) == (int32(v) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's §2.9 claim: the same value stored on a 64-bit machine wastes
+// a larger fraction, so relative savings grow.
+func TestSixtyFourBitSavingsGreater(t *testing.T) {
+	f := func(v uint32) bool {
+		save32 := 1 - float64(StoredBits3(v))/32
+		save64 := 1 - float64(StoredBits64(Extend64(v)))/64
+		// Allow equality for full-width negative-boundary values.
+		return save64 >= save32-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// And strictly greater for a typical small value.
+	if !(1-float64(StoredBits64(Extend64(7)))/64 > 1-float64(StoredBits3(7))/32) {
+		t.Fatal("64-bit saving should exceed 32-bit for small values")
+	}
+}
+
+func TestSigByteCount64MatchesSigBytes64ForContiguous(t *testing.T) {
+	f := func(v uint64) bool {
+		// The per-byte marking stores at most as many bytes as the count
+		// scheme.
+		return SigByteCount64(Ext64Of(v)) <= SigBytes64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package sigalu_test
+
+import (
+	"fmt"
+
+	"repro/internal/sigalu"
+)
+
+// Adding two short operands touches one byte; the paper's Case-3 exception
+// (0x01 + 0x7f) forces a second byte to be generated.
+func ExampleAdd() {
+	r := sigalu.Add(3, 4)
+	fmt.Printf("3+4: value=%d bytes=%d\n", r.Value, r.BlocksOperated)
+	r = sigalu.Add(0x01, 0x7f)
+	fmt.Printf("0x01+0x7f: value=%#x bytes=%d\n", r.Value, r.BlocksOperated)
+	// Output:
+	// 3+4: value=7 bytes=1
+	// 0x01+0x7f: value=0x80 bytes=2
+}
+
+// Results are always bit-exact; activity varies with significance.
+func ExampleSub() {
+	r := sigalu.Sub(5, 5)
+	fmt.Printf("5-5: value=%d significant-bytes=%d\n", r.Value, r.Ext.SigByteCount())
+	// Output:
+	// 5-5: value=0 significant-bytes=1
+}

@@ -1,0 +1,84 @@
+package sigalu
+
+import "fmt"
+
+// Table4Row characterizes one class of Case-3 exceptions (the paper's
+// Table 4): a pair of top-two-bit patterns of the preceding bytes for
+// which the sign-extension prediction of the next result byte can fail, and
+// whether the failure depends on the carry out of bit 6 ("the 5th bit
+// produces carry" in the paper's counting).
+type Table4Row struct {
+	// TopBitsA and TopBitsB are the top two bits of the preceding operand
+	// bytes (unordered pair, A ≤ B numerically).
+	TopBitsA, TopBitsB uint8
+	// CarryDependent is true when only some byte values of the class
+	// except (the exception requires a carry crossing bit 6); false when
+	// every byte pair of the class excepts.
+	CarryDependent bool
+	// Exceptions counts the (byte, byte, carry-in) combinations of the
+	// class that except.
+	Exceptions int
+	// Population counts all combinations in the class.
+	Population int
+}
+
+// String renders the row in the paper's "xx"-pattern notation.
+func (r Table4Row) String() string {
+	cond := "always"
+	if r.CarryDependent {
+		cond = "when bit 6 carries"
+	}
+	return fmt.Sprintf("%02bxxxxxx + %02bxxxxxx: exception %s (%d/%d cases)",
+		r.TopBitsA, r.TopBitsB, cond, r.Exceptions, r.Population)
+}
+
+// DeriveTable4 enumerates all preceding-byte pairs and carry-ins where both
+// current bytes are sign extensions, and returns the classes that ever
+// produce a Case-3 exception. This is the exact version of the paper's
+// Table 4 (two of the paper's six printed rows — the mixed-sign pairs
+// (00,11) and (01,10) — never except under exact arithmetic and so do not
+// appear; see the package tests).
+func DeriveTable4() []Table4Row {
+	classes := make(map[[2]uint8]*Table4Row)
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			for cin := uint32(0); cin < 2; cin++ {
+				sum0 := uint32(a) + uint32(b) + cin
+				c0 := sum0 & 0xff
+				carry := sum0 >> 8
+				c1 := (signExtBlock(uint32(a), 1) + signExtBlock(uint32(b), 1) + carry) & 0xff
+				key := [2]uint8{uint8(a >> 6), uint8(b >> 6)}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				row, ok := classes[key]
+				if !ok {
+					row = &Table4Row{TopBitsA: key[0], TopBitsB: key[1]}
+					classes[key] = row
+				}
+				row.Population++
+				if c1 != signExtBlock(c0, 1) {
+					row.Exceptions++
+				}
+			}
+		}
+	}
+	var out []Table4Row
+	for _, row := range classes {
+		if row.Exceptions == 0 {
+			continue
+		}
+		row.CarryDependent = row.Exceptions < row.Population
+		out = append(out, *row)
+	}
+	// Deterministic order: by top-bit pair.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].TopBitsA < out[i].TopBitsA ||
+				(out[j].TopBitsA == out[i].TopBitsA && out[j].TopBitsB < out[i].TopBitsB) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.234)
+	tbl.AddRow("b", 10)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render: %q", out)
+	}
+	if !strings.Contains(out, "1.23") {
+		t.Fatalf("float formatting: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	// Columns align: header and data share the width of the widest cell.
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows: %d", tbl.Rows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddStringRow("1", "2")
+	if got := tbl.CSV(); got != "a,b\n1,2\n" {
+		t.Fatalf("csv: %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean: %v", got)
+	}
+}
+
+func TestPctAndRatio(t *testing.T) {
+	if got := Pct(12.345); got != "12.3%" {
+		t.Fatalf("pct: %q", got)
+	}
+	if got := Ratio(1.5, 1.0); got != "+50.0%" {
+		t.Fatalf("ratio: %q", got)
+	}
+	if got := Ratio(0.8, 1.0); got != "-20.0%" {
+		t.Fatalf("ratio down: %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Fatalf("ratio by zero: %q", got)
+	}
+}

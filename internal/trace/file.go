@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+)
+
+// Binary trace record/replay. A recorded trace captures the raw Exec
+// stream, so timing and activity studies can be re-run (or run elsewhere)
+// without re-executing the program — the classic trace-driven-simulation
+// workflow the paper's methodology is built on.
+//
+// Format: an 8-byte magic/version header, then one fixed-size
+// little-endian record per instruction. Annotation (significance
+// quantities) is recomputed at replay time, so traces stay recoder-
+// independent.
+
+const traceMagic = "SIGTRC01"
+
+// recordSize is the on-disk size of one instruction record.
+const recordSize = 4 + 4 + 4 + 4 + 4 + 4 + 4 + 4 + 1 + 1 + 1 + 4
+
+// flag bits for the record's boolean fields.
+const (
+	flagReadsA uint8 = 1 << iota
+	flagReadsB
+	flagHasDest
+	flagTaken
+)
+
+// Writer streams Exec records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewWriter starts a trace, writing the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Consume implements Consumer so a Writer can sit in a trace.Run fan-out.
+func (t *Writer) Consume(e Event) { t.Write(e.Exec) }
+
+// Write appends one record.
+func (t *Writer) Write(e cpu.Exec) {
+	if t.err != nil {
+		return
+	}
+	var buf [recordSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], e.PC)
+	le.PutUint32(buf[4:], e.Raw)
+	le.PutUint32(buf[8:], e.SrcA)
+	le.PutUint32(buf[12:], e.SrcB)
+	le.PutUint32(buf[16:], e.Result)
+	le.PutUint32(buf[20:], e.Addr)
+	le.PutUint32(buf[24:], e.StoreVal)
+	le.PutUint32(buf[28:], e.Loaded)
+	var flags uint8
+	if e.ReadsA {
+		flags |= flagReadsA
+	}
+	if e.ReadsB {
+		flags |= flagReadsB
+	}
+	if e.HasDest {
+		flags |= flagHasDest
+	}
+	if e.Taken {
+		flags |= flagTaken
+	}
+	buf[32] = flags
+	buf[33] = uint8(e.Dest)
+	buf[34] = uint8(e.MemWidth)
+	le.PutUint32(buf[35:], e.NextPC)
+	if _, err := t.w.Write(buf[:]); err != nil {
+		t.err = err
+		return
+	}
+	t.count++
+}
+
+// Close flushes the stream and reports any deferred write error.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Count returns the records written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Reader replays a recorded trace.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64
+}
+
+// NewReader validates the header and prepares for replay.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at end of trace.
+func (t *Reader) Next() (cpu.Exec, error) {
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return cpu.Exec{}, fmt.Errorf("trace: truncated record at %d", t.count)
+		}
+		return cpu.Exec{}, err
+	}
+	le := binary.LittleEndian
+	e := cpu.Exec{
+		PC:       le.Uint32(buf[0:]),
+		Raw:      le.Uint32(buf[4:]),
+		SrcA:     le.Uint32(buf[8:]),
+		SrcB:     le.Uint32(buf[12:]),
+		Result:   le.Uint32(buf[16:]),
+		Addr:     le.Uint32(buf[20:]),
+		StoreVal: le.Uint32(buf[24:]),
+		Loaded:   le.Uint32(buf[28:]),
+		Dest:     isa.Reg(buf[33]),
+		MemWidth: int(buf[34]),
+		NextPC:   le.Uint32(buf[35:]),
+	}
+	flags := buf[32]
+	e.ReadsA = flags&flagReadsA != 0
+	e.ReadsB = flags&flagReadsB != 0
+	e.HasDest = flags&flagHasDest != 0
+	e.Taken = flags&flagTaken != 0
+	e.Inst = isa.Decode(e.Raw)
+	t.count++
+	return e, nil
+}
+
+// Replay annotates every record with rc and fans it out to the consumers,
+// returning the number of instructions replayed.
+func (t *Reader) Replay(rc *icomp.Recoder, consumers ...Consumer) (uint64, error) {
+	var n uint64
+	for {
+		e, err := t.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		ev := Annotate(e, rc)
+		for _, c := range consumers {
+			c.Consume(ev)
+		}
+		n++
+	}
+}

@@ -1,0 +1,121 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/icomp"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+var rc = icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+
+// Recording a benchmark and replaying it must reproduce the exact pipeline
+// result of the live run.
+func TestRecordReplayEquivalence(t *testing.T) {
+	b, _ := bench.ByName("g711dec")
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := pipeline.NewByteSerial()
+	if _, err := trace.Run(b, rc, w, live); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	liveRes := live.Result()
+	if w.Count() != liveRes.Insts {
+		t.Fatalf("wrote %d records, live saw %d", w.Count(), liveRes.Insts)
+	}
+
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := pipeline.NewByteSerial()
+	n, err := r.Replay(rc, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRes := replayed.Result()
+	if n != liveRes.Insts || repRes.Cycles != liveRes.Cycles {
+		t.Fatalf("replay: %d insts %d cycles; live: %d insts %d cycles",
+			n, repRes.Cycles, liveRes.Insts, liveRes.Cycles)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := trace.NewReader(bytes.NewReader([]byte("NOTATRACE..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := trace.NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := bench.ByName("g711dec")
+	if _, err := trace.Run(b, rc, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5] // chop mid-record
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("truncation not detected")
+		}
+		if err != nil {
+			return // truncated-record error surfaced
+		}
+	}
+}
+
+func TestRecordRoundTripFields(t *testing.T) {
+	b, _ := bench.ByName("rawcaudio")
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf)
+	var originals []trace.Event
+	collect := trace.ConsumerFunc(func(e trace.Event) {
+		if len(originals) < 500 {
+			originals = append(originals, e)
+		}
+	})
+	if _, err := trace.Run(b, rc, w, collect); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range originals {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Exec {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want.Exec)
+		}
+	}
+}

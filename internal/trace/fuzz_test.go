@@ -1,0 +1,33 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The trace reader must never panic on arbitrary bytes: bad magic,
+// truncated records and garbage all surface as errors.
+func FuzzReaderNoPanic(f *testing.F) {
+	f.Add([]byte("SIGTRC01"))
+	f.Add([]byte("SIGTRC01" + "short"))
+	f.Add([]byte("WRONGMAG........"))
+	f.Add(bytes.Repeat([]byte{0xa5}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
