@@ -1,0 +1,83 @@
+// Command sigserve is the significance-compression simulation daemon: an
+// HTTP service that runs (benchmark × pipeline model) jobs from the paper's
+// evaluation on demand, with a bounded worker pool, an LRU result cache,
+// singleflight deduplication of concurrent identical requests, and a
+// metrics registry.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness + uptime
+//	GET  /metrics            counters and latency registry (JSON)
+//	GET  /v1/benchmarks      served workload suite
+//	GET  /v1/models          servable pipeline models
+//	GET  /v1/simulate        ?bench=&model=&gran=   (POST: JSON body)
+//	GET  /v1/sweep           ?gran=&bench=a,b&model=x,y   NDJSON stream
+//
+// Usage:
+//
+//	sigserve -addr :8080 -workers 8 -cache 256 -timeout 2m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (default GOMAXPROCS)")
+	cacheSize := flag.Int("cache", simsvc.DefaultCacheSize, "LRU result-cache capacity")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request simulation timeout (0 = none)")
+	flag.Parse()
+
+	svc := simsvc.New(simsvc.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+	})
+	defer svc.Close()
+
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: simsvc.NewHandler(svc),
+		// Sweeps stream for as long as the simulations take; only bound the
+		// request-header read.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sigserve: listening on %s (%d workers, cache %d, %d benchmarks, %d models)",
+			*addr, svc.Workers(), *cacheSize, len(svc.Benchmarks()), len(svc.Models()))
+		errc <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sigserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("sigserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "sigserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

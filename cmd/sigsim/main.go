@@ -7,9 +7,11 @@
 //	sigsim -list                      # list benchmarks and models
 //	sigsim -bench rawcaudio           # all models on one benchmark
 //	sigsim -bench crc32 -model byteserial
+//	sigsim -bench crc32 -json         # machine-readable (sigserve schema)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/bench"
+	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -26,6 +29,7 @@ func main() {
 	benchName := flag.String("bench", "", "benchmark to run (see -list)")
 	modelName := flag.String("model", "", "pipeline model (default: all)")
 	pipeDiagram := flag.Int("pipe", 0, "render a pipeline diagram of the first N instructions (requires -model)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable results (the schema shared with sigserve)")
 	list := flag.Bool("list", false, "list benchmarks and models")
 	flag.Parse()
 
@@ -47,13 +51,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := pipeline.AllNames()
+	var models []*pipeline.Model
 	if *modelName != "" {
-		if pipeline.New(*modelName) == nil {
+		// Validate by constructing the single instance once and reuse it
+		// for the run.
+		m := pipeline.New(*modelName)
+		if m == nil {
 			fmt.Fprintf(os.Stderr, "sigsim: unknown model %q (use -list)\n", *modelName)
 			os.Exit(2)
 		}
-		names = []string{*modelName}
+		models = []*pipeline.Model{m}
+	} else {
+		models = pipeline.NewAll()
 	}
 
 	rc, _, err := trace.SuiteRecoder(bench.All())
@@ -67,15 +76,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
 		os.Exit(1)
 	}
-	models := make([]*pipeline.Model, len(names))
-	consumers := make([]trace.Consumer, 0, len(names)+1)
+	consumers := make([]trace.Consumer, 0, len(models)+2)
 	var timeline *pipeline.Timeline
-	for i, n := range names {
-		models[i] = pipeline.New(n)
-		if *pipeDiagram > 0 && len(names) == 1 {
-			timeline = pipeline.NewTimeline(models[i], *pipeDiagram)
+	for _, m := range models {
+		if *pipeDiagram > 0 && len(models) == 1 {
+			timeline = pipeline.NewTimeline(m, *pipeDiagram)
 		}
-		consumers = append(consumers, models[i])
+		consumers = append(consumers, m)
 	}
 	if *pipeDiagram > 0 && timeline == nil {
 		fmt.Fprintln(os.Stderr, "sigsim: -pipe requires a single -model")
@@ -83,10 +90,36 @@ func main() {
 	}
 	byteCol := activity.NewCollector(1, rc, c.Mem)
 	consumers = append(consumers, byteCol)
+	var halfCol *activity.Collector
+	if *jsonOut {
+		// The shared schema reports both granularities.
+		halfCol = activity.NewCollector(2, rc, c.Mem)
+		consumers = append(consumers, halfCol)
+	}
 
 	if err := trace.RunOn(c, b, rc, consumers...); err != nil {
 		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		br := experiments.BenchResult{
+			Name:    b.Name,
+			Insts:   c.Retired,
+			CPI:     make(map[string]float64),
+			ByteAct: byteCol.Counts(),
+			HalfAct: halfCol.Counts(),
+		}
+		for _, m := range models {
+			br.CPI[m.Name()] = m.Result().CPI()
+		}
+		out, err := json.MarshalIndent(experiments.EncodeBench(br), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
 	}
 
 	fmt.Printf("benchmark %s: %d instructions, checksum %#08x verified\n\n",

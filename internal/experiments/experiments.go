@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -54,67 +55,108 @@ var (
 // Run executes the complete evaluation once per process and caches it.
 func Run() (*Results, error) {
 	once.Do(func() {
-		results, loadErr = runAll()
+		results, loadErr = runAll(context.Background())
 	})
 	return results, loadErr
 }
 
-func runAll() (*Results, error) {
-	suite := bench.All()
-	rc, functs, err := trace.SuiteRecoder(suite)
-	if err != nil {
-		return nil, err
-	}
-	res := &Results{
-		Recoder:    rc,
-		Functs:     functs,
+// SuiteCollectors bundles the suite-level trace consumers a full evaluation
+// accumulates across every benchmark (pattern, fetch, partition, and
+// 64-bit-projection statistics plus the Brooks-Martonosi baselines).
+// Standalone per-benchmark runs (the serving layer) pass nil and skip them.
+type SuiteCollectors struct {
+	Patterns   *activity.PatternStats
+	Fetch      *activity.FetchStats
+	Partitions *activity.PartitionStats
+	Width64    *activity.Width64Stats
+	BM         map[string]*bmgating.Collector
+}
+
+// NewSuiteCollectors builds an empty set of suite-level collectors.
+func NewSuiteCollectors() *SuiteCollectors {
+	return &SuiteCollectors{
 		Patterns:   activity.NewPatternStats(),
 		Fetch:      &activity.FetchStats{},
 		Partitions: activity.NewPartitionStats(),
 		Width64:    activity.NewWidth64Stats(),
 		BM:         make(map[string]*bmgating.Collector),
 	}
+}
+
+// RunBenchCtx executes one benchmark through every pipeline model (including
+// the branch-prediction ablation variants) and every activity collector,
+// honoring ctx cancellation, and returns its BenchResult. When suite is
+// non-nil the suite-level collectors accumulate this benchmark's trace too.
+// This is the per-benchmark unit of work the full evaluation loops over and
+// the serving layer (internal/simsvc) reuses instead of recomputing runAll.
+func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
+	c, err := b.NewCPU()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	models := pipeline.NewAll()
+	// Branch-prediction ablation (the paper's §3 future-work item) on
+	// three representative designs.
+	for _, n := range []string{
+		pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelSkewedBypass,
+	} {
+		models = append(models, pipeline.NewPredicted(n))
+	}
+	byteCol := activity.NewCollector(1, rc, c.Mem)
+	halfCol := activity.NewCollector(2, rc, c.Mem)
+	twoBitCol := activity.NewCollectorScheme(1, activity.Scheme2, rc, c.Mem)
+	consumers := []trace.Consumer{byteCol, halfCol, twoBitCol}
+	if suite != nil {
+		bmCol := bmgating.NewCollector()
+		suite.BM[b.Name] = bmCol
+		consumers = append(consumers, suite.Patterns, suite.Fetch, suite.Partitions, suite.Width64, bmCol)
+	}
+	for _, m := range models {
+		consumers = append(consumers, m)
+	}
+	if err := trace.RunOnCtx(ctx, c, b, rc, consumers...); err != nil {
+		return BenchResult{}, err
+	}
+	br := BenchResult{
+		Name:       b.Name,
+		Insts:      c.Retired,
+		CPI:        make(map[string]float64),
+		Stalls:     make(map[string]map[pipeline.StallKind]uint64),
+		ByteAct:    byteCol.Counts(),
+		HalfAct:    halfCol.Counts(),
+		Scheme2Act: twoBitCol.Counts(),
+	}
+	for _, m := range models {
+		r := m.Result()
+		br.CPI[m.Name()] = r.CPI()
+		br.Stalls[m.Name()] = r.Stalls
+		if m.PredictorAccuracy() > 0 && m.Name() == pipeline.NameBaseline32+"+bp" {
+			br.PredAcc = m.PredictorAccuracy()
+		}
+	}
+	return br, nil
+}
+
+func runAll(ctx context.Context) (*Results, error) {
+	suite := bench.All()
+	rc, functs, err := trace.SuiteRecoder(suite)
+	if err != nil {
+		return nil, err
+	}
+	collectors := NewSuiteCollectors()
+	res := &Results{
+		Recoder:    rc,
+		Functs:     functs,
+		Patterns:   collectors.Patterns,
+		Fetch:      collectors.Fetch,
+		Partitions: collectors.Partitions,
+		Width64:    collectors.Width64,
+		BM:         collectors.BM,
+	}
 	for _, b := range suite {
-		c, err := b.NewCPU()
+		br, err := RunBenchCtx(ctx, b, rc, collectors)
 		if err != nil {
 			return nil, err
-		}
-		models := pipeline.NewAll()
-		// Branch-prediction ablation (the paper's §3 future-work item) on
-		// three representative designs.
-		for _, n := range []string{
-			pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelSkewedBypass,
-		} {
-			models = append(models, pipeline.NewPredicted(n))
-		}
-		byteCol := activity.NewCollector(1, rc, c.Mem)
-		halfCol := activity.NewCollector(2, rc, c.Mem)
-		twoBitCol := activity.NewCollectorScheme(1, activity.Scheme2, rc, c.Mem)
-		bmCol := bmgating.NewCollector()
-		res.BM[b.Name] = bmCol
-		consumers := []trace.Consumer{byteCol, halfCol, twoBitCol, res.Patterns, res.Fetch, res.Partitions, res.Width64, bmCol}
-		for _, m := range models {
-			consumers = append(consumers, m)
-		}
-		if err := trace.RunOn(c, b, rc, consumers...); err != nil {
-			return nil, err
-		}
-		br := BenchResult{
-			Name:       b.Name,
-			Insts:      c.Retired,
-			CPI:        make(map[string]float64),
-			Stalls:     make(map[string]map[pipeline.StallKind]uint64),
-			ByteAct:    byteCol.Counts(),
-			HalfAct:    halfCol.Counts(),
-			Scheme2Act: twoBitCol.Counts(),
-		}
-		for _, m := range models {
-			r := m.Result()
-			br.CPI[m.Name()] = r.CPI()
-			br.Stalls[m.Name()] = r.Stalls
-			if m.PredictorAccuracy() > 0 && m.Name() == pipeline.NameBaseline32+"+bp" {
-				br.PredAcc = m.PredictorAccuracy()
-			}
 		}
 		res.Bench = append(res.Bench, br)
 	}

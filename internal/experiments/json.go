@@ -9,17 +9,21 @@ import (
 	"repro/internal/pcincr"
 )
 
-// jsonResults is the machine-readable export of a full evaluation.
-type jsonResults struct {
-	Benchmarks []jsonBench        `json:"benchmarks"`
-	Patterns   []jsonPattern      `json:"significantBytePatterns"`
+// JSONResults is the machine-readable export of a full evaluation — the one
+// schema shared by the sigsim CLI (-json), the sigtables exporter, and the
+// sigserve service.
+type JSONResults struct {
+	Benchmarks []BenchJSON        `json:"benchmarks"`
+	Patterns   []PatternJSON      `json:"significantBytePatterns"`
 	PCIncr     []pcincr.TableRow  `json:"pcIncrementModel"`
-	Functs     []jsonFunct        `json:"functProfile"`
-	Fetch      jsonFetch          `json:"instructionCompression"`
-	Partitions []jsonPartitionRow `json:"partitionAblation"`
+	Functs     []FunctJSON        `json:"functProfile"`
+	Fetch      FetchJSON          `json:"instructionCompression"`
+	Partitions []PartitionRowJSON `json:"partitionAblation"`
 }
 
-type jsonBench struct {
+// BenchJSON is the machine-readable result of one benchmark: CPI per
+// pipeline model and per-stage activity savings at both granularities.
+type BenchJSON struct {
 	Name       string             `json:"name"`
 	Insts      uint64             `json:"instructions"`
 	CPI        map[string]float64 `json:"cpi"`
@@ -28,32 +32,37 @@ type jsonBench struct {
 	PredictAcc float64            `json:"branchPredictorAccuracy"`
 }
 
-type jsonPattern struct {
+// PatternJSON is one row of the Table 1 significant-byte-pattern profile.
+type PatternJSON struct {
 	Pattern    string  `json:"pattern"`
 	Percent    float64 `json:"percent"`
 	Cumulative float64 `json:"cumulative"`
 	TwoBitOK   bool    `json:"twoBitEncodable"`
 }
 
-type jsonFunct struct {
+// FunctJSON is one row of the Table 3 dynamic function-code profile.
+type FunctJSON struct {
 	Funct   string  `json:"funct"`
 	Percent float64 `json:"percent"`
 	Compact bool    `json:"recodedCompact"`
 }
 
-type jsonFetch struct {
+// FetchJSON carries the §2.3 instruction-compression summary numbers.
+type FetchJSON struct {
 	MeanBytes        float64 `json:"meanBytesPerInstruction"`
 	MeanBytesWithExt float64 `json:"meanBytesWithExtensionBit"`
 	ThreeByteShare   float64 `json:"threeByteShare"`
 }
 
-type jsonPartitionRow struct {
+// PartitionRowJSON is one row of the register-partitioning ablation.
+type PartitionRowJSON struct {
 	Partition string  `json:"partition"`
 	MeanBits  float64 `json:"meanBitsPerValue"`
 	Saving    float64 `json:"savingPercent"`
 }
 
-func savingMap(c activity.Counts) map[string]float64 {
+// SavingMap renders per-stage activity reductions as a stage-keyed map.
+func SavingMap(c activity.Counts) map[string]float64 {
 	out := make(map[string]float64, 8)
 	row := c.Row()
 	for i, s := range activity.Stages() {
@@ -62,21 +71,35 @@ func savingMap(c activity.Counts) map[string]float64 {
 	return out
 }
 
-// JSON renders the complete evaluation as indented JSON.
-func (r *Results) JSON() ([]byte, error) {
-	out := jsonResults{PCIncr: pcincr.Table2()}
+// EncodeBench converts one benchmark's results to the shared JSON schema.
+func EncodeBench(b BenchResult) BenchJSON {
+	return BenchJSON{
+		Name:       b.Name,
+		Insts:      b.Insts,
+		CPI:        b.CPI,
+		ByteSaving: SavingMap(b.ByteAct),
+		HalfSaving: SavingMap(b.HalfAct),
+		PredictAcc: b.PredAcc,
+	}
+}
+
+// pct returns 100*n/d, 0 when the denominator is empty (keeps the encoding
+// NaN-free, which encoding/json rejects).
+func pct(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// Encode converts the complete evaluation to the shared JSON schema.
+func (r *Results) Encode() *JSONResults {
+	out := &JSONResults{PCIncr: pcincr.Table2()}
 	for _, b := range r.Bench {
-		out.Benchmarks = append(out.Benchmarks, jsonBench{
-			Name:       b.Name,
-			Insts:      b.Insts,
-			CPI:        b.CPI,
-			ByteSaving: savingMap(b.ByteAct),
-			HalfSaving: savingMap(b.HalfAct),
-			PredictAcc: b.PredAcc,
-		})
+		out.Benchmarks = append(out.Benchmarks, EncodeBench(b))
 	}
 	for _, p := range r.Patterns.Rows() {
-		out.Patterns = append(out.Patterns, jsonPattern{
+		out.Patterns = append(out.Patterns, PatternJSON{
 			Pattern: p.Pattern, Percent: p.Percent,
 			Cumulative: p.Cumulative, TwoBitOK: p.TwoBitOK,
 		})
@@ -86,22 +109,37 @@ func (r *Results) JSON() ([]byte, error) {
 		total += n
 	}
 	for _, fn := range icomp.TopFuncts(r.Functs, 64) {
-		out.Functs = append(out.Functs, jsonFunct{
+		out.Functs = append(out.Functs, FunctJSON{
 			Funct:   isa.FunctName(fn),
-			Percent: 100 * float64(r.Functs[fn]) / float64(total),
+			Percent: pct(r.Functs[fn], total),
 			Compact: r.Recoder.IsCompact(fn),
 		})
 	}
 	f := r.Fetch
-	out.Fetch = jsonFetch{
+	out.Fetch = FetchJSON{
 		MeanBytes:        f.MeanBytes(),
 		MeanBytesWithExt: f.MeanBytesWithExt(),
-		ThreeByteShare:   100 * float64(f.ThreeByte) / float64(f.Insts),
+		ThreeByteShare:   pct(f.ThreeByte, f.Insts),
 	}
 	for _, row := range r.Partitions.Rows() {
-		out.Partitions = append(out.Partitions, jsonPartitionRow{
+		out.Partitions = append(out.Partitions, PartitionRowJSON{
 			Partition: row.Name, MeanBits: row.MeanBits, Saving: row.Saving,
 		})
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// JSON renders the complete evaluation as indented JSON.
+func (r *Results) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Encode(), "", "  ")
+}
+
+// DecodeJSON parses data produced by Results.JSON back into the shared
+// schema, so downstream tooling can consume saved evaluations.
+func DecodeJSON(data []byte) (*JSONResults, error) {
+	var out JSONResults
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// fakeResults builds a small synthetic evaluation: two benchmarks, a couple
+// of function codes, and non-zero fetch statistics — enough to exercise
+// every section of the JSON schema without running the 30-second suite.
+func fakeResults(t *testing.T) *Results {
+	t.Helper()
+	act := activity.Counts{Insts: 100}
+	act.Fetch.Baseline = 3200
+	act.Fetch.Compressed = 2400
+	act.ALU.Baseline = 1000
+	act.ALU.Compressed = 400
+	return &Results{
+		Recoder: icomp.MustNewRecoder(icomp.DefaultTopFuncts()),
+		Functs: map[isa.Funct]uint64{
+			isa.FnADDU: 75,
+			isa.FnSLL:  25,
+		},
+		Bench: []BenchResult{
+			{
+				Name:  "fake1",
+				Insts: 100,
+				CPI: map[string]float64{
+					pipeline.NameBaseline32: 1.25,
+					pipeline.NameByteSerial: 2.5,
+				},
+				ByteAct: act,
+				HalfAct: act,
+			},
+			{
+				Name:    "fake2",
+				Insts:   200,
+				CPI:     map[string]float64{pipeline.NameBaseline32: 1.5},
+				PredAcc: 0.875,
+			},
+		},
+		Patterns:   activity.NewPatternStats(),
+		Fetch:      &activity.FetchStats{Insts: 100, Bytes: 317, ThreeByte: 83},
+		Partitions: activity.NewPartitionStats(),
+		Width64:    activity.NewWidth64Stats(),
+	}
+}
+
+// TestJSONRoundTrip asserts Results.JSON → DecodeJSON reproduces the encoded
+// form exactly: the schema survives a full encode/decode cycle.
+func TestJSONRoundTrip(t *testing.T) {
+	r := fakeResults(t)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	got, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	want := r.Encode()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// A second encode of the decoded form must be byte-identical.
+	again, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Error("re-encoded JSON differs from the original encoding")
+	}
+}
+
+// TestJSONBenchFields spot-checks the encoded per-benchmark values.
+func TestJSONBenchFields(t *testing.T) {
+	r := fakeResults(t)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Benchmarks) != 2 {
+		t.Fatalf("decoded %d benchmarks, want 2", len(dec.Benchmarks))
+	}
+	b := dec.Benchmarks[0]
+	if b.Name != "fake1" || b.Insts != 100 {
+		t.Errorf("bench[0] = %s/%d, want fake1/100", b.Name, b.Insts)
+	}
+	if b.CPI[pipeline.NameByteSerial] != 2.5 {
+		t.Errorf("byteserial CPI = %v, want 2.5", b.CPI[pipeline.NameByteSerial])
+	}
+	if got := b.ByteSaving["Fetch"]; got != 25 {
+		t.Errorf("Fetch saving = %v, want 25", got)
+	}
+	if got := b.ByteSaving["ALU"]; got != 60 {
+		t.Errorf("ALU saving = %v, want 60", got)
+	}
+	if dec.Benchmarks[1].PredictAcc != 0.875 {
+		t.Errorf("PredictAcc = %v, want 0.875", dec.Benchmarks[1].PredictAcc)
+	}
+	if dec.Fetch.ThreeByteShare != 83 {
+		t.Errorf("ThreeByteShare = %v, want 83", dec.Fetch.ThreeByteShare)
+	}
+	// Dynamic funct profile: addu dominates and is in the compact set.
+	if len(dec.Functs) != 2 {
+		t.Fatalf("decoded %d functs, want 2", len(dec.Functs))
+	}
+	if dec.Functs[0].Funct != "addu" || dec.Functs[0].Percent != 75 || !dec.Functs[0].Compact {
+		t.Errorf("functs[0] = %+v, want addu/75/compact", dec.Functs[0])
+	}
+}
+
+// TestEncodeBenchSharedSchema asserts the per-bench encoder (used by the
+// sigsim -json flag and the sigserve service) matches the full encoding.
+func TestEncodeBenchSharedSchema(t *testing.T) {
+	r := fakeResults(t)
+	full := r.Encode()
+	for i, b := range r.Bench {
+		if !reflect.DeepEqual(EncodeBench(b), full.Benchmarks[i]) {
+			t.Errorf("EncodeBench(%s) differs from full encoding", b.Name)
+		}
+	}
+}

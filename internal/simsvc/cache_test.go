@@ -1,0 +1,69 @@
+package simsvc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	r := func(name string) *Response { return &Response{Bench: name} }
+	if evicted := c.add("a", r("a")); evicted {
+		t.Fatal("eviction below capacity")
+	}
+	c.add("b", r("b"))
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if evicted := c.add("c", r("c")); !evicted {
+		t.Fatal("no eviction above capacity")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived, but it was least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUOverwrite(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", &Response{Bench: "old"})
+	c.add("a", &Response{Bench: "new"})
+	got, ok := c.get("a")
+	if !ok || got.Bench != "new" {
+		t.Fatalf("got %+v", got)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				k := fmt.Sprintf("k%d", (i+j)%12)
+				c.add(k, &Response{Bench: k})
+				if resp, ok := c.get(k); ok && resp.Bench != k {
+					t.Errorf("key %s returned %s", k, resp.Bench)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.len() > 8 {
+		t.Fatalf("len = %d exceeds capacity", c.len())
+	}
+}

@@ -1,0 +1,52 @@
+package simsvc
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key (a minimal singleflight):
+// the first caller for a key becomes the leader and runs fn; callers that
+// arrive while the leader is in flight wait for its result instead of
+// re-running the simulation. Followers stop waiting when their own context
+// is cancelled; the leader's execution is governed by the leader's context.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per in-flight key. It returns the result, and shared=true
+// when this caller waited on another caller's execution.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, error)) (resp *Response, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.resp, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.resp, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, false, c.err
+}

@@ -1,0 +1,209 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// statusClientClosedRequest is nginx's non-standard code for a client that
+// went away mid-request; it keeps cancellations distinguishable from
+// server-side failures in access logs.
+const statusClientClosedRequest = 499
+
+// NewHandler builds the sigserve HTTP API around s:
+//
+//	GET  /healthz            liveness + uptime
+//	GET  /metrics            counters and latency registry (JSON)
+//	GET  /v1/benchmarks      served workload suite
+//	GET  /v1/models          servable pipeline models
+//	GET  /v1/simulate        one job (?bench=&model=&gran=); POST takes a JSON Request
+//	GET  /v1/sweep           (benchmark × model) grid streamed as NDJSON (?gran=&bench=a,b&model=x,y)
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status":        "ok",
+			"uptimeSeconds": s.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Snapshot
+			Workers       int     `json:"workers"`
+			CacheEntries  int     `json:"cacheEntries"`
+			UptimeSeconds float64 `json:"uptimeSeconds"`
+		}{s.Metrics().Snapshot(), s.Workers(), s.CacheLen(), s.Uptime().Seconds()})
+	})
+	mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		type benchInfo struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		}
+		out := make([]benchInfo, 0, len(s.Benchmarks()))
+		for _, b := range s.Benchmarks() {
+			out = append(out, benchInfo{Name: b.Name, Description: b.Description})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Models())
+	})
+	mux.HandleFunc("GET /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		req, err := requestFromQuery(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		serveSimulate(s, w, r.Context(), req)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, invalidf("bad request body: %v", err))
+			return
+		}
+		serveSimulate(s, w, r.Context(), req)
+	})
+	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		serveSweep(s, w, r)
+	})
+	return mux
+}
+
+// fixModelName undoes '+'-as-space query decoding: model names contain a
+// literal '+' ("skewed+bypass") and never a space, so a client that didn't
+// percent-encode still gets the model it asked for.
+func fixModelName(m string) string { return strings.ReplaceAll(m, " ", "+") }
+
+func requestFromQuery(r *http.Request) (Request, error) {
+	q := r.URL.Query()
+	req := Request{Bench: q.Get("bench"), Model: fixModelName(q.Get("model"))}
+	if g := q.Get("gran"); g != "" {
+		n, err := strconv.Atoi(g)
+		if err != nil {
+			return req, invalidf("bad granularity %q", g)
+		}
+		req.Gran = n
+	}
+	return req, nil
+}
+
+func serveSimulate(s *Service, w http.ResponseWriter, ctx context.Context, req Request) {
+	resp, err := s.Simulate(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveSweep streams one NDJSON line per completed job, then a final
+// {"summary": ...} line.
+func serveSweep(s *Service, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	gran := 0
+	if g := q.Get("gran"); g != "" {
+		n, err := strconv.Atoi(g)
+		if err != nil {
+			writeError(w, invalidf("bad granularity %q", g))
+			return
+		}
+		gran = n
+	}
+	benches := splitList(q.Get("bench"))
+	models := splitList(q.Get("model"))
+	for i, m := range models {
+		models[i] = fixModelName(m)
+	}
+
+	// Validate before committing to the streaming content type so bad
+	// requests still get a clean 400.
+	for _, bn := range benchesOrAll(s, benches) {
+		for _, mn := range modelsOrAll(s, models) {
+			if _, err := s.validate(Request{Bench: bn, Model: mn, Gran: gran}); err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	summary, err := s.Sweep(r.Context(), gran, benches, models, func(resp *Response) error {
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Headers are already out; terminate the stream with an error line.
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(map[string]*SweepSummary{"summary": summary})
+}
+
+func benchesOrAll(s *Service, benches []string) []string {
+	if len(benches) > 0 {
+		return benches
+	}
+	out := make([]string, 0, len(s.Benchmarks()))
+	for _, b := range s.Benchmarks() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func modelsOrAll(s *Service, models []string) []string {
+	if len(models) > 0 {
+		return models
+	}
+	return s.Models()
+}
+
+func splitList(v string) []string {
+	if v == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var inv *InvalidRequestError
+	switch {
+	case errors.As(err, &inv):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,249 @@
+package simsvc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func testServer(t *testing.T, benchNames ...string) (*Service, *httptest.Server) {
+	t.Helper()
+	s := testService(t, Config{Workers: 4}, benchNames...)
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp
+}
+
+func TestHTTPHealthAndCatalog(t *testing.T) {
+	_, srv := testServer(t)
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != 200 || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+
+	var models []string
+	getJSON(t, srv.URL+"/v1/models", &models)
+	if len(models) != len(pipeline.AllNames()) {
+		t.Fatalf("models: %v", models)
+	}
+
+	var benches []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	getJSON(t, srv.URL+"/v1/benchmarks", &benches)
+	if len(benches) != 1 || benches[0].Name != "g711dec" || benches[0].Description == "" {
+		t.Fatalf("benchmarks: %+v", benches)
+	}
+}
+
+func TestHTTPSimulate(t *testing.T) {
+	_, srv := testServer(t)
+	url := srv.URL + "/v1/simulate?bench=g711dec&model=" + pipeline.NameBaseline32
+
+	var first Response
+	if resp := getJSON(t, url, &first); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if first.CPI <= 0 || first.Cached {
+		t.Fatalf("first: %+v", first)
+	}
+
+	var second Response
+	getJSON(t, url, &second)
+	if !second.Cached {
+		t.Fatal("second request not served from cache")
+	}
+	if second.CPI != first.CPI || second.Cycles != first.Cycles {
+		t.Fatal("cached result differs")
+	}
+
+	// POST body form of the same request is the same cache entry.
+	body, _ := json.Marshal(Request{Bench: "g711dec", Model: pipeline.NameBaseline32})
+	resp, err := http.Post(srv.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var third Response
+	if err := json.NewDecoder(resp.Body).Decode(&third); err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Fatal("POST request missed the cache")
+	}
+
+	var metrics struct {
+		Snapshot
+		Workers      int `json:"workers"`
+		CacheEntries int `json:"cacheEntries"`
+	}
+	getJSON(t, srv.URL+"/metrics", &metrics)
+	if metrics.Executions != 1 || metrics.CacheHits != 2 || metrics.CacheEntries != 1 {
+		t.Fatalf("metrics: %+v", metrics)
+	}
+	if metrics.Workers != 4 {
+		t.Fatalf("workers = %d", metrics.Workers)
+	}
+}
+
+func TestHTTPSimulateErrors(t *testing.T) {
+	_, srv := testServer(t)
+	cases := map[string]int{
+		"/v1/simulate?bench=nope":                            http.StatusBadRequest,
+		"/v1/simulate?bench=g711dec&model=nope":              http.StatusBadRequest,
+		"/v1/simulate?bench=g711dec&gran=9&model=baseline32": http.StatusBadRequest,
+		"/v1/simulate?bench=g711dec&gran=x&model=baseline32": http.StatusBadRequest,
+	}
+	for url, want := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if resp := getJSON(t, srv.URL+url, &e); resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", url, resp.StatusCode, want)
+		} else if e.Error == "" {
+			t.Errorf("%s: no error body", url)
+		}
+	}
+}
+
+// Model names contain a literal '+' ("skewed+bypass"); both the
+// percent-encoded and the naive form must resolve to the same model.
+func TestHTTPModelPlusEncoding(t *testing.T) {
+	_, srv := testServer(t)
+	for _, q := range []string{"skewed%2Bbypass", "skewed+bypass"} {
+		var r Response
+		if resp := getJSON(t, srv.URL+"/v1/simulate?bench=g711dec&model="+q, &r); resp.StatusCode != 200 {
+			t.Errorf("model=%s: status %d", q, resp.StatusCode)
+		} else if r.Model != pipeline.NameParallelSkewedBypass {
+			t.Errorf("model=%s resolved to %q", q, r.Model)
+		}
+	}
+}
+
+func TestHTTPSweepNDJSON(t *testing.T) {
+	_, srv := testServer(t, "g711dec", "g711enc")
+	models := pipeline.NameBaseline32 + "," + pipeline.NameByteSerial
+	resp, err := http.Get(srv.URL + "/v1/sweep?model=" + models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var jobs []Response
+	var summary *SweepSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var wrapped struct {
+			Summary *SweepSummary `json:"summary"`
+		}
+		if err := json.Unmarshal(line, &wrapped); err == nil && wrapped.Summary != nil {
+			summary = wrapped.Summary
+			continue
+		}
+		var r Response
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad line %s: %v", line, err)
+		}
+		jobs = append(jobs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("streamed %d jobs, want 4", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Error != "" || j.CPI <= 0 {
+			t.Fatalf("bad job line: %+v", j)
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary line")
+	}
+	if summary.Jobs != 4 || summary.Failed != 0 {
+		t.Fatalf("summary: %+v", summary)
+	}
+	if summary.CPITable.Title == "" || len(summary.CPITable.Rows) != 3 {
+		t.Fatalf("summary table: %+v", summary.CPITable)
+	}
+}
+
+func TestHTTPSweepBadRequest(t *testing.T) {
+	_, srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/sweep?model=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// Eight-plus concurrent HTTP clients on one key: the HTTP layer must ride
+// the same singleflight path as direct Simulate calls.
+func TestHTTPConcurrentSimulate(t *testing.T) {
+	s, srv := testServer(t)
+	url := fmt.Sprintf("%s/v1/simulate?bench=g711dec&model=%s", srv.URL, pipeline.NameByteSerial)
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				body, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics().Snapshot(); m.Executions != 1 {
+		t.Fatalf("executions = %d, want 1", m.Executions)
+	}
+}

@@ -1,0 +1,84 @@
+package simsvc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's counter and latency registry. All methods are
+// safe for concurrent use; the exported view is an immutable Snapshot.
+type Metrics struct {
+	requests       atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheEvictions atomic.Uint64
+	executions     atomic.Uint64
+	flightShared   atomic.Uint64
+	failures       atomic.Uint64
+	invalid        atomic.Uint64
+
+	mu       sync.Mutex
+	latCount uint64
+	latSum   float64
+	latMin   float64
+	latMax   float64
+}
+
+// observeLatency records one successful simulation's wall-clock time.
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latCount == 0 || ms < m.latMin {
+		m.latMin = ms
+	}
+	if ms > m.latMax {
+		m.latMax = ms
+	}
+	m.latCount++
+	m.latSum += ms
+}
+
+// LatencySnapshot summarizes observed simulation latencies in milliseconds.
+type LatencySnapshot struct {
+	Count      uint64  `json:"count"`
+	MeanMillis float64 `json:"meanMillis"`
+	MinMillis  float64 `json:"minMillis"`
+	MaxMillis  float64 `json:"maxMillis"`
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-ready for the
+// /metrics endpoint.
+type Snapshot struct {
+	Requests        uint64          `json:"requests"`
+	CacheHits       uint64          `json:"cacheHits"`
+	CacheMisses     uint64          `json:"cacheMisses"`
+	CacheEvictions  uint64          `json:"cacheEvictions"`
+	Executions      uint64          `json:"executions"`
+	FlightShared    uint64          `json:"flightShared"`
+	Failures        uint64          `json:"failures"`
+	InvalidRequests uint64          `json:"invalidRequests"`
+	SimLatency      LatencySnapshot `json:"simulationLatency"`
+}
+
+// Snapshot returns a consistent copy of the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:        m.requests.Load(),
+		CacheHits:       m.cacheHits.Load(),
+		CacheMisses:     m.cacheMisses.Load(),
+		CacheEvictions:  m.cacheEvictions.Load(),
+		Executions:      m.executions.Load(),
+		FlightShared:    m.flightShared.Load(),
+		Failures:        m.failures.Load(),
+		InvalidRequests: m.invalid.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.SimLatency = LatencySnapshot{Count: m.latCount, MinMillis: m.latMin, MaxMillis: m.latMax}
+	if m.latCount > 0 {
+		s.SimLatency.MeanMillis = m.latSum / float64(m.latCount)
+	}
+	return s
+}

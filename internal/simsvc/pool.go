@@ -1,0 +1,67 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned for work submitted after the service shut down.
+var ErrClosed = errors.New("simsvc: service closed")
+
+// pool is a bounded worker pool: a fixed set of goroutines draining an
+// unbuffered job queue, so at most `workers` simulations run at once no
+// matter how many requests are in flight.
+type pool struct {
+	jobs chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+func newPool(workers int) *pool {
+	p := &pool{jobs: make(chan func()), quit: make(chan struct{})}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case fn := <-p.jobs:
+					fn()
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// do hands fn to a worker and waits for it to finish. It gives up (without
+// running fn) when ctx is cancelled or the pool closes before a worker
+// becomes free.
+func (p *pool) do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	wrapped := func() {
+		defer close(done)
+		fn()
+	}
+	select {
+	case p.jobs <- wrapped: // unbuffered: a worker has accepted the job
+	case <-p.quit:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	<-done
+	return nil
+}
+
+// close stops the workers after their current jobs finish.
+func (p *pool) close() {
+	p.once.Do(func() {
+		close(p.quit)
+		p.wg.Wait()
+	})
+}

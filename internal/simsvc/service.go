@@ -1,0 +1,302 @@
+// Package simsvc is the concurrent simulation service behind cmd/sigserve:
+// it wraps the trace/pipeline/activity/experiments layers behind a Service
+// that fans (benchmark × model) jobs across a bounded worker pool, caches
+// results in an LRU keyed by (bench, model, granularity), deduplicates
+// concurrent identical requests through a singleflight group, threads
+// request-scoped context cancellation into the trace run loop, and keeps a
+// counters/latency metrics registry. It is the seam future scaling work
+// (sharding, batching, multi-backend) plugs into.
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/icomp"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// DefaultCacheSize is the LRU capacity when Config.CacheSize is zero.
+const DefaultCacheSize = 128
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU result-cache capacity (default DefaultCacheSize).
+	CacheSize int
+	// Timeout bounds each simulation request (0 = no service-side limit).
+	Timeout time.Duration
+	// Benchmarks restricts the served suite (default bench.All()). The
+	// instruction recoder is profiled over exactly this suite.
+	Benchmarks []bench.Benchmark
+}
+
+// Service executes significance-compression simulations on demand.
+type Service struct {
+	workers int
+	timeout time.Duration
+	benches []bench.Benchmark
+	byName  map[string]bench.Benchmark
+
+	pool    *pool
+	cache   *lruCache
+	flight  *flightGroup
+	metrics Metrics
+	start   time.Time
+	closed  atomic.Bool
+
+	rcOnce sync.Once
+	rc     *icomp.Recoder
+	rcErr  error
+}
+
+// New builds a Service from cfg, applying defaults for zero fields.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.Benchmarks == nil {
+		cfg.Benchmarks = bench.All()
+	}
+	s := &Service{
+		workers: cfg.Workers,
+		timeout: cfg.Timeout,
+		benches: cfg.Benchmarks,
+		byName:  make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
+		pool:    newPool(cfg.Workers),
+		cache:   newLRU(cfg.CacheSize),
+		flight:  newFlightGroup(),
+		start:   time.Now(),
+	}
+	for _, b := range cfg.Benchmarks {
+		s.byName[b.Name] = b
+	}
+	return s
+}
+
+// Close stops the worker pool; in-flight jobs finish first.
+func (s *Service) Close() {
+	s.closed.Store(true)
+	s.pool.close()
+}
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// Benchmarks returns the served suite.
+func (s *Service) Benchmarks() []bench.Benchmark { return s.benches }
+
+// Models returns the servable pipeline-model names.
+func (s *Service) Models() []string { return pipeline.AllNames() }
+
+// Metrics returns the live metrics registry.
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// CacheLen returns the number of cached results.
+func (s *Service) CacheLen() int { return s.cache.len() }
+
+// recoder lazily builds the profile-driven instruction recoder over the
+// served suite, once per Service.
+func (s *Service) recoder() (*icomp.Recoder, error) {
+	s.rcOnce.Do(func() {
+		s.rc, _, s.rcErr = trace.SuiteRecoder(s.benches)
+	})
+	return s.rc, s.rcErr
+}
+
+// Request identifies one simulation job.
+type Request struct {
+	// Bench names the benchmark (see Service.Benchmarks).
+	Bench string `json:"bench"`
+	// Model names the pipeline model; empty runs the full per-benchmark
+	// evaluation (every model and collector, experiments.RunBenchCtx).
+	Model string `json:"model,omitempty"`
+	// Gran is the activity-collector granularity: 1 = byte (default),
+	// 2 = halfword. Ignored (both collected) for full evaluations.
+	Gran int `json:"granularity,omitempty"`
+}
+
+// key is the cache/singleflight identity of the request.
+func (r Request) key() string { return fmt.Sprintf("%s|%s|%d", r.Bench, r.Model, r.Gran) }
+
+// Response is one simulation result. A Response served from the cache or a
+// shared singleflight execution carries identical measurement fields
+// (ElapsedMS is always the underlying simulation's execution time); only
+// Cached is per-serve.
+type Response struct {
+	Bench       string                 `json:"bench"`
+	Model       string                 `json:"model,omitempty"`
+	Granularity int                    `json:"granularity,omitempty"`
+	Insts       uint64                 `json:"instructions"`
+	Cycles      uint64                 `json:"cycles,omitempty"`
+	CPI         float64                `json:"cpi,omitempty"`
+	Stalls      map[string]uint64      `json:"stalls,omitempty"`
+	Activity    map[string]float64     `json:"activitySaving,omitempty"`
+	Full        *experiments.BenchJSON `json:"full,omitempty"`
+	Cached      bool                   `json:"cached"`
+	ElapsedMS   float64                `json:"elapsedMillis"`
+	Error       string                 `json:"error,omitempty"` // sweep stream only
+}
+
+// InvalidRequestError reports a malformed or unknown-entity request; the
+// HTTP layer maps it to 400.
+type InvalidRequestError struct{ Reason string }
+
+func (e *InvalidRequestError) Error() string { return "simsvc: " + e.Reason }
+
+func invalidf(format string, args ...interface{}) error {
+	return &InvalidRequestError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// validate checks req against the served suite and returns its normalized
+// form (granularity defaulted, full-evaluation requests canonicalized).
+func (s *Service) validate(req Request) (Request, error) {
+	if _, ok := s.byName[req.Bench]; !ok {
+		return req, invalidf("unknown benchmark %q", req.Bench)
+	}
+	if req.Model == "" {
+		req.Gran = 0 // full evaluation collects both granularities
+		return req, nil
+	}
+	if pipeline.New(req.Model) == nil {
+		return req, invalidf("unknown model %q", req.Model)
+	}
+	switch req.Gran {
+	case 0:
+		req.Gran = 1
+	case 1, 2:
+	default:
+		return req, invalidf("granularity %d not in {1,2}", req.Gran)
+	}
+	return req, nil
+}
+
+// serveCopy returns a per-serve copy of a canonical response.
+func serveCopy(r *Response, cached bool) *Response {
+	cp := *r
+	cp.Cached = cached
+	return &cp
+}
+
+// Simulate runs (or serves from cache) one simulation job. Identical
+// concurrent requests share a single underlying trace execution.
+func (s *Service) Simulate(ctx context.Context, req Request) (*Response, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	req, err := s.validate(req)
+	if err != nil {
+		s.metrics.invalid.Add(1)
+		return nil, err
+	}
+	s.metrics.requests.Add(1)
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	key := req.key()
+	if resp, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return serveCopy(resp, true), nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	resp, shared, err := s.flight.do(ctx, key, func() (*Response, error) {
+		var out *Response
+		var runErr error
+		if poolErr := s.pool.do(ctx, func() {
+			out, runErr = s.execute(ctx, req)
+		}); poolErr != nil {
+			return nil, poolErr
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		if s.cache.add(key, out) { // errors are never cached
+			s.metrics.cacheEvictions.Add(1)
+		}
+		return out, nil
+	})
+	if shared {
+		s.metrics.flightShared.Add(1)
+	}
+	if err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.failures.Add(1)
+		}
+		return nil, err
+	}
+	return serveCopy(resp, false), nil
+}
+
+// execute performs the actual trace run for req on the calling (worker)
+// goroutine.
+func (s *Service) execute(ctx context.Context, req Request) (*Response, error) {
+	rc, err := s.recoder()
+	if err != nil {
+		return nil, err
+	}
+	b := s.byName[req.Bench]
+	s.metrics.executions.Add(1)
+	start := time.Now()
+
+	if req.Model == "" {
+		br, err := experiments.RunBenchCtx(ctx, b, rc, nil)
+		if err != nil {
+			return nil, err
+		}
+		full := experiments.EncodeBench(br)
+		elapsed := time.Since(start)
+		s.metrics.observeLatency(elapsed)
+		return &Response{
+			Bench:     b.Name,
+			Insts:     br.Insts,
+			Full:      &full,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		}, nil
+	}
+
+	c, err := b.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	m := pipeline.New(req.Model)
+	col := activity.NewCollector(req.Gran, rc, c.Mem)
+	if err := trace.RunOnCtx(ctx, c, b, rc, m, col); err != nil {
+		return nil, err
+	}
+	r := m.Result()
+	stalls := make(map[string]uint64, len(r.Stalls))
+	for k, v := range r.Stalls {
+		stalls[string(k)] = v
+	}
+	elapsed := time.Since(start)
+	s.metrics.observeLatency(elapsed)
+	return &Response{
+		Bench:       b.Name,
+		Model:       req.Model,
+		Granularity: req.Gran,
+		Insts:       r.Insts,
+		Cycles:      r.Cycles,
+		CPI:         r.CPI(),
+		Stalls:      stalls,
+		Activity:    experiments.SavingMap(col.Counts()),
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+	}, nil
+}

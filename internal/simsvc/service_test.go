@@ -1,0 +1,288 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pipeline"
+)
+
+// testService builds a service over a small suite so tests profile and
+// simulate tens of thousands of instructions, not the 30-second full suite.
+func testService(t *testing.T, cfg Config, benchNames ...string) *Service {
+	t.Helper()
+	if len(benchNames) == 0 {
+		benchNames = []string{"g711dec"}
+	}
+	for _, n := range benchNames {
+		b, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("unknown test benchmark %q", n)
+		}
+		cfg.Benchmarks = append(cfg.Benchmarks, b)
+	}
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSingleflightDedup is the acceptance check: 12 concurrent identical
+// requests must share exactly one underlying trace execution — the leader
+// runs it, everyone else is served via the singleflight path or the cache.
+func TestSingleflightDedup(t *testing.T) {
+	s := testService(t, Config{Workers: 4})
+	const clients = 12
+	req := Request{Bench: "g711dec", Model: pipeline.NameByteSerial}
+
+	start := make(chan struct{})
+	responses := make([]*Response, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			responses[i], errs[i] = s.Simulate(context.Background(), req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if responses[i].CPI != responses[0].CPI || responses[i].Cycles != responses[0].Cycles {
+			t.Fatalf("client %d saw a different result", i)
+		}
+	}
+	m := s.Metrics().Snapshot()
+	if m.Executions != 1 {
+		t.Fatalf("executions = %d, want exactly 1 for %d concurrent identical requests", m.Executions, clients)
+	}
+	if m.Requests != clients {
+		t.Fatalf("requests = %d, want %d", m.Requests, clients)
+	}
+	if m.FlightShared+m.CacheHits != clients-1 {
+		t.Fatalf("shared(%d) + cacheHits(%d) != %d", m.FlightShared, m.CacheHits, clients-1)
+	}
+
+	// A later identical request is a pure cache hit: still one execution.
+	resp, err := s.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("repeat request was not served from cache")
+	}
+	if m := s.Metrics().Snapshot(); m.Executions != 1 {
+		t.Fatalf("executions after repeat = %d, want 1", m.Executions)
+	}
+}
+
+// Distinct (bench, model, gran) keys must not share executions.
+func TestDistinctKeysExecuteSeparately(t *testing.T) {
+	s := testService(t, Config{Workers: 4})
+	ctx := context.Background()
+	reqs := []Request{
+		{Bench: "g711dec", Model: pipeline.NameBaseline32},
+		{Bench: "g711dec", Model: pipeline.NameBaseline32, Gran: 2},
+		{Bench: "g711dec", Model: pipeline.NameByteSerial},
+	}
+	for _, r := range reqs {
+		if _, err := s.Simulate(ctx, r); err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+	}
+	if m := s.Metrics().Snapshot(); m.Executions != 3 {
+		t.Fatalf("executions = %d, want 3", m.Executions)
+	}
+}
+
+// A cache bounded below the working set evicts and counts evictions.
+func TestCacheEvictionMetric(t *testing.T) {
+	s := testService(t, Config{CacheSize: 1})
+	ctx := context.Background()
+	for _, m := range []string{pipeline.NameBaseline32, pipeline.NameByteSerial} {
+		if _, err := s.Simulate(ctx, Request{Bench: "g711dec", Model: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics().Snapshot(); m.CacheEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", m.CacheEvictions)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", s.CacheLen())
+	}
+}
+
+func TestSimulateSingleModel(t *testing.T) {
+	s := testService(t, Config{})
+	resp, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameBaseline32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Insts == 0 || resp.Cycles == 0 {
+		t.Fatalf("empty result: %+v", resp)
+	}
+	if resp.CPI < 1 {
+		t.Fatalf("CPI %v < 1 on an in-order pipeline", resp.CPI)
+	}
+	if resp.Granularity != 1 {
+		t.Fatalf("granularity defaulted to %d, want 1", resp.Granularity)
+	}
+	if len(resp.Activity) == 0 {
+		t.Fatal("no activity savings")
+	}
+}
+
+// An empty model runs the full per-benchmark evaluation and returns the
+// shared experiments JSON schema.
+func TestSimulateFullEvaluation(t *testing.T) {
+	s := testService(t, Config{})
+	resp, err := s.Simulate(context.Background(), Request{Bench: "g711dec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Full == nil {
+		t.Fatal("full evaluation missing")
+	}
+	for _, m := range pipeline.AllNames() {
+		if _, ok := resp.Full.CPI[m]; !ok {
+			t.Errorf("full CPI missing model %s", m)
+		}
+	}
+	if _, ok := resp.Full.CPI[pipeline.NameBaseline32+"+bp"]; !ok {
+		t.Error("full CPI missing branch-prediction ablation")
+	}
+	if len(resp.Full.ByteSaving) == 0 || len(resp.Full.HalfSaving) == 0 {
+		t.Error("full activity savings missing")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := testService(t, Config{})
+	ctx := context.Background()
+	cases := []Request{
+		{Bench: "nope", Model: pipeline.NameBaseline32},
+		{Bench: "g711dec", Model: "nope"},
+		{Bench: "g711dec", Model: pipeline.NameBaseline32, Gran: 3},
+	}
+	var inv *InvalidRequestError
+	for _, c := range cases {
+		if _, err := s.Simulate(ctx, c); !errors.As(err, &inv) {
+			t.Errorf("%+v: err = %v, want InvalidRequestError", c, err)
+		}
+	}
+	if m := s.Metrics().Snapshot(); m.InvalidRequests != uint64(len(cases)) || m.Executions != 0 {
+		t.Fatalf("invalid=%d executions=%d, want %d/0", m.InvalidRequests, m.Executions, len(cases))
+	}
+}
+
+func TestSimulateCancelled(t *testing.T) {
+	s := testService(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Simulate(ctx, Request{Bench: "g711dec", Model: pipeline.NameBaseline32})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimulateTimeout(t *testing.T) {
+	s := testService(t, Config{Timeout: time.Nanosecond})
+	_, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameBaseline32})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSimulateAfterClose(t *testing.T) {
+	s := testService(t, Config{})
+	s.Close()
+	if _, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameBaseline32}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := testService(t, Config{Workers: 4}, "g711dec", "g711enc")
+	models := []string{pipeline.NameBaseline32, pipeline.NameByteSerial}
+	var streamed []*Response
+	sum, err := s.Sweep(context.Background(), 1, nil, models, func(r *Response) error {
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 4 || len(streamed) != 4 {
+		t.Fatalf("jobs = %d, streamed = %d, want 4", sum.Jobs, len(streamed))
+	}
+	if sum.Failed != 0 {
+		t.Fatalf("failed = %d", sum.Failed)
+	}
+	base, byteS := sum.MeanCPI[pipeline.NameBaseline32], sum.MeanCPI[pipeline.NameByteSerial]
+	if base <= 0 || byteS <= base {
+		t.Fatalf("mean CPI base %v / byteserial %v: byte-serial must be slower", base, byteS)
+	}
+	// 2 benches × 2 models + AVG row.
+	if got := len(sum.CPITable.Rows); got != 3 {
+		t.Fatalf("CPI table rows = %d, want 3", got)
+	}
+
+	// Re-sweeping the same grid is served entirely from cache.
+	before := s.Metrics().Snapshot().Executions
+	sum2, err := s.Sweep(context.Background(), 1, nil, models, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Cached != 4 {
+		t.Fatalf("second sweep cached = %d, want 4", sum2.Cached)
+	}
+	if after := s.Metrics().Snapshot().Executions; after != before {
+		t.Fatalf("second sweep re-executed: %d -> %d", before, after)
+	}
+}
+
+func TestSweepUnknownModel(t *testing.T) {
+	s := testService(t, Config{})
+	var inv *InvalidRequestError
+	if _, err := s.Sweep(context.Background(), 1, nil, []string{"nope"}, nil); !errors.As(err, &inv) {
+		t.Fatalf("err = %v, want InvalidRequestError", err)
+	}
+}
+
+func TestSweepEmitAbort(t *testing.T) {
+	s := testService(t, Config{Workers: 2}, "g711dec", "g711enc")
+	boom := errors.New("client went away")
+	_, err := s.Sweep(context.Background(), 1, nil, []string{pipeline.NameBaseline32}, func(*Response) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+}
+
+func TestPoolCancelledSubmit(t *testing.T) {
+	p := newPool(1)
+	defer p.close()
+	block := make(chan struct{})
+	go p.do(context.Background(), func() { <-block })
+	time.Sleep(10 * time.Millisecond) // let the only worker pick the blocker up
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	if err := p.do(ctx, func() { ran = true }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if ran {
+		t.Fatal("cancelled submission still ran")
+	}
+	close(block)
+}

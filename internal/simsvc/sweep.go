@@ -1,0 +1,148 @@
+package simsvc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SweepSummary aggregates a finished sweep: per-model mean CPI over the
+// swept benchmarks and a JSON-renderable CPI table in the layout of the
+// paper's figures.
+type SweepSummary struct {
+	Jobs      int                `json:"jobs"`
+	Cached    int                `json:"cached"`
+	Failed    int                `json:"failed"`
+	MeanCPI   map[string]float64 `json:"meanCPI"`
+	CPITable  stats.TableJSON    `json:"cpiTable"`
+	ElapsedMS float64            `json:"elapsedMillis"`
+}
+
+// sweepItem is one completed (benchmark × model) unit.
+type sweepItem struct {
+	bench, model string
+	resp         *Response
+	err          error
+}
+
+// Sweep fans every (benchmark × model) pair out across the worker pool at
+// the given granularity and calls emit for each result as it completes
+// (completion order, one goroutine). Empty benches/models select the full
+// served suite / every model. Per-job failures become Responses with Error
+// set and are tallied in the summary; emit returning an error, or ctx
+// ending, aborts the sweep.
+func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string, emit func(*Response) error) (*SweepSummary, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(benches) == 0 {
+		for _, b := range s.benches {
+			benches = append(benches, b.Name)
+		}
+	}
+	if len(models) == 0 {
+		models = s.Models()
+	}
+	if gran == 0 {
+		gran = 1
+	}
+	// Validate the whole grid up front so a bad name fails fast instead of
+	// surfacing mid-stream.
+	for _, bn := range benches {
+		for _, mn := range models {
+			if _, err := s.validate(Request{Bench: bn, Model: mn, Gran: gran}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+
+	ch := make(chan sweepItem)
+	var wg sync.WaitGroup
+	for _, bn := range benches {
+		for _, mn := range models {
+			wg.Add(1)
+			go func(bn, mn string) {
+				defer wg.Done()
+				resp, err := s.Simulate(ctx, Request{Bench: bn, Model: mn, Gran: gran})
+				select {
+				case ch <- sweepItem{bench: bn, model: mn, resp: resp, err: err}:
+				case <-ctx.Done():
+				}
+			}(bn, mn)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	sum := &SweepSummary{MeanCPI: make(map[string]float64)}
+	cpi := make(map[string]map[string]float64, len(benches)) // bench -> model -> CPI
+	for it := range ch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sum.Jobs++
+		resp := it.resp
+		if it.err != nil {
+			sum.Failed++
+			resp = &Response{Bench: it.bench, Model: it.model, Granularity: gran, Error: it.err.Error()}
+		} else {
+			if resp.Cached {
+				sum.Cached++
+			}
+			if cpi[it.bench] == nil {
+				cpi[it.bench] = make(map[string]float64, len(models))
+			}
+			cpi[it.bench][it.model] = resp.CPI
+		}
+		if emit != nil {
+			if err := emit(resp); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Sweep CPI (granularity %d)", gran), append([]string{"benchmark"}, models...)...)
+	for _, mn := range models {
+		var xs []float64
+		for _, bn := range benches {
+			if row, ok := cpi[bn]; ok {
+				if v, ok := row[mn]; ok {
+					xs = append(xs, v)
+				}
+			}
+		}
+		sum.MeanCPI[mn] = stats.Mean(xs)
+	}
+	for _, bn := range benches {
+		cells := []string{bn}
+		for _, mn := range models {
+			if v, ok := cpi[bn][mn]; ok {
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			} else {
+				cells = append(cells, "err")
+			}
+		}
+		t.AddStringRow(cells...)
+	}
+	avg := []string{"AVG"}
+	for _, mn := range models {
+		avg = append(avg, fmt.Sprintf("%.3f", sum.MeanCPI[mn]))
+	}
+	t.AddStringRow(avg...)
+	sum.CPITable = t.JSON()
+	sum.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return sum, nil
+}

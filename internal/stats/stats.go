@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -84,6 +85,26 @@ func (t *Table) String() string {
 	}
 	return sb.String()
 }
+
+// TableJSON is the machine-readable shape of a rendered table, consumed by
+// the sigserve service and any tooling that post-processes saved results.
+type TableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON returns the table in its machine-readable shape.
+func (t *Table) JSON() TableJSON {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return TableJSON{Title: t.Title, Headers: t.Headers, Rows: rows}
+}
+
+// MarshalJSON implements json.Marshaler via the TableJSON shape.
+func (t *Table) MarshalJSON() ([]byte, error) { return json.Marshal(t.JSON()) }
 
 // CSV renders the table as comma-separated values.
 func (t *Table) CSV() string {

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -56,5 +58,34 @@ func TestPctAndRatio(t *testing.T) {
 	}
 	if got := Ratio(1, 0); got != "n/a" {
 		t.Fatalf("ratio by zero: %q", got)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddStringRow("1", "2")
+	tb.AddRow("x", 3.14159)
+	j := tb.JSON()
+	if j.Title != "T" || len(j.Headers) != 2 || len(j.Rows) != 2 {
+		t.Fatalf("shape: %+v", j)
+	}
+	if j.Rows[1][1] != "3.14" {
+		t.Fatalf("formatted cell: %q", j.Rows[1][1])
+	}
+	// The JSON view is a copy: mutating it must not touch the table.
+	j.Rows[0][0] = "mutated"
+	if tb.JSON().Rows[0][0] != "1" {
+		t.Fatal("JSON rows alias the table's rows")
+	}
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TableJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, tb.JSON()) {
+		t.Fatalf("marshal round trip: %+v", back)
 	}
 }

@@ -10,6 +10,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -227,11 +228,17 @@ func (f ConsumerFunc) Consume(e Event) { f(e) }
 // activity collectors read cache-line contents at fill time) should build
 // the CPU first with b.NewCPU and use RunOn.
 func Run(b bench.Benchmark, rc *icomp.Recoder, consumers ...Consumer) (*cpu.CPU, error) {
+	return RunCtx(context.Background(), b, rc, consumers...)
+}
+
+// RunCtx is Run with request-scoped cancellation: it stops (returning
+// ctx.Err) as soon as the context is cancelled or its deadline passes.
+func RunCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, consumers ...Consumer) (*cpu.CPU, error) {
 	c, err := b.NewCPU()
 	if err != nil {
 		return nil, err
 	}
-	if err := RunOn(c, b, rc, consumers...); err != nil {
+	if err := RunOnCtx(ctx, c, b, rc, consumers...); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -240,8 +247,27 @@ func Run(b bench.Benchmark, rc *icomp.Recoder, consumers ...Consumer) (*cpu.CPU,
 // RunOn drives a pre-built CPU (from b.NewCPU) to completion, fanning
 // annotated events out to the consumers and verifying the checksum.
 func RunOn(c *cpu.CPU, b bench.Benchmark, rc *icomp.Recoder, consumers ...Consumer) error {
+	return RunOnCtx(context.Background(), c, b, rc, consumers...)
+}
+
+// ctxCheckMask sets how often the run loop polls the context: every
+// (ctxCheckMask+1) instructions, cheap enough to be invisible in profiles
+// while keeping cancellation latency well under a millisecond.
+const ctxCheckMask = 0xFFF
+
+// RunOnCtx is RunOn with request-scoped cancellation, the hook the serving
+// layer (internal/simsvc) uses to abandon simulations whose client went
+// away or whose deadline expired.
+func RunOnCtx(ctx context.Context, c *cpu.CPU, b bench.Benchmark, rc *icomp.Recoder, consumers ...Consumer) error {
 	var n uint64
 	for !c.Done {
+		if n&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("trace: %s aborted after %d instructions: %w", b.Name, n, ctx.Err())
+			default:
+			}
+		}
 		if n >= b.MaxInsts {
 			return fmt.Errorf("trace: %s exceeded %d instructions", b.Name, b.MaxInsts)
 		}

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/bench"
@@ -112,6 +114,34 @@ func TestRunFanOut(t *testing.T) {
 	}
 	if n1 != c.Retired || n2 != c.Retired {
 		t.Fatalf("consumers saw %d/%d events, cpu retired %d", n1, n2, c.Retired)
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	b, _ := bench.ByName("crc32")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort at the first poll
+	if _, err := RunCtx(ctx, b, rc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxMidRunCancel(t *testing.T) {
+	b, _ := bench.ByName("crc32")
+	ctx, cancel := context.WithCancel(context.Background())
+	var n uint64
+	stop := ConsumerFunc(func(Event) {
+		n++
+		if n == 10_000 { // cancel mid-trace; crc32 retires ~200k instructions
+			cancel()
+		}
+	})
+	_, err := RunCtx(ctx, b, rc, stop)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if n >= 100_000 {
+		t.Fatalf("run consumed %d events after cancellation", n)
 	}
 }
 
