@@ -8,13 +8,16 @@
 //	sigsim -bench rawcaudio           # all models on one benchmark
 //	sigsim -bench crc32 -model byteserial
 //	sigsim -bench crc32 -json         # machine-readable (sigserve schema)
+//	sigsim -bench all -parallel 4     # full-suite evaluation, 4 workers
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/activity"
@@ -26,10 +29,11 @@ import (
 )
 
 func main() {
-	benchName := flag.String("bench", "", "benchmark to run (see -list)")
+	benchName := flag.String("bench", "", "benchmark to run, or \"all\" for the full-suite evaluation (see -list)")
 	modelName := flag.String("model", "", "pipeline model (default: all)")
 	pipeDiagram := flag.Int("pipe", 0, "render a pipeline diagram of the first N instructions (requires -model)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results (the schema shared with sigserve)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "benchmark-level worker count for -bench all (1 = sequential)")
 	list := flag.Bool("list", false, "list benchmarks and models")
 	flag.Parse()
 
@@ -42,6 +46,11 @@ func main() {
 		for _, m := range pipeline.AllNames() {
 			fmt.Printf("  %s\n", m)
 		}
+		return
+	}
+
+	if *benchName == "all" {
+		runSuite(*parallel, *jsonOut)
 		return
 	}
 
@@ -172,4 +181,42 @@ func main() {
 		at.AddStringRow(s, stats.Pct(row[i]))
 	}
 	fmt.Println(at.String())
+}
+
+// runSuite executes the full evaluation (every benchmark through every
+// model) with benchmark-level parallelism and prints a per-benchmark CPI
+// table, or the complete machine-readable evaluation with -json.
+func runSuite(workers int, jsonOut bool) {
+	fmt.Fprintf(os.Stderr, "sigsim: running the full suite (%d workers)...\n", workers)
+	r, err := experiments.RunParallel(context.Background(), workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		data, err := r.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	models := pipeline.AllNames()
+	t := stats.NewTable("CPI (full suite)", append([]string{"benchmark"}, models...)...)
+	for _, br := range r.Bench {
+		cells := []string{br.Name}
+		for _, m := range models {
+			cells = append(cells, fmt.Sprintf("%.3f", br.CPI[m]))
+		}
+		t.AddStringRow(cells...)
+	}
+	avg := []string{"AVG"}
+	for _, m := range models {
+		avg = append(avg, fmt.Sprintf("%.3f", r.MeanCPI(m)))
+	}
+	t.AddStringRow(avg...)
+	fmt.Println(t.String())
+	fmt.Println(r.FetchSummary())
 }

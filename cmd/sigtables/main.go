@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -23,10 +25,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, table3, table4, table5, table6, fig4, fig6, fig8, fig10, bottleneck, ablation-scheme, ablation-bp, ablation-partition, energy, bm-baseline, cachesweep, interpretation, fetch)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit the whole evaluation as JSON")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "benchmark-level worker count for the evaluation (1 = sequential)")
 	flag.Parse()
 
-	fmt.Fprintln(os.Stderr, "running the full suite through every model (one pass)...")
-	r, err := experiments.Run()
+	fmt.Fprintf(os.Stderr, "running the full suite through every model (%d workers)...\n", *parallel)
+	r, err := experiments.RunParallel(context.Background(), *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sigtables: %v\n", err)
 		os.Exit(1)

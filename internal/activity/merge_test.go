@@ -1,0 +1,108 @@
+package activity
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// splitEvents is the merge fixture: a mixed bag of operand values split in
+// two, so "one collector fed everything" can be compared against "two
+// collectors fed halves, then merged".
+func splitEvents() (all, first, second []trace.Event) {
+	vals := [][2]uint32{
+		{3, 4},
+		{0x12345678, 1},
+		{0, 0xffffffff},
+		{0x8000, 0x7fff},
+		{0x00ff00ff, 0x12000000},
+		{42, 0xdeadbeef},
+	}
+	for _, v := range vals {
+		all = append(all, aluEvent(0x400000, v[0], v[1]))
+	}
+	return all, all[:3], all[3:]
+}
+
+func TestPatternStatsMerge(t *testing.T) {
+	all, first, second := splitEvents()
+	whole, a, b := NewPatternStats(), NewPatternStats(), NewPatternStats()
+	for _, e := range all {
+		whole.Consume(e)
+	}
+	for _, e := range first {
+		a.Consume(e)
+	}
+	for _, e := range second {
+		b.Consume(e)
+	}
+	a.Merge(b)
+	if a.Total() != whole.Total() {
+		t.Fatalf("merged total %d, want %d", a.Total(), whole.Total())
+	}
+	if !reflect.DeepEqual(a.Rows(), whole.Rows()) {
+		t.Fatal("merged pattern rows differ from single-collector rows")
+	}
+	if a.TwoBitCoverage() != whole.TwoBitCoverage() {
+		t.Fatal("merged two-bit coverage differs")
+	}
+}
+
+func TestFetchStatsMerge(t *testing.T) {
+	all, first, second := splitEvents()
+	whole, a, b := &FetchStats{}, &FetchStats{}, &FetchStats{}
+	for _, e := range all {
+		whole.Consume(e)
+	}
+	for _, e := range first {
+		a.Consume(e)
+	}
+	for _, e := range second {
+		b.Consume(e)
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a, whole) {
+		t.Fatalf("merged fetch stats %+v, want %+v", a, whole)
+	}
+}
+
+func TestPartitionStatsMerge(t *testing.T) {
+	all, first, second := splitEvents()
+	whole, a, b := NewPartitionStats(), NewPartitionStats(), NewPartitionStats()
+	for _, e := range all {
+		whole.Consume(e)
+	}
+	for _, e := range first {
+		a.Consume(e)
+	}
+	for _, e := range second {
+		b.Consume(e)
+	}
+	a.Merge(b)
+	if a.Values() != whole.Values() {
+		t.Fatalf("merged values %d, want %d", a.Values(), whole.Values())
+	}
+	if !reflect.DeepEqual(a.Rows(), whole.Rows()) {
+		t.Fatal("merged partition rows differ from single-collector rows")
+	}
+}
+
+func TestWidth64StatsMerge(t *testing.T) {
+	all, first, second := splitEvents()
+	whole, a, b := NewWidth64Stats(), NewWidth64Stats(), NewWidth64Stats()
+	for _, e := range all {
+		whole.Consume(e)
+	}
+	for _, e := range first {
+		a.Consume(e)
+	}
+	for _, e := range second {
+		b.Consume(e)
+	}
+	a.Merge(b)
+	if a.Saving32() != whole.Saving32() || a.Saving64() != whole.Saving64() {
+		t.Fatalf("merged savings %.4f/%.4f, want %.4f/%.4f",
+			a.Saving32(), a.Saving64(), whole.Saving32(), whole.Saving64())
+	}
+}

@@ -52,6 +52,19 @@ func (ps *PartitionStats) add(v uint32) {
 	}
 }
 
+// Merge folds other's tallies into ps. Both sides must come from
+// NewPartitionStats (same sorted candidate set), which every constructor in
+// this repository guarantees; merging is then an order-independent sum.
+func (ps *PartitionStats) Merge(other *PartitionStats) {
+	if len(ps.bits) != len(other.bits) {
+		panic("activity: merging PartitionStats over different candidate sets")
+	}
+	ps.values += other.values
+	for i := range ps.bits {
+		ps.bits[i] += other.bits[i]
+	}
+}
+
 // PartitionRow is one candidate's outcome.
 type PartitionRow struct {
 	Name     string
@@ -108,6 +121,13 @@ func (w *Width64Stats) add(v uint32) {
 	w.values++
 	w.bits32 += uint64(sig.StoredBits3(v))
 	w.bits64 += uint64(sig.StoredBits64(sig.Extend64(v)))
+}
+
+// Merge folds other's tallies into w (order-independent sums).
+func (w *Width64Stats) Merge(other *Width64Stats) {
+	w.bits32 += other.bits32
+	w.bits64 += other.bits64
+	w.values += other.values
 }
 
 // Saving32 returns the mean storage saving on the 32-bit machine (%).

@@ -35,6 +35,16 @@ func (p *PatternStats) add(v uint32) {
 	p.total++
 }
 
+// Merge folds other's tallies into p. Counts are pure sums, so merging is
+// order-independent: any grouping of per-benchmark PatternStats merged in
+// any order yields the same tally as one collector fed the whole suite.
+func (p *PatternStats) Merge(other *PatternStats) {
+	for pat, n := range other.counts {
+		p.counts[pat] += n
+	}
+	p.total += other.total
+}
+
 // PatternRow is one line of Table 1.
 type PatternRow struct {
 	Pattern    string
@@ -136,6 +146,18 @@ func (f *FetchStats) Consume(e trace.Event) {
 			f.ImmFits8++
 		}
 	}
+}
+
+// Merge folds other's tallies into f (order-independent sums).
+func (f *FetchStats) Merge(other *FetchStats) {
+	f.Insts += other.Insts
+	f.Bytes += other.Bytes
+	f.ThreeByte += other.ThreeByte
+	f.RFormat += other.RFormat
+	f.IFormat += other.IFormat
+	f.JFormat += other.JFormat
+	f.ImmUsers += other.ImmUsers
+	f.ImmFits8 += other.ImmFits8
 }
 
 // MeanBytes is the average fetched bytes per instruction (paper: 3.17).

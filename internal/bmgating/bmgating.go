@@ -65,6 +65,16 @@ func (c *Collector) Consume(e trace.Event) {
 	}
 }
 
+// Merge folds other's tallies into c (order-independent sums), so
+// per-benchmark collectors accumulated on separate goroutines can be
+// combined into one suite-level tally.
+func (c *Collector) Merge(other *Collector) {
+	c.baselineBits += other.baselineBits
+	c.gatedBits += other.gatedBits
+	c.narrowOps += other.narrowOps
+	c.totalOps += other.totalOps
+}
+
 // ALUSaving returns the percent ALU activity reduction under BM gating.
 func (c *Collector) ALUSaving() float64 {
 	if c.baselineBits == 0 {

@@ -56,6 +56,29 @@ func TestCollectorGating(t *testing.T) {
 	}
 }
 
+func TestCollectorMerge(t *testing.T) {
+	events := []trace.Event{
+		event(3, 4),
+		event(3, 0x12345678),
+		event(0xffff8000, 0xffffffff),
+		event(0x10000, 2),
+	}
+	whole, a, b := NewCollector(), NewCollector(), NewCollector()
+	for _, e := range events {
+		whole.Consume(e)
+	}
+	for _, e := range events[:2] {
+		a.Consume(e)
+	}
+	for _, e := range events[2:] {
+		b.Consume(e)
+	}
+	a.Merge(b)
+	if *a != *whole {
+		t.Fatalf("merged collector %+v, want %+v", *a, *whole)
+	}
+}
+
 func TestCollectorEmpty(t *testing.T) {
 	c := NewCollector()
 	if c.ALUSaving() != 0 || c.NarrowShare() != 0 {

@@ -7,6 +7,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/activity"
@@ -46,18 +47,42 @@ type Results struct {
 	BM map[string]*bmgating.Collector
 }
 
-var (
-	once    sync.Once
-	results *Results
-	loadErr error
-)
+// memo caches the first successful evaluation of a process. Unlike a bare
+// sync.Once it does NOT latch failures: a cancelled or transient first call
+// leaves the memo empty so the next caller retries instead of inheriting the
+// stale error forever. Concurrent callers serialize on the mutex; whoever
+// holds it during a successful run fills the cache for everyone after.
+type memo struct {
+	mu  sync.Mutex
+	res *Results
+	ok  bool
+}
 
-// Run executes the complete evaluation once per process and caches it.
+// get returns the cached result, running fn (and caching only on success)
+// when none exists yet.
+func (m *memo) get(fn func() (*Results, error)) (*Results, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ok {
+		return m.res, nil
+	}
+	res, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	m.res, m.ok = res, true
+	return res, nil
+}
+
+var runMemo memo
+
+// Run executes the complete evaluation once per process and caches the
+// successful result, fanning benchmarks across GOMAXPROCS workers. Failed
+// attempts are retried by later callers rather than cached.
 func Run() (*Results, error) {
-	once.Do(func() {
-		results, loadErr = runAll(context.Background())
+	return runMemo.get(func() (*Results, error) {
+		return RunParallel(context.Background(), runtime.GOMAXPROCS(0))
 	})
-	return results, loadErr
 }
 
 // SuiteCollectors bundles the suite-level trace consumers a full evaluation
@@ -83,12 +108,34 @@ func NewSuiteCollectors() *SuiteCollectors {
 	}
 }
 
+// Merge folds other's tallies into sc. Every underlying collector merge is a
+// pure count sum, so merging is order-independent and any per-benchmark
+// split recombines to exactly the tallies of one shared collector set —
+// the invariant the parallel evaluation relies on. Row/table ordering is
+// derived from the merged counts at render time, so callers that want
+// deterministic output only need deterministic totals, which any merge
+// order provides.
+func (sc *SuiteCollectors) Merge(other *SuiteCollectors) {
+	sc.Patterns.Merge(other.Patterns)
+	sc.Fetch.Merge(other.Fetch)
+	sc.Partitions.Merge(other.Partitions)
+	sc.Width64.Merge(other.Width64)
+	for name, col := range other.BM {
+		if existing, ok := sc.BM[name]; ok {
+			existing.Merge(col)
+		} else {
+			sc.BM[name] = col
+		}
+	}
+}
+
 // RunBenchCtx executes one benchmark through every pipeline model (including
 // the branch-prediction ablation variants) and every activity collector,
 // honoring ctx cancellation, and returns its BenchResult. When suite is
 // non-nil the suite-level collectors accumulate this benchmark's trace too.
-// This is the per-benchmark unit of work the full evaluation loops over and
-// the serving layer (internal/simsvc) reuses instead of recomputing runAll.
+// This is the per-benchmark unit of work the full evaluation (sequential or
+// parallel) fans out over and the serving layer (internal/simsvc) reuses
+// instead of recomputing the whole suite.
 func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
 	c, err := b.NewCPU()
 	if err != nil {
@@ -106,9 +153,9 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 	halfCol := activity.NewCollector(2, rc, c.Mem)
 	twoBitCol := activity.NewCollectorScheme(1, activity.Scheme2, rc, c.Mem)
 	consumers := []trace.Consumer{byteCol, halfCol, twoBitCol}
+	var bmCol *bmgating.Collector
 	if suite != nil {
-		bmCol := bmgating.NewCollector()
-		suite.BM[b.Name] = bmCol
+		bmCol = bmgating.NewCollector()
 		consumers = append(consumers, suite.Patterns, suite.Fetch, suite.Partitions, suite.Width64, bmCol)
 	}
 	for _, m := range models {
@@ -116,6 +163,11 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 	}
 	if err := trace.RunOnCtx(ctx, c, b, rc, consumers...); err != nil {
 		return BenchResult{}, err
+	}
+	// Register the Brooks-Martonosi collector only now: a failed run must
+	// not leave a partially-filled collector in the results map.
+	if suite != nil {
+		suite.BM[b.Name] = bmCol
 	}
 	br := BenchResult{
 		Name:       b.Name,
@@ -137,8 +189,21 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 	return br, nil
 }
 
-func runAll(ctx context.Context) (*Results, error) {
-	suite := bench.All()
+// RunParallel executes the full evaluation with benchmark-level parallelism:
+// every benchmark runs through RunBenchCtx with its own SuiteCollectors on a
+// bounded worker group (first error cancels the rest), and the per-run
+// collectors are merged in suite order. Because collector merging is pure
+// count addition, the Results — including every rendered table and figure —
+// are bit-identical to the sequential path.
+func RunParallel(ctx context.Context, workers int) (*Results, error) {
+	return RunSuite(ctx, bench.All(), workers)
+}
+
+// RunSuite executes the evaluation over the given benchmarks with the given
+// worker count. workers <= 1 selects the sequential path (one shared
+// collector set, no goroutines); workers > 1 fans benchmarks across that
+// many goroutines with per-run collectors merged afterwards.
+func RunSuite(ctx context.Context, suite []bench.Benchmark, workers int) (*Results, error) {
 	rc, functs, err := trace.SuiteRecoder(suite)
 	if err != nil {
 		return nil, err
@@ -153,12 +218,65 @@ func runAll(ctx context.Context) (*Results, error) {
 		Width64:    collectors.Width64,
 		BM:         collectors.BM,
 	}
-	for _, b := range suite {
-		br, err := RunBenchCtx(ctx, b, rc, collectors)
-		if err != nil {
-			return nil, err
+	if workers <= 1 {
+		for _, b := range suite {
+			br, err := RunBenchCtx(ctx, b, rc, collectors)
+			if err != nil {
+				return nil, err
+			}
+			res.Bench = append(res.Bench, br)
 		}
-		res.Bench = append(res.Bench, br)
+		return res, nil
+	}
+
+	type benchOut struct {
+		br   BenchResult
+		cols *SuiteCollectors
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]benchOut, len(suite))
+	sem := make(chan struct{}, workers)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i, b := range suite {
+		wg.Add(1)
+		go func(i int, b bench.Benchmark) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			cols := NewSuiteCollectors()
+			br, err := RunBenchCtx(ctx, b, rc, cols)
+			if err != nil {
+				// First error wins and cancels the remaining benchmarks.
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+				return
+			}
+			outs[i] = benchOut{br: br, cols: cols}
+		}(i, b)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Deterministic merge in suite order (merging is order-independent for
+	// the counts; Bench rows must follow suite order for the tables).
+	for i := range outs {
+		res.Bench = append(res.Bench, outs[i].br)
+		collectors.Merge(outs[i].cols)
 	}
 	return res, nil
 }

@@ -19,6 +19,8 @@ type JSONResults struct {
 	Functs     []FunctJSON        `json:"functProfile"`
 	Fetch      FetchJSON          `json:"instructionCompression"`
 	Partitions []PartitionRowJSON `json:"partitionAblation"`
+	BMGating   []BMJSON           `json:"bmGatingBaseline,omitempty"`
+	Width64    Width64JSON        `json:"width64Projection"`
 }
 
 // BenchJSON is the machine-readable result of one benchmark: CPI per
@@ -59,6 +61,21 @@ type PartitionRowJSON struct {
 	Partition string  `json:"partition"`
 	MeanBits  float64 `json:"meanBitsPerValue"`
 	Saving    float64 `json:"savingPercent"`
+}
+
+// BMJSON is one benchmark's Brooks-Martonosi ALU-gating baseline (the
+// paper's reference [1]) — what significance compression is measured
+// against.
+type BMJSON struct {
+	Benchmark   string  `json:"benchmark"`
+	ALUSaving   float64 `json:"aluSavingPercent"`
+	NarrowShare float64 `json:"narrowOperandShare"`
+}
+
+// Width64JSON carries the §2.9 64-bit-ISA projection.
+type Width64JSON struct {
+	Saving32 float64 `json:"savingPercent32"`
+	Saving64 float64 `json:"savingPercent64"`
 }
 
 // SavingMap renders per-stage activity reductions as a stage-keyed map.
@@ -126,6 +143,19 @@ func (r *Results) Encode() *JSONResults {
 			Partition: row.Name, MeanBits: row.MeanBits, Saving: row.Saving,
 		})
 	}
+	// Benchmark order (not map order) keeps the encoding deterministic.
+	for _, b := range r.Bench {
+		col, ok := r.BM[b.Name]
+		if !ok {
+			continue
+		}
+		out.BMGating = append(out.BMGating, BMJSON{
+			Benchmark:   b.Name,
+			ALUSaving:   col.ALUSaving(),
+			NarrowShare: col.NarrowShare(),
+		})
+	}
+	out.Width64 = Width64JSON{Saving32: r.Width64.Saving32(), Saving64: r.Width64.Saving64()}
 	return out
 }
 

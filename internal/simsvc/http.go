@@ -22,6 +22,7 @@ const statusClientClosedRequest = 499
 //	GET  /v1/models          servable pipeline models
 //	GET  /v1/simulate        one job (?bench=&model=&gran=); POST takes a JSON Request
 //	GET  /v1/sweep           (benchmark × model) grid streamed as NDJSON (?gran=&bench=a,b&model=x,y)
+//	GET  /v1/suite           the full parallel evaluation (every table input) as one JSON document
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -70,6 +71,14 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		serveSweep(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/suite", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := s.Suite(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/icomp"
+	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -55,9 +56,13 @@ type Service struct {
 	start   time.Time
 	closed  atomic.Bool
 
-	rcOnce sync.Once
-	rc     *icomp.Recoder
-	rcErr  error
+	rcOnce   sync.Once
+	rc       *icomp.Recoder
+	rcFuncts map[isa.Funct]uint64
+	rcErr    error
+
+	// failHook injects per-request faults in tests (nil in production).
+	failHook func(Request) error
 }
 
 // New builds a Service from cfg, applying defaults for zero fields.
@@ -114,10 +119,17 @@ func (s *Service) CacheLen() int { return s.cache.len() }
 // recoder lazily builds the profile-driven instruction recoder over the
 // served suite, once per Service.
 func (s *Service) recoder() (*icomp.Recoder, error) {
+	rc, _, err := s.recoderProfile()
+	return rc, err
+}
+
+// recoderProfile is recoder plus the dynamic function-code profile the
+// recoding was derived from (the input to the paper's Table 3).
+func (s *Service) recoderProfile() (*icomp.Recoder, map[isa.Funct]uint64, error) {
 	s.rcOnce.Do(func() {
-		s.rc, _, s.rcErr = trace.SuiteRecoder(s.benches)
+		s.rc, s.rcFuncts, s.rcErr = trace.SuiteRecoder(s.benches)
 	})
-	return s.rc, s.rcErr
+	return s.rc, s.rcFuncts, s.rcErr
 }
 
 // Request identifies one simulation job.
@@ -140,18 +152,19 @@ func (r Request) key() string { return fmt.Sprintf("%s|%s|%d", r.Bench, r.Model,
 // (ElapsedMS is always the underlying simulation's execution time); only
 // Cached is per-serve.
 type Response struct {
-	Bench       string                 `json:"bench"`
-	Model       string                 `json:"model,omitempty"`
-	Granularity int                    `json:"granularity,omitempty"`
-	Insts       uint64                 `json:"instructions"`
-	Cycles      uint64                 `json:"cycles,omitempty"`
-	CPI         float64                `json:"cpi,omitempty"`
-	Stalls      map[string]uint64      `json:"stalls,omitempty"`
-	Activity    map[string]float64     `json:"activitySaving,omitempty"`
-	Full        *experiments.BenchJSON `json:"full,omitempty"`
-	Cached      bool                   `json:"cached"`
-	ElapsedMS   float64                `json:"elapsedMillis"`
-	Error       string                 `json:"error,omitempty"` // sweep stream only
+	Bench       string                   `json:"bench"`
+	Model       string                   `json:"model,omitempty"`
+	Granularity int                      `json:"granularity,omitempty"`
+	Insts       uint64                   `json:"instructions"`
+	Cycles      uint64                   `json:"cycles,omitempty"`
+	CPI         float64                  `json:"cpi,omitempty"`
+	Stalls      map[string]uint64        `json:"stalls,omitempty"`
+	Activity    map[string]float64       `json:"activitySaving,omitempty"`
+	Full        *experiments.BenchJSON   `json:"full,omitempty"`
+	Suite       *experiments.JSONResults `json:"suite,omitempty"` // /v1/suite only
+	Cached      bool                     `json:"cached"`
+	ElapsedMS   float64                  `json:"elapsedMillis"`
+	Error       string                   `json:"error,omitempty"` // sweep stream only
 }
 
 // InvalidRequestError reports a malformed or unknown-entity request; the
@@ -248,6 +261,11 @@ func (s *Service) Simulate(ctx context.Context, req Request) (*Response, error) 
 // execute performs the actual trace run for req on the calling (worker)
 // goroutine.
 func (s *Service) execute(ctx context.Context, req Request) (*Response, error) {
+	if s.failHook != nil {
+		if err := s.failHook(req); err != nil {
+			return nil, err
+		}
+	}
 	rc, err := s.recoder()
 	if err != nil {
 		return nil, err

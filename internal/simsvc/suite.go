@@ -1,0 +1,151 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+// suiteKey is the cache/singleflight identity of the full-suite evaluation.
+// Request keys are "bench|model|gran" and benchmark names never contain a
+// newline, so this key cannot collide with any per-job key.
+const suiteKey = "suite\n"
+
+// Suite runs the paper's complete evaluation over the served suite: every
+// benchmark through every pipeline model and activity collector, with
+// per-benchmark suite collectors merged deterministically in suite order.
+// Per-benchmark runs fan out across the worker pool (first error cancels
+// the rest); the finished evaluation is cached in the LRU and concurrent
+// identical calls share one execution via singleflight, exactly like
+// Simulate.
+func (s *Service) Suite(ctx context.Context) (*Response, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.metrics.requests.Add(1)
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if resp, ok := s.cache.get(suiteKey); ok {
+		s.metrics.cacheHits.Add(1)
+		return serveCopy(resp, true), nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	resp, shared, err := s.flight.do(ctx, suiteKey, func() (*Response, error) {
+		out, runErr := s.runSuite(ctx)
+		if runErr != nil {
+			return nil, runErr
+		}
+		if s.cache.add(suiteKey, out) { // errors are never cached
+			s.metrics.cacheEvictions.Add(1)
+		}
+		return out, nil
+	})
+	if shared {
+		s.metrics.flightShared.Add(1)
+	}
+	if err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.failures.Add(1)
+		}
+		return nil, err
+	}
+	return serveCopy(resp, false), nil
+}
+
+// runSuite performs the parallel full evaluation: one pool job per
+// benchmark, each with its own SuiteCollectors, merged in suite order.
+func (s *Service) runSuite(ctx context.Context) (*Response, error) {
+	rc, functs, err := s.recoderProfile()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type benchOut struct {
+		br   experiments.BenchResult
+		cols *experiments.SuiteCollectors
+	}
+	outs := make([]benchOut, len(s.benches))
+	errs := make([]error, len(s.benches))
+	var wg sync.WaitGroup
+	for i, b := range s.benches {
+		wg.Add(1)
+		go func(i int, b bench.Benchmark) {
+			defer wg.Done()
+			poolErr := s.pool.do(ctx, func() {
+				if s.failHook != nil {
+					if err := s.failHook(Request{Bench: b.Name}); err != nil {
+						errs[i] = err
+						cancel()
+						return
+					}
+				}
+				s.metrics.executions.Add(1)
+				cols := experiments.NewSuiteCollectors()
+				br, runErr := experiments.RunBenchCtx(ctx, b, rc, cols)
+				if runErr != nil {
+					errs[i] = runErr
+					cancel()
+					return
+				}
+				outs[i] = benchOut{br: br, cols: cols}
+			})
+			if poolErr != nil && errs[i] == nil {
+				errs[i] = poolErr
+				cancel()
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	// Report the root cause rather than a cancellation it induced: prefer
+	// the first non-context error, falling back to the first error seen.
+	var firstErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = e
+		}
+		if !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	master := experiments.NewSuiteCollectors()
+	res := &experiments.Results{
+		Recoder:    rc,
+		Functs:     functs,
+		Patterns:   master.Patterns,
+		Fetch:      master.Fetch,
+		Partitions: master.Partitions,
+		Width64:    master.Width64,
+		BM:         master.BM,
+	}
+	var insts uint64
+	for i := range outs {
+		res.Bench = append(res.Bench, outs[i].br)
+		insts += outs[i].br.Insts
+		master.Merge(outs[i].cols)
+	}
+	elapsed := time.Since(start)
+	s.metrics.observeLatency(elapsed)
+	return &Response{
+		Insts:     insts,
+		Suite:     res.Encode(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}, nil
+}

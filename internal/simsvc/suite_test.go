@@ -1,0 +1,138 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestSuiteEvaluation(t *testing.T) {
+	s := testService(t, Config{Workers: 4}, "g711dec", "g711enc")
+	resp, err := s.Suite(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Suite == nil {
+		t.Fatal("suite payload missing")
+	}
+	if got := len(resp.Suite.Benchmarks); got != 2 {
+		t.Fatalf("suite benchmarks = %d, want 2", got)
+	}
+	// Benchmarks must appear in served-suite order regardless of which
+	// worker finished first.
+	if resp.Suite.Benchmarks[0].Name != "g711dec" || resp.Suite.Benchmarks[1].Name != "g711enc" {
+		t.Fatalf("suite order: %s, %s", resp.Suite.Benchmarks[0].Name, resp.Suite.Benchmarks[1].Name)
+	}
+	for _, b := range resp.Suite.Benchmarks {
+		if _, ok := b.CPI[pipeline.NameBaseline32]; !ok {
+			t.Errorf("benchmark %s missing baseline CPI", b.Name)
+		}
+	}
+	if len(resp.Suite.Patterns) == 0 || len(resp.Suite.Functs) == 0 || len(resp.Suite.Partitions) == 0 {
+		t.Error("merged suite-level collectors missing from payload")
+	}
+	if len(resp.Suite.BMGating) != 2 {
+		t.Errorf("BM gating rows = %d, want 2", len(resp.Suite.BMGating))
+	}
+	if resp.Suite.Fetch.MeanBytes <= 3 || resp.Suite.Fetch.MeanBytes > 4 {
+		t.Errorf("mean fetch bytes %.2f outside (3,4]", resp.Suite.Fetch.MeanBytes)
+	}
+	if resp.Insts == 0 {
+		t.Error("total instruction count missing")
+	}
+
+	// A repeat call is a pure cache hit: no new executions.
+	before := s.Metrics().Snapshot().Executions
+	resp2, err := s.Suite(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatal("repeat suite evaluation was not served from cache")
+	}
+	if after := s.Metrics().Snapshot().Executions; after != before {
+		t.Fatalf("repeat suite evaluation re-executed: %d -> %d", before, after)
+	}
+}
+
+// Concurrent suite requests share one underlying evaluation via
+// singleflight.
+func TestSuiteSingleflight(t *testing.T) {
+	s := testService(t, Config{Workers: 4}, "g711dec", "g711enc")
+	const clients = 6
+	start := make(chan struct{})
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = s.Suite(context.Background())
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	// One evaluation over two benchmarks = exactly two executions.
+	if m := s.Metrics().Snapshot(); m.Executions != 2 {
+		t.Fatalf("executions = %d, want 2 (one evaluation, two benchmarks)", m.Executions)
+	}
+}
+
+// A benchmark failure aborts the suite evaluation with the root cause and
+// caches nothing.
+func TestSuiteFirstErrorCancels(t *testing.T) {
+	s := testService(t, Config{Workers: 2}, "g711dec", "g711enc")
+	boom := errors.New("injected benchmark failure")
+	s.failHook = func(req Request) error {
+		if req.Bench == "g711enc" {
+			return boom
+		}
+		return nil
+	}
+	if _, err := s.Suite(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatal("failed suite evaluation was cached")
+	}
+	// Clearing the fault must let a later call succeed (errors not latched).
+	s.failHook = nil
+	resp, err := s.Suite(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Suite == nil || len(resp.Suite.Benchmarks) != 2 {
+		t.Fatal("retry after failure did not produce a full evaluation")
+	}
+}
+
+func TestSuiteAfterClose(t *testing.T) {
+	s := testService(t, Config{})
+	s.Close()
+	if _, err := s.Suite(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestHTTPSuite(t *testing.T) {
+	_, srv := testServer(t, "g711dec", "g711enc")
+	var resp Response
+	if r := getJSON(t, srv.URL+"/v1/suite", &resp); r.StatusCode != 200 {
+		t.Fatalf("suite status %d", r.StatusCode)
+	}
+	if resp.Suite == nil || len(resp.Suite.Benchmarks) != 2 {
+		t.Fatalf("suite payload: %+v", resp.Suite)
+	}
+	if len(resp.Suite.Patterns) == 0 {
+		t.Fatal("suite pattern profile missing over HTTP")
+	}
+}

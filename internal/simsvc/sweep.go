@@ -11,14 +11,20 @@ import (
 
 // SweepSummary aggregates a finished sweep: per-model mean CPI over the
 // swept benchmarks and a JSON-renderable CPI table in the layout of the
-// paper's figures.
+// paper's figures. So that models stay comparable after partial failures,
+// MeanCPI is restricted to the benchmarks where every swept model succeeded
+// (CompleteBenches of them); a model with no such benchmark has no MeanCPI
+// entry and renders as "err" in the table's AVG row. FailedByModel counts
+// each model's failed benchmarks.
 type SweepSummary struct {
-	Jobs      int                `json:"jobs"`
-	Cached    int                `json:"cached"`
-	Failed    int                `json:"failed"`
-	MeanCPI   map[string]float64 `json:"meanCPI"`
-	CPITable  stats.TableJSON    `json:"cpiTable"`
-	ElapsedMS float64            `json:"elapsedMillis"`
+	Jobs            int                `json:"jobs"`
+	Cached          int                `json:"cached"`
+	Failed          int                `json:"failed"`
+	CompleteBenches int                `json:"completeBenchmarks"`
+	FailedByModel   map[string]int     `json:"failedByModel,omitempty"`
+	MeanCPI         map[string]float64 `json:"meanCPI"`
+	CPITable        stats.TableJSON    `json:"cpiTable"`
+	ElapsedMS       float64            `json:"elapsedMillis"`
 }
 
 // sweepItem is one completed (benchmark × model) unit.
@@ -93,6 +99,10 @@ func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string,
 		resp := it.resp
 		if it.err != nil {
 			sum.Failed++
+			if sum.FailedByModel == nil {
+				sum.FailedByModel = make(map[string]int)
+			}
+			sum.FailedByModel[it.model]++
 			resp = &Response{Bench: it.bench, Model: it.model, Granularity: gran, Error: it.err.Error()}
 		} else {
 			if resp.Cached {
@@ -115,16 +125,29 @@ func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string,
 	}
 
 	t := stats.NewTable(fmt.Sprintf("Sweep CPI (granularity %d)", gran), append([]string{"benchmark"}, models...)...)
+	// Means are taken over the benchmarks where every model succeeded, so
+	// per-model averages cover the same subset and stay comparable; a model
+	// with no complete benchmark gets no mean at all (rendered "err"),
+	// never a fake 0.000 from averaging an empty slice.
+	distinct := make(map[string]struct{}, len(models))
+	for _, mn := range models {
+		distinct[mn] = struct{}{}
+	}
+	var complete []string
+	for _, bn := range benches {
+		if len(cpi[bn]) == len(distinct) {
+			complete = append(complete, bn)
+		}
+	}
+	sum.CompleteBenches = len(complete)
 	for _, mn := range models {
 		var xs []float64
-		for _, bn := range benches {
-			if row, ok := cpi[bn]; ok {
-				if v, ok := row[mn]; ok {
-					xs = append(xs, v)
-				}
-			}
+		for _, bn := range complete {
+			xs = append(xs, cpi[bn][mn])
 		}
-		sum.MeanCPI[mn] = stats.Mean(xs)
+		if len(xs) > 0 {
+			sum.MeanCPI[mn] = stats.Mean(xs)
+		}
 	}
 	for _, bn := range benches {
 		cells := []string{bn}
@@ -139,7 +162,11 @@ func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string,
 	}
 	avg := []string{"AVG"}
 	for _, mn := range models {
-		avg = append(avg, fmt.Sprintf("%.3f", sum.MeanCPI[mn]))
+		if v, ok := sum.MeanCPI[mn]; ok {
+			avg = append(avg, fmt.Sprintf("%.3f", v))
+		} else {
+			avg = append(avg, "err")
+		}
 	}
 	t.AddStringRow(avg...)
 	sum.CPITable = t.JSON()

@@ -1,0 +1,95 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// A partial failure must restrict every model's mean to the benchmarks
+// where all models succeeded, so the means stay comparable.
+func TestSweepPartialFailureAggregation(t *testing.T) {
+	s := testService(t, Config{Workers: 4}, "g711dec", "g711enc")
+	boom := errors.New("injected failure")
+	s.failHook = func(req Request) error {
+		if req.Bench == "g711enc" && req.Model == pipeline.NameByteSerial {
+			return boom
+		}
+		return nil
+	}
+	models := []string{pipeline.NameBaseline32, pipeline.NameByteSerial}
+	sum, err := s.Sweep(context.Background(), 1, nil, models, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", sum.Failed)
+	}
+	if got := sum.FailedByModel[pipeline.NameByteSerial]; got != 1 {
+		t.Fatalf("failedByModel[byteserial] = %d, want 1", got)
+	}
+	if sum.CompleteBenches != 1 {
+		t.Fatalf("completeBenchmarks = %d, want 1 (only g711dec fully succeeded)", sum.CompleteBenches)
+	}
+
+	// Both means must cover exactly the complete subset {g711dec}: the
+	// baseline mean may NOT include its g711enc result even though that
+	// job succeeded, or the models would be averaged over different
+	// benchmark sets.
+	s.failHook = nil
+	ref, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameBaseline32, Gran: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.MeanCPI[pipeline.NameBaseline32]; math.Abs(got-ref.CPI) > 1e-12 {
+		t.Fatalf("baseline mean %v includes failed-model benchmarks; want g711dec-only %v", got, ref.CPI)
+	}
+	if _, ok := sum.MeanCPI[pipeline.NameByteSerial]; !ok {
+		t.Fatal("byteserial mean missing despite one complete benchmark")
+	}
+
+	// The failed cell renders as "err"; the AVG row stays numeric.
+	rows := sum.CPITable.Rows
+	if len(rows) != 3 {
+		t.Fatalf("table rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row[0] == "g711enc" && row[2] != "err" {
+			t.Fatalf("failed cell rendered %q, want err", row[2])
+		}
+	}
+}
+
+// A model that fails everywhere leaves no common benchmark subset: every
+// mean is withheld (rendered "err"), never a fake 0.000.
+func TestSweepFullyFailedModel(t *testing.T) {
+	s := testService(t, Config{Workers: 4}, "g711dec", "g711enc")
+	s.failHook = func(req Request) error {
+		if req.Model == pipeline.NameByteSerial {
+			return fmt.Errorf("model %s broken", req.Model)
+		}
+		return nil
+	}
+	models := []string{pipeline.NameBaseline32, pipeline.NameByteSerial}
+	sum, err := s.Sweep(context.Background(), 1, nil, models, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 2 || sum.FailedByModel[pipeline.NameByteSerial] != 2 {
+		t.Fatalf("failed = %d, failedByModel = %v", sum.Failed, sum.FailedByModel)
+	}
+	if sum.CompleteBenches != 0 {
+		t.Fatalf("completeBenchmarks = %d, want 0", sum.CompleteBenches)
+	}
+	if len(sum.MeanCPI) != 0 {
+		t.Fatalf("meanCPI = %v, want empty (no comparable subset)", sum.MeanCPI)
+	}
+	avg := sum.CPITable.Rows[len(sum.CPITable.Rows)-1]
+	if avg[0] != "AVG" || avg[1] != "err" || avg[2] != "err" {
+		t.Fatalf("AVG row = %v, want all err", avg)
+	}
+}
