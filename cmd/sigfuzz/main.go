@@ -1,0 +1,103 @@
+// Command sigfuzz runs a differential fuzzing campaign: random MIPS
+// programs are generated from sequential seeds and executed in lockstep on
+// the plain interpreter and on the significance-compressed paths (Ext3
+// register file, byte-serial ALU, instruction recoding, pipeline timing).
+// Any divergence is shrunk to a minimal repro and written as a seed file
+// that `go test ./internal/diffsim` replays once committed to
+// internal/diffsim/testdata/.
+//
+// Usage:
+//
+//	sigfuzz -seeds 1000              # fixed-size campaign
+//	sigfuzz -duration 5m             # time-boxed campaign
+//	sigfuzz -repro path/to/bug.seed  # replay one seed file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/diffsim"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 1000, "number of sequential seeds to check (ignored with -duration)")
+		start    = flag.Uint64("start", 0, "first seed of the campaign")
+		duration = flag.Duration("duration", 0, "run until this much time has elapsed instead of a fixed seed count")
+		ops      = flag.Int("ops", 0, "instructions per generated program (0 = default)")
+		loops    = flag.Int("loops", 0, "bounded loops per program (0 = default, negative = none)")
+		data     = flag.Int("data", 0, "data segment bytes (0 = default)")
+		timing   = flag.Bool("timing", false, "also check pipeline-timing determinism on every seed (slower)")
+		out      = flag.String("out", ".", "directory for shrunken repro seed files")
+		repro    = flag.String("repro", "", "replay a single seed file and exit")
+		verbose  = flag.Bool("v", false, "log every seed checked")
+	)
+	flag.Parse()
+
+	or := diffsim.DefaultOracle()
+	cfg := diffsim.Config{Ops: *ops, DataBytes: *data, Loops: *loops}
+	opts := diffsim.CheckOpts{Timing: *timing}
+
+	if *repro != "" {
+		os.Exit(replay(*repro, or, opts))
+	}
+
+	begin := time.Now()
+	checked, steps := 0, uint64(0)
+	for seed := *start; ; seed++ {
+		if *duration > 0 {
+			if time.Since(begin) >= *duration {
+				break
+			}
+		} else if checked >= *seeds {
+			break
+		}
+		p := diffsim.Generate(seed, cfg)
+		rep := diffsim.Check(p, or, opts)
+		checked++
+		steps += rep.Steps
+		if *verbose {
+			fmt.Printf("seed %#x: %d insts retired\n", seed, rep.Steps)
+		}
+		if rep.OK() {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "MISMATCH at seed %#x: %s\n", seed, rep.Mismatch)
+		fmt.Fprintln(os.Stderr, "shrinking...")
+		small := diffsim.Shrink(p, or, diffsim.ShrinkOpts{Check: opts})
+		path := filepath.Join(*out, fmt.Sprintf("repro-%x.seed", seed))
+		if err := os.WriteFile(path, small.Marshal(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing repro: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "minimal repro (%d ops) written to %s\n", len(small.Ops), path)
+		}
+		fmt.Fprintf(os.Stderr, "listing:\n%s", small.Listing())
+		os.Exit(1)
+	}
+	fmt.Printf("sigfuzz: %d seeds checked, %d instructions retired, 0 mismatches (%.1fs)\n",
+		checked, steps, time.Since(begin).Seconds())
+}
+
+func replay(path string, or *diffsim.Oracle, opts diffsim.CheckOpts) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	p, err := diffsim.UnmarshalProgram(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep := diffsim.Check(p, or, opts)
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "MISMATCH: %s\nlisting:\n%s", rep.Mismatch, p.Listing())
+		return 1
+	}
+	fmt.Printf("%s: OK, %d instructions retired\n", path, rep.Steps)
+	return 0
+}

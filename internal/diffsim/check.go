@@ -1,0 +1,276 @@
+package diffsim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Mismatch is one divergence between the golden interpreter and the
+// compressed paths (or a violated harness invariant).
+//
+// Kinds: "reg" / "hilo" / "pc" / "store" / "exit" (architectural divergence),
+// "ext2" / "ext3" (write-path round-trip failures), "icomp" (instruction
+// recoding round-trip), "timing" (non-deterministic pipeline results),
+// "sandbox" / "golden" / "timeout" / "encode" / "fetch" / "decode" /
+// "syscall" (harness invariant violations — generator or program bugs, not
+// compression bugs).
+type Mismatch struct {
+	Kind   string
+	Step   uint64 // retired-instruction index at detection
+	PC     uint32 // PC of the instruction that exposed it
+	Detail string
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("[%s] step %d pc %#08x: %s", m.Kind, m.Step, m.PC, m.Detail)
+}
+
+// Report is the outcome of checking one program.
+type Report struct {
+	Steps    uint64
+	Mismatch *Mismatch // nil when every check passed
+}
+
+// OK reports whether the program passed all differential checks.
+func (r Report) OK() bool { return r.Mismatch == nil }
+
+// CheckOpts bounds one differential run.
+type CheckOpts struct {
+	// MaxSteps caps retired instructions (0 = 1<<20). Generated programs
+	// terminate by construction; hitting the cap is reported as a
+	// "timeout" harness mismatch.
+	MaxSteps uint64
+	// Timing enables the pipeline-determinism pass: every model's Result
+	// must be identical across a repeat run and a concurrent
+	// (goroutine-per-model) run.
+	Timing bool
+}
+
+func (o CheckOpts) withDefaults() CheckOpts {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	return o
+}
+
+// Check runs p through the golden interpreter and the compressed-path
+// shadow machine in lockstep, cross-checking architectural state each
+// retired instruction, plus the per-instruction icomp round-trip and
+// (optionally) pipeline timing determinism.
+func Check(p *Program, or *Oracle, opts CheckOpts) Report {
+	opts = opts.withDefaults()
+	rep := Report{}
+	fail := func(kind string, step uint64, pc uint32, format string, args ...interface{}) Report {
+		rep.Mismatch = &Mismatch{Kind: kind, Step: step, PC: pc, Detail: fmt.Sprintf(format, args...)}
+		return rep
+	}
+
+	words, err := p.Encode()
+	if err != nil {
+		return fail("encode", 0, 0, "%v", err)
+	}
+	golden, err := p.NewCPU()
+	if err != nil {
+		return fail("encode", 0, 0, "%v", err)
+	}
+	sh := newShadow(or, words, p.Data)
+
+	for !golden.Done {
+		if rep.Steps >= opts.MaxSteps {
+			return fail("timeout", rep.Steps, golden.PC, "exceeded %d steps (generator termination invariant violated)", opts.MaxSteps)
+		}
+		if sh.pc != golden.PC {
+			return fail("pc", rep.Steps, golden.PC, "shadow PC %#08x, golden %#08x", sh.pc, golden.PC)
+		}
+		e, err := golden.Step()
+		if err != nil {
+			return fail("golden", rep.Steps, golden.PC, "golden interpreter error: %v", err)
+		}
+		// Sandbox invariant: generated data accesses stay inside the
+		// segment. Violations mean a malformed (usually over-shrunken)
+		// program, not a compression bug.
+		if e.MemWidth > 0 {
+			end := uint64(e.Addr) + uint64(e.MemWidth)
+			if e.Addr < DataBase || end > DataBase+uint64(len(p.Data)) {
+				return fail("sandbox", rep.Steps, e.PC, "%d-byte access at %#08x outside data segment", e.MemWidth, e.Addr)
+			}
+		}
+		// Instruction-compression round trip, including the documented
+		// contract that a clear extension bit makes the low stored byte
+		// irrelevant (three-byte fetch).
+		st := or.EncodeInst(e.Raw)
+		if got := or.DecodeInst(st); got != e.Raw {
+			return fail("icomp", rep.Steps, e.PC, "encode/decode %#08x -> %#08x (%s)", e.Raw, got, isa.Decode(e.Raw).Disassemble(e.PC))
+		}
+		if !st.Ext {
+			zeroed := st
+			zeroed.Word &^= 0xff
+			if got := or.DecodeInst(zeroed); got != e.Raw {
+				return fail("icomp", rep.Steps, e.PC, "3-byte fetch decode %#08x -> %#08x", e.Raw, got)
+			}
+		}
+
+		eff, err := sh.step()
+		if err != nil {
+			var me *mismatchError
+			if errors.As(err, &me) {
+				return fail(me.kind, rep.Steps, e.PC, "%s", me.detail)
+			}
+			return fail("shadow", rep.Steps, e.PC, "%v", err)
+		}
+
+		// Store traffic must match value-for-value at the store width.
+		if e.Inst.IsStore() || eff.width > 0 {
+			mask := widthMask(e.MemWidth)
+			if eff.width != e.MemWidth || eff.addr != e.Addr || eff.val&mask != e.StoreVal&mask {
+				return fail("store", rep.Steps, e.PC, "shadow store %d@%#08x=%#x, golden %d@%#08x=%#x",
+					eff.width, eff.addr, eff.val&mask, e.MemWidth, e.Addr, e.StoreVal&mask)
+			}
+		}
+
+		// Full architected-state comparison (reads decompress the shadow's
+		// Ext3 state, so a 3-bit scheme bug surfaces here).
+		for r := 0; r < 32; r++ {
+			sv, err := sh.read(isa.Reg(r))
+			if err != nil {
+				var me *mismatchError
+				if errors.As(err, &me) {
+					return fail(me.kind, rep.Steps, e.PC, "%s", me.detail)
+				}
+				return fail("ext3", rep.Steps, e.PC, "%v", err)
+			}
+			if sv != golden.Regs[r] {
+				return fail("reg", rep.Steps, e.PC, "%s = %#08x, golden %#08x after %s",
+					isa.Reg(r), sv, golden.Regs[r], e.Inst.Disassemble(e.PC))
+			}
+		}
+		for _, h := range []struct {
+			name   string
+			c      creg
+			golden uint32
+		}{{"HI", sh.hi, golden.HI}, {"LO", sh.lo, golden.LO}} {
+			sv, err := sh.readHILO(h.c, h.name)
+			if err != nil {
+				var me *mismatchError
+				if errors.As(err, &me) {
+					return fail(me.kind, rep.Steps, e.PC, "%s", me.detail)
+				}
+				return fail("ext3", rep.Steps, e.PC, "%v", err)
+			}
+			if sv != h.golden {
+				return fail("hilo", rep.Steps, e.PC, "%s = %#08x, golden %#08x", h.name, sv, h.golden)
+			}
+		}
+		rep.Steps++
+	}
+	if !sh.done {
+		return fail("exit", rep.Steps, golden.PC, "golden exited, shadow still running at %#08x", sh.pc)
+	}
+	if sh.exitCode != golden.ExitCode {
+		return fail("exit", rep.Steps, golden.PC, "exit code %d, golden %d", sh.exitCode, golden.ExitCode)
+	}
+
+	if opts.Timing {
+		if m := checkTiming(p, or, opts.MaxSteps); m != nil {
+			rep.Mismatch = m
+		}
+	}
+	return rep
+}
+
+func widthMask(w int) uint32 {
+	switch w {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	}
+	return 0xffff_ffff
+}
+
+// timingResults runs the program through one fresh instance of every
+// pipeline model. When concurrent is true each model consumes the event
+// stream on its own goroutine (through a buffered channel), mirroring the
+// parallel-suite execution; results must not depend on that choice.
+func timingResults(p *Program, or *Oracle, maxSteps uint64, concurrent bool) (map[string]pipeline.Result, error) {
+	golden, err := p.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	models := pipeline.NewAll()
+	var (
+		chans []chan trace.Event
+		wg    sync.WaitGroup
+	)
+	if concurrent {
+		chans = make([]chan trace.Event, len(models))
+		for i, m := range models {
+			ch := make(chan trace.Event, 256)
+			chans[i] = ch
+			wg.Add(1)
+			go func(m *pipeline.Model, ch <-chan trace.Event) {
+				defer wg.Done()
+				for e := range ch {
+					m.Consume(e)
+				}
+			}(m, ch)
+		}
+	}
+	var steps uint64
+	for !golden.Done && steps < maxSteps {
+		e, err := golden.Step()
+		if err != nil {
+			return nil, err
+		}
+		ev := trace.Annotate(e, or.Recoder)
+		if concurrent {
+			for _, ch := range chans {
+				ch <- ev
+			}
+		} else {
+			for _, m := range models {
+				m.Consume(ev)
+			}
+		}
+		steps++
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	out := make(map[string]pipeline.Result, len(models))
+	for _, m := range models {
+		out[m.Name()] = m.Result()
+	}
+	return out, nil
+}
+
+// checkTiming asserts pipeline determinism: a repeat sequential run and a
+// concurrent goroutine-per-model run must produce bit-identical Results
+// (cycles, instruction counts, and stall breakdowns) for every model.
+func checkTiming(p *Program, or *Oracle, maxSteps uint64) *Mismatch {
+	base, err := timingResults(p, or, maxSteps, false)
+	if err != nil {
+		return &Mismatch{Kind: "timing", Detail: fmt.Sprintf("baseline pass: %v", err)}
+	}
+	for pass, concurrent := range map[string]bool{"repeat": false, "parallel": true} {
+		again, err := timingResults(p, or, maxSteps, concurrent)
+		if err != nil {
+			return &Mismatch{Kind: "timing", Detail: fmt.Sprintf("%s pass: %v", pass, err)}
+		}
+		for name, want := range base {
+			got, ok := again[name]
+			if !ok || !reflect.DeepEqual(got, want) {
+				return &Mismatch{Kind: "timing", Detail: fmt.Sprintf(
+					"%s pass: model %s diverged: %+v vs %+v", pass, name, got, want)}
+			}
+		}
+	}
+	return nil
+}

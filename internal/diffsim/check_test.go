@@ -1,0 +1,108 @@
+package diffsim
+
+import (
+	"testing"
+
+	"repro/internal/icomp"
+	"repro/internal/sig"
+	"repro/internal/sigalu"
+)
+
+// TestDifferentialCleanSeeds is the core positive property: over a spread of
+// generated programs, the compressed paths agree with the golden interpreter
+// on every retired instruction.
+func TestDifferentialCleanSeeds(t *testing.T) {
+	or := DefaultOracle()
+	for seed := uint64(0); seed < 60; seed++ {
+		p := Generate(seed, Config{})
+		opts := CheckOpts{Timing: seed%10 == 0}
+		rep := Check(p, or, opts)
+		if !rep.OK() {
+			t.Fatalf("seed %d: %s\nprogram:\n%s", seed, rep.Mismatch, p.Listing())
+		}
+		if rep.Steps == 0 {
+			t.Fatalf("seed %d: program retired zero instructions", seed)
+		}
+	}
+}
+
+// brokenExt3Oracle returns an oracle whose DecompressExt3 drops the sign
+// extension for negative two-byte values — the canonical injected bug from
+// the acceptance criteria.
+func brokenExt3Oracle() *Oracle {
+	or := DefaultOracle()
+	or.DecompressExt3 = func(stored []byte, e sig.Ext3) (uint32, error) {
+		v, err := sig.DecompressExt3(stored, e)
+		if err != nil {
+			return 0, err
+		}
+		// Bug: a value whose significant bytes end at byte 1 is
+		// zero-extended instead of sign-extended.
+		if e.SigByteCount() == 2 && v&0x8000 != 0 && v>>16 == 0xffff {
+			v &= 0x0000_ffff
+		}
+		return v, nil
+	}
+	return or
+}
+
+func findMismatch(t *testing.T, or *Oracle, wantKinds ...string) (*Program, Report) {
+	t.Helper()
+	want := map[string]bool{}
+	for _, k := range wantKinds {
+		want[k] = true
+	}
+	for seed := uint64(0); seed < 500; seed++ {
+		p := Generate(seed, Config{})
+		rep := Check(p, or, CheckOpts{})
+		if rep.OK() {
+			continue
+		}
+		if !want[rep.Mismatch.Kind] {
+			t.Fatalf("seed %d: wrong mismatch kind %q (want one of %v): %s",
+				seed, rep.Mismatch.Kind, wantKinds, rep.Mismatch)
+		}
+		return p, rep
+	}
+	t.Fatalf("no seed in 0..500 triggered kinds %v", wantKinds)
+	return nil, Report{}
+}
+
+func TestInjectedExt3BugCaught(t *testing.T) {
+	// The sign-extension bug corrupts decompressed register reads, so it
+	// must surface as an architectural register/address divergence, never
+	// go unnoticed.
+	p, rep := findMismatch(t, brokenExt3Oracle(), "reg", "hilo", "store", "pc", "exit", "sandbox", "golden")
+	t.Logf("seed %d failed as expected: %s", p.Seed, rep.Mismatch)
+}
+
+func TestInjectedAdderBugCaught(t *testing.T) {
+	or := DefaultOracle()
+	or.Add = func(a, b uint32) sigalu.Result {
+		r := sigalu.Add(a, b)
+		// Bug: carry out of byte 0 is dropped.
+		if (a&0xff)+(b&0xff) > 0xff {
+			r.Value -= 0x100
+			r.Ext = sig.Ext3Of(r.Value)
+		}
+		return r
+	}
+	p, rep := findMismatch(t, or, "reg", "hilo", "store", "pc", "exit", "sandbox", "golden")
+	t.Logf("seed %d failed as expected: %s", p.Seed, rep.Mismatch)
+}
+
+func TestInjectedRecoderBugCaught(t *testing.T) {
+	or := DefaultOracle()
+	dec := or.DecodeInst
+	or.DecodeInst = func(st icomp.Stored) uint32 {
+		// Bug: the recoded-opcode table regeneration flips a bit in the
+		// immediate of recoded (Ext=false) instructions.
+		v := dec(st)
+		if !st.Ext {
+			v ^= 1 << 3
+		}
+		return v
+	}
+	p, rep := findMismatch(t, or, "icomp")
+	t.Logf("seed %d failed as expected: %s", p.Seed, rep.Mismatch)
+}

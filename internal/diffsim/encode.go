@@ -1,0 +1,100 @@
+package diffsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// exitWords is the unconditional epilogue: addiu $v0,$zero,10; syscall.
+func exitWords() [2]uint32 {
+	return [2]uint32{
+		isa.EncodeI(isa.OpADDIU, isa.RegZero, isa.RegV0, cpu.SysExit),
+		isa.EncodeR(isa.FnSYSCALL, 0, 0, 0, 0),
+	}
+}
+
+// wordOffsets returns the word offset of each op plus, at index len(Ops),
+// the offset of the exit stub.
+func (p *Program) wordOffsets() []int {
+	off := make([]int, len(p.Ops)+1)
+	for i, o := range p.Ops {
+		off[i+1] = off[i] + o.words()
+	}
+	return off
+}
+
+// Encode renders the program as a contiguous text image at TextBase,
+// patching every control-flow unit's destination from its op index.
+func (p *Program) Encode() ([]uint32, error) {
+	off := p.wordOffsets()
+	addrOf := func(idx int) uint32 {
+		if idx < 0 || idx > len(p.Ops) {
+			idx = len(p.Ops)
+		}
+		return TextBase + 4*uint32(off[idx])
+	}
+	words := make([]uint32, 0, off[len(p.Ops)]+2)
+	for i, o := range p.Ops {
+		switch o.Ctl {
+		case CtlNone:
+			words = append(words, o.Raw)
+		case CtlBranch, CtlLoopBack:
+			if o.Ctl == CtlLoopBack {
+				k := isa.Decode(o.Raw).Rs
+				words = append(words, isa.EncodeI(isa.OpADDIU, k, k, -1))
+			}
+			pc := TextBase + 4*uint32(len(words))
+			disp := (int64(addrOf(o.Target)) - int64(pc) - 4) / 4
+			if disp < -0x8000 || disp > 0x7fff {
+				return nil, fmt.Errorf("diffsim: op %d: branch displacement %d out of range", i, disp)
+			}
+			words = append(words, o.Raw|uint32(uint16(int16(disp))))
+		case CtlJump:
+			words = append(words, o.Raw|(addrOf(o.Target)>>2)&0x03ffffff)
+		case CtlJumpReg:
+			t := addrOf(o.Target)
+			words = append(words,
+				isa.EncodeI(isa.OpLUI, 0, isa.RegAT, int16(t>>16)),
+				isa.EncodeI(isa.OpORI, isa.RegAT, isa.RegAT, int16(uint16(t))),
+				o.Raw)
+		default:
+			return nil, fmt.Errorf("diffsim: op %d: unknown ctl kind %d", i, o.Ctl)
+		}
+	}
+	ex := exitWords()
+	words = append(words, ex[0], ex[1])
+	return words, nil
+}
+
+// NewCPU encodes the program and loads it into a fresh golden machine.
+func (p *Program) NewCPU() (*cpu.CPU, error) {
+	words, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.NewMemory()
+	for i, w := range words {
+		m.Store32(TextBase+4*uint32(i), w)
+	}
+	m.LoadSegment(DataBase, p.Data)
+	return cpu.New(m, TextBase, StackTop), nil
+}
+
+// Listing renders a human-readable disassembly of the encoded program,
+// used in mismatch reports and seed-file comments.
+func (p *Program) Listing() string {
+	words, err := p.Encode()
+	if err != nil {
+		return fmt.Sprintf("<unencodable: %v>", err)
+	}
+	var b strings.Builder
+	for i, w := range words {
+		pc := TextBase + 4*uint32(i)
+		fmt.Fprintf(&b, "%08x: %08x  %s\n", pc, w, isa.Decode(w).Disassemble(pc))
+	}
+	return b.String()
+}

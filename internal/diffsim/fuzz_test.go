@@ -1,0 +1,29 @@
+package diffsim
+
+import "testing"
+
+// FuzzDifferential is the native-fuzzing entry point: the fuzzer explores
+// the generator's seed/configuration space, and every generated program must
+// pass the full differential check (compressed register file, byte-serial
+// ALU, instruction recoding, memory traffic, exit state).
+//
+// Run a short budget with:
+//
+//	go test -fuzz=FuzzDifferential -fuzztime=30s ./internal/diffsim
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(0), uint16(60), uint8(2))
+	f.Add(uint64(1), uint16(8), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint16(200), uint8(3))
+	f.Add(uint64(42), uint16(30), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nOps uint16, loops uint8) {
+		cfg := Config{
+			Ops:   int(nOps%512) + 4,
+			Loops: int(loops%4) - 1, // -1 (none) through 2
+		}
+		p := Generate(seed, cfg)
+		rep := Check(p, DefaultOracle(), CheckOpts{Timing: seed%16 == 0})
+		if !rep.OK() {
+			t.Fatalf("differential mismatch: %s\nseed file:\n%s", rep.Mismatch, p.Marshal())
+		}
+	})
+}

@@ -1,0 +1,390 @@
+// Package diffsim is the differential verification harness for the
+// simulator's central invariant: significance compression is *lossless*.
+// Extension bits (package sig), the byte-serial significance ALU (package
+// sigalu), and the 3-byte instruction recoding (package icomp) must never
+// change architectural results — only activity and CPI (PAPER.md §3–4).
+//
+// The harness has three parts:
+//
+//   - A deterministic, seed-driven random program generator over the
+//     internal/isa MIPS subset (this file). Generated programs terminate by
+//     construction: all control flow is forward except bounded loops whose
+//     back edge is fused with its counter decrement, and loads/stores stay
+//     inside a sandboxed data segment addressed off a reserved base register.
+//
+//   - A differential oracle (check.go, shadow.go): the plain internal/cpu
+//     interpreter is the golden reference, and a shadow machine that keeps
+//     every architected value in compressed form — Ext3 registers, sigalu
+//     byte-serial arithmetic, icomp-recoded instruction fetch — runs in
+//     lockstep. Any divergence of PC, register file, HI/LO, or store traffic
+//     is a Mismatch. The compression primitives are routed through a
+//     swappable Oracle so harness self-tests can inject known bugs.
+//
+//   - A delta-debugging shrinker (shrink.go) that reduces a failing program
+//     to a minimal repro, serialized under testdata/ as a committed
+//     regression seed (seedfile.go).
+//
+// cmd/sigfuzz drives long campaigns; FuzzDifferential wires the same check
+// into native Go fuzzing.
+package diffsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Memory layout shared with the assembler-built benchmarks (asm defaults).
+const (
+	// TextBase is the load address of the generated code.
+	TextBase = 0x0040_0000
+	// DataBase is the bottom of the sandboxed data segment ("the data
+	// segment base of our experimental framework", §2.1).
+	DataBase = 0x1000_0000
+	// StackTop matches asm.DefaultStackTop; generated code never uses the
+	// stack but the golden CPU is built with the conventional $sp.
+	StackTop = 0x7fff_f000
+)
+
+// CtlKind classifies how an Op's control flow is encoded.
+type CtlKind uint8
+
+// Control kinds.
+const (
+	// CtlNone is a fully encoded non-control instruction (Raw is final).
+	CtlNone CtlKind = iota
+	// CtlBranch is a conditional forward branch; Raw has a zero immediate
+	// field, patched from Target at encode time.
+	CtlBranch
+	// CtlJump is J/JAL; Raw has a zero target field, patched from Target.
+	CtlJump
+	// CtlJumpReg expands to three words — lui $at, ori $at, then Raw (a
+	// JR/JALR through $at) — so the register jump lands on Target exactly.
+	CtlJumpReg
+	// CtlLoopBack expands to two words: the fused counter decrement
+	// (addiu $k,$k,-1) followed by Raw, a BGTZ $k with backward Target.
+	// Fusing the decrement with the back edge keeps every program
+	// terminating under arbitrary shrinking: the branch can never execute
+	// without its decrement.
+	CtlLoopBack
+)
+
+func (k CtlKind) String() string {
+	switch k {
+	case CtlNone:
+		return "none"
+	case CtlBranch:
+		return "branch"
+	case CtlJump:
+		return "jump"
+	case CtlJumpReg:
+		return "jumpreg"
+	case CtlLoopBack:
+		return "loopback"
+	}
+	return fmt.Sprintf("ctl%d", uint8(k))
+}
+
+// ctlKindByName inverts CtlKind.String for the seed-file parser.
+func ctlKindByName(s string) (CtlKind, bool) {
+	for _, k := range []CtlKind{CtlNone, CtlBranch, CtlJump, CtlJumpReg, CtlLoopBack} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Op is one generated instruction unit. Control-flow units reference their
+// destination as an *op index* (not an address), so programs stay
+// re-encodable after the shrinker removes units.
+type Op struct {
+	Raw    uint32  // encoding; control-flow offset/target fields are zero
+	Ctl    CtlKind // how Raw relates to Target
+	Target int     // destination op index; len(Ops) means the exit stub
+}
+
+// words returns how many instruction words the unit encodes to.
+func (o Op) words() int {
+	switch o.Ctl {
+	case CtlJumpReg:
+		return 3
+	case CtlLoopBack:
+		return 2
+	}
+	return 1
+}
+
+// Program is a generated (or shrunken) differential test case.
+type Program struct {
+	// Seed records provenance: the generator seed the program came from
+	// (unchanged by shrinking).
+	Seed uint64
+	// Ops is the instruction unit list; an exit stub (addiu $v0,$zero,10;
+	// syscall) is appended automatically at encode time.
+	Ops []Op
+	// Data is the initial content of the sandboxed data segment at
+	// DataBase. All generated loads and stores stay within it.
+	Data []byte
+}
+
+// Clone returns a deep copy (the shrinker mutates candidates in place).
+func (p *Program) Clone() *Program {
+	q := &Program{Seed: p.Seed}
+	q.Ops = append([]Op(nil), p.Ops...)
+	q.Data = append([]byte(nil), p.Data...)
+	return q
+}
+
+// Config bounds the generator.
+type Config struct {
+	// Ops is the number of generated instruction units (excluding the exit
+	// stub). Default 60.
+	Ops int
+	// DataBytes sizes the sandboxed data segment (word-aligned). Default
+	// 1024.
+	DataBytes int
+	// Loops caps the bounded backward loops (each uses its own reserved
+	// counter register, so at most 2). 0 means the default of 2; use a
+	// negative value for a loop-free program.
+	Loops int
+	// LoopIters caps each loop's trip count. Default 8.
+	LoopIters int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 60
+	}
+	if c.DataBytes < 8 {
+		c.DataBytes = 1024
+	}
+	c.DataBytes &^= 3 // word-aligned segment size keeps offsets encodable
+	if c.Loops == 0 {
+		c.Loops = len(loopCounters)
+	} else if c.Loops < 0 {
+		c.Loops = 0
+	}
+	if c.Loops > len(loopCounters) {
+		c.Loops = len(loopCounters)
+	}
+	if c.LoopIters <= 0 {
+		c.LoopIters = 8
+	}
+	return c
+}
+
+// Register roles. $at is the jump-register scratch, $k0/$k1 the loop
+// counters, $gp the sandbox base; none of them may be a general destination,
+// so their invariants survive any generated instruction mix.
+var (
+	loopCounters = [...]isa.Reg{isa.RegK0, isa.RegK1}
+
+	// destPool lists the registers generated instructions may write.
+	destPool = []isa.Reg{
+		isa.RegV0, isa.RegV1, isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3,
+		isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4, isa.RegT5,
+		isa.RegT6, isa.RegT7, isa.RegS0, isa.RegS1, isa.RegS2, isa.RegS3,
+		isa.RegS4, isa.RegS5, isa.RegS6, isa.RegT8, isa.RegT9, isa.RegFP,
+		isa.RegRA,
+	}
+	// srcPool adds read-only registers worth sampling: $zero (the constant
+	// significance pattern), $gp (a large address), the loop counters
+	// (small descending values).
+	srcPool = append(append([]isa.Reg{}, destPool...),
+		isa.RegZero, isa.RegGP, isa.RegK0, isa.RegK1)
+)
+
+// interestingImms biases immediates toward significance-compression edge
+// cases: sign-extension boundaries at each byte and halfword seam.
+var interestingImms = []int16{
+	0, 1, -1, 2, -2, 0x7f, -0x80, 0x80, 0xff, 0x100, -0x100,
+	0x7ff, 0x7fff, -0x8000, -0x7f, 0x1234, -0x1234, 0x00ff, -0x00ff,
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+}
+
+func (g *gen) reg(pool []isa.Reg) isa.Reg { return pool[g.rng.Intn(len(pool))] }
+
+func (g *gen) imm() int16 {
+	switch g.rng.Intn(4) {
+	case 0:
+		return interestingImms[g.rng.Intn(len(interestingImms))]
+	case 1:
+		return int16(g.rng.Intn(256) - 128) // small values dominate real code
+	default:
+		return int16(g.rng.Uint32())
+	}
+}
+
+// dataOffset returns an in-sandbox offset aligned to the access width.
+func (g *gen) dataOffset(width int) int16 {
+	off := g.rng.Intn(g.cfg.DataBytes - (width - 1))
+	return int16(off &^ (width - 1))
+}
+
+// Generate builds a deterministic random program from seed.
+func Generate(seed uint64, cfg Config) *Program {
+	cfg = cfg.withDefaults()
+	g := &gen{rng: rand.New(rand.NewSource(int64(seed))), cfg: cfg}
+
+	p := &Program{Seed: seed}
+	p.Data = make([]byte, cfg.DataBytes)
+	for i := range p.Data {
+		switch r := g.rng.Intn(100); {
+		case r < 30:
+			p.Data[i] = 0
+		case r < 55:
+			p.Data[i] = byte(g.rng.Intn(16)) // small positive values
+		case r < 70:
+			p.Data[i] = 0xff
+		default:
+			p.Data[i] = byte(g.rng.Uint32())
+		}
+	}
+
+	// Plan bounded loops in disjoint index regions, one counter register
+	// each. The head (set counter) sits at loopHead[i]; the fused
+	// decrement+BGTZ back edge at loopBack[i], targeting head+1.
+	loopHead := map[int]isa.Reg{}
+	loopBack := map[int]int{} // back-edge index -> head index
+	backReg := map[int]isa.Reg{}
+	nLoops := 0
+	if cfg.Loops > 0 {
+		nLoops = g.rng.Intn(cfg.Loops + 1)
+	}
+	if nLoops > 0 {
+		segLen := cfg.Ops / nLoops
+		for l := 0; l < nLoops && segLen >= 6; l++ {
+			lo := l * segLen
+			head := lo + 1 + g.rng.Intn(segLen/3+1)
+			back := head + 2 + g.rng.Intn(segLen/2)
+			if back >= lo+segLen {
+				back = lo + segLen - 1
+			}
+			if back-head < 2 {
+				continue
+			}
+			k := loopCounters[l]
+			loopHead[head] = k
+			loopBack[back] = head
+			backReg[back] = k
+		}
+	}
+
+	// Prologue: $gp = DataBase (low halfword is zero, one LUI suffices).
+	p.Ops = append(p.Ops, Op{Raw: isa.EncodeI(isa.OpLUI, 0, isa.RegGP, int16(DataBase>>16))})
+
+	for i := len(p.Ops); i < cfg.Ops; i++ {
+		if k, ok := loopHead[i]; ok {
+			iters := int16(1 + g.rng.Intn(cfg.LoopIters))
+			p.Ops = append(p.Ops, Op{Raw: isa.EncodeI(isa.OpADDIU, isa.RegZero, k, iters)})
+			continue
+		}
+		if head, ok := loopBack[i]; ok {
+			p.Ops = append(p.Ops, Op{
+				Raw:    isa.EncodeI(isa.OpBGTZ, backReg[i], 0, 0),
+				Ctl:    CtlLoopBack,
+				Target: head + 1,
+			})
+			continue
+		}
+		p.Ops = append(p.Ops, g.randomOp(i))
+	}
+	return p
+}
+
+// fwdTarget picks a forward destination for the op at index i: somewhere in
+// (i, i+13], capped at the exit stub.
+func (g *gen) fwdTarget(i int) int {
+	t := i + 1 + g.rng.Intn(13)
+	if t > g.cfg.Ops {
+		t = g.cfg.Ops
+	}
+	return t
+}
+
+var (
+	rAluFns   = []isa.Funct{isa.FnADDU, isa.FnADD, isa.FnSUBU, isa.FnSUB, isa.FnAND, isa.FnOR, isa.FnXOR, isa.FnNOR, isa.FnSLT, isa.FnSLTU}
+	shImmFns  = []isa.Funct{isa.FnSLL, isa.FnSRL, isa.FnSRA}
+	shVarFns  = []isa.Funct{isa.FnSLLV, isa.FnSRLV, isa.FnSRAV}
+	iAluOps   = []isa.Opcode{isa.OpADDI, isa.OpADDIU, isa.OpSLTI, isa.OpSLTIU, isa.OpANDI, isa.OpORI, isa.OpXORI}
+	loadOps   = []isa.Opcode{isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW}
+	storeOps  = []isa.Opcode{isa.OpSB, isa.OpSH, isa.OpSW}
+	mulDivFns = []isa.Funct{isa.FnMULT, isa.FnMULTU, isa.FnDIV, isa.FnDIVU}
+	hiloFns   = []isa.Funct{isa.FnMFHI, isa.FnMFLO, isa.FnMTHI, isa.FnMTLO}
+)
+
+// randomOp draws one instruction unit from the weighted opcode mix.
+func (g *gen) randomOp(i int) Op {
+	w := g.rng.Intn(100)
+	switch {
+	case w < 28: // R-format ALU
+		fn := rAluFns[g.rng.Intn(len(rAluFns))]
+		return Op{Raw: isa.EncodeR(fn, g.reg(srcPool), g.reg(srcPool), g.reg(destPool), 0)}
+	case w < 36: // immediate shift
+		fn := shImmFns[g.rng.Intn(len(shImmFns))]
+		return Op{Raw: isa.EncodeR(fn, 0, g.reg(srcPool), g.reg(destPool), uint8(g.rng.Intn(32)))}
+	case w < 41: // variable shift
+		fn := shVarFns[g.rng.Intn(len(shVarFns))]
+		return Op{Raw: isa.EncodeR(fn, g.reg(srcPool), g.reg(srcPool), g.reg(destPool), 0)}
+	case w < 59: // I-format ALU
+		op := iAluOps[g.rng.Intn(len(iAluOps))]
+		return Op{Raw: isa.EncodeI(op, g.reg(srcPool), g.reg(destPool), g.imm())}
+	case w < 63: // LUI
+		return Op{Raw: isa.EncodeI(isa.OpLUI, 0, g.reg(destPool), g.imm())}
+	case w < 74: // load from the sandbox
+		op := loadOps[g.rng.Intn(len(loadOps))]
+		width := isa.Decode(isa.EncodeI(op, 0, 0, 0)).MemBytes()
+		return Op{Raw: isa.EncodeI(op, isa.RegGP, g.reg(destPool), g.dataOffset(width))}
+	case w < 81: // store into the sandbox
+		op := storeOps[g.rng.Intn(len(storeOps))]
+		width := isa.Decode(isa.EncodeI(op, 0, 0, 0)).MemBytes()
+		return Op{Raw: isa.EncodeI(op, isa.RegGP, g.reg(srcPool), g.dataOffset(width))}
+	case w < 85: // MULT/MULTU/DIV/DIVU
+		fn := mulDivFns[g.rng.Intn(len(mulDivFns))]
+		return Op{Raw: isa.EncodeR(fn, g.reg(srcPool), g.reg(srcPool), 0, 0)}
+	case w < 89: // HI/LO moves
+		fn := hiloFns[g.rng.Intn(len(hiloFns))]
+		if fn == isa.FnMFHI || fn == isa.FnMFLO {
+			return Op{Raw: isa.EncodeR(fn, 0, 0, g.reg(destPool), 0)}
+		}
+		return Op{Raw: isa.EncodeR(fn, g.reg(srcPool), 0, 0, 0)}
+	case w < 96: // forward conditional branch
+		t := g.fwdTarget(i)
+		switch g.rng.Intn(4) {
+		case 0:
+			return Op{Raw: isa.EncodeI(isa.OpBEQ, g.reg(srcPool), g.reg(srcPool), 0), Ctl: CtlBranch, Target: t}
+		case 1:
+			return Op{Raw: isa.EncodeI(isa.OpBNE, g.reg(srcPool), g.reg(srcPool), 0), Ctl: CtlBranch, Target: t}
+		case 2:
+			op := isa.OpBLEZ
+			if g.rng.Intn(2) == 0 {
+				op = isa.OpBGTZ
+			}
+			return Op{Raw: isa.EncodeI(op, g.reg(srcPool), 0, 0), Ctl: CtlBranch, Target: t}
+		default:
+			sel := uint8(isa.RegimmBLTZ)
+			if g.rng.Intn(2) == 0 {
+				sel = isa.RegimmBGEZ
+			}
+			return Op{Raw: isa.EncodeRegimm(sel, g.reg(srcPool), 0), Ctl: CtlBranch, Target: t}
+		}
+	case w < 98: // forward J/JAL
+		op := isa.OpJ
+		if g.rng.Intn(2) == 0 {
+			op = isa.OpJAL
+		}
+		return Op{Raw: isa.EncodeJ(op, 0), Ctl: CtlJump, Target: g.fwdTarget(i)}
+	default: // forward JR/JALR through $at
+		raw := isa.EncodeR(isa.FnJR, isa.RegAT, 0, 0, 0)
+		if g.rng.Intn(2) == 0 {
+			raw = isa.EncodeR(isa.FnJALR, isa.RegAT, 0, g.reg(destPool), 0)
+		}
+		return Op{Raw: raw, Ctl: CtlJumpReg, Target: g.fwdTarget(i)}
+	}
+}

@@ -1,0 +1,85 @@
+package diffsim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateSeeds = flag.Bool("update-seeds", false, "regenerate the committed corpus seeds under testdata/")
+
+// corpusSpecs are the generator configurations behind the committed corpus:
+// a default mix, a loop-heavy program, a long straight-line program, and a
+// small tight program exercising the jump/branch paths densely.
+var corpusSpecs = []struct {
+	name string
+	seed uint64
+	cfg  Config
+}{
+	{"mix-default", 7, Config{}},
+	{"loop-heavy", 11, Config{Ops: 80, Loops: 3, LoopIters: 12}},
+	{"straightline-long", 23, Config{Ops: 300, Loops: -1, DataBytes: 2048}},
+	{"dense-small", 41, Config{Ops: 16, Loops: 1, DataBytes: 64}},
+}
+
+// TestUpdateCorpusSeeds regenerates the corpus when run with -update-seeds;
+// otherwise it verifies the committed files match their specs exactly, so a
+// generator change that silently alters the corpus is caught.
+func TestUpdateCorpusSeeds(t *testing.T) {
+	for _, spec := range corpusSpecs {
+		p := Generate(spec.seed, spec.cfg)
+		want := p.Marshal()
+		path := filepath.Join("testdata", fmt.Sprintf("corpus-%s.seed", spec.name))
+		if *updateSeeds {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d ops)", path, len(p.Ops))
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update-seeds to regenerate)", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale: generator output changed (run with -update-seeds and review the diff)", path)
+		}
+	}
+}
+
+// TestRegressionSeeds replays every committed seed under testdata/ through
+// the full differential check (timing pass included). Shrunken repros from
+// past fuzzing campaigns land here via `cmd/sigfuzz`, so once a compression
+// bug is fixed its trigger stays in the ordinary test pass forever.
+func TestRegressionSeeds(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed regression seeds under testdata/")
+	}
+	or := DefaultOracle()
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := UnmarshalProgram(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			rep := Check(p, or, CheckOpts{Timing: true})
+			if !rep.OK() {
+				t.Fatalf("regression seed fails: %s\n%s", rep.Mismatch, p.Listing())
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package diffsim
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// seedMagic heads every serialized seed file.
+const seedMagic = "diffsim-seed v1"
+
+// Marshal renders a program as the committed regression-seed text format:
+//
+//	diffsim-seed v1
+//	seed 0xdeadbeef
+//	op 24020000 none 0  # addiu $v0, $zero, 0
+//	op 1c400000 loopback 1  # bgtz $v0, ...
+//	data 00ff10...
+//
+// Targets are op indices (not addresses) so seeds survive re-encoding.
+func (p *Program) Marshal() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", seedMagic)
+	fmt.Fprintf(&b, "seed %#x\n", p.Seed)
+	for _, o := range p.Ops {
+		fmt.Fprintf(&b, "op %08x %s %d  # %s\n",
+			o.Raw, o.Ctl, o.Target, isa.Decode(o.Raw).Disassemble(0))
+	}
+	if len(p.Data) > 0 {
+		fmt.Fprintf(&b, "data %s\n", hex.EncodeToString(p.Data))
+	}
+	return []byte(b.String())
+}
+
+// UnmarshalProgram parses the Marshal text format.
+func UnmarshalProgram(data []byte) (*Program, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if line != "" {
+				return line, true
+			}
+		}
+		return "", false
+	}
+
+	first, ok := next()
+	if !ok || first != seedMagic {
+		return nil, fmt.Errorf("diffsim: line %d: missing %q header", lineNo, seedMagic)
+	}
+	p := &Program{}
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "seed":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("diffsim: line %d: want `seed <value>`", lineNo)
+			}
+			v, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("diffsim: line %d: bad seed: %v", lineNo, err)
+			}
+			p.Seed = v
+		case "op":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("diffsim: line %d: want `op <raw-hex> <ctl> <target>`", lineNo)
+			}
+			raw, err := strconv.ParseUint(fields[1], 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("diffsim: line %d: bad raw word: %v", lineNo, err)
+			}
+			ctl, ok := ctlKindByName(fields[2])
+			if !ok {
+				return nil, fmt.Errorf("diffsim: line %d: unknown ctl kind %q", lineNo, fields[2])
+			}
+			tgt, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("diffsim: line %d: bad target: %v", lineNo, err)
+			}
+			p.Ops = append(p.Ops, Op{Raw: uint32(raw), Ctl: ctl, Target: tgt})
+		case "data":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("diffsim: line %d: want `data <hex>`", lineNo)
+			}
+			d, err := hex.DecodeString(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("diffsim: line %d: bad data hex: %v", lineNo, err)
+			}
+			p.Data = d
+		default:
+			return nil, fmt.Errorf("diffsim: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("diffsim: %v", err)
+	}
+	for i, o := range p.Ops {
+		if o.Ctl != CtlNone && (o.Target < 0 || o.Target > len(p.Ops)) {
+			return nil, fmt.Errorf("diffsim: op %d: target %d out of range", i, o.Target)
+		}
+	}
+	return p, nil
+}

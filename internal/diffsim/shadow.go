@@ -1,0 +1,386 @@
+package diffsim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sig"
+	"repro/internal/sigalu"
+)
+
+// Oracle bundles the compressed-path primitives under differential test.
+// Every field defaults to the production implementation; harness self-tests
+// swap individual fields for intentionally broken versions to prove the
+// differential check catches (and the shrinker minimizes) real bug classes.
+type Oracle struct {
+	// Ext3 per-byte scheme: the shadow machine's architected values live in
+	// this representation, so a decompression bug becomes architectural.
+	CompressExt3   func(uint32) ([]byte, sig.Ext3)
+	DecompressExt3 func([]byte, sig.Ext3) (uint32, error)
+
+	// Ext2 count scheme: round-tripped on every register/memory write.
+	CompressExt2   func(uint32) ([]byte, sig.Ext2)
+	DecompressExt2 func([]byte, sig.Ext2) (uint32, error)
+
+	// Add is the byte-serial adder used for arithmetic and every
+	// effective-address computation.
+	Add func(a, b uint32) sigalu.Result
+
+	// EncodeInst/DecodeInst are the instruction-compression paths; the
+	// shadow fetches through them.
+	EncodeInst func(uint32) icomp.Stored
+	DecodeInst func(icomp.Stored) uint32
+
+	// Recoder is the recoder behind the default EncodeInst/DecodeInst and
+	// the trace annotation of the timing pass.
+	Recoder *icomp.Recoder
+}
+
+// DefaultOracle wires the production implementations with the static top-8
+// function-code recoding.
+func DefaultOracle() *Oracle {
+	rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+	return &Oracle{
+		CompressExt3:   sig.CompressExt3,
+		DecompressExt3: sig.DecompressExt3,
+		CompressExt2:   sig.CompressExt2,
+		DecompressExt2: sig.DecompressExt2,
+		Add:            sigalu.Add,
+		EncodeInst:     rc.Encode,
+		DecodeInst:     rc.Decode,
+		Recoder:        rc,
+	}
+}
+
+// creg is a register held in compressed (stored bytes + extension) form.
+type creg struct {
+	stored []byte
+	ext    sig.Ext3
+}
+
+// mismatchError carries a classified divergence out of the shadow step.
+type mismatchError struct {
+	kind   string
+	detail string
+}
+
+func (e *mismatchError) Error() string { return e.kind + ": " + e.detail }
+
+// storeEffect reports a data-memory write performed by one shadow step, for
+// cross-checking against the golden machine's Exec record.
+type storeEffect struct {
+	addr  uint32
+	val   uint32 // value after the compressed datapath transfer
+	width int
+}
+
+// shadow is the compressed-path machine: registers, HI/LO and store traffic
+// in Ext3 form, instruction fetch through the icomp recoding, arithmetic
+// through the significance ALU.
+type shadow struct {
+	or   *Oracle
+	regs [32]creg
+	hi   creg
+	lo   creg
+	pc   uint32
+	mem  *mem.Memory // sandboxed data memory (text lives only in `text`)
+	text map[uint32]icomp.Stored
+
+	done     bool
+	exitCode uint32
+}
+
+func newShadow(or *Oracle, words []uint32, data []byte) *shadow {
+	s := &shadow{or: or, pc: TextBase, mem: mem.NewMemory(), text: make(map[uint32]icomp.Stored, len(words))}
+	for i, w := range words {
+		st := or.EncodeInst(w)
+		if !st.Ext {
+			// Only three bytes are fetched; model that by dropping the
+			// stored low byte, which Decode must regenerate.
+			st.Word &^= 0xff
+		}
+		s.text[TextBase+4*uint32(i)] = st
+	}
+	s.mem.LoadSegment(DataBase, data)
+	for r := range s.regs {
+		s.regs[r] = s.compress(0)
+	}
+	s.regs[isa.RegSP] = s.compress(StackTop)
+	s.hi, s.lo = s.compress(0), s.compress(0)
+	return s
+}
+
+func (s *shadow) compress(v uint32) creg {
+	stored, e := s.or.CompressExt3(v)
+	return creg{stored: stored, ext: e}
+}
+
+// write routes a value through the compressed datapath into r, round-trip
+// checking the 2-bit count scheme on the way (the 3-bit scheme is checked
+// architecturally: the value is *stored* compressed and read back later).
+func (s *shadow) write(r isa.Reg, v uint32) error {
+	if err := s.checkExt2(v); err != nil {
+		return err
+	}
+	if r != isa.RegZero {
+		s.regs[r&31] = s.compress(v)
+	}
+	return nil
+}
+
+func (s *shadow) checkExt2(v uint32) error {
+	stored, e := s.or.CompressExt2(v)
+	got, err := s.or.DecompressExt2(stored, e)
+	if err != nil {
+		return &mismatchError{kind: "ext2", detail: fmt.Sprintf("decompress(%x, %d) of %#08x: %v", stored, e, v, err)}
+	}
+	if got != v {
+		return &mismatchError{kind: "ext2", detail: fmt.Sprintf("round trip %#08x -> %#08x", v, got)}
+	}
+	return nil
+}
+
+func (s *shadow) read(r isa.Reg) (uint32, error) {
+	c := s.regs[r&31]
+	v, err := s.or.DecompressExt3(c.stored, c.ext)
+	if err != nil {
+		return 0, &mismatchError{kind: "ext3", detail: fmt.Sprintf("%s: %v", r, err)}
+	}
+	return v, nil
+}
+
+func (s *shadow) readHILO(c creg, name string) (uint32, error) {
+	v, err := s.or.DecompressExt3(c.stored, c.ext)
+	if err != nil {
+		return 0, &mismatchError{kind: "ext3", detail: fmt.Sprintf("%s: %v", name, err)}
+	}
+	return v, nil
+}
+
+// step executes one instruction on the compressed paths. It returns the
+// store effect (width 0 when the instruction does not store).
+func (s *shadow) step() (storeEffect, error) {
+	var eff storeEffect
+	if s.done {
+		return eff, &mismatchError{kind: "exit", detail: "shadow stepped after exit"}
+	}
+	st, ok := s.text[s.pc]
+	if !ok {
+		return eff, &mismatchError{kind: "fetch", detail: fmt.Sprintf("PC %#08x outside generated text", s.pc)}
+	}
+	raw := s.or.DecodeInst(st)
+	inst := isa.Decode(raw)
+	a, err := s.read(inst.Rs)
+	if err != nil {
+		return eff, err
+	}
+	b, err := s.read(inst.Rt)
+	if err != nil {
+		return eff, err
+	}
+	simm := uint32(int32(inst.Imm))
+	zimm := uint32(uint16(inst.Imm))
+	next := s.pc + 4
+
+	branchTo := func() { next = inst.BranchTarget(s.pc) }
+
+	switch inst.Op {
+	case isa.OpSpecial:
+		if err := s.stepSpecial(inst, a, b, &next); err != nil {
+			return eff, err
+		}
+	case isa.OpRegimm:
+		neg := int32(a) < 0
+		if (uint8(inst.Rt) == isa.RegimmBLTZ && neg) || (uint8(inst.Rt) == isa.RegimmBGEZ && !neg) {
+			branchTo()
+		}
+	case isa.OpJ:
+		next = inst.JumpTarget(s.pc)
+	case isa.OpJAL:
+		if err := s.write(isa.RegRA, s.pc+4); err != nil {
+			return eff, err
+		}
+		next = inst.JumpTarget(s.pc)
+	case isa.OpBEQ:
+		if eq, _ := sigalu.Compare(a, b); eq {
+			branchTo()
+		}
+	case isa.OpBNE:
+		if eq, _ := sigalu.Compare(a, b); !eq {
+			branchTo()
+		}
+	case isa.OpBLEZ:
+		if int32(a) <= 0 {
+			branchTo()
+		}
+	case isa.OpBGTZ:
+		if int32(a) > 0 {
+			branchTo()
+		}
+	case isa.OpADDI, isa.OpADDIU:
+		if err := s.write(inst.Rt, s.or.Add(a, simm).Value); err != nil {
+			return eff, err
+		}
+	case isa.OpSLTI:
+		if err := s.write(inst.Rt, sigalu.SetLess(a, simm, true).Value); err != nil {
+			return eff, err
+		}
+	case isa.OpSLTIU:
+		if err := s.write(inst.Rt, sigalu.SetLess(a, simm, false).Value); err != nil {
+			return eff, err
+		}
+	case isa.OpANDI:
+		if err := s.write(inst.Rt, sigalu.And(a, zimm).Value); err != nil {
+			return eff, err
+		}
+	case isa.OpORI:
+		if err := s.write(inst.Rt, sigalu.Or(a, zimm).Value); err != nil {
+			return eff, err
+		}
+	case isa.OpXORI:
+		if err := s.write(inst.Rt, sigalu.Xor(a, zimm).Value); err != nil {
+			return eff, err
+		}
+	case isa.OpLUI:
+		if err := s.write(inst.Rt, zimm<<16); err != nil {
+			return eff, err
+		}
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
+		addr := s.or.Add(a, simm).Value
+		var v uint32
+		switch inst.Op {
+		case isa.OpLB:
+			v = uint32(int32(int8(s.mem.Load8(addr))))
+		case isa.OpLBU:
+			v = uint32(s.mem.Load8(addr))
+		case isa.OpLH:
+			v = uint32(int32(int16(s.mem.Load16(addr))))
+		case isa.OpLHU:
+			v = uint32(s.mem.Load16(addr))
+		case isa.OpLW:
+			v = s.mem.Load32(addr)
+		}
+		if err := s.write(inst.Rt, v); err != nil {
+			return eff, err
+		}
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		addr := s.or.Add(a, simm).Value
+		// The store value crosses the datapath compressed: round-trip it
+		// through the 3-bit scheme before it reaches memory, so a
+		// compression bug corrupts the shadow's memory image and the
+		// per-store cross-check (and any later load) catches it.
+		stored, e := s.or.CompressExt3(b)
+		v, err := s.or.DecompressExt3(stored, e)
+		if err != nil {
+			return eff, &mismatchError{kind: "ext3", detail: fmt.Sprintf("store value %#08x: %v", b, err)}
+		}
+		if err := s.checkExt2(b); err != nil {
+			return eff, err
+		}
+		eff = storeEffect{addr: addr, val: v, width: inst.MemBytes()}
+		switch inst.Op {
+		case isa.OpSB:
+			s.mem.Store8(addr, byte(v))
+		case isa.OpSH:
+			s.mem.Store16(addr, uint16(v))
+		case isa.OpSW:
+			s.mem.Store32(addr, v)
+		}
+	default:
+		return eff, &mismatchError{kind: "decode", detail: fmt.Sprintf("unexpected opcode %#02x at %#08x", uint8(inst.Op), s.pc)}
+	}
+	s.pc = next
+	return eff, nil
+}
+
+func (s *shadow) stepSpecial(inst isa.Inst, a, b uint32, next *uint32) error {
+	wr := func(r isa.Reg, v uint32) error { return s.write(r, v) }
+	switch inst.Funct {
+	case isa.FnSLL:
+		return wr(inst.Rd, sigalu.ShiftLeft(b, uint32(inst.Shamt)).Value)
+	case isa.FnSRL:
+		return wr(inst.Rd, sigalu.ShiftRightL(b, uint32(inst.Shamt)).Value)
+	case isa.FnSRA:
+		return wr(inst.Rd, sigalu.ShiftRightA(b, uint32(inst.Shamt)).Value)
+	case isa.FnSLLV:
+		return wr(inst.Rd, sigalu.ShiftLeft(b, a).Value)
+	case isa.FnSRLV:
+		return wr(inst.Rd, sigalu.ShiftRightL(b, a).Value)
+	case isa.FnSRAV:
+		return wr(inst.Rd, sigalu.ShiftRightA(b, a).Value)
+	case isa.FnJR:
+		*next = a
+	case isa.FnJALR:
+		if err := wr(inst.Rd, s.pc+4); err != nil {
+			return err
+		}
+		*next = a
+	case isa.FnSYSCALL:
+		v0, err := s.read(isa.RegV0)
+		if err != nil {
+			return err
+		}
+		switch v0 {
+		case cpu.SysExit:
+			s.done, s.exitCode = true, 0
+		case cpu.SysExit2:
+			a0, err := s.read(isa.RegA0)
+			if err != nil {
+				return err
+			}
+			s.done, s.exitCode = true, a0
+		default:
+			return &mismatchError{kind: "syscall", detail: fmt.Sprintf("unexpected syscall %d (generator emits only exits)", v0)}
+		}
+	case isa.FnMFHI:
+		v, err := s.readHILO(s.hi, "HI")
+		if err != nil {
+			return err
+		}
+		return wr(inst.Rd, v)
+	case isa.FnMFLO:
+		v, err := s.readHILO(s.lo, "LO")
+		if err != nil {
+			return err
+		}
+		return wr(inst.Rd, v)
+	case isa.FnMTHI:
+		if err := s.checkExt2(a); err != nil {
+			return err
+		}
+		s.hi = s.compress(a)
+	case isa.FnMTLO:
+		if err := s.checkExt2(a); err != nil {
+			return err
+		}
+		s.lo = s.compress(a)
+	case isa.FnMULT, isa.FnMULTU:
+		hi, lo, _ := sigalu.Mult(a, b, inst.Funct == isa.FnMULT)
+		s.hi, s.lo = s.compress(hi), s.compress(lo)
+	case isa.FnDIV, isa.FnDIVU:
+		quo, rem, _ := sigalu.Div(a, b, inst.Funct == isa.FnDIV)
+		s.lo, s.hi = s.compress(quo), s.compress(rem)
+	case isa.FnADD, isa.FnADDU:
+		return wr(inst.Rd, s.or.Add(a, b).Value)
+	case isa.FnSUB, isa.FnSUBU:
+		return wr(inst.Rd, sigalu.Sub(a, b).Value)
+	case isa.FnAND:
+		return wr(inst.Rd, sigalu.And(a, b).Value)
+	case isa.FnOR:
+		return wr(inst.Rd, sigalu.Or(a, b).Value)
+	case isa.FnXOR:
+		return wr(inst.Rd, sigalu.Xor(a, b).Value)
+	case isa.FnNOR:
+		return wr(inst.Rd, sigalu.Nor(a, b).Value)
+	case isa.FnSLT:
+		return wr(inst.Rd, sigalu.SetLess(a, b, true).Value)
+	case isa.FnSLTU:
+		return wr(inst.Rd, sigalu.SetLess(a, b, false).Value)
+	default:
+		return &mismatchError{kind: "decode", detail: fmt.Sprintf("unexpected funct %#02x at %#08x", uint8(inst.Funct), s.pc)}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package diffsim
+
+import (
+	"repro/internal/isa"
+)
+
+// ShrinkOpts bounds the delta-debugging loop.
+type ShrinkOpts struct {
+	// Check bounds each candidate evaluation.
+	Check CheckOpts
+	// MaxChecks caps total candidate evaluations (0 = 4096).
+	MaxChecks int
+}
+
+func (o ShrinkOpts) withDefaults() ShrinkOpts {
+	if o.MaxChecks <= 0 {
+		o.MaxChecks = 4096
+	}
+	return o
+}
+
+// Shrink reduces a failing program to a (locally) minimal repro via
+// delta debugging: chunked instruction removal to a fixpoint, then operand
+// simplification, then data-segment zeroing. A candidate is accepted only
+// when it still fails with the *same mismatch kind*, so candidates that
+// merely break a harness invariant (sandbox escapes, timeouts) are
+// rejected rather than mistaken for repros.
+//
+// The original program must fail under or; Shrink panics otherwise so a
+// misuse cannot masquerade as a successful reduction.
+func Shrink(p *Program, or *Oracle, opts ShrinkOpts) *Program {
+	opts = opts.withDefaults()
+	orig := Check(p, or, opts.Check)
+	if orig.OK() {
+		panic("diffsim: Shrink called on a passing program")
+	}
+	kind := orig.Mismatch.Kind
+	budget := opts.MaxChecks
+	fails := func(cand *Program) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		rep := Check(cand, or, opts.Check)
+		return !rep.OK() && rep.Mismatch.Kind == kind
+	}
+
+	cur := p.Clone()
+	cur = shrinkRemove(cur, fails)
+	cur = shrinkSimplify(cur, fails)
+	// One more removal round: simplification often unlocks removals.
+	cur = shrinkRemove(cur, fails)
+	if len(cur.Data) > 0 {
+		cand := cur.Clone()
+		cand.Data = make([]byte, len(cur.Data))
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// shrinkRemove is chunked ddmin over the op list.
+func shrinkRemove(cur *Program, fails func(*Program) bool) *Program {
+	for chunk := len(cur.Ops); chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Ops); {
+			end := start + chunk
+			if end > len(cur.Ops) {
+				end = len(cur.Ops)
+			}
+			cand := removeOps(cur, start, end)
+			if fails(cand) {
+				cur = cand
+				// Same start now addresses the next ops; do not advance.
+				continue
+			}
+			start += chunk
+		}
+	}
+	return cur
+}
+
+// removeOps drops ops [lo, hi) and retargets surviving control flow: each
+// Target maps to the next surviving op at or after it (the exit stub when
+// none survives). Forward targets stay strictly forward and backward loop
+// targets stay at or before their branch, so termination is preserved.
+func removeOps(p *Program, lo, hi int) *Program {
+	q := &Program{Seed: p.Seed, Data: append([]byte(nil), p.Data...)}
+	// nextKept[i] = new index of the first kept op with old index >= i.
+	nextKept := make([]int, len(p.Ops)+1)
+	newIdx := 0
+	for i := 0; i <= len(p.Ops); i++ {
+		nextKept[i] = newIdx
+		if i < len(p.Ops) && !(i >= lo && i < hi) {
+			newIdx++
+		}
+	}
+	for i, o := range p.Ops {
+		if i >= lo && i < hi {
+			continue
+		}
+		if o.Ctl != CtlNone {
+			o.Target = nextKept[clampIdx(o.Target, len(p.Ops))]
+		}
+		q.Ops = append(q.Ops, o)
+	}
+	return q
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// shrinkSimplify canonicalizes operands of non-control ops one field at a
+// time: immediates to zero, shift amounts to zero, registers to $t0. Every
+// accepted change must preserve the failure kind.
+func shrinkSimplify(cur *Program, fails func(*Program) bool) *Program {
+	for i := 0; i < len(cur.Ops); i++ {
+		if cur.Ops[i].Ctl != CtlNone {
+			continue
+		}
+		for _, alt := range simplerRaws(cur.Ops[i].Raw) {
+			if alt == cur.Ops[i].Raw {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Ops[i].Raw = alt
+			if fails(cand) {
+				cur = cand
+			}
+		}
+	}
+	return cur
+}
+
+// simplerRaws proposes simpler encodings of one instruction, most
+// aggressive first.
+func simplerRaws(raw uint32) []uint32 {
+	d := isa.Decode(raw)
+	var out []uint32
+	switch d.Format() {
+	case isa.FormatI:
+		if d.Imm != 0 {
+			out = append(out, isa.EncodeI(d.Op, d.Rs, d.Rt, 0))
+		}
+		if d.Rs != isa.RegT0 {
+			out = append(out, isa.EncodeI(d.Op, isa.RegT0, d.Rt, d.Imm))
+		}
+		if d.Rt != isa.RegT0 {
+			out = append(out, isa.EncodeI(d.Op, d.Rs, isa.RegT0, d.Imm))
+		}
+	case isa.FormatR:
+		if d.Shamt != 0 {
+			out = append(out, isa.EncodeR(d.Funct, d.Rs, d.Rt, d.Rd, 0))
+		}
+		for _, alt := range []uint32{
+			isa.EncodeR(d.Funct, isa.RegT0, d.Rt, d.Rd, d.Shamt),
+			isa.EncodeR(d.Funct, d.Rs, isa.RegT0, d.Rd, d.Shamt),
+			isa.EncodeR(d.Funct, d.Rs, d.Rt, isa.RegT0, d.Shamt),
+		} {
+			if alt != raw {
+				out = append(out, alt)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package diffsim
+
+import "testing"
+
+// TestShrinkInjectedExt3Bug is the acceptance self-test from the harness
+// design: an intentionally injected sign-extension bug in DecompressExt3
+// must be caught by the differential check and shrunk to a minimal repro of
+// at most 8 instructions that still fails with the same mismatch kind —
+// and that passes cleanly once the bug is removed.
+func TestShrinkInjectedExt3Bug(t *testing.T) {
+	broken := brokenExt3Oracle()
+	p, rep := findMismatch(t, broken, "reg", "hilo", "store", "pc", "exit", "sandbox", "golden")
+	kind := rep.Mismatch.Kind
+
+	small := Shrink(p, broken, ShrinkOpts{})
+	t.Logf("shrunk %d ops -> %d ops", len(p.Ops), len(small.Ops))
+	if len(small.Ops) > 8 {
+		t.Fatalf("shrunk repro still has %d ops (want <= 8):\n%s", len(small.Ops), small.Marshal())
+	}
+
+	// The minimized program must reproduce the same failure...
+	again := Check(small, broken, CheckOpts{})
+	if again.OK() {
+		t.Fatalf("shrunk repro no longer fails:\n%s", small.Marshal())
+	}
+	if again.Mismatch.Kind != kind {
+		t.Fatalf("shrunk repro fails with kind %q, original %q", again.Mismatch.Kind, kind)
+	}
+	// ...and must be a genuine compression repro: clean on the fixed code.
+	clean := Check(small, DefaultOracle(), CheckOpts{})
+	if !clean.OK() {
+		t.Fatalf("shrunk repro fails even without the injected bug: %s", clean.Mismatch)
+	}
+
+	// Round-trip through the seed-file format, as cmd/sigfuzz would emit it.
+	q, err := UnmarshalProgram(small.Marshal())
+	if err != nil {
+		t.Fatalf("marshal/unmarshal of shrunk repro: %v", err)
+	}
+	if rep := Check(q, broken, CheckOpts{}); rep.OK() || rep.Mismatch.Kind != kind {
+		t.Fatalf("seed-file round trip lost the repro: %+v", rep.Mismatch)
+	}
+}
+
+// TestShrinkPreservesTermination forces pathological removals and verifies
+// shrink candidates never hang: every Check inside Shrink is step-bounded
+// and loop back-edges stay fused with their counter decrement.
+func TestShrinkPreservesTermination(t *testing.T) {
+	p := Generate(3, Config{Ops: 40, Loops: 2})
+	// Removing arbitrary chunks directly must keep programs terminating.
+	for lo := 0; lo < len(p.Ops); lo += 3 {
+		hi := lo + 5
+		if hi > len(p.Ops) {
+			hi = len(p.Ops)
+		}
+		cand := removeOps(p, lo, hi)
+		rep := Check(cand, DefaultOracle(), CheckOpts{MaxSteps: 1 << 16})
+		if !rep.OK() && rep.Mismatch.Kind == "timeout" {
+			t.Fatalf("removal [%d,%d) produced a non-terminating program:\n%s", lo, hi, cand.Listing())
+		}
+	}
+}
+
+func TestShrinkPanicsOnPassingProgram(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shrink on a passing program did not panic")
+		}
+	}()
+	Shrink(Generate(1, Config{}), DefaultOracle(), ShrinkOpts{})
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestSuiteJSONDeterministicAcrossWorkerCounts is the differential-harness
+// companion for the reporting layer: the serialized suite results must be
+// byte-identical no matter how the evaluation was scheduled, so any
+// nondeterministic map iteration or merge-order dependence in the collectors
+// shows up as a simple byte diff.
+func TestSuiteJSONDeterministicAcrossWorkerCounts(t *testing.T) {
+	suite := bench.All()
+	if len(suite) > 3 {
+		suite = suite[:3]
+	}
+	a, err := RunSuite(context.Background(), suite, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite(context.Background(), suite, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("suite JSON differs between 2-worker and 3-worker runs:\n--- workers=2 ---\n%s\n--- workers=3 ---\n%s", ja, jb)
+	}
+	// And a repeat run at the same worker count must also be identical.
+	c, err := RunSuite(context.Background(), suite, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jc) {
+		t.Fatal("suite JSON differs between two identical 2-worker runs")
+	}
+}

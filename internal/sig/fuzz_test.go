@@ -27,6 +27,70 @@ func FuzzDecompressExt3(f *testing.F) {
 	})
 }
 
+// FuzzDecompressExt2 mirrors FuzzDecompressExt3 for the 2-bit count scheme:
+// arbitrary stored bytes either reconstruct a word or error, and canonical
+// recompression never grows and always round-trips.
+func FuzzDecompressExt2(f *testing.F) {
+	f.Add([]byte{0x04}, uint8(3))
+	f.Add([]byte{0x04, 0xf5}, uint8(2))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4}, uint8(0))
+	f.Add([]byte{0x80, 0xff}, uint8(2))
+	f.Fuzz(func(t *testing.T, stored []byte, cnt uint8) {
+		e := Ext2(cnt & 3)
+		// A well-formed (count, length) pair must never error.
+		if len(stored) == e.SigByteCount() {
+			if _, err := DecompressExt2(stored, e); err != nil {
+				t.Fatalf("well-formed input rejected: %v", err)
+			}
+		}
+		v, err := DecompressExt2(stored, e)
+		if err != nil {
+			return
+		}
+		re, e2 := CompressExt2(v)
+		if len(re) > len(stored) {
+			t.Fatalf("recompression grew: %d > %d", len(re), len(stored))
+		}
+		v2, err := DecompressExt2(re, e2)
+		if err != nil || v2 != v {
+			t.Fatalf("canonical round trip failed: %#x %v", v2, err)
+		}
+		if Ext2Of(v) != e2 {
+			t.Fatalf("Ext2Of(%#x) = %d, CompressExt2 said %d", v, Ext2Of(v), e2)
+		}
+	})
+}
+
+// FuzzExtHalfword ties the halfword extension bit, the SigHalves count, and
+// the general Partition{16,16} scheme together on arbitrary words.
+func FuzzExtHalfword(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0x7fff))
+	f.Add(uint32(0x8000))
+	f.Add(uint32(0xffff8000))
+	f.Add(uint32(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, v uint32) {
+		e := ExtHOf(v)
+		if e.SigHalfCount() != SigHalves(v) {
+			t.Fatalf("SigHalfCount %d != SigHalves %d for %#x", e.SigHalfCount(), SigHalves(v), v)
+		}
+		p := Partition{16, 16}
+		if p.StoredSegments(v) != SigHalves(v) {
+			t.Fatalf("Partition{16,16}.StoredSegments %d != SigHalves %d for %#x",
+				p.StoredSegments(v), SigHalves(v), v)
+		}
+		if want := 16*SigHalves(v) + ExtHBits; StoredBitsH(v) != want {
+			t.Fatalf("StoredBitsH(%#x) = %d, want %d", v, StoredBitsH(v), want)
+		}
+		segs, ext := p.Compress(v)
+		v2, err := p.Decompress(segs, ext)
+		if err != nil || v2 != v {
+			t.Fatalf("halfword partition round trip: %#x -> %#x (%v)", v, v2, err)
+		}
+	})
+}
+
 // FuzzPartitionDecompress exercises the general partition scheme.
 func FuzzPartitionDecompress(f *testing.F) {
 	f.Add(uint32(0), uint32(0x1234), true, false, true)

@@ -134,15 +134,27 @@ func TestExt2RepresentableMatchesSchemes(t *testing.T) {
 	}
 }
 
+// TestDecompressErrors sweeps every extension field against every short and
+// overlong stored-slice length: decompression must succeed exactly when the
+// length matches the field's significant-byte count, and must never panic.
 func TestDecompressErrors(t *testing.T) {
-	if _, err := DecompressExt3([]byte{1, 2}, Ext3Of(0x04)); err == nil {
-		t.Error("Ext3 length mismatch should error")
+	stored := []byte{0x80, 0x01, 0xff, 0x7f, 0x12, 0x34}
+	for e := Ext3(0); e < 8; e++ {
+		for n := 0; n <= len(stored); n++ {
+			_, err := DecompressExt3(stored[:n], e)
+			if wantOK := n == e.SigByteCount(); (err == nil) != wantOK {
+				t.Errorf("DecompressExt3(len %d, ext %03b): err=%v, want ok=%v", n, uint8(e), err, wantOK)
+			}
+		}
 	}
-	if _, err := DecompressExt2([]byte{1, 2}, Ext2(3)); err == nil {
-		t.Error("Ext2 length mismatch should error")
-	}
-	if _, err := DecompressExt2([]byte{1}, Ext2(7)); err == nil {
-		t.Error("Ext2 out-of-range count should error")
+	for cnt := Ext2(0); cnt < 8; cnt++ {
+		for n := 0; n <= len(stored); n++ {
+			_, err := DecompressExt2(stored[:n], cnt)
+			wantOK := int(cnt) < WordBytes && n == cnt.SigByteCount()
+			if (err == nil) != wantOK {
+				t.Errorf("DecompressExt2(len %d, cnt %d): err=%v, want ok=%v", n, uint8(cnt), err, wantOK)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,206 @@
+package sigalu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sig"
+)
+
+// edgeValues anchors the random sweep at the significance boundaries the
+// Table-4 analysis is about: sign flips at each byte and halfword seam.
+var edgeValues = []uint32{
+	0, 1, 0x7f, 0x80, 0xff, 0x100, 0x7fff, 0x8000, 0xffff, 0x1_0000,
+	0x7f_ffff, 0x80_0000, 0xff_ffff, 0x7fff_ffff, 0x8000_0000,
+	0xffff_ff80, 0xffff_ff7f, 0xffff_8000, 0xffff_7fff, 0xffff_ffff,
+}
+
+// operands yields a deterministic mix of edge-anchored and random pairs.
+func operands(n int) [][2]uint32 {
+	rng := rand.New(rand.NewSource(4))
+	var out [][2]uint32
+	for _, a := range edgeValues {
+		for _, b := range edgeValues {
+			out = append(out, [2]uint32{a, b})
+		}
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, [2]uint32{rng.Uint32(), rng.Uint32()})
+		// Mixed: one edge operand against one random operand.
+		out = append(out, [2]uint32{edgeValues[i%len(edgeValues)], rng.Uint32()})
+	}
+	return out
+}
+
+// TestPropertyAllOpsMatchReference is the byte-serial correctness property:
+// for every exported operation and both granularities, the significance
+// ALU's value is bit-exact with the conventional 32-bit reference, the
+// re-detected extension field matches sig.Ext3Of of the value, and the
+// cycle count obeys the one-cycle-per-operated-block contract.
+func TestPropertyAllOpsMatchReference(t *testing.T) {
+	ops := []struct {
+		name string
+		sig  func(a, b uint32, g int) Result
+		ref  func(a, b uint32) uint32
+	}{
+		{"add", AddG, func(a, b uint32) uint32 { return a + b }},
+		{"sub", SubG, func(a, b uint32) uint32 { return a - b }},
+		{"and", AndG, func(a, b uint32) uint32 { return a & b }},
+		{"or", OrG, func(a, b uint32) uint32 { return a | b }},
+		{"xor", XorG, func(a, b uint32) uint32 { return a ^ b }},
+		{"nor", NorG, func(a, b uint32) uint32 { return ^(a | b) }},
+		{"sll", func(a, b uint32, g int) Result { return ShiftLeftG(a, b, g) },
+			func(a, b uint32) uint32 { return a << (b & 31) }},
+		{"srl", func(a, b uint32, g int) Result { return ShiftRightLG(a, b, g) },
+			func(a, b uint32) uint32 { return a >> (b & 31) }},
+		{"sra", func(a, b uint32, g int) Result { return ShiftRightAG(a, b, g) },
+			func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+		{"slt", func(a, b uint32, g int) Result { return SetLessG(a, b, true, g) },
+			func(a, b uint32) uint32 {
+				if int32(a) < int32(b) {
+					return 1
+				}
+				return 0
+			}},
+		{"sltu", func(a, b uint32, g int) Result { return SetLessG(a, b, false, g) },
+			func(a, b uint32) uint32 {
+				if a < b {
+					return 1
+				}
+				return 0
+			}},
+	}
+	pairs := operands(2000)
+	for _, op := range ops {
+		for _, g := range []int{1, 2} {
+			for _, pr := range pairs {
+				a, b := pr[0], pr[1]
+				r := op.sig(a, b, g)
+				if want := op.ref(a, b); r.Value != want {
+					t.Fatalf("%s g=%d (%#x, %#x): value %#x, reference %#x", op.name, g, a, b, r.Value, want)
+				}
+				checkResultInvariants(t, op.name, g, r)
+			}
+		}
+	}
+}
+
+// TestPropertyCompareMatchesReference covers the equality comparator, whose
+// byte-serial short-circuit must agree with ==.
+func TestPropertyCompareMatchesReference(t *testing.T) {
+	pairs := operands(2000)
+	for _, g := range []int{1, 2} {
+		for _, pr := range pairs {
+			a, b := pr[0], pr[1]
+			eq, r := CompareG(a, b, g)
+			if eq != (a == b) {
+				t.Fatalf("compare g=%d (%#x, %#x) = %v", g, a, b, eq)
+			}
+			checkResultInvariants(t, "compare", g, r)
+			if eq2, _ := CompareG(a, a, g); !eq2 {
+				t.Fatalf("compare g=%d (%#x, %#x) self-inequality", g, a, a)
+			}
+		}
+	}
+}
+
+// TestPropertyMultDivMatchReference checks the iterative multiplier and
+// divider against 64-bit reference arithmetic, signed and unsigned.
+func TestPropertyMultDivMatchReference(t *testing.T) {
+	pairs := operands(1000)
+	for _, g := range []int{1, 2} {
+		for _, signed := range []bool{false, true} {
+			for _, pr := range pairs {
+				a, b := pr[0], pr[1]
+				hi, lo, r := MultG(a, b, signed, g)
+				var wide uint64
+				if signed {
+					wide = uint64(int64(int32(a)) * int64(int32(b)))
+				} else {
+					wide = uint64(a) * uint64(b)
+				}
+				if hi != uint32(wide>>32) || lo != uint32(wide) {
+					t.Fatalf("mult signed=%v g=%d (%#x, %#x): %#x:%#x, want %#x", signed, g, a, b, hi, lo, wide)
+				}
+				checkResultInvariants(t, "mult", g, r)
+
+				quo, rem, r := DivG(a, b, signed, g)
+				wantQ, wantR := refDiv(a, b, signed)
+				if quo != wantQ || rem != wantR {
+					t.Fatalf("div signed=%v g=%d (%#x, %#x): %#x r %#x, want %#x r %#x",
+						signed, g, a, b, quo, rem, wantQ, wantR)
+				}
+				checkResultInvariants(t, "div", g, r)
+			}
+		}
+	}
+}
+
+// refDiv mirrors the MIPS (and cpu package) convention: division by zero
+// yields quotient ^0 and remainder a.
+func refDiv(a, b uint32, signed bool) (quo, rem uint32) {
+	if b == 0 {
+		return ^uint32(0), a
+	}
+	if signed {
+		return uint32(int32(a) / int32(b)), uint32(int32(a) % int32(b))
+	}
+	return a / b, a % b
+}
+
+func checkResultInvariants(t *testing.T, name string, g int, r Result) {
+	t.Helper()
+	if r.Ext != sig.Ext3Of(r.Value) {
+		t.Fatalf("%s g=%d: Ext %03b, want %03b for value %#x", name, g, uint8(r.Ext), uint8(sig.Ext3Of(r.Value)), r.Value)
+	}
+	if r.BlockBytes != g {
+		t.Fatalf("%s g=%d: BlockBytes %d", name, g, r.BlockBytes)
+	}
+	// Mult/Div count the significant blocks of BOTH source operands, so the
+	// iterative units may operate up to twice a word's block count.
+	maxBlocks := blockCount(g)
+	if name == "mult" || name == "div" {
+		maxBlocks *= 2
+	}
+	if r.BlocksOperated < 0 || r.BlocksOperated > maxBlocks {
+		t.Fatalf("%s g=%d: BlocksOperated %d out of range", name, g, r.BlocksOperated)
+	}
+	want := r.BlocksOperated
+	if want < 1 {
+		want = 1
+	}
+	if r.Cycles != want {
+		t.Fatalf("%s g=%d: Cycles %d, want %d (blocks %d)", name, g, r.Cycles, want, r.BlocksOperated)
+	}
+}
+
+// TestTable4ExceptionsAreExactlyTheAdderCase3Work cross-checks table4.go
+// against the adder: for preceding-byte classes that DeriveTable4 marks
+// carry-independent, every both-extension byte add must do case-3 work, and
+// classes absent from the table must never produce a case-3 exception.
+func TestTable4ExceptionsAreExactlyTheAdderCase3Work(t *testing.T) {
+	rows := map[[2]uint8]Table4Row{}
+	for _, r := range DeriveTable4() {
+		rows[[2]uint8{r.TopBitsA, r.TopBitsB}] = r
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20000; trial++ {
+		a8, b8 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+		cin := uint32(rng.Intn(2))
+		sum0 := a8 + b8 + cin
+		c0, carry := sum0&0xff, sum0>>8
+		c1 := (signExtBlock(a8, 1) + signExtBlock(b8, 1) + carry) & 0xff
+		excepts := c1 != signExtBlock(c0, 1)
+		key := [2]uint8{uint8(a8 >> 6), uint8(b8 >> 6)}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		row, inTable := rows[key]
+		if excepts && !inTable {
+			t.Fatalf("pair (%#x, %#x, cin %d) excepts but class %v not in Table 4", a8, b8, cin, key)
+		}
+		if inTable && !row.CarryDependent && !excepts {
+			t.Fatalf("pair (%#x, %#x, cin %d) in always-excepting class %v but did not except", a8, b8, cin, key)
+		}
+	}
+}
