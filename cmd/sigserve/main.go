@@ -1,8 +1,9 @@
 // Command sigserve is the significance-compression simulation daemon: an
 // HTTP service that runs (benchmark × pipeline model) jobs from the paper's
 // evaluation on demand, with a bounded worker pool, an LRU result cache,
-// singleflight deduplication of concurrent identical requests, and a
-// metrics registry.
+// singleflight deduplication of concurrent identical requests, a metrics
+// registry, and resilience hardening (panic containment, admission control
+// with load shedding, retry-with-backoff, and a per-job circuit breaker).
 //
 // Endpoints:
 //
@@ -12,10 +13,26 @@
 //	GET  /v1/models          servable pipeline models
 //	GET  /v1/simulate        ?bench=&model=&gran=   (POST: JSON body)
 //	GET  /v1/sweep           ?gran=&bench=a,b&model=x,y   NDJSON stream
+//	GET  /v1/suite           ?model=&gran=   full paper table for one model
 //
 // Usage:
 //
 //	sigserve -addr :8080 -workers 8 -cache 256 -timeout 2m
+//
+// Resilience flags:
+//
+//	-max-queued N          shed (HTTP 429) once N jobs are waiting
+//	                       (0 = 8×workers, negative = unbounded)
+//	-retries N             retry transient failures up to N times
+//	-breaker-threshold N   quarantine a (bench, model) after N consecutive
+//	                       failures (HTTP 503; 0 disables the breaker)
+//
+// For resilience testing only, -chaos arms the deterministic fault
+// injector with a seeded schedule, e.g.:
+//
+//	sigserve -chaos '42:pool.pickup=latency(50ms)@0.2,cache.get=error@0.1'
+//
+// Never enable -chaos in production: it deliberately fails requests.
 package main
 
 import (
@@ -30,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/simsvc"
 )
 
@@ -38,12 +56,32 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker pool size (default GOMAXPROCS)")
 	cacheSize := flag.Int("cache", simsvc.DefaultCacheSize, "LRU result-cache capacity")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request simulation timeout (0 = none)")
+	maxQueued := flag.Int("max-queued", 0, "queued-job bound before shedding 429s (0 = 8×workers, <0 = unbounded)")
+	retries := flag.Int("retries", simsvc.DefaultRetries, "retry attempts for transient simulation failures")
+	breakerThreshold := flag.Int("breaker-threshold", simsvc.DefaultBreakerThreshold,
+		"consecutive failures before a (bench, model) pair is quarantined (0 = disabled)")
+	chaos := flag.String("chaos", "", "DEV ONLY: fault-injection spec, seed:point=kind[(dur)][@prob],... (see internal/faultinject)")
 	flag.Parse()
 
+	var faults *faultinject.Injector
+	if *chaos != "" {
+		var err error
+		faults, err = faultinject.Parse(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigserve: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("sigserve: WARNING: chaos fault injection armed (%s) — do not use in production", faults)
+	}
+
 	svc := simsvc.New(simsvc.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Timeout:   *timeout,
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		Timeout:          *timeout,
+		MaxQueued:        *maxQueued,
+		Retries:          *retries,
+		BreakerThreshold: *breakerThreshold,
+		Faults:           faults,
 	})
 	defer svc.Close()
 

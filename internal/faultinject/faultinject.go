@@ -1,0 +1,395 @@
+// Package faultinject is a deterministic, seeded fault injector for
+// operational-resilience testing. Code under test declares named injection
+// points at its seams (trace run start, cache access, worker-pool job
+// pickup, singleflight join, ...) and calls Fire at each one; an Injector
+// configured with a schedule of rules decides — reproducibly, from a seed —
+// whether that point this time injects added latency, a transient error, a
+// simulated cancellation, or a panic. A nil or disabled Injector is a
+// zero-cost no-op, so production paths keep their hooks permanently.
+//
+// The spec grammar accepted by Parse (and sigserve's dev-only -chaos flag):
+//
+//	spec  := seed ":" rule ("," rule)*
+//	rule  := point "=" kind [ "(" dur ")" ] [ "@" prob ]
+//	kind  := "latency" | "error" | "cancel" | "panic"
+//
+// e.g. "42:pool.pickup=error@0.2,trace.run.start=latency(5ms)@0.5,
+// suite.bench=panic@0.05". prob defaults to 1 (always fire); latency takes
+// a time.ParseDuration argument and is the only kind that does.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. Sites are declared here, next to the
+// injector, so specs can be validated without importing the code under
+// test.
+type Point string
+
+// The injection points threaded through the simulation service seams.
+const (
+	PointTraceRunStart Point = "trace.run.start" // start of one trace execution
+	PointCacheGet      Point = "cache.get"       // LRU result-cache lookup
+	PointCachePut      Point = "cache.put"       // LRU result-cache store
+	PointPoolPickup    Point = "pool.pickup"     // worker picked a job off the queue
+	PointFlightJoin    Point = "flight.join"     // follower joining a singleflight leader
+	PointSuiteBench    Point = "suite.bench"     // one per-benchmark step of the full suite
+)
+
+// Points returns every declared injection point, sorted.
+func Points() []Point {
+	ps := []Point{
+		PointTraceRunStart, PointCacheGet, PointCachePut,
+		PointPoolPickup, PointFlightJoin, PointSuiteBench,
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+func validPoint(p Point) bool {
+	for _, q := range Points() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind is a fault class.
+type Kind uint8
+
+const (
+	// KindLatency sleeps for the rule's Latency (interruptibly) and then
+	// lets the operation proceed.
+	KindLatency Kind = iota
+	// KindError injects a transient *InjectedError (IsTransient reports
+	// true, so retry layers may re-attempt).
+	KindError
+	// KindCancel injects an error wrapping context.Canceled, simulating a
+	// client that went away at this point.
+	KindCancel
+	// KindPanic panics with a *PanicValue; containment layers must recover
+	// it.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindError:
+		return "error"
+	case KindCancel:
+		return "cancel"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Rule arms one fault at one point: with probability Prob (1 = every hit),
+// Fire(point) injects Kind.
+type Rule struct {
+	Point   Point
+	Kind    Kind
+	Latency time.Duration // KindLatency only
+	Prob    float64       // 0 or 1 means always
+}
+
+func (r Rule) String() string {
+	s := string(r.Point) + "=" + r.Kind.String()
+	if r.Kind == KindLatency {
+		s += "(" + r.Latency.String() + ")"
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		s += "@" + strconv.FormatFloat(r.Prob, 'g', -1, 64)
+	}
+	return s
+}
+
+// ErrInjected is the sentinel wrapped by every injected transient error.
+var ErrInjected = errors.New("faultinject: injected transient error")
+
+// InjectedError is the transient error produced by KindError rules.
+type InjectedError struct{ Point Point }
+
+func (e *InjectedError) Error() string {
+	return "faultinject: injected transient error at " + string(e.Point)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Transient marks the error as retryable (see IsTransient).
+func (e *InjectedError) Transient() bool { return true }
+
+// IsTransient reports whether err (or anything it wraps) advertises itself
+// as retryable via a `Transient() bool` method. Retry layers use this to
+// distinguish worth-retrying faults from permanent failures.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// PanicValue is what KindPanic rules panic with, so containment layers (and
+// their tests) can tell an injected panic from a genuine bug.
+type PanicValue struct{ Point Point }
+
+func (p *PanicValue) String() string {
+	return "faultinject: injected panic at " + string(p.Point)
+}
+
+// Injector decides, per Fire call, whether to inject a fault. The decision
+// stream is driven by one seeded PRNG, so a given seed and call sequence
+// reproduces the same schedule. All methods are safe for concurrent use and
+// are no-ops on a nil receiver.
+type Injector struct {
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	seed  int64
+	rng   *rand.Rand
+	rules map[Point][]Rule
+	hits  map[Point]uint64 // Fire calls per point (while enabled)
+	fired map[Point]uint64 // injected faults per point
+}
+
+// New builds an enabled Injector from seed and rules. Rules for unknown
+// points are rejected.
+func New(seed int64, rules ...Rule) (*Injector, error) {
+	in := &Injector{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[Point][]Rule),
+		hits:  make(map[Point]uint64),
+		fired: make(map[Point]uint64),
+	}
+	for _, r := range rules {
+		if !validPoint(r.Point) {
+			return nil, fmt.Errorf("faultinject: unknown point %q", r.Point)
+		}
+		if r.Kind > KindPanic {
+			return nil, fmt.Errorf("faultinject: unknown kind %d", r.Kind)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return nil, fmt.Errorf("faultinject: probability %v outside [0,1]", r.Prob)
+		}
+		in.rules[r.Point] = append(in.rules[r.Point], r)
+	}
+	in.enabled.Store(true)
+	return in, nil
+}
+
+// MustNew is New for tests and literals with known-good rules.
+func MustNew(seed int64, rules ...Rule) *Injector {
+	in, err := New(seed, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Parse builds an Injector from the "seed:rule,rule,..." spec grammar
+// documented at the top of the package.
+func Parse(spec string) (*Injector, error) {
+	seedStr, ruleStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("faultinject: spec %q missing \"seed:\" prefix", spec)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: bad seed %q: %v", seedStr, err)
+	}
+	var rules []Rule
+	for _, part := range strings.Split(ruleStr, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: spec %q has no rules", spec)
+	}
+	return New(seed, rules...)
+}
+
+func parseRule(s string) (Rule, error) {
+	pointStr, kindStr, ok := strings.Cut(s, "=")
+	if !ok {
+		return Rule{}, fmt.Errorf("faultinject: rule %q missing \"point=kind\"", s)
+	}
+	r := Rule{Point: Point(strings.TrimSpace(pointStr)), Prob: 1}
+	if !validPoint(r.Point) {
+		return Rule{}, fmt.Errorf("faultinject: unknown point %q (valid: %v)", r.Point, Points())
+	}
+	kindStr = strings.TrimSpace(kindStr)
+	if at := strings.LastIndex(kindStr, "@"); at >= 0 {
+		p, err := strconv.ParseFloat(kindStr[at+1:], 64)
+		if err != nil || p < 0 || p > 1 {
+			return Rule{}, fmt.Errorf("faultinject: bad probability %q in rule %q", kindStr[at+1:], s)
+		}
+		r.Prob = p
+		kindStr = kindStr[:at]
+	}
+	if open := strings.Index(kindStr, "("); open >= 0 {
+		if !strings.HasSuffix(kindStr, ")") {
+			return Rule{}, fmt.Errorf("faultinject: unclosed argument in rule %q", s)
+		}
+		d, err := time.ParseDuration(kindStr[open+1 : len(kindStr)-1])
+		if err != nil {
+			return Rule{}, fmt.Errorf("faultinject: bad latency in rule %q: %v", s, err)
+		}
+		r.Latency = d
+		kindStr = kindStr[:open]
+	}
+	switch kindStr {
+	case "latency":
+		r.Kind = KindLatency
+		if r.Latency <= 0 {
+			return Rule{}, fmt.Errorf("faultinject: latency rule %q needs a duration, e.g. latency(5ms)", s)
+		}
+	case "error":
+		r.Kind = KindError
+	case "cancel":
+		r.Kind = KindCancel
+	case "panic":
+		r.Kind = KindPanic
+	default:
+		return Rule{}, fmt.Errorf("faultinject: unknown kind %q in rule %q", kindStr, s)
+	}
+	if r.Kind != KindLatency && r.Latency != 0 {
+		return Rule{}, fmt.Errorf("faultinject: %s rule %q cannot take a duration", r.Kind, s)
+	}
+	return r, nil
+}
+
+// SetEnabled arms or disarms the injector; disabled, Fire is a near-free
+// atomic load. Chaos tests disarm it to prove fault-free reruns behave
+// identically to an uninstrumented service.
+func (in *Injector) SetEnabled(on bool) {
+	if in != nil {
+		in.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the injector is armed (false for nil).
+func (in *Injector) Enabled() bool { return in != nil && in.enabled.Load() }
+
+// Fire consults the schedule for point p and injects at most one fault:
+// latency rules sleep (returning early with ctx.Err if ctx ends first) and
+// return nil, error/cancel rules return the injected error, panic rules
+// panic with a *PanicValue. Nil and disabled injectors return nil
+// immediately.
+func (in *Injector) Fire(ctx context.Context, p Point) error {
+	if in == nil || !in.enabled.Load() {
+		return nil
+	}
+	in.mu.Lock()
+	rules := in.rules[p]
+	if len(rules) == 0 {
+		in.mu.Unlock()
+		return nil
+	}
+	in.hits[p]++
+	var chosen Rule
+	found := false
+	for _, r := range rules {
+		if r.Prob >= 1 || r.Prob == 0 || in.rng.Float64() < r.Prob {
+			chosen, found = r, true
+			break
+		}
+	}
+	if found {
+		in.fired[p]++
+	}
+	in.mu.Unlock()
+	if !found {
+		return nil
+	}
+	switch chosen.Kind {
+	case KindLatency:
+		t := time.NewTimer(chosen.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case KindError:
+		return &InjectedError{Point: p}
+	case KindCancel:
+		return fmt.Errorf("faultinject: injected cancellation at %s: %w", p, context.Canceled)
+	case KindPanic:
+		panic(&PanicValue{Point: p})
+	}
+	return nil
+}
+
+// Fired returns how many faults have been injected per point.
+func (in *Injector) Fired() map[Point]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Point]uint64, len(in.fired))
+	for p, n := range in.fired {
+		out[p] = n
+	}
+	return out
+}
+
+// Hits returns how many Fire calls each armed point has seen.
+func (in *Injector) Hits() map[Point]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Point]uint64, len(in.hits))
+	for p, n := range in.hits {
+		out[p] = n
+	}
+	return out
+}
+
+// String renders the injector back in spec form (rules sorted by point for
+// stability).
+func (in *Injector) String() string {
+	if in == nil {
+		return "<nil>"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var rules []Rule
+	for _, rs := range in.rules {
+		rules = append(rules, rs...)
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Point != rules[j].Point {
+			return rules[i].Point < rules[j].Point
+		}
+		return rules[i].Kind < rules[j].Kind
+	})
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strconv.FormatInt(in.seed, 10) + ":" + strings.Join(parts, ",")
+}

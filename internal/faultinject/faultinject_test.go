@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(context.Background(), PointPoolPickup); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	in.SetEnabled(true) // must not panic
+	if in.Fired() != nil || in.Hits() != nil {
+		t.Fatal("nil injector reports counts")
+	}
+}
+
+func TestDisabledInjectorIsNoOp(t *testing.T) {
+	in := MustNew(1, Rule{Point: PointPoolPickup, Kind: KindPanic, Prob: 1})
+	in.SetEnabled(false)
+	for i := 0; i < 100; i++ {
+		if err := in.Fire(context.Background(), PointPoolPickup); err != nil {
+			t.Fatalf("disabled injector fired: %v", err)
+		}
+	}
+	if n := in.Fired()[PointPoolPickup]; n != 0 {
+		t.Fatalf("disabled injector counted %d fires", n)
+	}
+}
+
+func TestErrorKindIsTransient(t *testing.T) {
+	in := MustNew(1, Rule{Point: PointCacheGet, Kind: KindError, Prob: 1})
+	err := in.Fire(context.Background(), PointCacheGet)
+	if err == nil {
+		t.Fatal("no error injected at probability 1")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("injected error not transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", err)) {
+		t.Fatal("wrapped injected error not transient")
+	}
+	if IsTransient(errors.New("plain")) || IsTransient(nil) {
+		t.Fatal("non-injected error reported transient")
+	}
+	// Only the armed point fires.
+	if err := in.Fire(context.Background(), PointCachePut); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestCancelKind(t *testing.T) {
+	in := MustNew(1, Rule{Point: PointFlightJoin, Kind: KindCancel, Prob: 1})
+	err := in.Fire(context.Background(), PointFlightJoin)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("cancellation must not be retryable")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := MustNew(1, Rule{Point: PointTraceRunStart, Kind: KindPanic, Prob: 1})
+	defer func() {
+		v := recover()
+		pv, ok := v.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *PanicValue", v, v)
+		}
+		if pv.Point != PointTraceRunStart {
+			t.Fatalf("panic point %q", pv.Point)
+		}
+	}()
+	in.Fire(context.Background(), PointTraceRunStart)
+	t.Fatal("unreachable: panic rule did not panic")
+}
+
+func TestLatencyKind(t *testing.T) {
+	in := MustNew(1, Rule{Point: PointSuiteBench, Kind: KindLatency, Latency: 30 * time.Millisecond, Prob: 1})
+	start := time.Now()
+	if err := in.Fire(context.Background(), PointSuiteBench); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	in := MustNew(1, Rule{Point: PointSuiteBench, Kind: KindLatency, Latency: time.Minute, Prob: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx, PointSuiteBench)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("latency fault ignored cancellation for %v", d)
+	}
+}
+
+// The same seed must reproduce the same fire/skip decision stream.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := MustNew(seed, Rule{Point: PointPoolPickup, Kind: KindError, Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(context.Background(), PointPoolPickup) != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("probability 0.3 fired %d/%d times", fired, len(a))
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	in := MustNew(7, Rule{Point: PointCachePut, Kind: KindError, Prob: 0.5})
+	const calls = 100
+	for i := 0; i < calls; i++ {
+		in.Fire(context.Background(), PointCachePut)
+	}
+	hits, fired := in.Hits()[PointCachePut], in.Fired()[PointCachePut]
+	if hits != calls {
+		t.Fatalf("hits = %d, want %d", hits, calls)
+	}
+	if fired == 0 || fired == calls {
+		t.Fatalf("fired = %d of %d at probability 0.5", fired, calls)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "42:pool.pickup=error@0.2,trace.run.start=latency(5ms)@0.5,suite.bench=panic"
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Enabled() {
+		t.Fatal("parsed injector not armed")
+	}
+	// String renders rules sorted by point; re-parsing it must succeed and
+	// render identically (canonical form fixed point).
+	canon := in.String()
+	in2, err := Parse(canon)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", canon, err)
+	}
+	if got := in2.String(); got != canon {
+		t.Fatalf("round trip %q -> %q", canon, got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"42",                         // no rules
+		"x:pool.pickup=error",        // bad seed
+		"42:pool.pickup",             // no kind
+		"42:nope=error",              // unknown point
+		"42:pool.pickup=explode",     // unknown kind
+		"42:pool.pickup=error@2",     // probability out of range
+		"42:pool.pickup=error@x",     // bad probability
+		"42:pool.pickup=latency",     // latency without duration
+		"42:pool.pickup=latency(x)",  // bad duration
+		"42:pool.pickup=latency(5ms", // unclosed argument
+		"42:pool.pickup=error(5ms)",  // duration on a non-latency kind
+		"42:",                        // empty rule list
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestNewRejectsBadRules(t *testing.T) {
+	if _, err := New(1, Rule{Point: "nope", Kind: KindError}); err == nil {
+		t.Error("unknown point accepted")
+	}
+	if _, err := New(1, Rule{Point: PointCacheGet, Kind: Kind(99)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := New(1, Rule{Point: PointCacheGet, Kind: KindError, Prob: -0.5}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}

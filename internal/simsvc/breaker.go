@@ -1,0 +1,125 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultBreakerCooldown is how long an open circuit quarantines its
+// (bench, model) key before letting a single probe through.
+const DefaultBreakerCooldown = 30 * time.Second
+
+// QuarantinedError reports a job rejected without execution because its
+// (bench, model) circuit breaker is open; the HTTP layer maps it to 503 +
+// Retry-After.
+type QuarantinedError struct {
+	Key        string
+	RetryAfter time.Duration
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("simsvc: %s quarantined by circuit breaker, retry in %v", e.Key, e.RetryAfter.Round(time.Second))
+}
+
+// breaker is a per-key circuit breaker: a key that fails `threshold`
+// consecutive times is quarantined for `cooldown`, after which one probe
+// request is let through — success closes the circuit, failure re-opens it.
+// It keeps repeatedly failing (bench, model) jobs from burning pool workers
+// while healthy keys keep being served. A nil *breaker (threshold <= 0)
+// allows everything.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	m         *Metrics
+	now       func() time.Time // test seam
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	fails    int       // consecutive failures
+	openedAt time.Time // set when fails reaches threshold
+	probing  bool      // one half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, m *Metrics) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		m:         m,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// allow reports whether a job for key may execute now. An open circuit
+// rejects with *QuarantinedError until cooldown passes, then admits exactly
+// one probe at a time.
+func (b *breaker) allow(key string) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.fails < b.threshold {
+		return nil
+	}
+	since := b.now().Sub(e.openedAt)
+	if since >= b.cooldown && !e.probing {
+		e.probing = true
+		return nil
+	}
+	retry := b.cooldown - since
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return &QuarantinedError{Key: key, RetryAfter: retry}
+}
+
+// record feeds one execution outcome back. Cancellations, shutdowns and
+// shed submissions are neutral: they say nothing about the job itself, so
+// they neither trip nor reset the circuit (but they do release a pending
+// probe slot).
+func (b *breaker) record(key string, err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed)) {
+		if e != nil {
+			e.probing = false
+		}
+		return
+	}
+	if err == nil {
+		delete(b.entries, key)
+		return
+	}
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	wasOpen := e.fails >= b.threshold
+	e.fails++
+	e.probing = false
+	if e.fails >= b.threshold {
+		e.openedAt = b.now()
+		if !wasOpen {
+			b.m.breakerOpen.Add(1)
+		}
+	}
+}

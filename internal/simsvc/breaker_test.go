@@ -1,0 +1,139 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *time.Time, *Metrics) {
+	m := &Metrics{}
+	b := newBreaker(threshold, cooldown, m)
+	now := time.Unix(1000, 0)
+	if b != nil {
+		b.now = func() time.Time { return now }
+	}
+	return b, &now, m
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _, _ := testBreaker(0, time.Minute)
+	if b != nil {
+		t.Fatal("threshold 0 built a live breaker")
+	}
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("nil breaker rejected: %v", err)
+	}
+	b.record("k", errors.New("boom")) // must not panic
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _, m := testBreaker(3, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.allow("k"); err != nil {
+			t.Fatalf("rejected below threshold at %d: %v", i, err)
+		}
+		b.record("k", boom)
+	}
+	if m.breakerOpen.Load() != 0 {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.record("k", boom) // third consecutive failure
+	var q *QuarantinedError
+	if err := b.allow("k"); !errors.As(err, &q) {
+		t.Fatalf("err = %v, want QuarantinedError", err)
+	} else if q.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v", q.RetryAfter)
+	}
+	if m.breakerOpen.Load() != 1 {
+		t.Fatalf("breakerOpen = %d, want 1", m.breakerOpen.Load())
+	}
+	// Other keys are unaffected.
+	if err := b.allow("other"); err != nil {
+		t.Fatalf("healthy key rejected: %v", err)
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b, _, m := testBreaker(2, time.Minute)
+	boom := errors.New("boom")
+	b.record("k", boom)
+	b.record("k", nil) // success wipes the streak
+	b.record("k", boom)
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("breaker counted a non-consecutive streak: %v", err)
+	}
+	if m.breakerOpen.Load() != 0 {
+		t.Fatal("breaker opened on interrupted streak")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, now, m := testBreaker(2, time.Minute)
+	boom := errors.New("boom")
+	b.record("k", boom)
+	b.record("k", boom)
+	if err := b.allow("k"); err == nil {
+		t.Fatal("open breaker allowed")
+	}
+
+	*now = now.Add(2 * time.Minute) // cooldown passed
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	// Only one probe at a time.
+	if err := b.allow("k"); err == nil {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: circuit re-opens for a fresh cooldown (no new
+	// open-transition count — it never closed).
+	b.record("k", boom)
+	if err := b.allow("k"); err == nil {
+		t.Fatal("breaker admitted right after failed probe")
+	}
+	if m.breakerOpen.Load() != 1 {
+		t.Fatalf("breakerOpen = %d, want 1 (re-open is not a new transition)", m.breakerOpen.Load())
+	}
+
+	// Next probe succeeds: circuit closes fully.
+	*now = now.Add(2 * time.Minute)
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("probe after re-open: %v", err)
+	}
+	b.record("k", nil)
+	for i := 0; i < 3; i++ {
+		if err := b.allow("k"); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+	}
+}
+
+// Cancellations, shutdown and shedding say nothing about the job: they
+// neither trip the breaker nor burn the probe slot permanently.
+func TestBreakerNeutralErrors(t *testing.T) {
+	b, now, _ := testBreaker(2, time.Minute)
+	for _, err := range []error{context.Canceled, context.DeadlineExceeded, ErrOverloaded, ErrClosed} {
+		b.record("k", err)
+		b.record("k", err)
+		if got := b.allow("k"); got != nil {
+			t.Fatalf("neutral error %v tripped the breaker: %v", err, got)
+		}
+	}
+
+	boom := errors.New("boom")
+	b.record("k", boom)
+	b.record("k", boom)
+	*now = now.Add(2 * time.Minute)
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	// Probe outcome is a cancellation: slot must be released so a later
+	// probe can still close the circuit.
+	b.record("k", context.Canceled)
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("probe slot leaked after neutral outcome: %v", err)
+	}
+}

@@ -1,0 +1,536 @@
+// Chaos suite: drives the service with every fault class the injector can
+// throw (latency, transient error, cancellation, panic) and asserts the
+// operational invariants — the daemon never dies, workers survive panics,
+// no goroutine leaks, the cache never holds a failed result, metrics
+// reconcile with observed responses, and a fault-free (re)run is
+// byte-identical to an uninstrumented service. Runs in the ordinary
+// `go test` mode, no build tags.
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+)
+
+// chaosService is testService with an armed injector.
+func chaosService(t *testing.T, cfg Config, inj *faultinject.Injector, benches ...string) *Service {
+	t.Helper()
+	cfg.Faults = inj
+	return testService(t, cfg, benches...)
+}
+
+// Latency faults at every seam slow everything down but break nothing:
+// under concurrent load on mixed keys, every request still succeeds.
+func TestChaosLatency(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(11,
+		faultinject.Rule{Point: faultinject.PointCacheGet, Kind: faultinject.KindLatency, Latency: 2 * time.Millisecond, Prob: 0.5},
+		faultinject.Rule{Point: faultinject.PointCachePut, Kind: faultinject.KindLatency, Latency: 2 * time.Millisecond, Prob: 0.5},
+		faultinject.Rule{Point: faultinject.PointPoolPickup, Kind: faultinject.KindLatency, Latency: 5 * time.Millisecond, Prob: 0.5},
+		faultinject.Rule{Point: faultinject.PointFlightJoin, Kind: faultinject.KindLatency, Latency: 2 * time.Millisecond, Prob: 0.5},
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindLatency, Latency: 5 * time.Millisecond, Prob: 0.5},
+	)
+	s := chaosService(t, Config{Workers: 4}, inj)
+
+	models := pipeline.AllNames()
+	var wg sync.WaitGroup
+	errs := make([]error, 24)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Bench: "g711dec", Model: models[i%len(models)], Gran: 1 + i%2}
+			_, errs[i] = s.Simulate(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d under latency faults: %v", i, err)
+		}
+	}
+	if m := s.Metrics().Snapshot(); m.Failures != 0 || m.Panics != 0 {
+		t.Fatalf("latency-only chaos produced failures=%d panics=%d", m.Failures, m.Panics)
+	}
+}
+
+// Transient errors are retried with backoff; with retry budget left the
+// request succeeds and the retries metric records the re-attempts.
+func TestChaosTransientErrorRetried(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(7,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindError, Prob: 0.5},
+	)
+	s := chaosService(t, Config{Workers: 2, Retries: 8}, inj)
+
+	// Sequential loop over distinct keys: deterministic rng consumption for
+	// the seeded schedule, and no singleflight collapsing.
+	models := pipeline.AllNames()
+	ok := 0
+	for i := 0; i < 2*len(models); i++ {
+		req := Request{Bench: "g711dec", Model: models[i%len(models)], Gran: 1 + i/len(models)}
+		if _, err := s.Simulate(context.Background(), req); err != nil {
+			t.Fatalf("request %d exhausted %d retries: %v", i, 8, err)
+		}
+		ok++
+	}
+	m := s.Metrics().Snapshot()
+	if m.Retries == 0 {
+		t.Fatal("no retries recorded despite 50% transient-error rate")
+	}
+	if m.Failures != 0 {
+		t.Fatalf("failures = %d, want 0 (all retried to success)", m.Failures)
+	}
+	if s.CacheLen() != ok {
+		t.Fatalf("cache holds %d entries for %d successful keys", s.CacheLen(), ok)
+	}
+}
+
+// Without a retry budget transient errors surface as failures — but
+// gracefully: the error is reported, nothing is cached, and the service
+// keeps serving.
+func TestChaosTransientErrorSurfaces(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(3,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindError, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 2}, inj)
+	req := Request{Bench: "g711dec", Model: pipeline.NameBaseline32}
+	const n = 5
+	for i := 0; i < n; i++ {
+		_, err := s.Simulate(context.Background(), req)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("request %d: err = %v, want injected error", i, err)
+		}
+	}
+	m := s.Metrics().Snapshot()
+	if m.Failures != n || m.Retries != 0 {
+		t.Fatalf("failures=%d retries=%d, want %d/0", m.Failures, m.Retries, n)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatalf("failed results were cached: %d entries", s.CacheLen())
+	}
+	// Faults off: the very next request succeeds — no latched state.
+	inj.SetEnabled(false)
+	if resp, err := s.Simulate(context.Background(), req); err != nil || resp.CPI <= 0 {
+		t.Fatalf("post-chaos request: resp=%+v err=%v", resp, err)
+	}
+}
+
+// Injected cancellations are handled like real client disconnects: the
+// request fails with context.Canceled, nothing is cached, nothing counts
+// as a server-side failure, and the daemon keeps serving.
+func TestChaosCancel(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(5,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindCancel, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 2}, inj)
+	req := Request{Bench: "g711dec", Model: pipeline.NameBaseline32}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Simulate(context.Background(), req); !errors.Is(err, context.Canceled) {
+			t.Fatalf("request %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	m := s.Metrics().Snapshot()
+	if m.Failures != 0 {
+		t.Fatalf("injected cancellations counted as failures: %d", m.Failures)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatalf("cancelled results were cached: %d entries", s.CacheLen())
+	}
+	inj.SetEnabled(false)
+	if _, err := s.Simulate(context.Background(), req); err != nil {
+		t.Fatalf("post-chaos request: %v", err)
+	}
+}
+
+// A panic inside a simulation job is contained by the pool: the caller
+// gets ErrPanic, the worker survives, the process does not crash, and the
+// metrics reconcile exactly with the observed responses.
+func TestChaosPanicContainedAndReconciled(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(9,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindPanic, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 2}, inj)
+	req := Request{Bench: "g711dec", Model: pipeline.NameBaseline32}
+	const n = 5
+	observedPanics := 0
+	for i := 0; i < n; i++ {
+		_, err := s.Simulate(context.Background(), req)
+		if !errors.Is(err, ErrPanic) {
+			t.Fatalf("request %d: err = %v, want ErrPanic", i, err)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+			t.Fatalf("request %d: panic error carries no stack", i)
+		}
+		observedPanics++
+	}
+	m := s.Metrics().Snapshot()
+	if m.Panics != uint64(observedPanics) {
+		t.Fatalf("panics metric = %d, observed %d panic responses", m.Panics, observedPanics)
+	}
+	if m.Requests != n || m.Failures != n || m.Executions != 0 || m.CacheHits != 0 {
+		t.Fatalf("metrics do not reconcile: %+v", m)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatalf("panicked results were cached: %d entries", s.CacheLen())
+	}
+
+	// Every worker survived: saturate the pool with ordinary jobs.
+	inj.SetEnabled(false)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameByteSerial, Gran: 1 + i%2})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("post-panic job %d: %v", i, err)
+		}
+	}
+}
+
+// Repeated panics on one (bench, model) open its circuit breaker: further
+// requests are quarantined without burning a worker, and after the
+// cooldown a probe closes the circuit again.
+func TestChaosBreakerQuarantine(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(13,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindPanic, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 2, BreakerThreshold: 3, BreakerCooldown: 50 * time.Millisecond}, inj)
+	req := Request{Bench: "g711dec", Model: pipeline.NameBaseline32}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Simulate(context.Background(), req); !errors.Is(err, ErrPanic) {
+			t.Fatalf("request %d: err = %v, want ErrPanic", i, err)
+		}
+	}
+	var q *QuarantinedError
+	if _, err := s.Simulate(context.Background(), req); !errors.As(err, &q) {
+		t.Fatalf("err = %v, want QuarantinedError after %d panics", err, 3)
+	}
+	m := s.Metrics().Snapshot()
+	if m.Panics != 3 {
+		t.Fatalf("quarantined request still executed: panics = %d", m.Panics)
+	}
+	if m.BreakerOpen != 1 {
+		t.Fatalf("breakerOpen = %d, want 1", m.BreakerOpen)
+	}
+	// Healthy keys are unaffected by the quarantine.
+	inj.SetEnabled(false)
+	if _, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameByteSerial}); err != nil {
+		t.Fatalf("healthy key rejected: %v", err)
+	}
+	// After the cooldown the probe succeeds and the circuit closes.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := s.Simulate(context.Background(), req); err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if _, err := s.Simulate(context.Background(), req); err != nil {
+		t.Fatalf("circuit did not close after successful probe: %v", err)
+	}
+}
+
+// A sweep under a hard fault degrades to partial results — the summary
+// arrives, failed cells render "err", nothing is cached — and recovers
+// fully once the fault clears.
+func TestChaosSweepDegradesGracefully(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(17,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindError, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 4, Retries: 1}, inj, "g711dec", "g711enc")
+	models := []string{pipeline.NameBaseline32, pipeline.NameByteSerial}
+	sum, err := s.Sweep(context.Background(), 1, nil, models, nil)
+	if err != nil {
+		t.Fatalf("sweep must degrade, not abort: %v", err)
+	}
+	if sum.Jobs != 4 || sum.Failed != 4 {
+		t.Fatalf("jobs=%d failed=%d, want 4/4", sum.Jobs, sum.Failed)
+	}
+	if len(sum.MeanCPI) != 0 {
+		t.Fatalf("means computed from failed jobs: %v", sum.MeanCPI)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatalf("failed sweep jobs were cached: %d entries", s.CacheLen())
+	}
+	if m := s.Metrics().Snapshot(); m.Retries == 0 {
+		t.Fatal("sweep jobs were not retried before failing")
+	}
+
+	inj.SetEnabled(false)
+	sum2, err := s.Sweep(context.Background(), 1, nil, models, nil)
+	if err != nil || sum2.Failed != 0 {
+		t.Fatalf("post-chaos sweep: failed=%d err=%v", sum2.Failed, err)
+	}
+}
+
+// marshalSuite renders just the deterministic evaluation payload (the
+// envelope's ElapsedMS/Cached differ run to run by design).
+func marshalSuite(t *testing.T, resp *Response) []byte {
+	t.Helper()
+	if resp.Suite == nil {
+		t.Fatal("suite payload missing")
+	}
+	b, err := json.Marshal(resp.Suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The acceptance invariant: a suite evaluation that survived chaos (via
+// retries), and a fault-free rerun, are byte-identical to an
+// uninstrumented service's output.
+func TestChaosSuiteByteIdentical(t *testing.T) {
+	checkLeaks(t)
+	clean := testService(t, Config{Workers: 4}, "g711dec", "g711enc")
+	cleanResp, err := clean.Suite(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalSuite(t, cleanResp)
+
+	inj := faultinject.MustNew(23,
+		faultinject.Rule{Point: faultinject.PointSuiteBench, Kind: faultinject.KindError, Prob: 0.4},
+		faultinject.Rule{Point: faultinject.PointPoolPickup, Kind: faultinject.KindLatency, Latency: 3 * time.Millisecond, Prob: 0.5},
+		faultinject.Rule{Point: faultinject.PointCachePut, Kind: faultinject.KindError, Prob: 0.3},
+	)
+	s := chaosService(t, Config{Workers: 4, Retries: 10}, inj, "g711dec", "g711enc")
+	chaosResp, err := s.Suite(context.Background())
+	if err != nil {
+		// Retry budget can run out under the injected schedule; the
+		// invariant below still must hold for the fault-free rerun.
+		t.Logf("suite under chaos failed (acceptable): %v", err)
+	} else if got := marshalSuite(t, chaosResp); !bytes.Equal(got, want) {
+		t.Fatal("suite JSON computed under chaos differs from clean service")
+	}
+
+	inj.SetEnabled(false)
+	rerun, err := s.Suite(context.Background())
+	if err != nil {
+		t.Fatalf("fault-free rerun: %v", err)
+	}
+	if got := marshalSuite(t, rerun); !bytes.Equal(got, want) {
+		t.Fatal("fault-free rerun suite JSON differs from clean service")
+	}
+}
+
+// An injected panic on the request goroutine (cache seam) is contained by
+// the HTTP recovery middleware: the client sees a 500 with the standard
+// error envelope, the daemon survives, and recovery is immediate once the
+// fault clears.
+func TestChaosHTTPPanicContained(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(29,
+		faultinject.Rule{Point: faultinject.PointCacheGet, Kind: faultinject.KindPanic, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 2}, inj)
+	srv := newTestServer(t, s)
+
+	url := srv.URL + "/v1/simulate?bench=g711dec&model=" + pipeline.NameBaseline32
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("500 body %q is not the error envelope", body)
+	}
+	if m := s.Metrics().Snapshot(); m.Panics != 1 {
+		t.Fatalf("panics metric = %d, want 1", m.Panics)
+	}
+
+	inj.SetEnabled(false)
+	resp2, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status %d, want 200", resp2.StatusCode)
+	}
+}
+
+// Overload: with one worker pinned by latency faults and a one-deep wait
+// queue, a concurrent burst is shed with 429 + Retry-After; when the load
+// drops and faults clear, the service serves 200s again and /metrics shows
+// the shed count.
+func TestChaosLoadShedAndRecover(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(31,
+		faultinject.Rule{Point: faultinject.PointPoolPickup, Kind: faultinject.KindLatency, Latency: 300 * time.Millisecond, Prob: 1},
+	)
+	s := chaosService(t, Config{Workers: 1, MaxQueued: 1}, inj)
+	srv := newTestServer(t, s)
+
+	// Prime the lazy recoder profile (and one cache entry) before arming
+	// the burst, so the measurement window is only the faulted jobs.
+	inj.SetEnabled(false)
+	warm, err := http.Get(srv.URL + "/v1/simulate?bench=g711dec&model=" + pipeline.NameBaseline32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	inj.SetEnabled(true)
+
+	// 10 concurrent distinct keys (distinct (model, gran) pairs, so no
+	// singleflight collapsing and every 429 maps to one pool shed): at most
+	// 1 running + 1 queued at a time, so most of the burst must shed.
+	models := pipeline.AllNames()
+	type result struct {
+		status     int
+		retryAfter string
+	}
+	results := make([]result, 10)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/simulate?bench=g711dec&model=%s&gran=%d",
+				srv.URL, models[1+i%5], 1+i/5)
+			resp, err := http.Get(url)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			results[i] = result{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	shed := 0
+	for i, r := range results {
+		switch r.status {
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter == "" {
+				t.Errorf("429 response %d missing Retry-After", i)
+			}
+		case http.StatusOK, 0:
+		default:
+			t.Errorf("burst request %d: unexpected status %d", i, r.status)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no load shedding under a 10-deep burst on a 1+1 service")
+	}
+	var snap struct{ Shed uint64 }
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if snap.Shed != uint64(shed) {
+		t.Fatalf("shed metric %d != observed 429s %d", snap.Shed, shed)
+	}
+
+	// Load dropped, faults off: back to 200s.
+	inj.SetEnabled(false)
+	resp, err := http.Get(srv.URL + "/v1/simulate?bench=g711dec&model=" + pipeline.NameByteSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery request status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestChaosSoak loops the full fault mix for SIGSERVE_CHAOS_SOAK (a
+// time.Duration; unset = skip). The nightly workflow runs it for minutes;
+// locally: SIGSERVE_CHAOS_SOAK=10s go test -race -run ChaosSoak ./internal/simsvc
+func TestChaosSoak(t *testing.T) {
+	budget := os.Getenv("SIGSERVE_CHAOS_SOAK")
+	if budget == "" {
+		t.Skip("SIGSERVE_CHAOS_SOAK not set")
+	}
+	d, err := time.ParseDuration(budget)
+	if err != nil {
+		t.Fatalf("bad SIGSERVE_CHAOS_SOAK %q: %v", budget, err)
+	}
+	checkLeaks(t)
+	inj := faultinject.MustNew(37,
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindError, Prob: 0.2},
+		faultinject.Rule{Point: faultinject.PointTraceRunStart, Kind: faultinject.KindPanic, Prob: 0.05},
+		faultinject.Rule{Point: faultinject.PointPoolPickup, Kind: faultinject.KindLatency, Latency: 2 * time.Millisecond, Prob: 0.3},
+		faultinject.Rule{Point: faultinject.PointFlightJoin, Kind: faultinject.KindCancel, Prob: 0.1},
+		faultinject.Rule{Point: faultinject.PointCacheGet, Kind: faultinject.KindError, Prob: 0.1},
+		faultinject.Rule{Point: faultinject.PointCachePut, Kind: faultinject.KindError, Prob: 0.1},
+	)
+	s := chaosService(t, Config{Workers: 4, Retries: 3, BreakerThreshold: 5, BreakerCooldown: 200 * time.Millisecond}, inj, "g711dec", "g711enc")
+
+	deadline := time.Now().Add(d)
+	models := pipeline.AllNames()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				bench := "g711dec"
+				if (w+i)%2 == 1 {
+					bench = "g711enc"
+				}
+				_, err := s.Simulate(context.Background(), Request{Bench: bench, Model: models[(w+i)%len(models)], Gran: 1 + i%2})
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrPanic), errors.Is(err, faultinject.ErrInjected),
+					errors.Is(err, context.Canceled), errors.Is(err, ErrOverloaded):
+				default:
+					var q *QuarantinedError
+					if !errors.As(err, &q) {
+						t.Errorf("soak worker %d: unexpected error class: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The service must still be fully functional after the soak.
+	inj.SetEnabled(false)
+	time.Sleep(250 * time.Millisecond) // let any open breakers cool down
+	for _, m := range models {
+		if _, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: m}); err != nil {
+			t.Fatalf("post-soak request (%s): %v", m, err)
+		}
+	}
+	t.Logf("soak metrics: %+v", s.Metrics().Snapshot())
+}

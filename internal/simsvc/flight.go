@@ -3,6 +3,8 @@ package simsvc
 import (
 	"context"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // flightGroup deduplicates concurrent work by key (a minimal singleflight):
@@ -11,8 +13,9 @@ import (
 // re-running the simulation. Followers stop waiting when their own context
 // is cancelled; the leader's execution is governed by the leader's context.
 type flightGroup struct {
-	mu    sync.Mutex
-	calls map[string]*flightCall
+	faults *faultinject.Injector
+	mu     sync.Mutex
+	calls  map[string]*flightCall
 }
 
 type flightCall struct {
@@ -21,8 +24,8 @@ type flightCall struct {
 	err  error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+func newFlightGroup(faults *faultinject.Injector) *flightGroup {
+	return &flightGroup{faults: faults, calls: make(map[string]*flightCall)}
 }
 
 // do runs fn once per in-flight key. It returns the result, and shared=true
@@ -31,6 +34,11 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Response, 
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
+		// A fault at the join seam fails only this follower; the leader's
+		// execution (and every other waiter) is untouched.
+		if err := g.faults.Fire(ctx, faultinject.PointFlightJoin); err != nil {
+			return nil, true, err
+		}
 		select {
 		case <-c.done:
 			return c.resp, true, c.err

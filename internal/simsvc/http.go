@@ -4,7 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log"
+	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -13,6 +17,10 @@ import (
 // went away mid-request; it keeps cancellations distinguishable from
 // server-side failures in access logs.
 const statusClientClosedRequest = 499
+
+// maxSimulateBody bounds POST /v1/simulate request bodies; larger bodies
+// get 413 before any decoding work.
+const maxSimulateBody = 1 << 20
 
 // NewHandler builds the sigserve HTTP API around s:
 //
@@ -62,8 +70,17 @@ func NewHandler(s *Service) http.Handler {
 		serveSimulate(s, w, r.Context(), req)
 	})
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxSimulateBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
 		var req Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					map[string]string{"error": fmt.Sprintf("simsvc: request body exceeds %d bytes", tooBig.Limit)})
+				return
+			}
 			writeError(w, invalidf("bad request body: %v", err))
 			return
 		}
@@ -80,7 +97,36 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return mux
+	return withRecovery(s, mux)
+}
+
+// withRecovery contains panics that escape a handler (or are injected on
+// the request goroutine, e.g. at the cache seams): the panic is counted,
+// logged with its stack, and answered with a best-effort 500 instead of
+// killing the connection's serve goroutine with the daemon's crash
+// semantics. http.ErrAbortHandler keeps its conventional meaning.
+func withRecovery(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.metrics.panics.Add(1)
+			stack := make([]byte, 64<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			log.Printf("simsvc: contained handler panic on %s %s: %v\n%s", r.Method, r.URL.Path, v, stack)
+			// Best effort: if the handler already wrote headers this is
+			// appended garbage on a broken response, which the client was
+			// getting anyway.
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"error": fmt.Sprintf("simsvc: internal panic: %v", v)})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // fixModelName undoes '+'-as-space query decoding: model names contain a
@@ -204,9 +250,17 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var inv *InvalidRequestError
+	var quarantined *QuarantinedError
 	switch {
 	case errors.As(err, &inv):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		// Shed by admission control: tell the client when to come back.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.As(err, &quarantined):
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(quarantined.RetryAfter.Seconds()))))
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

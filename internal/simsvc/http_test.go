@@ -14,12 +14,23 @@ import (
 	"repro/internal/pipeline"
 )
 
+// newTestServer serves an existing Service over HTTP, closing both the
+// listener and any kept-alive client connections on cleanup (so the
+// goroutine-leak checker sees a quiet baseline).
+func newTestServer(t *testing.T, s *Service) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		srv.Close()
+		http.DefaultClient.CloseIdleConnections()
+	})
+	return srv
+}
+
 func testServer(t *testing.T, benchNames ...string) (*Service, *httptest.Server) {
 	t.Helper()
 	s := testService(t, Config{Workers: 4}, benchNames...)
-	srv := httptest.NewServer(NewHandler(s))
-	t.Cleanup(srv.Close)
-	return s, srv
+	return s, newTestServer(t, s)
 }
 
 func getJSON(t *testing.T, url string, out interface{}) *http.Response {
@@ -133,6 +144,85 @@ func TestHTTPSimulateErrors(t *testing.T) {
 			t.Errorf("%s: status %d, want %d", url, resp.StatusCode, want)
 		} else if e.Error == "" {
 			t.Errorf("%s: no error body", url)
+		}
+	}
+}
+
+// POST bodies are bounded at 1 MiB (413) and unknown JSON fields are
+// rejected (400), both with the standard error envelope.
+func TestHTTPPostBodyHardening(t *testing.T) {
+	_, srv := testServer(t)
+
+	post := func(body []byte) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+
+	// Oversized body: 413 with the error envelope.
+	huge := append([]byte(`{"bench":"`), bytes.Repeat([]byte("x"), maxSimulateBody+1024)...)
+	huge = append(huge, []byte(`"}`)...)
+	resp, body := post(huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body %q is not the error envelope", body)
+	}
+
+	// Unknown field: 400.
+	resp, body = post([]byte(`{"bench":"g711dec","model":"baseline32","bogus":1}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "bogus") {
+		t.Fatalf("400 body %q does not name the unknown field", body)
+	}
+
+	// A max-size-compliant valid body still works.
+	resp, body = post([]byte(`{"bench":"g711dec","model":"baseline32"}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid body: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// The /metrics snapshot schema is pinned: fields must not silently vanish
+// (dashboards and the chaos suite both key off them).
+func TestHTTPMetricsSchema(t *testing.T) {
+	_, srv := testServer(t)
+	var m map[string]interface{}
+	if resp := getJSON(t, srv.URL+"/metrics", &m); resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	want := []string{
+		"requests", "cacheHits", "cacheMisses", "cacheEvictions",
+		"executions", "flightShared", "failures", "invalidRequests",
+		"panics", "shed", "retries", "breakerOpen", "queuedDepth",
+		"simulationLatency", "workers", "cacheEntries", "uptimeSeconds",
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("/metrics missing field %q", k)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("/metrics has %d fields, schema pins %d: %v", len(m), len(want), m)
+	}
+	lat, ok := m["simulationLatency"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("simulationLatency is %T", m["simulationLatency"])
+	}
+	for _, k := range []string{"count", "meanMillis", "minMillis", "maxMillis"} {
+		if _, ok := lat[k]; !ok {
+			t.Errorf("simulationLatency missing %q", k)
 		}
 	}
 }

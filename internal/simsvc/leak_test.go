@@ -1,0 +1,98 @@
+package simsvc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// checkLeaks snapshots the goroutine count and fails the test if, after all
+// later-registered cleanups (service Close, server shutdown) have run, the
+// count has not returned to the baseline. Call it FIRST in a test — before
+// building services or servers — so its cleanup runs last. Transient
+// runtime/testing goroutines get a small slack and a settling grace period.
+func checkLeaks(t *testing.T) {
+	t.Helper()
+	const slack = 3
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for {
+			runtime.GC() // flush finalizer-held conns etc.
+			now = runtime.NumGoroutine()
+			if now <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after (slack %d)\n%s", before, now, slack, buf)
+	})
+}
+
+// The plain service lifecycle must not leak: create, hammer concurrently
+// (hits, misses, failures, cancellations), close, count goroutines.
+func TestLeakServiceLifecycle(t *testing.T) {
+	checkLeaks(t)
+	s := testService(t, Config{Workers: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%4 == 3 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(context.Background())
+				cancel()
+			}
+			req := Request{Bench: "g711dec", Model: pipeline.NameBaseline32}
+			if i%4 == 2 {
+				req.Model = "nope" // invalid
+			}
+			s.Simulate(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+}
+
+// Close must drain in-flight work: a request racing Close either completes
+// or gets ErrClosed, and nothing is left running after Close returns.
+func TestLeakCloseDrainsInflight(t *testing.T) {
+	checkLeaks(t)
+	s := testService(t, Config{Workers: 2})
+	started := make(chan struct{})
+	s.failHook = func(Request) error {
+		close(started)
+		time.Sleep(50 * time.Millisecond) // keep the job in flight across Close
+		return nil
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameBaseline32})
+		done <- err
+	}()
+	<-started
+	s.Close() // must block until the in-flight job finishes
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("in-flight request during Close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("request did not finish after Close returned")
+	}
+	if _, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: pipeline.NameBaseline32}); err != ErrClosed {
+		t.Fatalf("post-Close request err = %v, want ErrClosed", err)
+	}
+}

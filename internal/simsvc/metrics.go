@@ -17,6 +17,11 @@ type Metrics struct {
 	flightShared   atomic.Uint64
 	failures       atomic.Uint64
 	invalid        atomic.Uint64
+	panics         atomic.Uint64 // job/handler panics contained
+	shed           atomic.Uint64 // submissions rejected by admission control
+	retries        atomic.Uint64 // transient-error re-attempts
+	breakerOpen    atomic.Uint64 // circuit-breaker open transitions
+	queued         atomic.Int64  // gauge: submissions waiting for a worker
 
 	mu       sync.Mutex
 	latCount uint64
@@ -59,6 +64,11 @@ type Snapshot struct {
 	FlightShared    uint64          `json:"flightShared"`
 	Failures        uint64          `json:"failures"`
 	InvalidRequests uint64          `json:"invalidRequests"`
+	Panics          uint64          `json:"panics"`
+	Shed            uint64          `json:"shed"`
+	Retries         uint64          `json:"retries"`
+	BreakerOpen     uint64          `json:"breakerOpen"`
+	QueuedDepth     int64           `json:"queuedDepth"`
 	SimLatency      LatencySnapshot `json:"simulationLatency"`
 }
 
@@ -73,6 +83,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		FlightShared:    m.flightShared.Load(),
 		Failures:        m.failures.Load(),
 		InvalidRequests: m.invalid.Load(),
+		Panics:          m.panics.Load(),
+		Shed:            m.shed.Load(),
+		Retries:         m.retries.Load(),
+		BreakerOpen:     m.breakerOpen.Load(),
+		QueuedDepth:     m.queued.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

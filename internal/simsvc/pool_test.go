@@ -1,0 +1,122 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testPool builds a pool with its own metrics registry for direct tests.
+func testPool(t *testing.T, workers, maxQueued int) (*pool, *Metrics) {
+	t.Helper()
+	m := &Metrics{}
+	p := newPool(workers, maxQueued, m, nil)
+	t.Cleanup(p.close)
+	return p, m
+}
+
+func TestPoolCancelledSubmit(t *testing.T) {
+	p, _ := testPool(t, 1, 0)
+	block := make(chan struct{})
+	go p.do(context.Background(), func() { <-block })
+	time.Sleep(10 * time.Millisecond) // let the only worker pick the blocker up
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	if err := p.do(ctx, func() { ran = true }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if ran {
+		t.Fatal("cancelled submission still ran")
+	}
+	close(block)
+}
+
+// Regression for the seed's process-killing bug: a panic in a job must be
+// contained as a typed error, and the worker that caught it must keep
+// serving later jobs.
+func TestPoolPanicContained(t *testing.T) {
+	p, m := testPool(t, 1, 0)
+	err := p.do(context.Background(), func() { panic("boom") })
+	if err == nil {
+		t.Fatal("panicking job returned nil error")
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not *PanicError", err)
+	}
+	if pe.Val != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload: val=%v stack=%d bytes", pe.Val, len(pe.Stack))
+	}
+	if got := m.panics.Load(); got != 1 {
+		t.Fatalf("panics metric = %d, want 1", got)
+	}
+
+	// The single worker survived: it must still run ordinary jobs.
+	ran := false
+	if err := p.do(context.Background(), func() { ran = true }); err != nil {
+		t.Fatalf("job after panic: %v", err)
+	}
+	if !ran {
+		t.Fatal("worker did not run the job after containing a panic")
+	}
+}
+
+// With every worker busy and the wait queue full, further admitted
+// submissions are shed immediately with ErrOverloaded; internal
+// submissions are not.
+func TestPoolAdmissionShedding(t *testing.T) {
+	p, m := testPool(t, 1, 1)
+	block := make(chan struct{})
+	defer close(block)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.do(context.Background(), func() { <-block }) }() // runs
+	time.Sleep(10 * time.Millisecond)
+	go func() { defer wg.Done(); p.do(context.Background(), func() {}) }() // queued (depth 1)
+	time.Sleep(10 * time.Millisecond)
+
+	if err := p.do(context.Background(), func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := m.shed.Load(); got != 1 {
+		t.Fatalf("shed metric = %d, want 1", got)
+	}
+	if depth := m.queued.Load(); depth != 1 {
+		t.Fatalf("queuedDepth gauge = %d, want 1 (the queued job)", depth)
+	}
+
+	// Internal fan-out bypasses admission control: it queues instead of
+	// being shed.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.doInternal(ctx, func() {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("internal submit err = %v, want deadline exceeded (queued, not shed)", err)
+	}
+	if got := m.shed.Load(); got != 1 {
+		t.Fatalf("internal submission was shed: metric = %d", got)
+	}
+}
+
+// The queued-depth gauge returns to zero once the queue drains.
+func TestPoolQueuedDepthGauge(t *testing.T) {
+	p, m := testPool(t, 2, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.do(context.Background(), func() { time.Sleep(5 * time.Millisecond) })
+		}()
+	}
+	wg.Wait()
+	if depth := m.queued.Load(); depth != 0 {
+		t.Fatalf("queuedDepth gauge = %d after drain, want 0", depth)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/icomp"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
@@ -28,6 +29,26 @@ import (
 
 // DefaultCacheSize is the LRU capacity when Config.CacheSize is zero.
 const DefaultCacheSize = 128
+
+// DefaultQueuedPerWorker scales the default admission bound: MaxQueued
+// defaults to this many waiting submissions per pool worker.
+const DefaultQueuedPerWorker = 8
+
+// DefaultRetries and DefaultBreakerThreshold are the recommended settings
+// for a production daemon (cmd/sigserve uses them as flag defaults). The
+// Config zero values stay conservative — no retries, breaker off — so
+// embedded and test services opt in explicitly.
+const (
+	DefaultRetries          = 2
+	DefaultBreakerThreshold = 5
+)
+
+// retryBackoffBase is the first retry's backoff; each further attempt
+// doubles it (capped at retryBackoffMax).
+const (
+	retryBackoffBase = 2 * time.Millisecond
+	retryBackoffMax  = time.Second
+)
 
 // Config parameterizes a Service.
 type Config struct {
@@ -40,21 +61,42 @@ type Config struct {
 	// Benchmarks restricts the served suite (default bench.All()). The
 	// instruction recoder is profiled over exactly this suite.
 	Benchmarks []bench.Benchmark
+	// MaxQueued bounds submissions waiting for a free worker; beyond it
+	// externally-admitted jobs are shed with ErrOverloaded (HTTP 429).
+	// 0 = DefaultQueuedPerWorker × Workers; negative = unbounded.
+	MaxQueued int
+	// Retries is how many times a transient execution failure
+	// (faultinject.IsTransient) is re-attempted with exponential backoff.
+	Retries int
+	// BreakerThreshold opens a per-(bench, model) circuit after that many
+	// consecutive failures, quarantining the key for BreakerCooldown.
+	// 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the quarantine length (default
+	// DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Faults arms deterministic fault injection at the service's seams
+	// (nil in production: every hook is then a zero-cost no-op).
+	Faults *faultinject.Injector
 }
 
 // Service executes significance-compression simulations on demand.
 type Service struct {
 	workers int
 	timeout time.Duration
+	retries int
 	benches []bench.Benchmark
 	byName  map[string]bench.Benchmark
 
-	pool    *pool
-	cache   *lruCache
-	flight  *flightGroup
-	metrics Metrics
-	start   time.Time
-	closed  atomic.Bool
+	pool     *pool
+	cache    *lruCache
+	flight   *flightGroup
+	breaker  *breaker
+	faults   *faultinject.Injector
+	metrics  Metrics
+	start    time.Time
+	closed   atomic.Bool
+	inflight sync.WaitGroup
 
 	rcOnce   sync.Once
 	rc       *icomp.Recoder
@@ -76,25 +118,52 @@ func New(cfg Config) *Service {
 	if cfg.Benchmarks == nil {
 		cfg.Benchmarks = bench.All()
 	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = DefaultQueuedPerWorker * cfg.Workers
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
 	s := &Service{
 		workers: cfg.Workers,
 		timeout: cfg.Timeout,
+		retries: cfg.Retries,
 		benches: cfg.Benchmarks,
 		byName:  make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
-		pool:    newPool(cfg.Workers),
 		cache:   newLRU(cfg.CacheSize),
-		flight:  newFlightGroup(),
+		faults:  cfg.Faults,
 		start:   time.Now(),
 	}
+	s.pool = newPool(cfg.Workers, cfg.MaxQueued, &s.metrics, cfg.Faults)
+	s.flight = newFlightGroup(cfg.Faults)
+	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, &s.metrics)
 	for _, b := range cfg.Benchmarks {
 		s.byName[b.Name] = b
 	}
 	return s
 }
 
-// Close stops the worker pool; in-flight jobs finish first.
+// begin admits one request into the in-flight set; it fails with ErrClosed
+// once shutdown has begun.
+func (s *Service) begin() error {
+	s.inflight.Add(1)
+	if s.closed.Load() {
+		s.inflight.Done()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (s *Service) end() { s.inflight.Done() }
+
+// Close shuts the service down gracefully: new requests are refused with
+// ErrClosed, every in-flight request is drained to completion, and only
+// then are the pool workers stopped. Safe to call more than once.
 func (s *Service) Close() {
-	s.closed.Store(true)
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.inflight.Wait()
 	s.pool.close()
 }
 
@@ -207,12 +276,70 @@ func serveCopy(r *Response, cached bool) *Response {
 	return &cp
 }
 
+// cacheGet consults the LRU unless a cache.get fault is armed: an injected
+// failure degrades to a cache miss (the job re-executes) rather than
+// failing the request.
+func (s *Service) cacheGet(ctx context.Context, key string) (*Response, bool) {
+	if err := s.faults.Fire(ctx, faultinject.PointCacheGet); err != nil {
+		return nil, false
+	}
+	return s.cache.get(key)
+}
+
+// cachePut stores a successful result unless a cache.put fault is armed:
+// an injected failure skips caching (a later request re-executes) rather
+// than failing the request that already has its answer.
+func (s *Service) cachePut(ctx context.Context, key string, resp *Response) {
+	if err := s.faults.Fire(ctx, faultinject.PointCachePut); err != nil {
+		return
+	}
+	if s.cache.add(key, resp) { // errors are never cached
+		s.metrics.cacheEvictions.Add(1)
+	}
+}
+
+// withRetry runs fn, re-attempting transient failures (and only those) up
+// to s.retries times with exponential backoff. Backoff waits end early when
+// ctx does.
+func (s *Service) withRetry(ctx context.Context, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || attempt >= s.retries || !faultinject.IsTransient(err) || ctx.Err() != nil {
+			return err
+		}
+		s.metrics.retries.Add(1)
+		backoff := retryBackoffBase << attempt
+		if backoff > retryBackoffMax {
+			backoff = retryBackoffMax
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+	}
+}
+
+// breakerKey is the circuit-breaker identity of a request: granularity is
+// deliberately excluded — a failing simulation fails at every granularity.
+func breakerKey(bench, model string) string { return bench + "|" + model }
+
 // Simulate runs (or serves from cache) one simulation job. Identical
 // concurrent requests share a single underlying trace execution.
 func (s *Service) Simulate(ctx context.Context, req Request) (*Response, error) {
-	if s.closed.Load() {
-		return nil, ErrClosed
+	return s.simulate(ctx, req, true)
+}
+
+// simulate is Simulate with an admission switch: service-internal fan-out
+// (sweep jobs) bypasses the bounded wait queue, since those bursts belong
+// to one already-admitted request.
+func (s *Service) simulate(ctx context.Context, req Request, admit bool) (*Response, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
 	}
+	defer s.end()
 	req, err := s.validate(req)
 	if err != nil {
 		s.metrics.invalid.Add(1)
@@ -225,32 +352,42 @@ func (s *Service) Simulate(ctx context.Context, req Request) (*Response, error) 
 		defer cancel()
 	}
 	key := req.key()
-	if resp, ok := s.cache.get(key); ok {
+	if resp, ok := s.cacheGet(ctx, key); ok {
 		s.metrics.cacheHits.Add(1)
 		return serveCopy(resp, true), nil
 	}
 	s.metrics.cacheMisses.Add(1)
+	bkey := breakerKey(req.Bench, req.Model)
+	if err := s.breaker.allow(bkey); err != nil {
+		return nil, err
+	}
 	resp, shared, err := s.flight.do(ctx, key, func() (*Response, error) {
 		var out *Response
-		var runErr error
-		if poolErr := s.pool.do(ctx, func() {
-			out, runErr = s.execute(ctx, req)
-		}); poolErr != nil {
-			return nil, poolErr
-		}
+		runErr := s.withRetry(ctx, func() error {
+			var execErr error
+			submit := s.pool.do
+			if !admit {
+				submit = s.pool.doInternal
+			}
+			if poolErr := submit(ctx, func() {
+				out, execErr = s.execute(ctx, req)
+			}); poolErr != nil {
+				return poolErr
+			}
+			return execErr
+		})
+		s.breaker.record(bkey, runErr)
 		if runErr != nil {
 			return nil, runErr
 		}
-		if s.cache.add(key, out) { // errors are never cached
-			s.metrics.cacheEvictions.Add(1)
-		}
+		s.cachePut(ctx, key, out)
 		return out, nil
 	})
 	if shared {
 		s.metrics.flightShared.Add(1)
 	}
 	if err != nil {
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		if countsAsFailure(err) {
 			s.metrics.failures.Add(1)
 		}
 		return nil, err
@@ -258,9 +395,20 @@ func (s *Service) Simulate(ctx context.Context, req Request) (*Response, error) 
 	return serveCopy(resp, false), nil
 }
 
+// countsAsFailure reports whether err is an execution failure for the
+// failures metric: cancellations are the client's doing and shed
+// submissions are already tallied separately as shed.
+func countsAsFailure(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, ErrOverloaded)
+}
+
 // execute performs the actual trace run for req on the calling (worker)
 // goroutine.
 func (s *Service) execute(ctx context.Context, req Request) (*Response, error) {
+	if err := s.faults.Fire(ctx, faultinject.PointTraceRunStart); err != nil {
+		return nil, err
+	}
 	if s.failHook != nil {
 		if err := s.failHook(req); err != nil {
 			return nil, err

@@ -268,21 +268,3 @@ func TestSweepEmitAbort(t *testing.T) {
 		t.Fatalf("err = %v, want emit error", err)
 	}
 }
-
-func TestPoolCancelledSubmit(t *testing.T) {
-	p := newPool(1)
-	defer p.close()
-	block := make(chan struct{})
-	go p.do(context.Background(), func() { <-block })
-	time.Sleep(10 * time.Millisecond) // let the only worker pick the blocker up
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	ran := false
-	if err := p.do(ctx, func() { ran = true }); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want deadline exceeded", err)
-	}
-	if ran {
-		t.Fatal("cancelled submission still ran")
-	}
-	close(block)
-}

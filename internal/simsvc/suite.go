@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 )
 
 // suiteKey is the cache/singleflight identity of the full-suite evaluation.
@@ -23,16 +24,17 @@ const suiteKey = "suite\n"
 // identical calls share one execution via singleflight, exactly like
 // Simulate.
 func (s *Service) Suite(ctx context.Context) (*Response, error) {
-	if s.closed.Load() {
-		return nil, ErrClosed
+	if err := s.begin(); err != nil {
+		return nil, err
 	}
+	defer s.end()
 	s.metrics.requests.Add(1)
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	if resp, ok := s.cache.get(suiteKey); ok {
+	if resp, ok := s.cacheGet(ctx, suiteKey); ok {
 		s.metrics.cacheHits.Add(1)
 		return serveCopy(resp, true), nil
 	}
@@ -42,16 +44,14 @@ func (s *Service) Suite(ctx context.Context) (*Response, error) {
 		if runErr != nil {
 			return nil, runErr
 		}
-		if s.cache.add(suiteKey, out) { // errors are never cached
-			s.metrics.cacheEvictions.Add(1)
-		}
+		s.cachePut(ctx, suiteKey, out)
 		return out, nil
 	})
 	if shared {
 		s.metrics.flightShared.Add(1)
 	}
 	if err != nil {
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		if countsAsFailure(err) {
 			s.metrics.failures.Add(1)
 		}
 		return nil, err
@@ -81,26 +81,44 @@ func (s *Service) runSuite(ctx context.Context) (*Response, error) {
 		wg.Add(1)
 		go func(i int, b bench.Benchmark) {
 			defer wg.Done()
-			poolErr := s.pool.do(ctx, func() {
-				if s.failHook != nil {
-					if err := s.failHook(Request{Bench: b.Name}); err != nil {
-						errs[i] = err
-						cancel()
+			bkey := breakerKey(b.Name, "")
+			if err := s.breaker.allow(bkey); err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			// Transient per-benchmark failures (and only those) are retried
+			// with backoff before the whole evaluation is abandoned.
+			err := s.withRetry(ctx, func() error {
+				var runErr error
+				poolErr := s.pool.doInternal(ctx, func() {
+					if err := s.faults.Fire(ctx, faultinject.PointSuiteBench); err != nil {
+						runErr = err
 						return
 					}
+					if s.failHook != nil {
+						if err := s.failHook(Request{Bench: b.Name}); err != nil {
+							runErr = err
+							return
+						}
+					}
+					s.metrics.executions.Add(1)
+					cols := experiments.NewSuiteCollectors()
+					br, benchErr := experiments.RunBenchCtx(ctx, b, rc, cols)
+					if benchErr != nil {
+						runErr = benchErr
+						return
+					}
+					outs[i] = benchOut{br: br, cols: cols}
+				})
+				if poolErr != nil {
+					return poolErr
 				}
-				s.metrics.executions.Add(1)
-				cols := experiments.NewSuiteCollectors()
-				br, runErr := experiments.RunBenchCtx(ctx, b, rc, cols)
-				if runErr != nil {
-					errs[i] = runErr
-					cancel()
-					return
-				}
-				outs[i] = benchOut{br: br, cols: cols}
+				return runErr
 			})
-			if poolErr != nil && errs[i] == nil {
-				errs[i] = poolErr
+			s.breaker.record(bkey, err)
+			if err != nil {
+				errs[i] = err
 				cancel()
 			}
 		}(i, b)

@@ -41,9 +41,10 @@ type sweepItem struct {
 // set and are tallied in the summary; emit returning an error, or ctx
 // ending, aborts the sweep.
 func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string, emit func(*Response) error) (*SweepSummary, error) {
-	if s.closed.Load() {
-		return nil, ErrClosed
+	if err := s.begin(); err != nil {
+		return nil, err
 	}
+	defer s.end()
 	if len(benches) == 0 {
 		for _, b := range s.benches {
 			benches = append(benches, b.Name)
@@ -76,7 +77,9 @@ func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string,
 			wg.Add(1)
 			go func(bn, mn string) {
 				defer wg.Done()
-				resp, err := s.Simulate(ctx, Request{Bench: bn, Model: mn, Gran: gran})
+				// Internal admission: this burst belongs to one already-
+				// admitted sweep, so its jobs are not load-shed.
+				resp, err := s.simulate(ctx, Request{Bench: bn, Model: mn, Gran: gran}, false)
 				select {
 				case ch <- sweepItem{bench: bn, model: mn, resp: resp, err: err}:
 				case <-ctx.Done():
