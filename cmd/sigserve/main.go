@@ -19,6 +19,14 @@
 //
 //	sigserve -addr :8080 -workers 8 -cache 256 -timeout 2m
 //
+// Performance flags:
+//
+//	-trace-cache-mb N      memory budget for the LRU of captured benchmark
+//	                       traces (capture once, replay for every model;
+//	                       0 = 256 MB default, negative disables replay and
+//	                       re-interprets every request)
+//	-pprof                 mount net/http/pprof under /debug/pprof/
+//
 // Resilience flags:
 //
 //	-max-queued N          shed (HTTP 429) once N jobs are waiting
@@ -42,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +69,9 @@ func main() {
 	retries := flag.Int("retries", simsvc.DefaultRetries, "retry attempts for transient simulation failures")
 	breakerThreshold := flag.Int("breaker-threshold", simsvc.DefaultBreakerThreshold,
 		"consecutive failures before a (bench, model) pair is quarantined (0 = disabled)")
+	traceCacheMB := flag.Int("trace-cache-mb", 0,
+		"captured-trace LRU budget in MB (0 = 256 MB default, <0 disables capture/replay)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	chaos := flag.String("chaos", "", "DEV ONLY: fault-injection spec, seed:point=kind[(dur)][@prob],... (see internal/faultinject)")
 	flag.Parse()
 
@@ -81,13 +93,29 @@ func main() {
 		MaxQueued:        *maxQueued,
 		Retries:          *retries,
 		BreakerThreshold: *breakerThreshold,
+		TraceCacheMB:     *traceCacheMB,
 		Faults:           faults,
 	})
 	defer svc.Close()
 
+	handler := simsvc.NewHandler(svc)
+	if *pprofOn {
+		// Wrap the service handler so the profiling endpoints live beside it
+		// without touching http.DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("sigserve: pprof profiling enabled at /debug/pprof/")
+	}
+
 	server := &http.Server{
 		Addr:    *addr,
-		Handler: simsvc.NewHandler(svc),
+		Handler: handler,
 		// Sweeps stream for as long as the simulations take; only bound the
 		// request-header read.
 		ReadHeaderTimeout: 10 * time.Second,

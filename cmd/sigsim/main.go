@@ -9,6 +9,7 @@
 //	sigsim -bench crc32 -model byteserial
 //	sigsim -bench crc32 -json         # machine-readable (sigserve schema)
 //	sigsim -bench all -parallel 4     # full-suite evaluation, 4 workers
+//	sigsim -bench all -replay=false   # re-interpret per model (reference path)
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 	pipeDiagram := flag.Int("pipe", 0, "render a pipeline diagram of the first N instructions (requires -model)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results (the schema shared with sigserve)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "benchmark-level worker count for -bench all (1 = sequential)")
+	replay := flag.Bool("replay", true,
+		"for -bench all: interpret each benchmark once and replay the captured trace per model (false = re-interpret, the reference path)")
 	list := flag.Bool("list", false, "list benchmarks and models")
 	flag.Parse()
 
@@ -50,7 +53,7 @@ func main() {
 	}
 
 	if *benchName == "all" {
-		runSuite(*parallel, *jsonOut)
+		runSuite(*parallel, *jsonOut, *replay)
 		return
 	}
 
@@ -185,10 +188,17 @@ func main() {
 
 // runSuite executes the full evaluation (every benchmark through every
 // model) with benchmark-level parallelism and prints a per-benchmark CPI
-// table, or the complete machine-readable evaluation with -json.
-func runSuite(workers int, jsonOut bool) {
-	fmt.Fprintf(os.Stderr, "sigsim: running the full suite (%d workers)...\n", workers)
-	r, err := experiments.RunParallel(context.Background(), workers)
+// table, or the complete machine-readable evaluation with -json. With
+// replay (the default) each benchmark is interpreted once into a captured
+// trace that is replayed per model; both paths produce byte-identical
+// output.
+func runSuite(workers int, jsonOut, replay bool) {
+	fmt.Fprintf(os.Stderr, "sigsim: running the full suite (%d workers, replay=%v)...\n", workers, replay)
+	run := experiments.RunSuite
+	if !replay {
+		run = experiments.RunSuiteLive
+	}
+	r, err := run(context.Background(), bench.All(), workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
 		os.Exit(1)

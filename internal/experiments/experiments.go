@@ -15,6 +15,7 @@ import (
 	"repro/internal/bmgating"
 	"repro/internal/icomp"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/pcincr"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -129,18 +130,14 @@ func (sc *SuiteCollectors) Merge(other *SuiteCollectors) {
 	}
 }
 
-// RunBenchCtx executes one benchmark through every pipeline model (including
-// the branch-prediction ablation variants) and every activity collector,
-// honoring ctx cancellation, and returns its BenchResult. When suite is
-// non-nil the suite-level collectors accumulate this benchmark's trace too.
-// This is the per-benchmark unit of work the full evaluation (sequential or
-// parallel) fans out over and the serving layer (internal/simsvc) reuses
-// instead of recomputing the whole suite.
-func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
-	c, err := b.NewCPU()
-	if err != nil {
-		return BenchResult{}, err
-	}
+// evalBench builds the full per-benchmark consumer set — every pipeline
+// model (including the branch-prediction ablation variants), every activity
+// collector, and the suite-level collectors when suite is non-nil — hands
+// it to drive (a live run or a capture replay), and assembles the
+// BenchResult. memory is the image the activity collectors read cache-line
+// contents from; the caller fills in Insts.
+func evalBench(name string, rc *icomp.Recoder, memory *mem.Memory, suite *SuiteCollectors,
+	drive func([]trace.Consumer) error) (BenchResult, error) {
 	models := pipeline.NewAll()
 	// Branch-prediction ablation (the paper's §3 future-work item) on
 	// three representative designs.
@@ -149,9 +146,9 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 	} {
 		models = append(models, pipeline.NewPredicted(n))
 	}
-	byteCol := activity.NewCollector(1, rc, c.Mem)
-	halfCol := activity.NewCollector(2, rc, c.Mem)
-	twoBitCol := activity.NewCollectorScheme(1, activity.Scheme2, rc, c.Mem)
+	byteCol := activity.NewCollector(1, rc, memory)
+	halfCol := activity.NewCollector(2, rc, memory)
+	twoBitCol := activity.NewCollectorScheme(1, activity.Scheme2, rc, memory)
 	consumers := []trace.Consumer{byteCol, halfCol, twoBitCol}
 	var bmCol *bmgating.Collector
 	if suite != nil {
@@ -161,17 +158,16 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 	for _, m := range models {
 		consumers = append(consumers, m)
 	}
-	if err := trace.RunOnCtx(ctx, c, b, rc, consumers...); err != nil {
+	if err := drive(consumers); err != nil {
 		return BenchResult{}, err
 	}
 	// Register the Brooks-Martonosi collector only now: a failed run must
 	// not leave a partially-filled collector in the results map.
 	if suite != nil {
-		suite.BM[b.Name] = bmCol
+		suite.BM[name] = bmCol
 	}
 	br := BenchResult{
-		Name:       b.Name,
-		Insts:      c.Retired,
+		Name:       name,
 		CPI:        make(map[string]float64),
 		Stalls:     make(map[string]map[pipeline.StallKind]uint64),
 		ByteAct:    byteCol.Counts(),
@@ -189,6 +185,48 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 	return br, nil
 }
 
+// RunBenchCtx executes one benchmark through every pipeline model (including
+// the branch-prediction ablation variants) and every activity collector,
+// honoring ctx cancellation, and returns its BenchResult. When suite is
+// non-nil the suite-level collectors accumulate this benchmark's trace too.
+// This is the per-benchmark unit of work the full evaluation (sequential or
+// parallel) fans out over and the serving layer (internal/simsvc) reuses
+// instead of recomputing the whole suite.
+func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
+	c, err := b.NewCPU()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	br, err := evalBench(b.Name, rc, c.Mem, suite, func(consumers []trace.Consumer) error {
+		return trace.RunOnCtx(ctx, c, b, rc, consumers...)
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	br.Insts = c.Retired
+	return br, nil
+}
+
+// RunBenchReplay is RunBenchCtx fed from a recorded trace instead of the
+// interpreter: the capture is replayed (bit-identically — see
+// internal/trace) into exactly the same consumer set, over a fresh memory
+// image the replay's stores are applied to. One capture serves any number
+// of RunBenchReplay calls, concurrently if desired.
+func RunBenchReplay(ctx context.Context, cp *trace.Capture, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
+	m, err := cp.NewMemory()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	br, err := evalBench(cp.Bench().Name, rc, m, suite, func(consumers []trace.Consumer) error {
+		return cp.ReplayOn(ctx, m, rc, consumers...)
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	br.Insts = uint64(cp.Len())
+	return br, nil
+}
+
 // RunParallel executes the full evaluation with benchmark-level parallelism:
 // every benchmark runs through RunBenchCtx with its own SuiteCollectors on a
 // bounded worker group (first error cancels the rest), and the per-run
@@ -200,14 +238,124 @@ func RunParallel(ctx context.Context, workers int) (*Results, error) {
 }
 
 // RunSuite executes the evaluation over the given benchmarks with the given
-// worker count. workers <= 1 selects the sequential path (one shared
+// worker count, on the capture-once / replay-many path: each benchmark is
+// interpreted exactly once into a trace.Capture, the instruction recoder is
+// profiled from the captures for free, and every model/collector pass is a
+// replay. Results are bit-identical to RunSuiteLive (asserted by test);
+// only the interpreter redundancy is gone. Peak transient memory is the
+// captured suite, ~24 B per dynamic instruction (~90 MB for the full
+// 16-benchmark suite). workers <= 1 selects the sequential path (one shared
 // collector set, no goroutines); workers > 1 fans benchmarks across that
 // many goroutines with per-run collectors merged afterwards.
 func RunSuite(ctx context.Context, suite []bench.Benchmark, workers int) (*Results, error) {
+	caps, err := CaptureSuite(ctx, suite, workers)
+	if err != nil {
+		return nil, err
+	}
+	functs := make(map[isa.Funct]uint64)
+	for _, cp := range caps {
+		for fn, n := range cp.FunctCounts() {
+			functs[fn] += n
+		}
+	}
+	rc, err := icomp.NewRecoder(icomp.TopFuncts(functs, 8))
+	if err != nil {
+		return nil, err
+	}
+	return assembleSuite(ctx, rc, functs, len(caps), workers,
+		func(ctx context.Context, i int, cols *SuiteCollectors) (BenchResult, error) {
+			return RunBenchReplay(ctx, caps[i], rc, cols)
+		})
+}
+
+// RunSuiteLive is the pre-capture evaluation path: the recoder is profiled
+// by re-running the suite and every benchmark is re-interpreted for its
+// model/collector pass. It exists as the reference the replay-backed
+// RunSuite is equivalence-tested against (and for callers that must not
+// hold captured traces in memory).
+func RunSuiteLive(ctx context.Context, suite []bench.Benchmark, workers int) (*Results, error) {
 	rc, functs, err := trace.SuiteRecoder(suite)
 	if err != nil {
 		return nil, err
 	}
+	return assembleSuite(ctx, rc, functs, len(suite), workers,
+		func(ctx context.Context, i int, cols *SuiteCollectors) (BenchResult, error) {
+			return RunBenchCtx(ctx, suite[i], rc, cols)
+		})
+}
+
+// CaptureSuite records each benchmark's trace, fanning the interpreter runs
+// across up to workers goroutines (first error cancels the rest).
+func CaptureSuite(ctx context.Context, suite []bench.Benchmark, workers int) ([]*trace.Capture, error) {
+	caps := make([]*trace.Capture, len(suite))
+	if workers <= 1 {
+		for i, b := range suite {
+			cp, err := trace.CaptureRun(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			caps[i] = cp
+		}
+		return caps, nil
+	}
+	err := forEachBench(ctx, len(suite), workers, func(ctx context.Context, i int) error {
+		cp, err := trace.CaptureRun(ctx, suite[i])
+		if err != nil {
+			return err
+		}
+		caps[i] = cp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return caps, nil
+}
+
+// forEachBench runs fn(i) for every index across up to workers goroutines;
+// the first error cancels the remaining work and is returned.
+func forEachBench(ctx context.Context, n, workers int, fn func(context.Context, int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, workers)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			if err := fn(ctx, i); err != nil {
+				// First error wins and cancels the remaining benchmarks.
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// assembleSuite drives the per-benchmark evaluation unit (live or replay)
+// over n benchmarks and assembles the Results. workers <= 1 shares one
+// collector set sequentially; otherwise per-run collectors merge in suite
+// order afterwards (merging is order-independent for the counts; Bench rows
+// must follow suite order for the tables).
+func assembleSuite(ctx context.Context, rc *icomp.Recoder, functs map[isa.Funct]uint64, n, workers int,
+	runOne func(context.Context, int, *SuiteCollectors) (BenchResult, error)) (*Results, error) {
 	collectors := NewSuiteCollectors()
 	res := &Results{
 		Recoder:    rc,
@@ -219,8 +367,8 @@ func RunSuite(ctx context.Context, suite []bench.Benchmark, workers int) (*Resul
 		BM:         collectors.BM,
 	}
 	if workers <= 1 {
-		for _, b := range suite {
-			br, err := RunBenchCtx(ctx, b, rc, collectors)
+		for i := 0; i < n; i++ {
+			br, err := runOne(ctx, i, collectors)
 			if err != nil {
 				return nil, err
 			}
@@ -233,47 +381,19 @@ func RunSuite(ctx context.Context, suite []bench.Benchmark, workers int) (*Resul
 		br   BenchResult
 		cols *SuiteCollectors
 	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	outs := make([]benchOut, len(suite))
-	sem := make(chan struct{}, workers)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	for i, b := range suite {
-		wg.Add(1)
-		go func(i int, b bench.Benchmark) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				return
-			}
-			cols := NewSuiteCollectors()
-			br, err := RunBenchCtx(ctx, b, rc, cols)
-			if err != nil {
-				// First error wins and cancels the remaining benchmarks.
-				errOnce.Do(func() {
-					firstErr = err
-					cancel()
-				})
-				return
-			}
-			outs[i] = benchOut{br: br, cols: cols}
-		}(i, b)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
+	outs := make([]benchOut, n)
+	err := forEachBench(ctx, n, workers, func(ctx context.Context, i int) error {
+		cols := NewSuiteCollectors()
+		br, err := runOne(ctx, i, cols)
+		if err != nil {
+			return err
+		}
+		outs[i] = benchOut{br: br, cols: cols}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	// Deterministic merge in suite order (merging is order-independent for
-	// the counts; Bench rows must follow suite order for the tables).
 	for i := range outs {
 		res.Bench = append(res.Bench, outs[i].br)
 		collectors.Merge(outs[i].cols)

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// replaySubset is a small slice of the suite, enough to exercise loads,
+// stores, branches, mult/div, and every consumer, while keeping the
+// double (live + replay) evaluation fast.
+func replaySubset(t *testing.T) []bench.Benchmark {
+	t.Helper()
+	var subset []bench.Benchmark
+	for _, name := range []string{"dijkstra", "g711dec", "rawdaudio"} {
+		b, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %q not in suite", name)
+		}
+		subset = append(subset, b)
+	}
+	return subset
+}
+
+// TestRunSuiteReplayMatchesLive is the experiments-layer bit-identity
+// guarantee: the capture-once/replay-many evaluation must encode to exactly
+// the same JSON as the live-interpreter path, for both the sequential and
+// the parallel drivers.
+func TestRunSuiteReplayMatchesLive(t *testing.T) {
+	ctx := context.Background()
+	subset := replaySubset(t)
+	live, err := RunSuiteLive(ctx, subset, 1)
+	if err != nil {
+		t.Fatalf("RunSuiteLive: %v", err)
+	}
+	wantJSON, err := json.Marshal(live.Encode())
+	if err != nil {
+		t.Fatalf("marshal live: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		replay, err := RunSuite(ctx, subset, workers)
+		if err != nil {
+			t.Fatalf("RunSuite(workers=%d): %v", workers, err)
+		}
+		gotJSON, err := json.Marshal(replay.Encode())
+		if err != nil {
+			t.Fatalf("marshal replay: %v", err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Errorf("workers=%d: replay-backed suite JSON differs from live run\n live:   %d bytes\n replay: %d bytes",
+				workers, len(wantJSON), len(gotJSON))
+		}
+	}
+}
+
+// TestCaptureSuiteCancel checks that suite capture honors cancellation.
+func TestCaptureSuiteCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CaptureSuite(ctx, replaySubset(t), 2); err == nil {
+		t.Error("CaptureSuite under cancelled context succeeded")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sig
+
+// raceEnabled reports whether the race detector is compiled in; the
+// exhaustive equivalence sweep skips itself under it.
+const raceEnabled = false

@@ -17,7 +17,10 @@
 // The low-order byte (halfword) is always represented, as in the paper.
 package sig
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // WordBytes is the datapath word size in bytes.
 const WordBytes = 4
@@ -60,16 +63,17 @@ func SigBytes(v uint32) int {
 
 // SigHalves returns the minimal number of low-order halfwords whose sign
 // extension reproduces v (1–2).
+//
+// Branch-free: the upper halfword is the sign extension of the lower one
+// exactly when the top 17 bits of v are all equal. Adding 1 to that 17-bit
+// window wraps all-ones to zero and turns all-zeros into 1, so after the
+// shift y is zero iff the window was uniform; (0-y)>>31 then yields the
+// 0-or-1 "second halfword needed" flag. This sits on the annotation hot
+// path (once per operand per retired instruction), where the previous
+// compare-and-branch version was measurably slower on mixed value streams.
 func SigHalves(v uint32) int {
-	lo := uint16(v)
-	var ext uint16
-	if lo&0x8000 != 0 {
-		ext = 0xffff
-	}
-	if uint16(v>>16) == ext {
-		return 1
-	}
-	return 2
+	y := (((v >> 15) + 1) & 0x1ffff) >> 1
+	return 1 + int((0-y)>>31)
 }
 
 // Ext3 is the paper's 3-bit per-byte extension field. Bit i (i = 0..2)
@@ -79,14 +83,22 @@ type Ext3 uint8
 
 // Ext3Of computes the maximal (canonical) extension marking for v: every
 // upper byte that equals the sign extension of its predecessor is marked.
+//
+// Branch-free: byte i is the sign extension of byte i-1 exactly when the
+// nine bits v[8i-1 .. 8i+7] — byte i plus the sign bit below it — are all
+// equal, which extBit tests per window without comparisons. Annotation
+// calls this up to three times per retired instruction (both operands and
+// the writeback value), making it the hottest leaf in the tracer.
 func Ext3Of(v uint32) Ext3 {
-	var e Ext3
-	for i := 1; i < WordBytes; i++ {
-		if byteOf(v, i) == signExtByte(byteOf(v, i-1)) {
-			e |= 1 << (i - 1)
-		}
-	}
-	return e
+	return Ext3(extBit(v>>7) | extBit(v>>15)<<1 | extBit(v>>23)<<2)
+}
+
+// extBit reports (as 0 or 1) whether the low nine bits of w are uniform
+// (all zero or all one): adding 1 maps 0x1ff->0x000 and 0x000->0x001, both
+// of which — and only which — collapse to zero after the halving shift.
+func extBit(w uint32) uint32 {
+	y := ((w + 1) & 0x1ff) >> 1
+	return (y - 1) >> 31
 }
 
 // IsExt reports whether byte i (1–3) is marked as an extension byte.
@@ -100,13 +112,7 @@ func (e Ext3) IsExt(i int) bool {
 // SigByteCount returns the number of stored bytes (1–4), i.e. the low byte
 // plus all unmarked upper bytes.
 func (e Ext3) SigByteCount() int {
-	n := 1
-	for i := 1; i < WordBytes; i++ {
-		if !e.IsExt(i) {
-			n++
-		}
-	}
-	return n
+	return WordBytes - bits.OnesCount8(uint8(e)&0x7)
 }
 
 // Pattern renders the paper's Table-1 notation: four characters, most

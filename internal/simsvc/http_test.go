@@ -206,6 +206,8 @@ func TestHTTPMetricsSchema(t *testing.T) {
 		"requests", "cacheHits", "cacheMisses", "cacheEvictions",
 		"executions", "flightShared", "failures", "invalidRequests",
 		"panics", "shed", "retries", "breakerOpen", "queuedDepth",
+		"captures", "traceCacheHits", "traceCacheMisses",
+		"traceCacheEvictions", "traceCacheBytes",
 		"simulationLatency", "workers", "cacheEntries", "uptimeSeconds",
 	}
 	for _, k := range want {

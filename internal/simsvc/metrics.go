@@ -23,6 +23,12 @@ type Metrics struct {
 	breakerOpen    atomic.Uint64 // circuit-breaker open transitions
 	queued         atomic.Int64  // gauge: submissions waiting for a worker
 
+	captures            atomic.Uint64 // benchmark traces captured (interpreter runs)
+	traceCacheHits      atomic.Uint64
+	traceCacheMisses    atomic.Uint64
+	traceCacheEvictions atomic.Uint64
+	traceCacheBytes     atomic.Int64 // gauge: accounted bytes of cached captures
+
 	mu       sync.Mutex
 	latCount uint64
 	latSum   float64
@@ -69,6 +75,11 @@ type Snapshot struct {
 	Retries         uint64          `json:"retries"`
 	BreakerOpen     uint64          `json:"breakerOpen"`
 	QueuedDepth     int64           `json:"queuedDepth"`
+	Captures        uint64          `json:"captures"`
+	TraceCacheHits  uint64          `json:"traceCacheHits"`
+	TraceCacheMiss  uint64          `json:"traceCacheMisses"`
+	TraceCacheEvict uint64          `json:"traceCacheEvictions"`
+	TraceCacheBytes int64           `json:"traceCacheBytes"`
 	SimLatency      LatencySnapshot `json:"simulationLatency"`
 }
 
@@ -88,6 +99,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		Retries:         m.retries.Load(),
 		BreakerOpen:     m.breakerOpen.Load(),
 		QueuedDepth:     m.queued.Load(),
+		Captures:        m.captures.Load(),
+		TraceCacheHits:  m.traceCacheHits.Load(),
+		TraceCacheMiss:  m.traceCacheMisses.Load(),
+		TraceCacheEvict: m.traceCacheEvictions.Load(),
+		TraceCacheBytes: m.traceCacheBytes.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

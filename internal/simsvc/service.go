@@ -75,6 +75,12 @@ type Config struct {
 	// BreakerCooldown is the quarantine length (default
 	// DefaultBreakerCooldown).
 	BreakerCooldown time.Duration
+	// TraceCacheMB budgets the in-memory LRU of captured benchmark traces
+	// (the capture-once/replay-many engine, internal/trace). 0 selects
+	// DefaultTraceCacheMB; negative disables capture/replay entirely, so
+	// every request re-interprets (the reference path, bit-identical by
+	// construction and by test).
+	TraceCacheMB int
 	// Faults arms deterministic fault injection at the service's seams
 	// (nil in production: every hook is then a zero-cost no-op).
 	Faults *faultinject.Injector
@@ -90,6 +96,8 @@ type Service struct {
 
 	pool     *pool
 	cache    *lruCache
+	traces   *traceCache // nil when capture/replay is disabled
+	tflight  *captureFlight
 	flight   *flightGroup
 	breaker  *breaker
 	faults   *faultinject.Injector
@@ -135,6 +143,14 @@ func New(cfg Config) *Service {
 		start:   time.Now(),
 	}
 	s.pool = newPool(cfg.Workers, cfg.MaxQueued, &s.metrics, cfg.Faults)
+	if cfg.TraceCacheMB >= 0 {
+		mb := cfg.TraceCacheMB
+		if mb == 0 {
+			mb = DefaultTraceCacheMB
+		}
+		s.traces = newTraceCache(int64(mb)<<20, &s.metrics)
+		s.tflight = newCaptureFlight()
+	}
 	s.flight = newFlightGroup(cfg.Faults)
 	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, &s.metrics)
 	for _, b := range cfg.Benchmarks {
@@ -421,6 +437,17 @@ func (s *Service) execute(ctx context.Context, req Request) (*Response, error) {
 	b := s.byName[req.Bench]
 	s.metrics.executions.Add(1)
 	start := time.Now()
+
+	if s.tracesEnabled() {
+		resp, err := s.executeReplay(ctx, req, rc, b)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		s.metrics.observeLatency(elapsed)
+		resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		return resp, nil
+	}
 
 	if req.Model == "" {
 		br, err := experiments.RunBenchCtx(ctx, b, rc, nil)

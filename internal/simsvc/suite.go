@@ -104,7 +104,21 @@ func (s *Service) runSuite(ctx context.Context) (*Response, error) {
 					}
 					s.metrics.executions.Add(1)
 					cols := experiments.NewSuiteCollectors()
-					br, benchErr := experiments.RunBenchCtx(ctx, b, rc, cols)
+					var (
+						br       experiments.BenchResult
+						benchErr error
+					)
+					if s.tracesEnabled() {
+						// Replay the shared capture (one interpreter run per
+						// benchmark, whoever asked first); bit-identical to
+						// the live path by construction and by test.
+						var e *traceEntry
+						if e, benchErr = s.captureFor(ctx, b); benchErr == nil {
+							br, benchErr = experiments.RunBenchReplay(ctx, e.cap, rc, cols)
+						}
+					} else {
+						br, benchErr = experiments.RunBenchCtx(ctx, b, rc, cols)
+					}
 					if benchErr != nil {
 						runErr = benchErr
 						return

@@ -1,0 +1,303 @@
+package simsvc
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/activity"
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+	"repro/internal/icomp"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// DefaultTraceCacheMB is the captured-trace budget when Config.TraceCacheMB
+// is zero: enough for the whole served suite (~90 MB at 24 B/instruction)
+// with headroom.
+const DefaultTraceCacheMB = 256
+
+// traceEntry is one benchmark's captured trace as held by the trace cache,
+// with a per-granularity memo of the activity-collector counts. The
+// collectors are model-independent (they see the same replayed events for
+// every pipeline model), so a sweep over N models pays for one activity
+// replay per granularity instead of N.
+type traceEntry struct {
+	cap   *trace.Capture
+	bytes int64
+
+	act [3]actMemo // indexed by granularity (1 = byte, 2 = halfword)
+}
+
+// actMemo caches one granularity's activity counts. Like experiments.memo
+// it does NOT latch failures: a cancelled first replay leaves it empty so
+// the next request retries instead of inheriting the error forever.
+type actMemo struct {
+	mu     sync.Mutex
+	done   bool
+	counts activity.Counts
+}
+
+// activityCounts replays the trace through an activity collector at gran,
+// memoized per entry. Concurrent callers for the same granularity serialize
+// on the memo; whoever completes first fills it for everyone after.
+func (e *traceEntry) activityCounts(ctx context.Context, gran int, rc *icomp.Recoder) (activity.Counts, error) {
+	m := &e.act[gran]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return m.counts, nil
+	}
+	mem, err := e.cap.NewMemory()
+	if err != nil {
+		return activity.Counts{}, err
+	}
+	col := activity.NewCollector(gran, rc, mem)
+	if err := e.cap.ReplayOn(ctx, mem, rc, col); err != nil {
+		return activity.Counts{}, err
+	}
+	m.counts, m.done = col.Counts(), true
+	return m.counts, nil
+}
+
+// traceCache is a byte-accounted LRU of captured traces, keyed by benchmark
+// name. Unlike the count-bounded result LRU, capacity is a memory budget:
+// entries are admitted by their SizeBytes and the least-recently-used
+// captures are evicted until the total fits. A capture larger than the
+// whole budget is never cached (the request that built it still uses it).
+type traceCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recent; values are *traceCacheEntry
+	items    map[string]*list.Element
+	metrics  *Metrics
+}
+
+type traceCacheEntry struct {
+	key   string
+	entry *traceEntry
+}
+
+func newTraceCache(maxBytes int64, m *Metrics) *traceCache {
+	return &traceCache{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		metrics:  m,
+	}
+}
+
+// get returns the cached capture for key, refreshing its recency.
+func (c *traceCache) get(key string) (*traceEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*traceCacheEntry).entry, true
+}
+
+// add stores e under key, evicting least-recently-used captures until the
+// byte budget holds, and reports how many entries were evicted.
+func (c *traceCache) add(key string, e *traceEntry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.bytes > c.maxBytes {
+		return 0 // larger than the whole budget: never cached
+	}
+	if el, ok := c.items[key]; ok {
+		old := el.Value.(*traceCacheEntry)
+		c.bytes += e.bytes - old.entry.bytes
+		old.entry = e
+		c.order.MoveToFront(el)
+		c.metrics.traceCacheBytes.Store(c.bytes)
+		return 0
+	}
+	c.items[key] = c.order.PushFront(&traceCacheEntry{key: key, entry: e})
+	c.bytes += e.bytes
+	evicted := 0
+	for c.bytes > c.maxBytes {
+		oldest := c.order.Back()
+		old := oldest.Value.(*traceCacheEntry)
+		c.order.Remove(oldest)
+		delete(c.items, old.key)
+		c.bytes -= old.entry.bytes
+		evicted++
+	}
+	c.metrics.traceCacheBytes.Store(c.bytes)
+	return evicted
+}
+
+func (c *traceCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *traceCache) bytesUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// captureFlight deduplicates concurrent captures of the same benchmark: the
+// first requester interprets, everyone else waits for its capture. Shaped
+// like flightGroup but carrying traceEntry results.
+type captureFlight struct {
+	mu    sync.Mutex
+	calls map[string]*captureCall
+}
+
+type captureCall struct {
+	done  chan struct{}
+	entry *traceEntry
+	err   error
+}
+
+func newCaptureFlight() *captureFlight {
+	return &captureFlight{calls: make(map[string]*captureCall)}
+}
+
+func (g *captureFlight) do(ctx context.Context, key string, fn func() (*traceEntry, error)) (entry *traceEntry, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.entry, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &captureCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.entry, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.entry, false, c.err
+}
+
+// tracesEnabled reports whether the capture/replay path is on.
+func (s *Service) tracesEnabled() bool { return s.traces != nil }
+
+// TraceCacheLen returns the number of cached captures (0 when disabled).
+func (s *Service) TraceCacheLen() int {
+	if s.traces == nil {
+		return 0
+	}
+	return s.traces.len()
+}
+
+// TraceCacheBytes returns the cached captures' accounted bytes.
+func (s *Service) TraceCacheBytes() int64 {
+	if s.traces == nil {
+		return 0
+	}
+	return s.traces.bytesUsed()
+}
+
+// captureFor returns b's captured trace, from the trace cache when
+// possible; concurrent misses for the same benchmark share one interpreter
+// run via the capture singleflight. The result-cache fault points guard the
+// trace cache's seams the same way they guard the result LRU: an injected
+// get failure degrades to a miss (re-capture), an injected put failure
+// skips caching — neither fails the request.
+func (s *Service) captureFor(ctx context.Context, b bench.Benchmark) (*traceEntry, error) {
+	if e, ok := s.traceGet(ctx, b.Name); ok {
+		s.metrics.traceCacheHits.Add(1)
+		return e, nil
+	}
+	s.metrics.traceCacheMisses.Add(1)
+	e, shared, err := s.tflight.do(ctx, b.Name, func() (*traceEntry, error) {
+		cp, err := trace.CaptureRun(ctx, b)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.captures.Add(1)
+		e := &traceEntry{cap: cp, bytes: int64(cp.SizeBytes())}
+		s.tracePut(ctx, b.Name, e)
+		return e, nil
+	})
+	if shared && err == nil {
+		s.metrics.flightShared.Add(1)
+	}
+	return e, err
+}
+
+func (s *Service) traceGet(ctx context.Context, key string) (*traceEntry, bool) {
+	if err := s.faults.Fire(ctx, faultinject.PointCacheGet); err != nil {
+		return nil, false
+	}
+	return s.traces.get(key)
+}
+
+func (s *Service) tracePut(ctx context.Context, key string, e *traceEntry) {
+	if err := s.faults.Fire(ctx, faultinject.PointCachePut); err != nil {
+		return
+	}
+	if n := s.traces.add(key, e); n > 0 {
+		s.metrics.traceCacheEvictions.Add(uint64(n))
+	}
+}
+
+// executeReplay is the capture-backed twin of the live half of execute: it
+// resolves the benchmark's capture (sharing it across concurrent requests
+// and models) and replays it instead of re-interpreting. Responses are
+// bit-identical to the live path.
+func (s *Service) executeReplay(ctx context.Context, req Request, rc *icomp.Recoder, b bench.Benchmark) (*Response, error) {
+	e, err := s.captureFor(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+
+	if req.Model == "" {
+		br, err := experiments.RunBenchReplay(ctx, e.cap, rc, nil)
+		if err != nil {
+			return nil, err
+		}
+		full := experiments.EncodeBench(br)
+		return &Response{
+			Bench: b.Name,
+			Insts: br.Insts,
+			Full:  &full,
+		}, nil
+	}
+
+	// Pipeline models never read program memory, so the model replay skips
+	// the shadow image entirely; the activity counts come from the
+	// per-entry memo (one memory-backed replay per granularity, shared by
+	// every model of a sweep).
+	m := pipeline.New(req.Model)
+	if err := e.cap.ReplayOn(ctx, nil, rc, m); err != nil {
+		return nil, err
+	}
+	counts, err := e.activityCounts(ctx, req.Gran, rc)
+	if err != nil {
+		return nil, err
+	}
+	r := m.Result()
+	stalls := make(map[string]uint64, len(r.Stalls))
+	for k, v := range r.Stalls {
+		stalls[string(k)] = v
+	}
+	return &Response{
+		Bench:       b.Name,
+		Model:       req.Model,
+		Granularity: req.Gran,
+		Insts:       r.Insts,
+		Cycles:      r.Cycles,
+		CPI:         r.CPI(),
+		Stalls:      stalls,
+		Activity:    experiments.SavingMap(counts),
+	}, nil
+}

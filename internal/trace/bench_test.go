@@ -1,0 +1,66 @@
+package trace_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/icomp"
+	"repro/internal/trace"
+)
+
+func benchRecoder(b *testing.B) *icomp.Recoder {
+	b.Helper()
+	rc, err := icomp.NewRecoder(icomp.DefaultTopFuncts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rc
+}
+
+// BenchmarkStepAnnotate measures the live path: interpret the benchmark and
+// annotate every retired instruction (the per-raw IFBytes memo included).
+func BenchmarkStepAnnotate(b *testing.B) {
+	bm := mustBench(b, "dijkstra")
+	rc := benchRecoder(b)
+	sink := trace.ConsumerFunc(func(trace.Event) {})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.RunCtx(ctx, bm, rc, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCapture measures capture alone: interpret once, record the
+// columnar trace, no annotation consumers attached.
+func BenchmarkCapture(b *testing.B) {
+	bm := mustBench(b, "dijkstra")
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.CaptureRun(ctx, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures re-annotating a captured trace without the
+// interpreter — the hot loop of every warm sweep.
+func BenchmarkReplay(b *testing.B) {
+	bm := mustBench(b, "dijkstra")
+	rc := benchRecoder(b)
+	ctx := context.Background()
+	cp, err := trace.CaptureRun(ctx, bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := trace.ConsumerFunc(func(trace.Event) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cp.Replay(ctx, rc, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Capture-once / replay-many trace engine.
+//
+// A Capture records a benchmark's retired-instruction stream into a compact
+// columnar buffer so the trace can be replayed to any number of consumers
+// without re-running the interpreter. The paper's methodology is exactly
+// this shape: one Mediabench trace feeds every activity and timing study
+// (§3), so sweeping N pipeline models should cost one execution plus N
+// cheap fan-outs, not N executions.
+//
+// Layout. Per-instruction state is split into parallel fixed-width columns
+// (six uint32 words = 24 B/instruction, enforced at ≤ MaxBytesPerInst by
+// SizeBytes and a test). Everything static per instruction word — decoded
+// form, source/dest register usage, memory width, sign-extended immediate —
+// lives once in a statics table, keyed by the raw word value (not PC, so
+// aliasing and self-modifying code are handled). The dynamic columns are:
+//
+//	slot    statics index, with the branch outcome in the top bit
+//	pc      instruction address
+//	srcA/B  register operand values (zero when the port is not read)
+//	result  written-back value, or the loaded value for load-to-$zero
+//	sig     the ten recoder-independent significance quantities, packed
+//
+// Every remaining cpu.Exec field is derived on replay: Addr = SrcA + simm,
+// StoreVal = SrcB, NextPC = next instruction's PC (the interpreter retires
+// in program order), destination register/flags from the statics. The
+// recoder-dependent IFBytes is deliberately NOT captured: it is a pure
+// function of the raw word and the recoder, so Replay resolves it through a
+// per-statics-slot table built once per (Capture, Recoder) pair — the same
+// trace replays under any instruction recoding.
+//
+// Memory. Consumers may read the program's memory image (the activity
+// collectors read cache-line contents at fill time), and only stores mutate
+// memory during a run (syscalls write the CPU's output buffer, never
+// memory). Replay therefore rebuilds the initial image and applies each
+// captured store just before fanning out its event — the same
+// state-then-consume order as the live loop — making replay bit-identical
+// to live execution, which the equivalence tests assert.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// MaxBytesPerInst is the capture-format budget: SizeBytes()/Len() must stay
+// at or under this, enforced by test. The columnar layout currently uses
+// 24 B/instruction plus the (amortized-to-nothing) statics table.
+const MaxBytesPerInst = 40
+
+// takenBit stores the branch outcome in the slot column's top bit; the low
+// 31 bits index the statics table.
+const (
+	takenBit = 1 << 31
+	slotMask = takenBit - 1
+)
+
+// Packed significance-column field offsets/widths. The ten quantities fit
+// in 27 bits: byte counts are 0..4 (3 bits), halfword counts 0..2 (2 bits),
+// ALUOps 0..8 (4 bits: mult/div count both operands' blocks), ALUHalfOps
+// 0..4 (3 bits).
+const (
+	sigSrcBytesAShift  = 0  // 3 bits
+	sigSrcBytesBShift  = 3  // 3 bits
+	sigSrcHalvesAShift = 6  // 2 bits
+	sigSrcHalvesBShift = 8  // 2 bits
+	sigALUOpsShift     = 10 // 4 bits
+	sigALUHalfShift    = 14 // 3 bits
+	sigMemBytesShift   = 17 // 3 bits
+	sigMemHalvesShift  = 20 // 2 bits
+	sigWBBytesShift    = 22 // 3 bits
+	sigWBHalvesShift   = 25 // 2 bits
+)
+
+// staticInst is everything about an instruction word that never changes
+// between dynamic instances.
+type staticInst struct {
+	inst     isa.Inst
+	simm     uint32 // sign-extended immediate (effective-address offset)
+	dest     isa.Reg
+	memWidth uint8 // 0 for non-memory instructions
+	readsA   bool
+	readsB   bool
+	hasDest  bool
+	isStore  bool
+}
+
+// staticSize estimates the resident bytes of one statics entry: the struct
+// itself plus its raw→slot map entry (key, value, bucket overhead).
+const staticSize = 96
+
+// Capture is one benchmark's recorded trace. Record it by running the
+// benchmark to completion (CaptureRun, or Consume riding along any live
+// run); once complete it is immutable and safe for concurrent Replays.
+type Capture struct {
+	bench   bench.Benchmark
+	statics []staticInst
+	slotOf  map[uint32]uint32 // raw instruction word -> statics index
+
+	slot   []uint32 // statics index | takenBit
+	pc     []uint32
+	srcA   []uint32
+	srcB   []uint32
+	result []uint32
+	sig    []uint32
+
+	lastNextPC uint32 // NextPC of the final instruction (no successor row)
+
+	// ifb memoizes the per-slot compressed fetch size for each recoder a
+	// replay has used: IFBytes is static per (raw word, recoder), so one
+	// pass over the statics table serves every instruction of the replay.
+	ifbMu sync.Mutex
+	ifb   map[*icomp.Recoder][]uint8
+}
+
+// NewCapture returns an empty capture for b, ready to record (via Consume
+// as a run consumer, or internally via CaptureRun).
+func NewCapture(b bench.Benchmark) *Capture {
+	return &Capture{
+		bench:  b,
+		slotOf: make(map[uint32]uint32, 512),
+	}
+}
+
+// CaptureRun executes b to completion and records its trace. It is the
+// recoder-free twin of RunCtx: significance annotation is computed (and
+// stored) for every event, but no instruction recoding is consulted — that
+// binding happens at Replay time.
+func CaptureRun(ctx context.Context, b bench.Benchmark) (*Capture, error) {
+	c, err := b.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	cp := NewCapture(b)
+	cp.grow(int(b.MaxInsts))
+	var n uint64
+	for !c.Done {
+		if n&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("trace: capturing %s aborted after %d instructions: %w", b.Name, n, ctx.Err())
+			default:
+			}
+		}
+		if n >= b.MaxInsts {
+			return nil, fmt.Errorf("trace: %s exceeded %d instructions", b.Name, b.MaxInsts)
+		}
+		e, err := c.Step()
+		if err != nil {
+			return nil, fmt.Errorf("trace: capturing %s: %w", b.Name, err)
+		}
+		ev := Event{Exec: e}
+		annotateSig(&ev)
+		cp.record(ev)
+		n++
+	}
+	if got := c.Regs[bench.ChecksumReg]; got != b.Checksum {
+		return nil, fmt.Errorf("trace: %s checksum %#08x, want %#08x", b.Name, got, b.Checksum)
+	}
+	cp.compact()
+	return cp, nil
+}
+
+// grow pre-sizes the dynamic columns. The hint is capped well below the
+// runaway guard MaxInsts (which most benchmarks finish far under) so a
+// capture never over-commits memory; append growth covers longer traces and
+// compact trims the slack afterwards.
+func (cp *Capture) grow(hint int) {
+	if hint <= 0 {
+		return
+	}
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	cp.slot = make([]uint32, 0, hint)
+	cp.pc = make([]uint32, 0, hint)
+	cp.srcA = make([]uint32, 0, hint)
+	cp.srcB = make([]uint32, 0, hint)
+	cp.result = make([]uint32, 0, hint)
+	cp.sig = make([]uint32, 0, hint)
+}
+
+// compact trims append slack so SizeBytes reflects exactly the recorded
+// trace. Call once recording is finished (CaptureRun does).
+func (cp *Capture) compact() {
+	trim := func(s []uint32) []uint32 {
+		if cap(s) == len(s) {
+			return s
+		}
+		out := make([]uint32, len(s))
+		copy(out, s)
+		return out
+	}
+	cp.slot = trim(cp.slot)
+	cp.pc = trim(cp.pc)
+	cp.srcA = trim(cp.srcA)
+	cp.srcB = trim(cp.srcB)
+	cp.result = trim(cp.result)
+	cp.sig = trim(cp.sig)
+}
+
+// Consume implements Consumer, so a Capture can ride along any live run
+// (Run/RunOnCtx) and record the stream while other consumers observe it.
+func (cp *Capture) Consume(ev Event) { cp.record(ev) }
+
+func (cp *Capture) record(ev Event) {
+	idx, ok := cp.slotOf[ev.Raw]
+	if !ok {
+		in := ev.Inst
+		dest, hasDest := in.DestReg()
+		st := staticInst{
+			inst:    in,
+			simm:    uint32(int32(in.Imm)),
+			dest:    dest,
+			hasDest: hasDest,
+			readsA:  in.ReadsRs(),
+			readsB:  in.ReadsRt(),
+			isStore: in.IsStore(),
+		}
+		if in.IsMem() {
+			st.memWidth = uint8(in.MemBytes())
+		}
+		idx = uint32(len(cp.statics))
+		cp.statics = append(cp.statics, st)
+		cp.slotOf[ev.Raw] = idx
+	}
+	sw := idx
+	if ev.Taken {
+		sw |= takenBit
+	}
+	res := ev.Result
+	if !ev.HasDest {
+		// Load-to-$zero retires with Loaded set but no register write;
+		// park the loaded value in the result column so replay can
+		// reconstruct it. Every other dest-less instruction leaves 0 here.
+		res = ev.Loaded
+	}
+	cp.slot = append(cp.slot, sw)
+	cp.pc = append(cp.pc, ev.PC)
+	cp.srcA = append(cp.srcA, ev.SrcA)
+	cp.srcB = append(cp.srcB, ev.SrcB)
+	cp.result = append(cp.result, res)
+	cp.sig = append(cp.sig, packSig(ev))
+	cp.lastNextPC = ev.NextPC
+}
+
+func packSig(ev Event) uint32 {
+	return uint32(ev.SrcBytesA)<<sigSrcBytesAShift |
+		uint32(ev.SrcBytesB)<<sigSrcBytesBShift |
+		uint32(ev.SrcHalvesA)<<sigSrcHalvesAShift |
+		uint32(ev.SrcHalvesB)<<sigSrcHalvesBShift |
+		uint32(ev.ALUOps)<<sigALUOpsShift |
+		uint32(ev.ALUHalfOps)<<sigALUHalfShift |
+		uint32(ev.MemBytes)<<sigMemBytesShift |
+		uint32(ev.MemHalves)<<sigMemHalvesShift |
+		uint32(ev.WBBytes)<<sigWBBytesShift |
+		uint32(ev.WBHalves)<<sigWBHalvesShift
+}
+
+// Bench returns the benchmark this capture recorded.
+func (cp *Capture) Bench() bench.Benchmark { return cp.bench }
+
+// Len returns the number of recorded instructions.
+func (cp *Capture) Len() int { return len(cp.slot) }
+
+// Statics returns the number of distinct instruction words recorded.
+func (cp *Capture) Statics() int { return len(cp.statics) }
+
+// SizeBytes estimates the capture's resident memory: the six dynamic
+// columns (exact) plus the statics table and its lookup map (estimated per
+// entry). The trace-cache accounting in internal/simsvc budgets with this.
+func (cp *Capture) SizeBytes() int {
+	cols := cap(cp.slot) + cap(cp.pc) + cap(cp.srcA) + cap(cp.srcB) + cap(cp.result) + cap(cp.sig)
+	return cols*4 + len(cp.statics)*staticSize
+}
+
+// FunctCounts tallies the dynamic R-format function-code frequencies of the
+// recorded trace — the per-benchmark input to the paper's Table 3 recoding,
+// for free from the capture (no re-execution, no annotation).
+func (cp *Capture) FunctCounts() map[isa.Funct]uint64 {
+	perSlot := make([]uint64, len(cp.statics))
+	for _, sw := range cp.slot {
+		perSlot[sw&slotMask]++
+	}
+	counts := make(map[isa.Funct]uint64)
+	for i := range cp.statics {
+		if st := &cp.statics[i]; st.inst.Op == isa.OpSpecial && perSlot[i] > 0 {
+			counts[st.inst.Funct] += perSlot[i]
+		}
+	}
+	return counts
+}
+
+// NewMemory builds the benchmark's initial memory image, for ReplayOn
+// consumers that read program memory (the activity collectors).
+func (cp *Capture) NewMemory() (*mem.Memory, error) {
+	c, err := cp.bench.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	return c.Mem, nil
+}
+
+// ifBytes returns the per-statics-slot compressed fetch size under rc,
+// computing it once per (Capture, Recoder) pair.
+func (cp *Capture) ifBytes(rc *icomp.Recoder) []uint8 {
+	cp.ifbMu.Lock()
+	defer cp.ifbMu.Unlock()
+	if t, ok := cp.ifb[rc]; ok {
+		return t
+	}
+	t := make([]uint8, len(cp.statics))
+	for i := range cp.statics {
+		t[i] = uint8(rc.FetchBytes(cp.statics[i].inst.Raw))
+	}
+	if cp.ifb == nil {
+		cp.ifb = make(map[*icomp.Recoder][]uint8, 1)
+	}
+	cp.ifb[rc] = t
+	return t
+}
+
+// Replay re-annotates the recorded trace under rc and fans every event out
+// to the consumers, bit-identical to a live run but without the
+// interpreter. It rebuilds the benchmark's memory image so consumers that
+// read program memory observe exactly the live-run contents; replays of one
+// Capture are independent and may run concurrently.
+func (cp *Capture) Replay(ctx context.Context, rc *icomp.Recoder, consumers ...Consumer) error {
+	m, err := cp.NewMemory()
+	if err != nil {
+		return err
+	}
+	return cp.ReplayOn(ctx, m, rc, consumers...)
+}
+
+// ReplayOn is Replay over a caller-supplied memory image, the hook for
+// consumers built around a shared *mem.Memory (activity collectors read
+// cache-line contents at fill time). m must be the benchmark's initial
+// image (NewMemory); ReplayOn applies the trace's stores to it in program
+// order, each just before its event is fanned out, mirroring the live
+// step-then-consume sequence.
+func (cp *Capture) ReplayOn(ctx context.Context, m *mem.Memory, rc *icomp.Recoder, consumers ...Consumer) error {
+	ifb := cp.ifBytes(rc)
+	n := len(cp.slot)
+	for i := 0; i < n; i++ {
+		if i&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("trace: replaying %s aborted after %d instructions: %w", cp.bench.Name, i, ctx.Err())
+			default:
+			}
+		}
+		sw := cp.slot[i]
+		st := &cp.statics[sw&slotMask]
+		var ev Event
+		e := &ev.Exec
+		e.PC = cp.pc[i]
+		e.Raw = st.inst.Raw
+		e.Inst = st.inst
+		e.SrcA, e.ReadsA = cp.srcA[i], st.readsA
+		e.SrcB, e.ReadsB = cp.srcB[i], st.readsB
+		if st.hasDest {
+			e.Dest, e.Result, e.HasDest = st.dest, cp.result[i], true
+		}
+		e.Taken = sw&takenBit != 0
+		if i+1 < n {
+			e.NextPC = cp.pc[i+1]
+		} else {
+			e.NextPC = cp.lastNextPC
+		}
+		if st.memWidth > 0 {
+			e.Addr = e.SrcA + st.simm
+			e.MemWidth = int(st.memWidth)
+			if st.isStore {
+				e.StoreVal = e.SrcB
+				if m != nil {
+					switch st.memWidth {
+					case 1:
+						m.Store8(e.Addr, byte(e.SrcB))
+					case 2:
+						m.Store16(e.Addr, uint16(e.SrcB))
+					default:
+						m.Store32(e.Addr, e.SrcB)
+					}
+				}
+			} else {
+				e.Loaded = cp.result[i]
+			}
+		}
+		s := cp.sig[i]
+		ev.IFBytes = int(ifb[sw&slotMask])
+		ev.SrcBytesA = int(s >> sigSrcBytesAShift & 7)
+		ev.SrcBytesB = int(s >> sigSrcBytesBShift & 7)
+		ev.SrcHalvesA = int(s >> sigSrcHalvesAShift & 3)
+		ev.SrcHalvesB = int(s >> sigSrcHalvesBShift & 3)
+		ev.ALUOps = int(s >> sigALUOpsShift & 15)
+		ev.ALUHalfOps = int(s >> sigALUHalfShift & 7)
+		ev.MemBytes = int(s >> sigMemBytesShift & 7)
+		ev.MemHalves = int(s >> sigMemHalvesShift & 3)
+		ev.WBBytes = int(s >> sigWBBytesShift & 7)
+		ev.WBHalves = int(s >> sigWBHalvesShift & 3)
+		for _, cons := range consumers {
+			cons.Consume(ev)
+		}
+	}
+	return nil
+}

@@ -186,6 +186,17 @@ func aluActivity(e cpu.Exec, g int) int {
 // recoder supplies the instruction-compression view.
 func Annotate(e cpu.Exec, rc *icomp.Recoder) Event {
 	ev := Event{Exec: e, IFBytes: rc.FetchBytes(e.Raw)}
+	annotateSig(&ev)
+	return ev
+}
+
+// annotateSig fills in the recoder-independent annotation: every quantity
+// except IFBytes depends only on the Exec record (instruction shape and the
+// dynamic values that flowed through it), never on the instruction recoding.
+// This split is what lets a Capture store the significance columns once and
+// replay them under any recoder.
+func annotateSig(ev *Event) {
+	e := ev.Exec
 	if e.ReadsA {
 		ev.SrcBytesA = sig.Ext3Of(e.SrcA).SigByteCount()
 		ev.SrcHalvesA = sig.SigHalves(e.SrcA)
@@ -208,6 +219,31 @@ func Annotate(e cpu.Exec, rc *icomp.Recoder) Event {
 		ev.WBBytes = sig.Ext3Of(e.Result).SigByteCount()
 		ev.WBHalves = sig.SigHalves(e.Result)
 	}
+}
+
+// annotator is Annotate with a per-raw-word memo of the recoder-dependent
+// fetch size. FetchBytes is a pure function of the raw instruction word and
+// the recoder, and a benchmark retires each static instruction many times,
+// so the run loop resolves it through a small map instead of re-encoding on
+// every retirement. Keyed by raw value (not PC), it is immune to aliasing
+// and self-modifying code.
+type annotator struct {
+	rc  *icomp.Recoder
+	ifb map[uint32]int8
+}
+
+func newAnnotator(rc *icomp.Recoder) *annotator {
+	return &annotator{rc: rc, ifb: make(map[uint32]int8, 256)}
+}
+
+func (a *annotator) annotate(e cpu.Exec) Event {
+	n, ok := a.ifb[e.Raw]
+	if !ok {
+		n = int8(a.rc.FetchBytes(e.Raw))
+		a.ifb[e.Raw] = n
+	}
+	ev := Event{Exec: e, IFBytes: int(n)}
+	annotateSig(&ev)
 	return ev
 }
 
@@ -259,6 +295,7 @@ const ctxCheckMask = 0xFFF
 // layer (internal/simsvc) uses to abandon simulations whose client went
 // away or whose deadline expired.
 func RunOnCtx(ctx context.Context, c *cpu.CPU, b bench.Benchmark, rc *icomp.Recoder, consumers ...Consumer) error {
+	an := newAnnotator(rc)
 	var n uint64
 	for !c.Done {
 		if n&ctxCheckMask == 0 {
@@ -275,7 +312,7 @@ func RunOnCtx(ctx context.Context, c *cpu.CPU, b bench.Benchmark, rc *icomp.Reco
 		if err != nil {
 			return fmt.Errorf("trace: %s: %w", b.Name, err)
 		}
-		ev := Annotate(e, rc)
+		ev := an.annotate(e)
 		for _, cons := range consumers {
 			cons.Consume(ev)
 		}
@@ -287,28 +324,34 @@ func RunOnCtx(ctx context.Context, c *cpu.CPU, b bench.Benchmark, rc *icomp.Reco
 	return nil
 }
 
+// FunctCounter is a Consumer that tallies dynamic R-format function-code
+// frequencies — the input to the paper's Table 3 recoding.
+type FunctCounter map[isa.Funct]uint64
+
+// Consume implements Consumer.
+func (fc FunctCounter) Consume(e Event) {
+	if e.Inst.Op == isa.OpSpecial {
+		fc[e.Inst.Funct]++
+	}
+}
+
 // FunctProfile tallies dynamic R-format function-code frequencies over the
-// whole suite — the input to the paper's Table 3 recoding.
+// whole suite — the input to the paper's Table 3 recoding. Profiling runs
+// over the same (memoized, checksum-verified) path as every other consumer.
 func FunctProfile(benchmarks []bench.Benchmark) (map[isa.Funct]uint64, error) {
-	counts := make(map[isa.Funct]uint64)
+	return FunctProfileCtx(context.Background(), benchmarks)
+}
+
+// FunctProfileCtx is FunctProfile with request-scoped cancellation.
+func FunctProfileCtx(ctx context.Context, benchmarks []bench.Benchmark) (map[isa.Funct]uint64, error) {
+	// Profiling precedes recoder construction, so annotate under the
+	// paper's default recoding; the funct tally only reads decoded
+	// instructions and is recoder-independent.
+	rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
+	counts := make(FunctCounter)
 	for _, b := range benchmarks {
-		c, err := b.NewCPU()
-		if err != nil {
-			return nil, err
-		}
-		var n uint64
-		for !c.Done && n < b.MaxInsts {
-			e, err := c.Step()
-			if err != nil {
-				return nil, fmt.Errorf("trace: profiling %s: %w", b.Name, err)
-			}
-			if e.Inst.Op == isa.OpSpecial {
-				counts[e.Inst.Funct]++
-			}
-			n++
-		}
-		if !c.Done {
-			return nil, fmt.Errorf("trace: profiling %s did not finish", b.Name)
+		if _, err := RunCtx(ctx, b, rc, counts); err != nil {
+			return nil, fmt.Errorf("trace: profiling: %w", err)
 		}
 	}
 	return counts, nil
