@@ -1,0 +1,126 @@
+// Command siggate is the cluster gateway for a fleet of sigserve shards.
+// It exposes the same HTTP API as a single shard, so clients need not know
+// the fleet exists: single simulation jobs are consistent-hashed by
+// (benchmark, model) onto the shard whose result and trace caches are
+// already hot, while suite and sweep evaluations are scattered over every
+// shard and the partial results merged — a suite scattered over three
+// shards encodes byte-identically to a single-process run.
+//
+// Shard loss is survived, not surfaced: an active readiness prober takes
+// draining or dead shards out of rotation, a per-backend circuit breaker
+// sidelines repeat offenders, retries honor the shards' load-aware
+// Retry-After hints, straggling dispatches are hedged onto the next ring
+// choice, and failed dispatches fail over along the ring. A request is
+// answered wrong to no one: partitions that cannot be computed anywhere
+// fail the whole suite, and sweep pairs that fail everywhere are emitted
+// as flagged error lines and counted in the summary.
+//
+// Endpoints:
+//
+//	GET  /healthz            gateway liveness + uptime
+//	GET  /readyz             200 while ≥1 shard is in rotation, else 503
+//	GET  /metrics            gateway counters + per-backend health (JSON)
+//	GET  /v1/benchmarks      the fleet's served suite
+//	GET  /v1/models          servable pipeline models
+//	GET  /v1/simulate        one job, routed by ring ownership (POST: JSON body)
+//	GET  /v1/sweep           scattered (benchmark × model) grid, NDJSON stream
+//	GET  /v1/suite           scattered + merged full evaluation, one JSON document
+//
+// Usage:
+//
+//	siggate -addr :8090 -backends localhost:8081,localhost:8082,localhost:8083
+//
+// Every shard must serve the same benchmark suite: the instruction recoder
+// is profiled over the full served suite, so identical suites are what make
+// scattered partials merge into the single-process answer.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	backends := flag.String("backends", "", "comma-separated sigserve base URLs (required)")
+	retries := flag.Int("retries", 2, "same-shard retries after a 429/503 before failing over")
+	retryAfterCap := flag.Duration("retry-after-cap", 5*time.Second, "upper bound on honored Retry-After hints")
+	hedgeAfter := flag.Duration("hedge-after", 2*time.Second, "straggler hedge delay (<0 disables hedging)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "active /readyz probing period (<0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures before a shard leaves rotation")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a broken shard stays out before a half-open trial")
+	sweepInflight := flag.Int("sweep-inflight", 0, "max in-flight sweep jobs across the fleet (0 = 2 per shard)")
+	flag.Parse()
+
+	urls := strings.Split(*backends, ",")
+	var cleaned []string
+	for _, u := range urls {
+		if u = strings.TrimSpace(u); u != "" {
+			cleaned = append(cleaned, u)
+		}
+	}
+	if len(cleaned) == 0 {
+		fmt.Fprintln(os.Stderr, "siggate: -backends is required (comma-separated sigserve URLs)")
+		os.Exit(2)
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Backends:         cleaned,
+		Retries:          *retries,
+		RetryAfterCap:    *retryAfterCap,
+		HedgeAfter:       *hedgeAfter,
+		ProbeInterval:    *probeInterval,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		SweepInflight:    *sweepInflight,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siggate: %v\n", err)
+		os.Exit(2)
+	}
+	defer gw.Close()
+
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: cluster.NewHandler(gw),
+		// Sweeps stream for as long as the fleet takes; only bound the
+		// request-header read.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("siggate: listening on %s, fronting %d shards: %s", *addr, len(cleaned), strings.Join(cleaned, ", "))
+		errc <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "siggate: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("siggate: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "siggate: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -8,12 +8,14 @@
 // Endpoints:
 //
 //	GET  /healthz            liveness + uptime
+//	GET  /readyz             readiness (503 while draining or overloaded)
 //	GET  /metrics            counters and latency registry (JSON)
 //	GET  /v1/benchmarks      served workload suite
 //	GET  /v1/models          servable pipeline models
 //	GET  /v1/simulate        ?bench=&model=&gran=   (POST: JSON body)
 //	GET  /v1/sweep           ?gran=&bench=a,b&model=x,y   NDJSON stream
 //	GET  /v1/suite           ?model=&gran=   full paper table for one model
+//	GET  /v1/partial         ?bench=a,b   mergeable suite share (cluster fan-in)
 //
 // Usage:
 //
@@ -71,6 +73,8 @@ func main() {
 		"consecutive failures before a (bench, model) pair is quarantined (0 = disabled)")
 	traceCacheMB := flag.Int("trace-cache-mb", 0,
 		"captured-trace LRU budget in MB (0 = 256 MB default, <0 disables capture/replay)")
+	drainGrace := flag.Duration("drain-grace", 3*time.Second,
+		"how long to stay up (unready but serving) after SIGTERM so load balancers rotate the shard out")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	chaos := flag.String("chaos", "", "DEV ONLY: fault-injection spec, seed:point=kind[(dur)][@prob],... (see internal/faultinject)")
 	flag.Parse()
@@ -138,6 +142,14 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
+		// Drain first: /readyz flips to 503 so a gateway rotates the shard
+		// out, then the grace period lets in-flight gateway dispatches land
+		// before the listener stops accepting.
+		log.Print("sigserve: draining (readiness now 503)")
+		svc.Drain()
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		log.Print("sigserve: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()

@@ -1,0 +1,29 @@
+package bmgating
+
+// State is the wire form of a Collector tally: raw counts that one process
+// can serialize and another can fold into a live Collector with AddState,
+// preserving the Merge invariant across machine boundaries.
+type State struct {
+	BaselineBits uint64 `json:"baselineBits"`
+	GatedBits    uint64 `json:"gatedBits"`
+	NarrowOps    uint64 `json:"narrowOps"`
+	TotalOps     uint64 `json:"totalOps"`
+}
+
+// State returns a copy of the raw tally for transport.
+func (c *Collector) State() State {
+	return State{
+		BaselineBits: c.baselineBits,
+		GatedBits:    c.gatedBits,
+		NarrowOps:    c.narrowOps,
+		TotalOps:     c.totalOps,
+	}
+}
+
+// AddState folds a transported tally into c (order-independent sums).
+func (c *Collector) AddState(st State) {
+	c.baselineBits += st.BaselineBits
+	c.gatedBits += st.GatedBits
+	c.narrowOps += st.NarrowOps
+	c.totalOps += st.TotalOps
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// backend is one sigserve shard as seen from the gateway: its base URL plus
+// a small circuit-breaker state machine fed by both the active readiness
+// prober and passive transport failures. Consecutive failures at or beyond
+// the threshold take the backend out of rotation; after the cooldown a
+// single caller at a time may try it again (half-open), and any success —
+// probe or request — closes the circuit.
+type backend struct {
+	name string // display identity (host:port)
+	base string // URL prefix, no trailing slash
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int       // consecutive failures (probe or transport)
+	downAt  time.Time // set on the healthy->unhealthy transition
+	probing bool      // one half-open trial in flight
+}
+
+func newBackend(rawURL string) (*backend, error) {
+	base := strings.TrimRight(rawURL, "/")
+	if base == "" {
+		return nil, fmt.Errorf("cluster: empty backend URL")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	return &backend{name: name, base: base, healthy: true}, nil
+}
+
+// available reports whether the backend should receive new dispatches,
+// admitting one half-open trial per cooldown once it has lapsed.
+func (b *backend) available(threshold int, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.healthy || b.fails < threshold {
+		return true
+	}
+	if time.Since(b.downAt) >= cooldown && !b.probing {
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// inRotation is the side-effect-free view of available: whether the
+// breaker is closed, without admitting a half-open trial.
+func (b *backend) inRotation(threshold int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy || b.fails < threshold
+}
+
+// markSuccess closes the circuit.
+func (b *backend) markSuccess() {
+	b.mu.Lock()
+	b.healthy = true
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// markFailure records one probe/transport failure and reports whether this
+// crossed the threshold (a healthy->unhealthy transition, for the metric).
+func (b *backend) markFailure(threshold int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.fails >= threshold {
+		transitioned := b.healthy
+		if transitioned || b.fails == threshold {
+			b.downAt = time.Now()
+		}
+		b.healthy = false
+		return transitioned
+	}
+	return false
+}
+
+// status is the per-backend block of the gateway's /metrics payload.
+type backendStatus struct {
+	Name             string `json:"name"`
+	Healthy          bool   `json:"healthy"`
+	ConsecutiveFails int    `json:"consecutiveFails"`
+}
+
+func (b *backend) status() backendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return backendStatus{Name: b.name, Healthy: b.healthy || b.fails == 0, ConsecutiveFails: b.fails}
+}
+
+// httpError is a non-2xx shard answer: the decoded error message plus
+// enough context for the gateway to decide between propagating (client
+// errors), retrying in place (shed/quarantined with Retry-After), and
+// failing over.
+type httpError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration // from the Retry-After header, 0 if absent
+}
+
+func (e *httpError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("shard answered %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("shard answered %d", e.Status)
+}
+
+// permanent reports whether retrying elsewhere cannot help: the request
+// itself is invalid.
+func (e *httpError) permanent() bool { return e.Status == http.StatusBadRequest }
+
+// retryable reports whether the same shard asked to be tried again later.
+func (e *httpError) retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// errTransport wraps connection-level failures (dial refused, reset, EOF):
+// the strongest signal that the whole shard — not one request — is gone.
+var errTransport = errors.New("cluster: backend transport failure")
+
+// getJSON performs one GET against the backend and decodes a 200 body into
+// out. Non-2xx answers come back as *httpError; connection failures wrap
+// errTransport.
+func (g *Gateway) getJSON(ctx context.Context, b *backend, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: %s: %v", errTransport, b.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readHTTPError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: decoding %s: %v", errTransport, b.name, path, err)
+	}
+	return nil
+}
+
+// readHTTPError turns a non-2xx shard response into an *httpError,
+// capturing the error envelope and any Retry-After hint.
+func readHTTPError(resp *http.Response) error {
+	he := &httpError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			he.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+		he.Msg = envelope.Error
+	} else {
+		he.Msg = strings.TrimSpace(string(body))
+	}
+	return he
+}

@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+	"repro/internal/simsvc"
+)
+
+// fleetBenches is the suite served by every test shard: small enough to
+// evaluate quickly, big enough to partition across three shards.
+var fleetBenches = []string{"g711dec", "g711enc", "crc32"}
+
+// newShard boots one in-process sigserve shard over HTTP.
+func newShard(t *testing.T, cfg simsvc.Config, benchNames ...string) (*simsvc.Service, *httptest.Server) {
+	t.Helper()
+	if len(benchNames) == 0 {
+		benchNames = fleetBenches
+	}
+	for _, n := range benchNames {
+		b, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("unknown test benchmark %q", n)
+		}
+		cfg.Benchmarks = append(cfg.Benchmarks, b)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	svc := simsvc.New(cfg)
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(simsvc.NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		http.DefaultClient.CloseIdleConnections()
+	})
+	return svc, srv
+}
+
+// newFleet boots n identical shards. Every shard serves the same suite —
+// the merge invariant (the recoder is profiled over the served suite)
+// depends on it.
+func newFleet(t *testing.T, n int) []*httptest.Server {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	for i := range servers {
+		_, servers[i] = newShard(t, simsvc.Config{})
+	}
+	return servers
+}
+
+// newGateway fronts the given shards. Tests default to passive health
+// only (no prober) and no hedging so failure handling is deterministic;
+// individual tests opt back in through mod.
+func newGateway(t *testing.T, servers []*httptest.Server, mod func(*Config)) (*Gateway, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		ProbeInterval: -1,
+		HedgeAfter:    -1,
+		RetryAfterCap: 100 * time.Millisecond,
+	}
+	for _, srv := range servers {
+		cfg.Backends = append(cfg.Backends, srv.URL)
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	srv := httptest.NewServer(NewHandler(g))
+	t.Cleanup(func() {
+		srv.Close()
+		http.DefaultClient.CloseIdleConnections()
+	})
+	return g, srv
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestRingOwnerDeterministicAndSequenceComplete(t *testing.T) {
+	names := []string{"a:1", "b:2", "c:3"}
+	r := newRing(names, 0)
+	for _, key := range []string{"g711dec|baseline32", "crc32|skewed+bypass", "fft|"} {
+		o1, o2 := r.owner(key), r.owner(key)
+		if o1 != o2 {
+			t.Fatalf("owner(%q) not deterministic: %d vs %d", key, o1, o2)
+		}
+		seq := r.sequence(key)
+		if len(seq) != len(names) {
+			t.Fatalf("sequence(%q) = %v, want all %d backends", key, seq, len(names))
+		}
+		if seq[0] != o1 {
+			t.Fatalf("sequence(%q) starts at %d, owner is %d", key, seq[0], o1)
+		}
+		seen := make(map[int]bool)
+		for _, i := range seq {
+			if seen[i] {
+				t.Fatalf("sequence(%q) repeats backend %d: %v", key, i, seq)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// The consistent-hashing property: removing one backend only remaps the
+// keys it owned; every other key keeps its owner.
+func TestRingConsistencyUnderMembershipChange(t *testing.T) {
+	full := newRing([]string{"a:1", "b:2", "c:3"}, 0)
+	reduced := newRing([]string{"a:1", "b:2"}, 0)
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("bench%d|model", i)
+		before := full.owner(key)
+		after := reduced.owner(key)
+		if before == 2 {
+			continue // owned by the removed backend: must remap somewhere
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving backends moved (kept %d); consistent hashing must only remap the lost backend's keys", moved, kept)
+	}
+}
+
+// suiteDoc fetches /v1/suite from url and returns the canonical bytes of
+// the suite document plus the instruction count. The envelope's elapsed
+// time is the only field allowed to differ between runs.
+func suiteDoc(t *testing.T, url string) ([]byte, uint64) {
+	t.Helper()
+	var resp simsvc.Response
+	if r := getJSON(t, url+"/v1/suite", &resp); r.StatusCode != 200 {
+		t.Fatalf("suite status %d", r.StatusCode)
+	}
+	if resp.Suite == nil {
+		t.Fatal("suite response missing the suite document")
+	}
+	doc, err := json.MarshalIndent(resp.Suite, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, resp.Insts
+}
+
+// The tentpole acceptance: a suite scattered over 1, 2 and 3 shards is
+// byte-identical to the single-process evaluation, and stays identical
+// when the shard count changes between runs (the partitioning moves, the
+// answer must not).
+func TestClusterSuiteByteIdenticalAcrossShardCounts(t *testing.T) {
+	_, single := newShard(t, simsvc.Config{})
+	want, wantInsts := suiteDoc(t, single.URL)
+
+	for _, shards := range []int{1, 2, 3} {
+		_, gw := newGateway(t, newFleet(t, shards), nil)
+		got, gotInsts := suiteDoc(t, gw.URL)
+		if gotInsts != wantInsts {
+			t.Fatalf("%d shards: instructions %d, single-process %d", shards, gotInsts, wantInsts)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%d shards: suite document differs from the single-process evaluation (%d vs %d bytes)", shards, len(got), len(want))
+		}
+	}
+}
+
+// sweepLines runs a sweep over url and returns the canonicalized NDJSON
+// result lines (sorted, volatile envelope fields cleared) plus the
+// summary.
+func sweepLines(t *testing.T, url, query string) ([]string, *simsvc.SweepSummary) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/sweep" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	var lines []string
+	var summary *simsvc.SweepSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var wrapped struct {
+			Summary *simsvc.SweepSummary `json:"summary"`
+			Error   string               `json:"error"`
+		}
+		if json.Unmarshal([]byte(line), &wrapped) == nil && wrapped.Summary != nil {
+			summary = wrapped.Summary
+			continue
+		}
+		if wrapped.Error != "" {
+			t.Fatalf("sweep stream error: %s", wrapped.Error)
+		}
+		var r simsvc.Response
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad sweep line %q: %v", line, err)
+		}
+		// Serving envelope, not science: timings and cache hits depend on
+		// which process answered.
+		r.ElapsedMS = 0
+		r.Cached = false
+		canon, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(canon))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("sweep stream ended without a summary line")
+	}
+	sortStrings(lines)
+	return lines, summary
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// A sweep scattered over three shards produces the same result set and
+// the same summary tables as a single shard's sweep.
+func TestClusterSweepMatchesSingleShard(t *testing.T) {
+	query := "?model=" + pipeline.NameBaseline32 + ",skewed%2Bbypass"
+	_, single := newShard(t, simsvc.Config{})
+	wantLines, wantSum := sweepLines(t, single.URL, query)
+
+	_, gw := newGateway(t, newFleet(t, 3), nil)
+	gotLines, gotSum := sweepLines(t, gw.URL, query)
+
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("scattered sweep has %d result lines, single shard %d", len(gotLines), len(wantLines))
+	}
+	for i := range wantLines {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("sweep line %d differs:\n gateway: %s\n single:  %s", i, gotLines[i], wantLines[i])
+		}
+	}
+	if gotSum.Jobs != wantSum.Jobs || gotSum.Failed != wantSum.Failed {
+		t.Fatalf("summary jobs/failed %d/%d, single shard %d/%d", gotSum.Jobs, gotSum.Failed, wantSum.Jobs, wantSum.Failed)
+	}
+	gotCPI, _ := json.Marshal(gotSum.MeanCPI)
+	wantCPI, _ := json.Marshal(wantSum.MeanCPI)
+	if string(gotCPI) != string(wantCPI) {
+		t.Fatalf("summary meanCPI differs: %s vs %s", gotCPI, wantCPI)
+	}
+	gotTable, _ := json.Marshal(gotSum.CPITable)
+	wantTable, _ := json.Marshal(wantSum.CPITable)
+	if string(gotTable) != string(wantTable) {
+		t.Fatalf("summary CPI table differs:\n%s\n%s", gotTable, wantTable)
+	}
+}
+
+// Chaos: one shard is armed with fault injection that fails every job it
+// picks up. The gateway must route around it — failing over partition
+// dispatches — and still produce the byte-identical suite.
+func TestClusterSuiteSurvivesPoisonedShard(t *testing.T) {
+	_, single := newShard(t, simsvc.Config{})
+	want, wantInsts := suiteDoc(t, single.URL)
+
+	faults, err := faultinject.Parse("7:pool.pickup=error@1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, poisoned := newShard(t, simsvc.Config{Faults: faults, Retries: 1})
+	_, healthy1 := newShard(t, simsvc.Config{})
+	_, healthy2 := newShard(t, simsvc.Config{})
+
+	g, gw := newGateway(t, []*httptest.Server{poisoned, healthy1, healthy2}, nil)
+	got, gotInsts := suiteDoc(t, gw.URL)
+	if gotInsts != wantInsts || string(got) != string(want) {
+		t.Fatal("suite over a fleet with a poisoned shard differs from the single-process evaluation")
+	}
+	snap := g.Metrics().Snapshot()
+	if snap.BackendErrors == 0 {
+		t.Fatal("poisoned shard produced no backend errors — the chaos never bit")
+	}
+}
+
+// Chaos: a whole shard is killed mid-sweep. In-flight dispatches to it
+// die with transport errors; the gateway fails them over to the surviving
+// shards, so the sweep completes with zero failed pairs — partial results
+// are flagged when they happen, and here none may happen.
+func TestClusterSweepSurvivesShardKillMidSweep(t *testing.T) {
+	servers := newFleet(t, 3)
+	g, gw := newGateway(t, servers, func(c *Config) {
+		c.SweepInflight = 2 // keep pairs in flight while the victim dies
+	})
+
+	// Pick the victim by ring ownership so the killed shard is guaranteed
+	// to own sweep pairs.
+	victim := g.ring.owner(jobKey("g711enc", pipeline.NameBaseline32))
+
+	resp, err := http.Get(gw.URL + "/v1/sweep?model=" + pipeline.NameBaseline32 + ",skewed%2Bbypass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var summary *simsvc.SweepSummary
+	results := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		var wrapped struct {
+			Summary *simsvc.SweepSummary `json:"summary"`
+			Error   string               `json:"error"`
+		}
+		if json.Unmarshal(line, &wrapped) == nil && wrapped.Summary != nil {
+			summary = wrapped.Summary
+			continue
+		}
+		if wrapped.Error != "" {
+			t.Fatalf("sweep stream aborted: %s", wrapped.Error)
+		}
+		var r simsvc.Response
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Error != "" {
+			t.Fatalf("pair %s/%s failed despite two healthy shards: %s", r.Bench, r.Model, r.Error)
+		}
+		results++
+		if results == 1 {
+			// First result is out: the sweep is live. Kill the victim —
+			// drop its connections and stop its listener.
+			servers[victim].CloseClientConnections()
+			servers[victim].Close()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("sweep ended without a summary")
+	}
+	if summary.Failed != 0 {
+		t.Fatalf("summary reports %d failed pairs; failover should have absorbed the shard loss", summary.Failed)
+	}
+	if summary.Jobs != len(fleetBenches)*2 {
+		t.Fatalf("summary covers %d jobs, want %d", summary.Jobs, len(fleetBenches)*2)
+	}
+}
+
+// A shard that sheds with 429 + Retry-After is retried in place (the hint
+// honored, capped) rather than failed over.
+func TestDispatchHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "simsvc: overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(simsvc.Response{Bench: "g711dec", Model: pipeline.NameBaseline32, Insts: 1, CPI: 1})
+	}))
+	t.Cleanup(func() {
+		shard.Close()
+		http.DefaultClient.CloseIdleConnections()
+	})
+
+	g, _ := newGateway(t, []*httptest.Server{shard}, func(c *Config) {
+		c.RetryAfterCap = 20 * time.Millisecond // honor the hint, but don't let the test wait a real second
+	})
+	start := time.Now()
+	resp, err := g.Simulate(context.Background(), simsvc.Request{Bench: "g711dec", Model: pipeline.NameBaseline32})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if resp.Insts != 1 || calls.Load() != 2 {
+		t.Fatalf("resp %+v after %d calls, want the retried success", resp, calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("retry came back in %v; the Retry-After wait was not honored", elapsed)
+	}
+	if snap := g.Metrics().Snapshot(); snap.Retries != 1 {
+		t.Fatalf("retries counter = %d, want 1", snap.Retries)
+	}
+}
+
+// Identical (bench, model) jobs land on the same shard: that is the whole
+// point of routing by ring ownership — the shard's result cache answers
+// the repeat.
+func TestRouteAffinity(t *testing.T) {
+	_, gw := newGateway(t, newFleet(t, 3), nil)
+	url := gw.URL + "/v1/simulate?bench=g711dec&model=" + pipeline.NameBaseline32
+
+	var first simsvc.Response
+	if r := getJSON(t, url, &first); r.StatusCode != 200 {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	var second simsvc.Response
+	getJSON(t, url, &second)
+	if !second.Cached {
+		t.Fatal("repeat of an identical job missed the shard cache: routing is not sticky")
+	}
+	if second.CPI != first.CPI || second.Cycles != first.Cycles {
+		t.Fatal("cached result differs from the first")
+	}
+}
+
+// The gateway's readiness follows the fleet: with every shard drained the
+// prober empties the rotation and /readyz flips to 503.
+func TestGatewayReadyzFollowsFleet(t *testing.T) {
+	svc, shard := newShard(t, simsvc.Config{}, "g711dec")
+	_, gw := newGateway(t, []*httptest.Server{shard}, func(c *Config) {
+		c.ProbeInterval = 20 * time.Millisecond
+		c.BreakerThreshold = 1
+		c.BreakerCooldown = time.Hour // no half-open re-admission during the test
+	})
+
+	var ready struct {
+		Ready bool `json:"ready"`
+	}
+	if r := getJSON(t, gw.URL+"/readyz", &ready); r.StatusCode != 200 || !ready.Ready {
+		t.Fatalf("gateway not ready over a healthy shard: %d %+v", r.StatusCode, ready)
+	}
+
+	svc.Drain()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := getJSON(t, gw.URL+"/readyz", &ready)
+		if r.StatusCode == 503 && !ready.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway still ready 5s after its only shard started draining")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// The /metrics schema is pinned: dashboards key off these fields, so
+// renames and removals must be deliberate.
+func TestGatewayMetricsSchema(t *testing.T) {
+	_, gw := newGateway(t, newFleet(t, 1), nil)
+	var m map[string]interface{}
+	if r := getJSON(t, gw.URL+"/metrics", &m); r.StatusCode != 200 {
+		t.Fatalf("metrics status %d", r.StatusCode)
+	}
+	want := []string{
+		"requests", "routed", "scatterSuites", "scatterSweeps",
+		"mergedPartials", "retries", "failovers", "hedges", "hedgeWins",
+		"backendErrors", "backendDown", "errors",
+		"backends", "healthyBackends", "uptimeSeconds",
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("/metrics missing field %q", k)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("/metrics has %d fields, schema pins %d: %v", len(m), len(want), m)
+	}
+	backends, ok := m["backends"].([]interface{})
+	if !ok || len(backends) != 1 {
+		t.Fatalf("backends is %T %v, want a 1-element array", m["backends"], m["backends"])
+	}
+	be, ok := backends[0].(map[string]interface{})
+	if !ok {
+		t.Fatalf("backends[0] is %T", backends[0])
+	}
+	for _, k := range []string{"name", "healthy", "consecutiveFails"} {
+		if _, ok := be[k]; !ok {
+			t.Errorf("backends[0] missing %q", k)
+		}
+	}
+}
+
+// Bad requests are the client's problem, never a failover trigger: an
+// unknown benchmark answers 400 from the gateway without marking any
+// shard unhealthy.
+func TestGatewayBadRequestPropagates(t *testing.T) {
+	g, gw := newGateway(t, newFleet(t, 2), nil)
+	var body map[string]string
+	if r := getJSON(t, gw.URL+"/v1/simulate?bench=nope&model="+pipeline.NameBaseline32, &body); r.StatusCode != 400 {
+		t.Fatalf("unknown benchmark: status %d, want 400", r.StatusCode)
+	}
+	if !strings.Contains(body["error"], "nope") {
+		t.Fatalf("error body %q does not name the bad benchmark", body["error"])
+	}
+	if snap := g.Metrics().Snapshot(); snap.Failovers != 0 || snap.BackendDown != 0 {
+		t.Fatalf("a 400 caused failovers (%d) or breaker trips (%d)", snap.Failovers, snap.BackendDown)
+	}
+	if g.healthyCount() != 2 {
+		t.Fatal("a 400 took a shard out of rotation")
+	}
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/simsvc"
+)
+
+// attemptOut carries one backend attempt's outcome back to dispatch.
+type attemptOut[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// dispatch runs fn against the fleet in ring preference order for key:
+// the owner first, in-rotation backends before broken ones (broken ones
+// stay reachable as a last resort — a fully-down fleet still gets tried
+// once rather than failing without a network packet). One straggler hedge
+// duplicates the work onto the next choice after HedgeAfter; any transient
+// failure moves on to the next choice immediately. The first success wins
+// and cancels the losers. Permanent (400) answers propagate at once: the
+// request is wrong, not the shard.
+func dispatch[T any](ctx context.Context, g *Gateway, key string, fn func(context.Context, *backend) (T, error)) (T, error) {
+	var zero T
+	seq := g.ring.sequence(key)
+	if len(seq) == 0 {
+		return zero, fmt.Errorf("cluster: no backends configured")
+	}
+	var cands, benched []*backend
+	for _, i := range seq {
+		b := g.backends[i]
+		if b.available(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown) {
+			cands = append(cands, b)
+		} else {
+			benched = append(benched, b)
+		}
+	}
+	cands = append(cands, benched...)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptOut[T], len(cands))
+	launched, hedgedIdx := 0, -1
+	launch := func() {
+		idx := launched
+		b := cands[idx]
+		launched++
+		go func() {
+			v, err := attempt(ctx, g, b, fn)
+			results <- attemptOut[T]{idx: idx, val: v, err: err}
+		}()
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if g.cfg.HedgeAfter > 0 && len(cands) > 1 {
+		timer := time.NewTimer(g.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	outstanding := 1
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		case <-hedgeC:
+			// One straggler hedge per dispatch: the primary hasn't answered,
+			// so speculatively duplicate the work onto the next choice and
+			// let the faster shard win.
+			hedgeC = nil
+			if launched < len(cands) {
+				hedgedIdx = launched
+				g.metrics.hedges.Add(1)
+				launch()
+				outstanding++
+			}
+		case res := <-results:
+			outstanding--
+			if res.err == nil {
+				if res.idx == hedgedIdx {
+					g.metrics.hedgeWins.Add(1)
+				}
+				return res.val, nil
+			}
+			if ctx.Err() != nil {
+				return zero, ctx.Err()
+			}
+			var he *httpError
+			if errors.As(res.err, &he) && he.permanent() {
+				return zero, res.err
+			}
+			lastErr = res.err
+			if launched < len(cands) {
+				g.metrics.failovers.Add(1)
+				launch()
+				outstanding++
+			} else if outstanding == 0 {
+				return zero, lastErr
+			}
+		}
+	}
+}
+
+// attempt runs fn against one backend, retrying in place when the shard
+// sheds load: a 429/503 with a Retry-After hint is honored (capped at
+// RetryAfterCap) up to Retries times before the attempt is given up and
+// dispatch fails over. Transport failures feed the breaker and fail the
+// attempt immediately — a dead shard gets a failover, not patience.
+func attempt[T any](ctx context.Context, g *Gateway, b *backend, fn func(context.Context, *backend) (T, error)) (T, error) {
+	var zero T
+	for try := 0; ; try++ {
+		v, err := fn(ctx, b)
+		if err == nil {
+			b.markSuccess()
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return zero, ctx.Err()
+		}
+		g.metrics.backendErrors.Add(1)
+		var he *httpError
+		switch {
+		case errors.As(err, &he) && he.permanent():
+			// The shard is fine; the request is not. Don't punish the breaker.
+			return zero, err
+		case errors.As(err, &he) && he.retryable() && try < g.cfg.Retries:
+			wait := he.RetryAfter
+			if wait <= 0 {
+				// No hint: exponential backoff from 100ms.
+				wait = 100 * time.Millisecond << uint(try)
+			}
+			if wait > g.cfg.RetryAfterCap {
+				wait = g.cfg.RetryAfterCap
+			}
+			g.metrics.retries.Add(1)
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		default:
+			if b.markFailure(g.cfg.BreakerThreshold) {
+				g.metrics.backendDown.Add(1)
+			}
+			return zero, err
+		}
+	}
+}
+
+// jobKey is the ring key for a single (bench, model) job; partitions use
+// the bare benchmark with an empty model so a benchmark's suite share and
+// its single-job results land on the same shard's caches.
+func jobKey(bench, model string) string { return bench + "|" + model }
+
+// Simulate routes one job to the shard owning (bench, model), with
+// failover along the ring.
+func (g *Gateway) Simulate(ctx context.Context, req simsvc.Request) (*simsvc.Response, error) {
+	g.metrics.requests.Add(1)
+	resp, err := g.simulate(ctx, req)
+	if err != nil {
+		g.metrics.errors.Add(1)
+	}
+	return resp, err
+}
+
+// simulate is the dispatch without the client-request accounting, shared
+// with the scattered sweep (whose per-pair failures are flagged results,
+// not gateway errors).
+func (g *Gateway) simulate(ctx context.Context, req simsvc.Request) (*simsvc.Response, error) {
+	g.metrics.routed.Add(1)
+	q := url.Values{}
+	q.Set("bench", req.Bench)
+	q.Set("model", req.Model)
+	if req.Gran != 0 {
+		q.Set("gran", strconv.Itoa(req.Gran))
+	}
+	path := "/v1/simulate?" + q.Encode()
+	return dispatch(ctx, g, jobKey(req.Bench, req.Model), func(ctx context.Context, b *backend) (*simsvc.Response, error) {
+		var out simsvc.Response
+		if err := g.getJSON(ctx, b, path, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	})
+}
+
+// Suite scatters the full evaluation across the fleet — each shard
+// computes the partition of benchmarks it owns on the ring — and merges
+// the partials into the complete suite document. Because every shard
+// serves the whole suite (so the recoder profile is identical everywhere)
+// and partials carry raw collector counts, the merged response is
+// byte-identical to a single process's /v1/suite, whatever the partition.
+// Any partition that cannot be computed anywhere fails the whole suite:
+// a partial answer is never passed off as the full one.
+func (g *Gateway) Suite(ctx context.Context) (*simsvc.Response, error) {
+	g.metrics.requests.Add(1)
+	cat, err := g.loadCatalog(ctx)
+	if err != nil {
+		g.metrics.errors.Add(1)
+		return nil, err
+	}
+	g.metrics.scatterSuites.Add(1)
+	start := time.Now()
+
+	// Partition the suite by ring ownership, preserving serving order
+	// within each partition. Ownership only sets where each share runs
+	// first — any shard can compute any subset, so failover and hedging
+	// stay safe.
+	partIdx := make(map[int]int)
+	var partitions [][]string
+	for _, name := range cat.order {
+		owner := g.ring.owner(jobKey(name, ""))
+		i, ok := partIdx[owner]
+		if !ok {
+			i = len(partitions)
+			partIdx[owner] = i
+			partitions = append(partitions, nil)
+		}
+		partitions[i] = append(partitions[i], name)
+	}
+
+	responses := make([]*simsvc.Response, len(partitions))
+	errs := make([]error, len(partitions))
+	var wg sync.WaitGroup
+	for i, part := range partitions {
+		wg.Add(1)
+		go func(i int, part []string) {
+			defer wg.Done()
+			path := "/v1/partial?bench=" + url.QueryEscape(strings.Join(part, ","))
+			responses[i], errs[i] = dispatch(ctx, g, jobKey(part[0], ""), func(ctx context.Context, b *backend) (*simsvc.Response, error) {
+				var out simsvc.Response
+				if err := g.getJSON(ctx, b, path, &out); err != nil {
+					return nil, err
+				}
+				if out.Partial == nil {
+					return nil, fmt.Errorf("%w: %s: partial response missing payload", errTransport, b.name)
+				}
+				return &out, nil
+			})
+		}(i, part)
+	}
+	wg.Wait()
+	for i, perr := range errs {
+		if perr != nil {
+			g.metrics.errors.Add(1)
+			return nil, fmt.Errorf("cluster: suite partition %s failed: %w", strings.Join(partitions[i], ","), perr)
+		}
+	}
+
+	parts := make([]*experiments.PartialSuite, len(responses))
+	for i, r := range responses {
+		parts[i] = r.Partial
+		g.metrics.partials.Add(1)
+	}
+	suite, insts, err := experiments.MergePartials(cat.order, parts)
+	if err != nil {
+		g.metrics.errors.Add(1)
+		return nil, err
+	}
+	return &simsvc.Response{
+		Insts:     insts,
+		Suite:     suite,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// sweepJob is one (benchmark × model) unit of a scattered sweep.
+type sweepJob struct {
+	bench, model string
+}
+
+// Sweep scatters the (benchmark × model) grid across the fleet, each pair
+// routed to its ring owner, and calls emit for each result in completion
+// order — the same contract as the shard-local Sweep, down to the shared
+// SweepAccumulator producing the summary. Pairs that fail everywhere
+// become Responses with Error set and are tallied in the summary: partial
+// results are flagged, never silently wrong.
+func (g *Gateway) Sweep(ctx context.Context, gran int, benches, models []string, emit func(*simsvc.Response) error) (*simsvc.SweepSummary, error) {
+	g.metrics.requests.Add(1)
+	cat, err := g.loadCatalog(ctx)
+	if err != nil {
+		g.metrics.errors.Add(1)
+		return nil, err
+	}
+	if len(benches) == 0 {
+		benches = cat.order
+	}
+	if len(models) == 0 {
+		models = cat.models
+	}
+	if gran == 0 {
+		gran = 1
+	}
+	for _, bn := range benches {
+		if !cat.benchSet[bn] {
+			g.metrics.errors.Add(1)
+			return nil, invalidf("unknown benchmark %q", bn)
+		}
+	}
+	for _, mn := range models {
+		if !cat.modelSet[mn] {
+			g.metrics.errors.Add(1)
+			return nil, invalidf("unknown model %q", mn)
+		}
+	}
+	g.metrics.scatterSweeps.Add(1)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make([]sweepJob, 0, len(benches)*len(models))
+	for _, bn := range benches {
+		for _, mn := range models {
+			jobs = append(jobs, sweepJob{bench: bn, model: mn})
+		}
+	}
+
+	type sweepOut struct {
+		job  sweepJob
+		resp *simsvc.Response
+		err  error
+	}
+	ch := make(chan sweepOut)
+	sem := make(chan struct{}, g.cfg.SweepInflight)
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job sweepJob) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			resp, err := g.simulate(ctx, simsvc.Request{Bench: job.bench, Model: job.model, Gran: gran})
+			select {
+			case ch <- sweepOut{job: job, resp: resp, err: err}:
+			case <-ctx.Done():
+			}
+		}(job)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	acc := simsvc.NewSweepAccumulator(gran, benches, models)
+	for out := range ch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp := acc.Add(out.job.bench, out.job.model, out.resp, out.err)
+		if emit != nil {
+			if err := emit(resp); err != nil {
+				cancel()
+				g.metrics.errors.Add(1)
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return acc.Summary(), nil
+}

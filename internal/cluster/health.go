@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// probeTimeout bounds one readiness probe; a shard that can't answer
+// /readyz this fast is treated as down.
+const probeTimeout = 2 * time.Second
+
+// probeLoop actively probes every backend's /readyz on the configured
+// interval until the gateway closes. Active probing is what lets the
+// gateway react to a *draining* shard — one that still answers requests
+// but wants out of rotation — before any request has to fail, and what
+// re-admits a recovered shard without a client paying for the discovery.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.ProbeInterval)
+	defer ticker.Stop()
+	g.probeOnce()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-ticker.C:
+			g.probeOnce()
+		}
+	}
+}
+
+// probeOnce probes every backend concurrently and folds the verdicts into
+// the per-backend breaker state: a 200 closes the circuit, anything else
+// (503 draining/overloaded, transport failure) counts as a failure.
+func (g *Gateway) probeOnce() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			defer cancel()
+			if err := g.getJSON(ctx, b, "/readyz", nil); err != nil {
+				if b.markFailure(g.cfg.BreakerThreshold) {
+					g.metrics.backendDown.Add(1)
+				}
+				return
+			}
+			b.markSuccess()
+		}(b)
+	}
+	wg.Wait()
+}
+
+// healthyCount reports how many backends are currently in rotation. It is
+// a pure read (unlike available, it never admits a half-open trial), so
+// readiness and metrics handlers can call it freely.
+func (g *Gateway) healthyCount() int {
+	n := 0
+	for _, b := range g.backends {
+		if b.inRotation(g.cfg.BreakerThreshold) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/simsvc"
+)
+
+// statusClientClosedRequest mirrors the shard API's convention for a
+// client that went away mid-request.
+const statusClientClosedRequest = 499
+
+// NewHandler builds the siggate HTTP API around g. It mirrors the shard
+// API surface — a client pointed at the gateway instead of a shard sees
+// the same endpoints and the same response shapes:
+//
+//	GET  /healthz            gateway liveness + uptime
+//	GET  /readyz             readiness: 200 while ≥1 backend is in rotation, else 503
+//	GET  /metrics            gateway counters + per-backend health (JSON)
+//	GET  /v1/benchmarks      the fleet's served suite (proxied, cached)
+//	GET  /v1/models          servable pipeline models (proxied, cached)
+//	GET  /v1/simulate        one job, routed by ring ownership; POST takes a JSON Request
+//	GET  /v1/sweep           the grid scattered over the fleet, streamed as NDJSON
+//	GET  /v1/suite           the full evaluation scattered and merged, one JSON document
+func NewHandler(g *Gateway) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status":        "ok",
+			"uptimeSeconds": g.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		healthy := g.healthyCount()
+		status := http.StatusOK
+		state := "ready"
+		if healthy == 0 {
+			status = http.StatusServiceUnavailable
+			state = "no backends in rotation"
+		}
+		writeJSON(w, status, map[string]interface{}{
+			"ready":           healthy > 0,
+			"status":          state,
+			"healthyBackends": healthy,
+			"totalBackends":   len(g.backends),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Snapshot
+			Backends        []interface{} `json:"backends"`
+			HealthyBackends int           `json:"healthyBackends"`
+			UptimeSeconds   float64       `json:"uptimeSeconds"`
+		}{g.metrics.Snapshot(), g.Backends(), g.healthyCount(), g.Uptime().Seconds()})
+	})
+	mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		cat, err := g.loadCatalog(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cat.benches)
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		cat, err := g.loadCatalog(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cat.models)
+	})
+	mux.HandleFunc("GET /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		req := simsvc.Request{Bench: q.Get("bench"), Model: fixModelName(q.Get("model"))}
+		if gran := q.Get("gran"); gran != "" {
+			n, err := strconv.Atoi(gran)
+			if err != nil {
+				writeError(w, invalidf("bad granularity %q", gran))
+				return
+			}
+			req.Gran = n
+		}
+		serveSimulate(g, w, r.Context(), req)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req simsvc.Request
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, invalidf("bad request body: %v", err))
+			return
+		}
+		serveSimulate(g, w, r.Context(), req)
+	})
+	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		serveSweep(g, w, r)
+	})
+	mux.HandleFunc("GET /v1/suite", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := g.Suite(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// fixModelName undoes '+'-as-space query decoding, like the shard API.
+func fixModelName(m string) string { return strings.ReplaceAll(m, " ", "+") }
+
+func serveSimulate(g *Gateway, w http.ResponseWriter, ctx context.Context, req simsvc.Request) {
+	resp, err := g.Simulate(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveSweep streams one NDJSON line per completed job and a final
+// {"summary": ...} line — the shard sweep contract, scattered.
+func serveSweep(g *Gateway, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	gran := 0
+	if gq := q.Get("gran"); gq != "" {
+		n, err := strconv.Atoi(gq)
+		if err != nil {
+			writeError(w, invalidf("bad granularity %q", gq))
+			return
+		}
+		gran = n
+	}
+	benches := splitList(q.Get("bench"))
+	models := splitList(q.Get("model"))
+	for i, m := range models {
+		models[i] = fixModelName(m)
+	}
+
+	// Resolve and validate the grid before committing to the streaming
+	// content type so bad names still get a clean 400.
+	cat, err := g.loadCatalog(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	for _, bn := range benches {
+		if !cat.benchSet[bn] {
+			writeError(w, invalidf("unknown benchmark %q", bn))
+			return
+		}
+	}
+	for _, mn := range models {
+		if !cat.modelSet[mn] {
+			writeError(w, invalidf("unknown model %q", mn))
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	summary, err := g.Sweep(r.Context(), gran, benches, models, func(resp *simsvc.Response) error {
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(map[string]*simsvc.SweepSummary{"summary": summary})
+}
+
+func splitList(v string) []string {
+	if v == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps gateway-side failures onto the API: client mistakes are
+// 400 (including a shard's 400 passed through verbatim), an exhausted
+// fleet is 502, and timeouts/cancellations keep the shard API's codes.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	var inv *simsvc.InvalidRequestError
+	var he *httpError
+	switch {
+	case errors.As(err, &inv):
+		status = http.StatusBadRequest
+	case errors.As(err, &he) && he.permanent():
+		status = he.Status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	}
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf("siggate: %v", err)})
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "sync/atomic"
+
+// Metrics is the gateway's counter registry. All fields are safe for
+// concurrent use; the exported view is an immutable Snapshot whose JSON
+// schema is pinned by test (dashboards key off it, like the shard's).
+type Metrics struct {
+	requests      atomic.Uint64 // client requests accepted by the gateway API
+	routed        atomic.Uint64 // single jobs dispatched by ring ownership
+	scatterSuites atomic.Uint64 // suite evaluations scattered over the fleet
+	scatterSweeps atomic.Uint64 // sweep grids scattered over the fleet
+	partials      atomic.Uint64 // shard partials merged into suite responses
+	retries       atomic.Uint64 // same-backend retries (Retry-After honored)
+	failovers     atomic.Uint64 // dispatches moved to the next backend after a failure
+	hedges        atomic.Uint64 // speculative duplicate dispatches launched
+	hedgeWins     atomic.Uint64 // ... that returned first
+	backendErrors atomic.Uint64 // failed backend calls (transport or 5xx)
+	backendDown   atomic.Uint64 // healthy->unhealthy transitions
+	errors        atomic.Uint64 // client requests answered with an error
+}
+
+// Snapshot is a point-in-time copy of every gateway counter.
+type Snapshot struct {
+	Requests       uint64 `json:"requests"`
+	Routed         uint64 `json:"routed"`
+	ScatterSuites  uint64 `json:"scatterSuites"`
+	ScatterSweeps  uint64 `json:"scatterSweeps"`
+	MergedPartials uint64 `json:"mergedPartials"`
+	Retries        uint64 `json:"retries"`
+	Failovers      uint64 `json:"failovers"`
+	Hedges         uint64 `json:"hedges"`
+	HedgeWins      uint64 `json:"hedgeWins"`
+	BackendErrors  uint64 `json:"backendErrors"`
+	BackendDown    uint64 `json:"backendDown"`
+	Errors         uint64 `json:"errors"`
+}
+
+// Snapshot returns a consistent copy of the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:       m.requests.Load(),
+		Routed:         m.routed.Load(),
+		ScatterSuites:  m.scatterSuites.Load(),
+		ScatterSweeps:  m.scatterSweeps.Load(),
+		MergedPartials: m.partials.Load(),
+		Retries:        m.retries.Load(),
+		Failovers:      m.failovers.Load(),
+		Hedges:         m.hedges.Load(),
+		HedgeWins:      m.hedgeWins.Load(),
+		BackendErrors:  m.backendErrors.Load(),
+		BackendDown:    m.backendDown.Load(),
+		Errors:         m.errors.Load(),
+	}
+}

@@ -1,0 +1,101 @@
+// Package cluster is the sharded simulation fleet behind cmd/siggate: a
+// gateway that fronts N sigserve backends, consistent-hashes single jobs by
+// (bench, model) so each shard's result and trace caches stay hot, and
+// scatter/gathers suite and sweep evaluations across the fleet, merging
+// partial results through the mergeable-collector invariant (a suite
+// scattered over three shards encodes byte-identically to a single-process
+// run). Backend loss is survived with the resilience vocabulary of the
+// service layer: readiness probing takes draining shards out of rotation,
+// per-backend circuit breaking sidelines dead ones, retries honor the
+// shards' load-aware Retry-After, and straggling partitions are hedged onto
+// healthy peers.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per backend on the hash ring;
+// enough to spread a 16-benchmark suite acceptably evenly over small
+// fleets.
+const defaultReplicas = 64
+
+// ring is a consistent-hash ring over backend indices. It is immutable
+// once built; membership changes build a new ring (see Gateway.setRing).
+type ring struct {
+	n      int            // number of backends
+	hashes []uint64       // sorted virtual-node hashes
+	owners map[uint64]int // hash -> backend index
+}
+
+// newRing hashes each backend name onto replicas virtual nodes.
+func newRing(names []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{n: len(names), owners: make(map[uint64]int, len(names)*replicas)}
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", name, v))
+			// On the (astronomically unlikely) collision the earlier backend
+			// keeps the point; determinism is what matters.
+			if _, taken := r.owners[h]; taken {
+				continue
+			}
+			r.owners[h] = i
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(a, b int) bool { return r.hashes[a] < r.hashes[b] })
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// owner returns the backend index owning key (the first virtual node at or
+// clockwise of the key's hash).
+func (r *ring) owner(key string) int {
+	if r.n == 0 {
+		return -1
+	}
+	return r.owners[r.hashes[r.at(key)]]
+}
+
+func (r *ring) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+// sequence returns every backend index exactly once, in ring preference
+// order for key: the owner first, then each further distinct backend met
+// walking clockwise. Dispatch uses it as the failover/hedging order, so
+// every request has a deterministic second and third choice.
+func (r *ring) sequence(key string) []int {
+	if r.n == 0 {
+		return nil
+	}
+	seq := make([]int, 0, r.n)
+	seen := make(map[int]bool, r.n)
+	for i, steps := r.at(key), 0; steps < len(r.hashes) && len(seq) < r.n; steps++ {
+		b := r.owners[r.hashes[i]]
+		if !seen[b] {
+			seen[b] = true
+			seq = append(seq, b)
+		}
+		i++
+		if i == len(r.hashes) {
+			i = 0
+		}
+	}
+	return seq
+}

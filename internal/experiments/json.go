@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 
 	"repro/internal/activity"
-	"repro/internal/icomp"
-	"repro/internal/isa"
 	"repro/internal/pcincr"
 )
 
@@ -109,53 +107,24 @@ func pct(n, d uint64) float64 {
 	return 100 * float64(n) / float64(d)
 }
 
-// Encode converts the complete evaluation to the shared JSON schema.
+// Encode converts the complete evaluation to the shared JSON schema. Each
+// section goes through the same encoder the cross-node merge path
+// (MergePartials) uses, so a scattered evaluation cannot drift from the
+// single-process encoding.
 func (r *Results) Encode() *JSONResults {
 	out := &JSONResults{PCIncr: pcincr.Table2()}
+	order := make([]string, 0, len(r.Bench))
 	for _, b := range r.Bench {
 		out.Benchmarks = append(out.Benchmarks, EncodeBench(b))
+		order = append(order, b.Name)
 	}
-	for _, p := range r.Patterns.Rows() {
-		out.Patterns = append(out.Patterns, PatternJSON{
-			Pattern: p.Pattern, Percent: p.Percent,
-			Cumulative: p.Cumulative, TwoBitOK: p.TwoBitOK,
-		})
-	}
-	var total uint64
-	for _, n := range r.Functs {
-		total += n
-	}
-	for _, fn := range icomp.TopFuncts(r.Functs, 64) {
-		out.Functs = append(out.Functs, FunctJSON{
-			Funct:   isa.FunctName(fn),
-			Percent: pct(r.Functs[fn], total),
-			Compact: r.Recoder.IsCompact(fn),
-		})
-	}
-	f := r.Fetch
-	out.Fetch = FetchJSON{
-		MeanBytes:        f.MeanBytes(),
-		MeanBytesWithExt: f.MeanBytesWithExt(),
-		ThreeByteShare:   pct(f.ThreeByte, f.Insts),
-	}
-	for _, row := range r.Partitions.Rows() {
-		out.Partitions = append(out.Partitions, PartitionRowJSON{
-			Partition: row.Name, MeanBits: row.MeanBits, Saving: row.Saving,
-		})
-	}
+	out.Patterns = EncodePatterns(r.Patterns)
+	out.Functs = EncodeFuncts(r.Functs, r.Recoder)
+	out.Fetch = EncodeFetch(r.Fetch)
+	out.Partitions = EncodePartitions(r.Partitions)
 	// Benchmark order (not map order) keeps the encoding deterministic.
-	for _, b := range r.Bench {
-		col, ok := r.BM[b.Name]
-		if !ok {
-			continue
-		}
-		out.BMGating = append(out.BMGating, BMJSON{
-			Benchmark:   b.Name,
-			ALUSaving:   col.ALUSaving(),
-			NarrowShare: col.NarrowShare(),
-		})
-	}
-	out.Width64 = Width64JSON{Saving32: r.Width64.Saving32(), Saving64: r.Width64.Saving64()}
+	out.BMGating = EncodeBM(order, r.BM)
+	out.Width64 = EncodeWidth64(r.Width64)
 	return out
 }
 

@@ -24,13 +24,15 @@ const maxSimulateBody = 1 << 20
 
 // NewHandler builds the sigserve HTTP API around s:
 //
-//	GET  /healthz            liveness + uptime
+//	GET  /healthz            liveness + uptime (true even while draining)
+//	GET  /readyz             readiness: 200, or 503 while draining/overloaded
 //	GET  /metrics            counters and latency registry (JSON)
 //	GET  /v1/benchmarks      served workload suite
 //	GET  /v1/models          servable pipeline models
 //	GET  /v1/simulate        one job (?bench=&model=&gran=); POST takes a JSON Request
 //	GET  /v1/sweep           (benchmark × model) grid streamed as NDJSON (?gran=&bench=a,b&model=x,y)
 //	GET  /v1/suite           the full parallel evaluation (every table input) as one JSON document
+//	GET  /v1/partial         a shard's mergeable share of a scattered suite (?bench=a,b)
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -38,6 +40,17 @@ func NewHandler(s *Service) http.Handler {
 			"status":        "ok",
 			"uptimeSeconds": s.Uptime().Seconds(),
 		})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness and readiness are split so a load balancer can take a
+		// draining shard out of rotation while Close() is still finishing
+		// its in-flight work (the process is alive the whole time).
+		ready := s.Readiness()
+		status := http.StatusOK
+		if !ready.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, ready)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
@@ -91,6 +104,14 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/suite", func(w http.ResponseWriter, r *http.Request) {
 		resp, err := s.Suite(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/partial", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := s.Partial(r.Context(), splitList(r.URL.Query().Get("bench")))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -251,11 +272,17 @@ func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var inv *InvalidRequestError
 	var quarantined *QuarantinedError
+	var overloaded *OverloadedError
 	switch {
 	case errors.As(err, &inv):
 		status = http.StatusBadRequest
+	case errors.As(err, &overloaded):
+		// Shed by admission control: tell the client when to come back,
+		// derived from the queue depth and observed latency at shed time.
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(overloaded.RetryAfter.Seconds()))))
+		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrOverloaded):
-		// Shed by admission control: tell the client when to come back.
+		// A bare sentinel (no load context attached): keep the old hint.
 		w.Header().Set("Retry-After", "1")
 		status = http.StatusTooManyRequests
 	case errors.As(err, &quarantined):

@@ -51,6 +51,17 @@ func (m *Metrics) observeLatency(d time.Duration) {
 	m.latSum += ms
 }
 
+// meanLatency returns the mean observed simulation latency (0 before the
+// first observation); the pool's load-aware Retry-After hint keys off it.
+func (m *Metrics) meanLatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latCount == 0 {
+		return 0
+	}
+	return time.Duration(m.latSum / float64(m.latCount) * float64(time.Millisecond))
+}
+
 // LatencySnapshot summarizes observed simulation latencies in milliseconds.
 type LatencySnapshot struct {
 	Count      uint64  `json:"count"`

@@ -1,0 +1,100 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Liveness and readiness are split: /healthz stays 200 through a drain
+// (the process is alive) while /readyz flips to 503 so a gateway can
+// rotate the shard out before Close() finishes.
+func TestHTTPReadyzDrain(t *testing.T) {
+	s, srv := testServer(t)
+
+	var r Readiness
+	if resp := getJSON(t, srv.URL+"/readyz", &r); resp.StatusCode != 200 || !r.Ready || r.Status != "ready" {
+		t.Fatalf("readyz before drain: %d %+v", resp.StatusCode, r)
+	}
+
+	s.Drain()
+
+	if resp := getJSON(t, srv.URL+"/readyz", &r); resp.StatusCode != 503 || r.Ready || r.Status != "draining" {
+		t.Fatalf("readyz after drain: %d %+v", resp.StatusCode, r)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != 200 || health.Status != "ok" {
+		t.Fatalf("healthz after drain: %d %+v (liveness must survive a drain)", resp.StatusCode, health)
+	}
+
+	// Draining is advisory: the shard still answers work until Close().
+	if _, err := s.Simulate(context.Background(), Request{Bench: "g711dec", Model: s.Models()[0]}); err != nil {
+		t.Fatalf("simulate while draining: %v", err)
+	}
+}
+
+// A shed pool attaches a load-derived Retry-After hint instead of the old
+// fixed 1s: depth × mean latency / workers, clamped to [1s, 30s].
+func TestPoolShedRetryAfterHint(t *testing.T) {
+	p, m := testPool(t, 1, 1)
+	block := make(chan struct{})
+	defer close(block)
+
+	// Seed the latency registry with a known mean so the hint is
+	// predictable: 4 seconds of observed work per job on 1 worker.
+	m.observeLatency(4 * time.Second)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.do(context.Background(), func() { <-block }) }() // runs
+	time.Sleep(10 * time.Millisecond)
+	go func() { defer wg.Done(); p.do(context.Background(), func() {}) }() // queued
+	time.Sleep(10 * time.Millisecond)
+
+	err := p.do(context.Background(), func() {})
+	var overloaded *OverloadedError
+	if !errors.As(err, &overloaded) {
+		t.Fatalf("shed error = %v, want *OverloadedError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("OverloadedError must unwrap to ErrOverloaded")
+	}
+	// One job queued ahead at 4s mean on one worker: hint is 4s.
+	if overloaded.RetryAfter != 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want 4s", overloaded.RetryAfter)
+	}
+}
+
+// The hint is clamped: a deep queue never tells clients to go away for
+// minutes, and an idle registry still suggests at least a second.
+func TestRetryAfterHintClamps(t *testing.T) {
+	p, m := testPool(t, 1, -1)
+	if got := p.retryAfterHint(0); got != time.Second {
+		t.Fatalf("hint(0) = %v, want 1s floor", got)
+	}
+	m.observeLatency(10 * time.Second)
+	if got := p.retryAfterHint(1000); got != maxRetryAfterHint {
+		t.Fatalf("hint(1000) = %v, want %v cap", got, maxRetryAfterHint)
+	}
+}
+
+// The HTTP layer surfaces the hint as a Retry-After header, whole seconds
+// rounded up; the bare sentinel keeps the legacy fixed hint.
+func TestWriteErrorRetryAfterHeader(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, &OverloadedError{RetryAfter: 7 * time.Second})
+	if rec.Code != 429 || rec.Header().Get("Retry-After") != "7" {
+		t.Fatalf("overloaded: %d Retry-After=%q, want 429 / 7", rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, ErrOverloaded)
+	if rec.Code != 429 || rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("bare sentinel: %d Retry-After=%q, want 429 / 1", rec.Code, rec.Header().Get("Retry-After"))
+	}
+}

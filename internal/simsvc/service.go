@@ -104,6 +104,7 @@ type Service struct {
 	metrics  Metrics
 	start    time.Time
 	closed   atomic.Bool
+	draining atomic.Bool
 	inflight sync.WaitGroup
 
 	rcOnce   sync.Once
@@ -176,11 +177,52 @@ func (s *Service) end() { s.inflight.Done() }
 // ErrClosed, every in-flight request is drained to completion, and only
 // then are the pool workers stopped. Safe to call more than once.
 func (s *Service) Close() {
+	s.draining.Store(true)
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
 	s.inflight.Wait()
 	s.pool.close()
+}
+
+// Drain marks the service as draining without refusing work: /readyz starts
+// failing so load balancers (the siggate rotation) stop sending new
+// requests, while everything already arriving is still served. Call it
+// ahead of Close so the fleet routes around this shard before the final
+// refuse-and-wait; Close itself also sets it.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// Draining reports whether a drain (or close) has begun.
+func (s *Service) Draining() bool { return s.draining.Load() || s.closed.Load() }
+
+// Readiness is the /readyz payload: whether this shard should receive new
+// work, and why not.
+type Readiness struct {
+	Ready      bool   `json:"ready"`
+	Status     string `json:"status"` // "ready" | "draining" | "overloaded"
+	QueueDepth int64  `json:"queueDepth"`
+	MaxQueued  int64  `json:"maxQueued"` // <=0: unbounded
+}
+
+// Readiness reports whether the service can usefully accept new work:
+// false while draining/closed, and false while the admission queue is at
+// its shed threshold (new externally-admitted work would only be 429ed).
+// Liveness (/healthz) is separate and stays true through both.
+func (s *Service) Readiness() Readiness {
+	r := Readiness{
+		QueueDepth: s.metrics.queued.Load(),
+		MaxQueued:  s.pool.maxQueued,
+	}
+	switch {
+	case s.Draining():
+		r.Status = "draining"
+	case r.MaxQueued > 0 && r.QueueDepth >= r.MaxQueued:
+		r.Status = "overloaded"
+	default:
+		r.Ready = true
+		r.Status = "ready"
+	}
+	return r
 }
 
 // Workers returns the worker-pool size.
@@ -237,19 +279,20 @@ func (r Request) key() string { return fmt.Sprintf("%s|%s|%d", r.Bench, r.Model,
 // (ElapsedMS is always the underlying simulation's execution time); only
 // Cached is per-serve.
 type Response struct {
-	Bench       string                   `json:"bench"`
-	Model       string                   `json:"model,omitempty"`
-	Granularity int                      `json:"granularity,omitempty"`
-	Insts       uint64                   `json:"instructions"`
-	Cycles      uint64                   `json:"cycles,omitempty"`
-	CPI         float64                  `json:"cpi,omitempty"`
-	Stalls      map[string]uint64        `json:"stalls,omitempty"`
-	Activity    map[string]float64       `json:"activitySaving,omitempty"`
-	Full        *experiments.BenchJSON   `json:"full,omitempty"`
-	Suite       *experiments.JSONResults `json:"suite,omitempty"` // /v1/suite only
-	Cached      bool                     `json:"cached"`
-	ElapsedMS   float64                  `json:"elapsedMillis"`
-	Error       string                   `json:"error,omitempty"` // sweep stream only
+	Bench       string                    `json:"bench"`
+	Model       string                    `json:"model,omitempty"`
+	Granularity int                       `json:"granularity,omitempty"`
+	Insts       uint64                    `json:"instructions"`
+	Cycles      uint64                    `json:"cycles,omitempty"`
+	CPI         float64                   `json:"cpi,omitempty"`
+	Stalls      map[string]uint64         `json:"stalls,omitempty"`
+	Activity    map[string]float64        `json:"activitySaving,omitempty"`
+	Full        *experiments.BenchJSON    `json:"full,omitempty"`
+	Suite       *experiments.JSONResults  `json:"suite,omitempty"`   // /v1/suite only
+	Partial     *experiments.PartialSuite `json:"partial,omitempty"` // /v1/partial only (cluster fan-in)
+	Cached      bool                      `json:"cached"`
+	ElapsedMS   float64                   `json:"elapsedMillis"`
+	Error       string                    `json:"error,omitempty"` // sweep stream only
 }
 
 // InvalidRequestError reports a malformed or unknown-entity request; the

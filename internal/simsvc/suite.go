@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/icomp"
 )
 
 // suiteKey is the cache/singleflight identity of the full-suite evaluation.
@@ -59,25 +60,27 @@ func (s *Service) Suite(ctx context.Context) (*Response, error) {
 	return serveCopy(resp, false), nil
 }
 
-// runSuite performs the parallel full evaluation: one pool job per
-// benchmark, each with its own SuiteCollectors, merged in suite order.
-func (s *Service) runSuite(ctx context.Context) (*Response, error) {
-	rc, functs, err := s.recoderProfile()
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
+// benchOut is one benchmark's share of a (full or partial) suite
+// evaluation: its encoded result and its private suite-level collectors,
+// merged in suite order afterwards.
+type benchOut struct {
+	br   experiments.BenchResult
+	cols *experiments.SuiteCollectors
+}
+
+// evalBenches fans the per-benchmark full evaluation across the worker
+// pool — one job per benchmark, each with its own SuiteCollectors, under
+// the breaker and transient-retry policy — and returns the outputs in
+// benches order. It is the shared unit under both the single-process suite
+// (runSuite) and the cluster's scattered partial evaluation (runPartial).
+func (s *Service) evalBenches(ctx context.Context, rc *icomp.Recoder, benches []bench.Benchmark) ([]benchOut, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type benchOut struct {
-		br   experiments.BenchResult
-		cols *experiments.SuiteCollectors
-	}
-	outs := make([]benchOut, len(s.benches))
-	errs := make([]error, len(s.benches))
+	outs := make([]benchOut, len(benches))
+	errs := make([]error, len(benches))
 	var wg sync.WaitGroup
-	for i, b := range s.benches {
+	for i, b := range benches {
 		wg.Add(1)
 		go func(i int, b bench.Benchmark) {
 			defer wg.Done()
@@ -155,6 +158,21 @@ func (s *Service) runSuite(ctx context.Context) (*Response, error) {
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// runSuite performs the parallel full evaluation over the served suite and
+// assembles the complete results document.
+func (s *Service) runSuite(ctx context.Context) (*Response, error) {
+	rc, functs, err := s.recoderProfile()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	outs, err := s.evalBenches(ctx, rc, s.benches)
+	if err != nil {
+		return nil, err
 	}
 
 	master := experiments.NewSuiteCollectors()

@@ -34,100 +34,61 @@ type sweepItem struct {
 	err          error
 }
 
-// Sweep fans every (benchmark × model) pair out across the worker pool at
-// the given granularity and calls emit for each result as it completes
-// (completion order, one goroutine). Empty benches/models select the full
-// served suite / every model. Per-job failures become Responses with Error
-// set and are tallied in the summary; emit returning an error, or ctx
-// ending, aborts the sweep.
-func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string, emit func(*Response) error) (*SweepSummary, error) {
-	if err := s.begin(); err != nil {
-		return nil, err
-	}
-	defer s.end()
-	if len(benches) == 0 {
-		for _, b := range s.benches {
-			benches = append(benches, b.Name)
-		}
-	}
-	if len(models) == 0 {
-		models = s.Models()
-	}
-	if gran == 0 {
-		gran = 1
-	}
-	// Validate the whole grid up front so a bad name fails fast instead of
-	// surfacing mid-stream.
-	for _, bn := range benches {
-		for _, mn := range models {
-			if _, err := s.validate(Request{Bench: bn, Model: mn, Gran: gran}); err != nil {
-				return nil, err
-			}
-		}
-	}
+// SweepAccumulator folds completed (benchmark × model) results into a
+// SweepSummary. It is the single summary implementation behind both the
+// in-process Sweep and the cluster gateway's scattered sweep, so a sweep
+// fanned over shards summarizes exactly like a local one. Not safe for
+// concurrent use: callers feed it from one collector goroutine.
+type SweepAccumulator struct {
+	gran            int
+	benches, models []string
+	sum             *SweepSummary
+	cpi             map[string]map[string]float64 // bench -> model -> CPI
+	start           time.Time
+}
 
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	start := time.Now()
-
-	ch := make(chan sweepItem)
-	var wg sync.WaitGroup
-	for _, bn := range benches {
-		for _, mn := range models {
-			wg.Add(1)
-			go func(bn, mn string) {
-				defer wg.Done()
-				// Internal admission: this burst belongs to one already-
-				// admitted sweep, so its jobs are not load-shed.
-				resp, err := s.simulate(ctx, Request{Bench: bn, Model: mn, Gran: gran}, false)
-				select {
-				case ch <- sweepItem{bench: bn, model: mn, resp: resp, err: err}:
-				case <-ctx.Done():
-				}
-			}(bn, mn)
-		}
+// NewSweepAccumulator starts a summary over the given grid (benches and
+// models give the table's row/column order).
+func NewSweepAccumulator(gran int, benches, models []string) *SweepAccumulator {
+	return &SweepAccumulator{
+		gran:    gran,
+		benches: benches,
+		models:  models,
+		sum:     &SweepSummary{MeanCPI: make(map[string]float64)},
+		cpi:     make(map[string]map[string]float64, len(benches)),
+		start:   time.Now(),
 	}
-	go func() {
-		wg.Wait()
-		close(ch)
-	}()
+}
 
-	sum := &SweepSummary{MeanCPI: make(map[string]float64)}
-	cpi := make(map[string]map[string]float64, len(benches)) // bench -> model -> CPI
-	for it := range ch {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+// Add records one completed unit and returns the emit-ready Response: the
+// result itself on success, or an error Response carrying err for the
+// NDJSON stream on failure.
+func (a *SweepAccumulator) Add(bench, model string, resp *Response, err error) *Response {
+	a.sum.Jobs++
+	if err != nil {
+		a.sum.Failed++
+		if a.sum.FailedByModel == nil {
+			a.sum.FailedByModel = make(map[string]int)
 		}
-		sum.Jobs++
-		resp := it.resp
-		if it.err != nil {
-			sum.Failed++
-			if sum.FailedByModel == nil {
-				sum.FailedByModel = make(map[string]int)
-			}
-			sum.FailedByModel[it.model]++
-			resp = &Response{Bench: it.bench, Model: it.model, Granularity: gran, Error: it.err.Error()}
-		} else {
-			if resp.Cached {
-				sum.Cached++
-			}
-			if cpi[it.bench] == nil {
-				cpi[it.bench] = make(map[string]float64, len(models))
-			}
-			cpi[it.bench][it.model] = resp.CPI
-		}
-		if emit != nil {
-			if err := emit(resp); err != nil {
-				cancel()
-				return nil, err
-			}
-		}
+		a.sum.FailedByModel[model]++
+		return &Response{Bench: bench, Model: model, Granularity: a.gran, Error: err.Error()}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if resp.Cached {
+		a.sum.Cached++
 	}
+	if a.cpi[bench] == nil {
+		a.cpi[bench] = make(map[string]float64, len(a.models))
+	}
+	a.cpi[bench][model] = resp.CPI
+	return resp
+}
 
-	t := stats.NewTable(fmt.Sprintf("Sweep CPI (granularity %d)", gran), append([]string{"benchmark"}, models...)...)
+// Summary finalizes and returns the sweep summary: per-model means over
+// the benchmarks where every model succeeded, and the CPI table in the
+// layout of the paper's figures.
+func (a *SweepAccumulator) Summary() *SweepSummary {
+	sum, cpi, models, benches := a.sum, a.cpi, a.models, a.benches
+	t := stats.NewTable(fmt.Sprintf("Sweep CPI (granularity %d)", a.gran), append([]string{"benchmark"}, models...)...)
 	// Means are taken over the benchmarks where every model succeeded, so
 	// per-model averages cover the same subset and stay comparable; a model
 	// with no complete benchmark gets no mean at all (rendered "err"),
@@ -173,6 +134,82 @@ func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string,
 	}
 	t.AddStringRow(avg...)
 	sum.CPITable = t.JSON()
-	sum.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	return sum, nil
+	sum.ElapsedMS = float64(time.Since(a.start)) / float64(time.Millisecond)
+	return sum
+}
+
+// Sweep fans every (benchmark × model) pair out across the worker pool at
+// the given granularity and calls emit for each result as it completes
+// (completion order, one goroutine). Empty benches/models select the full
+// served suite / every model. Per-job failures become Responses with Error
+// set and are tallied in the summary; emit returning an error, or ctx
+// ending, aborts the sweep.
+func (s *Service) Sweep(ctx context.Context, gran int, benches, models []string, emit func(*Response) error) (*SweepSummary, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	if len(benches) == 0 {
+		for _, b := range s.benches {
+			benches = append(benches, b.Name)
+		}
+	}
+	if len(models) == 0 {
+		models = s.Models()
+	}
+	if gran == 0 {
+		gran = 1
+	}
+	// Validate the whole grid up front so a bad name fails fast instead of
+	// surfacing mid-stream.
+	for _, bn := range benches {
+		for _, mn := range models {
+			if _, err := s.validate(Request{Bench: bn, Model: mn, Gran: gran}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan sweepItem)
+	var wg sync.WaitGroup
+	for _, bn := range benches {
+		for _, mn := range models {
+			wg.Add(1)
+			go func(bn, mn string) {
+				defer wg.Done()
+				// Internal admission: this burst belongs to one already-
+				// admitted sweep, so its jobs are not load-shed.
+				resp, err := s.simulate(ctx, Request{Bench: bn, Model: mn, Gran: gran}, false)
+				select {
+				case ch <- sweepItem{bench: bn, model: mn, resp: resp, err: err}:
+				case <-ctx.Done():
+				}
+			}(bn, mn)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	acc := NewSweepAccumulator(gran, benches, models)
+	for it := range ch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp := acc.Add(it.bench, it.model, it.resp, it.err)
+		if emit != nil {
+			if err := emit(resp); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return acc.Summary(), nil
 }
