@@ -27,6 +27,11 @@
 //	                       traces (capture once, replay for every model;
 //	                       0 = 256 MB default, negative disables replay and
 //	                       re-interprets every request)
+//	-trace-dir DIR         back the trace cache with a SIGCAP01 capture
+//	                       directory: new captures persist there, evicted
+//	                       captures demote to disk, and cache misses reload
+//	                       from it — shards sharing DIR (or a restarted
+//	                       daemon) start warm instead of re-interpreting
 //	-pprof                 mount net/http/pprof under /debug/pprof/
 //
 // Resilience flags:
@@ -73,6 +78,8 @@ func main() {
 		"consecutive failures before a (bench, model) pair is quarantined (0 = disabled)")
 	traceCacheMB := flag.Int("trace-cache-mb", 0,
 		"captured-trace LRU budget in MB (0 = 256 MB default, <0 disables capture/replay)")
+	traceDir := flag.String("trace-dir", "",
+		"directory for persisted SIGCAP01 captures (spill on evict, reload on miss; empty = in-memory only)")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second,
 		"how long to stay up (unready but serving) after SIGTERM so load balancers rotate the shard out")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
@@ -98,6 +105,7 @@ func main() {
 		Retries:          *retries,
 		BreakerThreshold: *breakerThreshold,
 		TraceCacheMB:     *traceCacheMB,
+		TraceDir:         *traceDir,
 		Faults:           faults,
 	})
 	defer svc.Close()

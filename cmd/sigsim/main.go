@@ -10,6 +10,7 @@
 //	sigsim -bench crc32 -json         # machine-readable (sigserve schema)
 //	sigsim -bench all -parallel 4     # full-suite evaluation, 4 workers
 //	sigsim -bench all -replay=false   # re-interpret per model (reference path)
+//	sigsim -bench crc32 -capture-dir ./caps   # persist/reuse SIGCAP01 captures
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/activity"
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -37,6 +39,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "benchmark-level worker count for -bench all (1 = sequential)")
 	replay := flag.Bool("replay", true,
 		"for -bench all: interpret each benchmark once and replay the captured trace per model (false = re-interpret, the reference path)")
+	captureDir := flag.String("capture-dir", "",
+		"SIGCAP01 capture directory: replay a single -bench from its persisted capture, interpreting and persisting it on first use")
 	list := flag.Bool("list", false, "list benchmarks and models")
 	flag.Parse()
 
@@ -83,10 +87,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -capture-dir the job replays a persisted capture over column
+	// blocks (interpreting and persisting it on first use); otherwise it
+	// interprets live. Both paths are bit-identical.
+	var (
+		cp     *trace.Capture
+		runMem *mem.Memory
+	)
 	c, err := b.NewCPU()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
 		os.Exit(1)
+	}
+	runMem = c.Mem
+	if *captureDir != "" {
+		cp, err = loadOrCapture(*captureDir, b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
+		// The collectors read program memory; give them a fresh image the
+		// replay applies the captured stores to.
+		runMem, err = cp.NewMemory()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	consumers := make([]trace.Consumer, 0, len(models)+2)
 	var timeline *pipeline.Timeline
@@ -100,24 +126,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sigsim: -pipe requires a single -model")
 		os.Exit(2)
 	}
-	byteCol := activity.NewCollector(1, rc, c.Mem)
+	byteCol := activity.NewCollector(1, rc, runMem)
 	consumers = append(consumers, byteCol)
 	var halfCol *activity.Collector
 	if *jsonOut {
 		// The shared schema reports both granularities.
-		halfCol = activity.NewCollector(2, rc, c.Mem)
+		halfCol = activity.NewCollector(2, rc, runMem)
 		consumers = append(consumers, halfCol)
 	}
 
-	if err := trace.RunOn(c, b, rc, consumers...); err != nil {
-		fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
-		os.Exit(1)
+	retired := uint64(0)
+	if cp != nil {
+		if err := cp.ReplayBlocksOn(context.Background(), runMem, rc, consumers...); err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
+		retired = uint64(cp.Len())
+	} else {
+		if err := trace.RunOn(c, b, rc, consumers...); err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
+		retired = c.Retired
 	}
 
 	if *jsonOut {
 		br := experiments.BenchResult{
 			Name:    b.Name,
-			Insts:   c.Retired,
+			Insts:   retired,
 			CPI:     make(map[string]float64),
 			ByteAct: byteCol.Counts(),
 			HalfAct: halfCol.Counts(),
@@ -135,7 +171,7 @@ func main() {
 	}
 
 	fmt.Printf("benchmark %s: %d instructions, checksum %#08x verified\n\n",
-		b.Name, c.Retired, b.Checksum)
+		b.Name, retired, b.Checksum)
 
 	if timeline != nil {
 		fmt.Print(timeline.Render())
@@ -184,6 +220,27 @@ func main() {
 		at.AddStringRow(s, stats.Pct(row[i]))
 	}
 	fmt.Println(at.String())
+}
+
+// loadOrCapture resolves b's capture through dir: a valid persisted
+// SIGCAP01 file is reused, anything else (missing, corrupt, wrong suite
+// build) falls back to interpreting, and a fresh capture is persisted for
+// next time.
+func loadOrCapture(dir string, b bench.Benchmark) (*trace.Capture, error) {
+	path := trace.CaptureFilePath(dir, b.Name)
+	if cp, err := trace.ReadCaptureFile(path); err == nil &&
+		cp.Bench().Name == b.Name && cp.Bench().Checksum == b.Checksum {
+		fmt.Fprintf(os.Stderr, "sigsim: replaying persisted capture %s\n", path)
+		return cp, nil
+	}
+	cp, err := trace.CaptureRun(context.Background(), b)
+	if err != nil {
+		return nil, err
+	}
+	if p, err := trace.WriteCaptureFile(dir, cp); err == nil {
+		fmt.Fprintf(os.Stderr, "sigsim: persisted capture to %s\n", p)
+	}
+	return cp, nil
 }
 
 // runSuite executes the full evaluation (every benchmark through every

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/activity"
 	"repro/internal/bench"
@@ -103,7 +105,11 @@ func doReplay(path, modelName string) error {
 	patterns := activity.NewPatternStats()
 	consumers = append(consumers, patterns)
 
-	n, err := r.Replay(rc, consumers...)
+	// Interrupt aborts the replay between records instead of leaving the
+	// process to grind through the rest of a long trace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	n, err := r.ReplayCtx(ctx, rc, consumers...)
 	if err != nil {
 		return err
 	}

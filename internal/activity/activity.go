@@ -274,56 +274,58 @@ func (c *Collector) Consume(e trace.Event) {
 	c.counts.Latch.Add(baselineLatch, latchComp)
 }
 
-func (c *Collector) srcBlocksA(e trace.Event) int {
+// storedBlocks selects the stored-block count for a register-file or
+// write-back value under the collector's granularity and scheme: the
+// annotated halfword count at g=2, a fresh byte count of the raw value under
+// the 2-bit scheme, the annotated 3-bit byte count otherwise.
+func (c *Collector) storedBlocks(bytes3, halves int, raw uint32) int {
 	if c.g == 2 {
-		return e.SrcHalvesA
+		return halves
 	}
 	if c.scheme == Scheme2 {
-		return sig.SigBytes(e.SrcA)
+		return sig.SigBytes(raw)
 	}
-	return e.SrcBytesA
+	return bytes3
+}
+
+func (c *Collector) srcBlocksA(e trace.Event) int {
+	return c.storedBlocks(e.SrcBytesA, e.SrcHalvesA, e.SrcA)
 }
 
 func (c *Collector) srcBlocksB(e trace.Event) int {
+	return c.storedBlocks(e.SrcBytesB, e.SrcHalvesB, e.SrcB)
+}
+
+// memBlocksVal returns the significant units a data access of the given
+// width moves for value v under the collector's scheme.
+func (c *Collector) memBlocksVal(memBytes, memHalves int, v uint32, width int) int {
 	if c.g == 2 {
-		return e.SrcHalvesB
+		return memHalves
 	}
 	if c.scheme == Scheme2 {
-		return sig.SigBytes(e.SrcB)
+		n := sig.SigBytes(v)
+		if n > width {
+			n = width
+		}
+		return n
 	}
-	return e.SrcBytesB
+	return memBytes
 }
 
 // memBlocks returns the significant units the D-cache data access moves
 // under the collector's scheme.
 func (c *Collector) memBlocks(e trace.Event) int {
-	if c.g == 2 {
-		return e.MemHalves
+	v := e.Loaded
+	if e.Inst.IsStore() {
+		v = e.StoreVal
 	}
-	if c.scheme == Scheme2 {
-		v := e.Loaded
-		if e.Inst.IsStore() {
-			v = e.StoreVal
-		}
-		n := sig.SigBytes(v)
-		if n > e.MemWidth {
-			n = e.MemWidth
-		}
-		return n
-	}
-	return e.MemBytes
+	return c.memBlocksVal(e.MemBytes, e.MemHalves, v, e.MemWidth)
 }
 
 // wbBlocks returns the significant units written back under the collector's
 // scheme.
 func (c *Collector) wbBlocks(e trace.Event) int {
-	if c.g == 2 {
-		return e.WBHalves
-	}
-	if c.scheme == Scheme2 {
-		return sig.SigBytes(e.Result)
-	}
-	return e.WBBytes
+	return c.storedBlocks(e.WBBytes, e.WBHalves, e.Result)
 }
 
 // exOutBlocks estimates the significant blocks leaving the EX stage: the

@@ -38,7 +38,9 @@ func CacheSweep(sizes []int) (*stats.Table, error) {
 			cfg.L1D.Size = size
 			base := pipeline.NewBaseline32().SetHierarchy(cfg)
 			serial := pipeline.NewByteSerial().SetHierarchy(cfg)
-			if err := cp.Replay(ctx, rc, base, serial); err != nil {
+			// Batch replay with no memory image: timing models never read
+			// program memory, so the stores need not be applied anywhere.
+			if err := cp.ReplayBlocks(ctx, rc, base, serial); err != nil {
 				return nil, err
 			}
 			baseSums[i] += base.Result().CPI()

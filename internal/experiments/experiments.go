@@ -211,14 +211,16 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 // interpreter: the capture is replayed (bit-identically — see
 // internal/trace) into exactly the same consumer set, over a fresh memory
 // image the replay's stores are applied to. One capture serves any number
-// of RunBenchReplay calls, concurrently if desired.
+// of RunBenchReplay calls, concurrently if desired. Replay goes through the
+// batch engine: the timing models and activity collectors consume column
+// blocks (trace.BatchConsumer), any other consumer rides the scalar shim.
 func RunBenchReplay(ctx context.Context, cp *trace.Capture, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
 	m, err := cp.NewMemory()
 	if err != nil {
 		return BenchResult{}, err
 	}
 	br, err := evalBench(cp.Bench().Name, rc, m, suite, func(consumers []trace.Consumer) error {
-		return cp.ReplayOn(ctx, m, rc, consumers...)
+		return cp.ReplayBlocksOn(ctx, m, rc, consumers...)
 	})
 	if err != nil {
 		return BenchResult{}, err

@@ -249,3 +249,13 @@ func (r *Recoder) FetchBits(raw uint32) int {
 
 // IsCompact reports whether funct has one of the eight f2=000 encodings.
 func (r *Recoder) IsCompact(fn isa.Funct) bool { return r.enc[fn&0x3f]&0x7 == 0 }
+
+// Profile is a Recoder's complete behavioral identity: the function-code
+// encoding table. Two Recoders with equal Profiles encode, decode, and size
+// every instruction identically, so Profile is the right memoization key for
+// anything derived from a recoding (the capture replay engine keys its
+// per-slot fetch-size tables by it, collapsing recoder churn).
+type Profile [64]uint8
+
+// Profile returns the recoder's encoding table as a comparable value.
+func (r *Recoder) Profile() Profile { return r.enc }

@@ -1,0 +1,520 @@
+// Batch consumption: trace.BatchConsumer implementation for the timing
+// models.
+//
+// The scalar Consume path is the reference implementation: it materializes
+// occupancy/latency slices per event, evaluates the spec's closures on a
+// by-value Event, and tallies stalls in a map. Those per-event costs are
+// what batch replay exists to remove, so ConsumeBlock runs the same
+// scheduling algorithm against reusable scratch: per-model kernels compute
+// each row's stage costs directly from the capture columns (packed sig word
+// + a per-slot static table), stalls accumulate in a fixed array that is
+// merged into the map once per block, and no Event is ever built on the
+// fast path. The kernels mirror the spec closures in models.go exactly;
+// TestConsumeBlockMatchesConsume pins the two paths cycle-for-cycle across
+// every model and benchmark.
+//
+// Models without a kernel (the ablation alternates in alternates.go, or any
+// model with a Timeline observer attached) fall back to EventAt + Consume,
+// which is always correct.
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Model kinds select the batch kernel; kindGeneric falls back to the scalar
+// path. Set by the constructors in models.go.
+const (
+	kindGeneric = iota
+	kindBaseline32
+	kindByteSerial
+	kindHalfSerial
+	kindSemiParallel
+	kindSkewed
+	kindSkewedBypass
+	kindCompressed
+)
+
+// maxStages bounds the scratch arrays (semiparallel has six stages).
+const maxStages = 6
+
+// Stall-kind indices for array accumulation on the batch path.
+const (
+	stBranch = iota
+	stICache
+	stDCache
+	stData
+	stStructEX
+	stStructRF
+	stStructMEM
+	stStructWB
+	stStructIF
+	nStallKinds
+)
+
+// stallKinds maps the array indices back to the exported stall buckets.
+var stallKinds = [nStallKinds]StallKind{
+	StallBranch, StallICache, StallDCache, StallData,
+	StallStructEX, StallStructRF, StallStructMEM, StallStructWB, StallStructIF,
+}
+
+// structIdx is the array-index twin of spec.structKind.
+func (s *spec) structIdx(stage int) uint8 {
+	switch {
+	case stage == 0:
+		return stStructIF
+	case stage == s.exStage:
+		return stStructEX
+	case stage == s.memStage:
+		return stStructMEM
+	case stage == s.wbStage:
+		return stStructWB
+	default:
+		return stStructRF
+	}
+}
+
+type slotFlags uint16
+
+const (
+	sfReadsA slotFlags = 1 << iota
+	sfReadsB
+	sfHasDest
+	sfIsStore
+	sfIsLoad
+	sfIsMem
+	sfWritesHILO
+	sfIsBranch
+	sfIsJReg   // JR/JALR: resolves in EX like a branch
+	sfIsJDir   // J/JAL: redirects at the end of decode
+	sfIsMFHILO // MFHI/MFLO: serialized on the HI/LO horizon
+	sfIsJump   // any jump: operands must be complete (operandReady)
+)
+
+// slotInfo is the batch path's per-statics-slot digest of everything the
+// scheduler needs that is static per instruction word, including the
+// recoder-dependent fetch size of the current replay.
+type slotInfo struct {
+	flags    slotFlags
+	dest     uint8
+	rs, rt   uint8
+	memWidth uint8
+	ifb      uint8
+	simm     uint32
+}
+
+// rowDyn carries one row's computed stage costs from the kernel to the
+// scheduler. Entries a model's kernel never writes stay zero for the
+// model's lifetime (a Model has exactly one kind).
+type rowDyn struct {
+	occ      [maxStages]int
+	lat      [maxStages]int
+	skipped  [maxStages]bool
+	exSlices int // cycles after EX entry until the full result exists
+	brDelta  int // >= 0: resolve at exEnter+brDelta; -1: at end of EX
+	pc       uint32
+	nextPC   uint32
+	addr     uint32
+	taken    bool
+}
+
+// batchState is the Model's reusable batch scratch.
+type batchState struct {
+	staticsID *trace.Static // identity of the table slots was built from
+	ifbID     *uint8
+	slots     []slotInfo
+	structIdx [maxStages]uint8
+	stalls    [nStallKinds]uint64
+	d         rowDyn
+}
+
+func (m *Model) ensureBatch(blk *trace.Block) *batchState {
+	bs := m.batch
+	if bs == nil {
+		bs = &batchState{}
+		for i := range m.spec.stages {
+			bs.structIdx[i] = m.spec.structIdx(i)
+		}
+		m.batch = bs
+	}
+	var sid *trace.Static
+	if len(blk.Statics) > 0 {
+		sid = &blk.Statics[0]
+	}
+	var iid *uint8
+	if len(blk.IFB) > 0 {
+		iid = &blk.IFB[0]
+	}
+	if bs.staticsID != sid || bs.ifbID != iid || len(bs.slots) != len(blk.Statics) {
+		bs.buildSlots(blk)
+		bs.staticsID, bs.ifbID = sid, iid
+	}
+	return bs
+}
+
+func (bs *batchState) buildSlots(blk *trace.Block) {
+	if cap(bs.slots) < len(blk.Statics) {
+		bs.slots = make([]slotInfo, len(blk.Statics))
+	}
+	bs.slots = bs.slots[:len(blk.Statics)]
+	for i := range blk.Statics {
+		st := &blk.Statics[i]
+		in := st.Inst
+		var fl slotFlags
+		if st.ReadsA {
+			fl |= sfReadsA
+		}
+		if st.ReadsB {
+			fl |= sfReadsB
+		}
+		if st.HasDest {
+			fl |= sfHasDest
+		}
+		if st.IsStore {
+			fl |= sfIsStore
+		}
+		if in.IsLoad() {
+			fl |= sfIsLoad
+		}
+		if st.MemWidth > 0 {
+			fl |= sfIsMem
+		}
+		if in.WritesHILO() {
+			fl |= sfWritesHILO
+		}
+		if in.IsBranch() {
+			fl |= sfIsBranch
+		}
+		if in.IsJump() {
+			fl |= sfIsJump
+		}
+		if in.Op == isa.OpSpecial {
+			switch in.Funct {
+			case isa.FnJR, isa.FnJALR:
+				fl |= sfIsJReg
+			case isa.FnMFHI, isa.FnMFLO:
+				fl |= sfIsMFHILO
+			}
+		}
+		if in.Op == isa.OpJ || in.Op == isa.OpJAL {
+			fl |= sfIsJDir
+		}
+		bs.slots[i] = slotInfo{
+			flags:    fl,
+			dest:     uint8(st.Dest),
+			rs:       uint8(in.Rs),
+			rt:       uint8(in.Rt),
+			memWidth: st.MemWidth,
+			ifb:      blk.IFB[i],
+			simm:     st.Simm,
+		}
+	}
+}
+
+// ConsumeBlock implements trace.BatchConsumer: schedules every row of the
+// block, bit-identical to feeding the rows through Consume one by one.
+func (m *Model) ConsumeBlock(blk *trace.Block) {
+	if m.spec.kind == kindGeneric || m.observer != nil {
+		// Reference fallback: reconstruct events and run the scalar path.
+		var ev trace.Event
+		for i := range blk.Slot {
+			blk.EventAt(i, &ev)
+			m.Consume(ev)
+		}
+		return
+	}
+	bs := m.ensureBatch(blk)
+	d := &bs.d
+	n := len(blk.Slot)
+	for i := 0; i < n; i++ {
+		sw := blk.Slot[i]
+		si := &bs.slots[sw&trace.SlotMask]
+		d.pc = blk.PC[i]
+		if i+1 < n {
+			d.nextPC = blk.PC[i+1]
+		} else {
+			d.nextPC = blk.EndNextPC
+		}
+		d.taken = sw&trace.TakenBit != 0
+		if si.flags&sfIsMem != 0 {
+			d.addr = blk.SrcA[i] + si.simm
+		}
+		m.rowCosts(si, trace.PackedSig(blk.Sig[i]), d)
+		m.stepRow(si, d, bs)
+	}
+	// Merge the block's stall tallies into the map once.
+	for i, v := range bs.stalls {
+		if v > 0 {
+			m.stalls[stallKinds[i]] += v
+			bs.stalls[i] = 0
+		}
+	}
+}
+
+// rowCosts fills d's stage costs for one row. Each case mirrors the spec
+// closures of the corresponding constructor in models.go; keep them in
+// lockstep (pinned by TestConsumeBlockMatchesConsume).
+func (m *Model) rowCosts(si *slotInfo, sg trace.PackedSig, d *rowDyn) {
+	switch m.spec.kind {
+	case kindBaseline32:
+		d.occ[0], d.occ[1], d.occ[2], d.occ[3], d.occ[4] = 1, 1, 1, 1, 1
+		d.exSlices = 1
+		d.brDelta = -1
+
+	case kindByteSerial, kindHalfSerial:
+		var msb, alu, mo, wb int
+		if m.spec.kind == kindByteSerial {
+			msb, alu = sg.MaxSrcBytes(), sg.ALUOps()
+			mo, wb = sg.MemBytes(), sg.WBBytes()
+		} else {
+			msb, alu = sg.MaxSrcHalves(), sg.ALUHalfOps()
+			mo, wb = sg.MemHalves(), sg.WBHalves()
+		}
+		if alu < 1 {
+			alu = 1
+		}
+		ex := msb
+		if alu > ex {
+			ex = alu
+		}
+		occ0 := 1
+		if si.ifb > 3 {
+			occ0 = 2
+		}
+		g := 1
+		if m.spec.kind == kindHalfSerial {
+			g = 2
+		}
+		occ0 += pcCarry(d.pc, d.nextPC, g)
+		if si.flags&sfIsMem == 0 || mo < 1 {
+			mo = 1
+		}
+		if wb < 1 {
+			wb = 1
+		}
+		d.occ[0], d.occ[1], d.occ[2], d.occ[3], d.occ[4] = occ0, 1, ex, mo, wb
+		d.exSlices = ex
+		d.brDelta = -1
+
+	case kindSemiParallel:
+		msb := sg.MaxSrcBytes()
+		alu := sg.ALUOps()
+		if alu < 1 {
+			alu = 1
+		}
+		extraSrc := maxInt(1, msb/2)
+		extraALU := maxInt(1, alu/2)
+		occ0 := 1
+		if si.ifb > 3 {
+			occ0 = 2
+		}
+		occ0 += pcCarry(d.pc, d.nextPC, 1)
+		mo := 1
+		if si.flags&sfIsMem != 0 {
+			if mb := sg.MemBytes(); mb > 1 {
+				mo = mb
+			}
+		}
+		d.occ[0], d.occ[1], d.occ[2] = occ0, 1, extraSrc
+		d.occ[3] = maxInt(extraSrc, extraALU)
+		d.occ[4] = mo
+		d.occ[5] = maxInt(1, (sg.WBBytes()+1)/2)
+		d.exSlices = (alu + 1) / 2
+		d.brDelta = (msb + 1) / 2
+
+	case kindSkewed, kindSkewedBypass:
+		d.occ[0], d.occ[1], d.occ[2], d.occ[3], d.occ[4], d.occ[5] = 1, 1, 1, 1, 1, 1
+		msb := sg.MaxSrcBytes()
+		d.brDelta = msb
+		if m.spec.kind == kindSkewedBypass {
+			alu := sg.ALUOps()
+			d.exSlices = maxInt(1, alu)
+			d.skipped[3] = msb <= 1 && alu <= 1
+		} else {
+			d.exSlices = 4
+		}
+
+	case kindCompressed:
+		occ0 := 1 + pcCarry(d.pc, d.nextPC, 1)
+		d.occ[0], d.occ[1], d.occ[2], d.occ[3], d.occ[4] = occ0, 1, 1, 1, 1
+		d.lat[0], d.lat[1], d.lat[3] = 0, 0, 0
+		if si.ifb > 3 {
+			d.lat[0] = 1
+		}
+		if sg.MaxSrcBytes() > 1 {
+			d.lat[1] = 1
+		}
+		if si.flags&sfIsLoad != 0 && sg.MemBytes() > 1 {
+			d.lat[3] = 1
+		}
+		d.exSlices = 1
+		d.brDelta = -1
+	}
+}
+
+// stepRow is the batch twin of Consume's scheduling core, operating on the
+// precomputed row costs and slot digest instead of an Event, with array
+// stall accounting. The algorithm is line-for-line the same; any change
+// here must be made in Consume too (and vice versa).
+func (m *Model) stepRow(si *slotInfo, d *rowDyn, bs *batchState) {
+	s := &m.spec
+	n := len(s.stages)
+
+	icStall := m.hier.Fetch(d.pc)
+	d.occ[0] += icStall
+	if icStall > 0 {
+		bs.stalls[stICache] += uint64(icStall)
+	}
+	dcStall := 0
+	if si.flags&sfIsMem != 0 {
+		dcStall = m.hier.Data(d.addr, si.flags&sfIsStore != 0)
+		d.occ[s.memStage] += dcStall
+		if dcStall > 0 {
+			bs.stalls[stDCache] += uint64(dcStall)
+		}
+	}
+
+	enter := m.enter
+	base := m.stageFree[0]
+	if p := m.prevEnter[0] + 1; m.insts > 0 && p > base {
+		base = p
+	}
+	if m.fetchBlocked > base {
+		bs.stalls[stBranch] += m.fetchBlocked - base
+		base = m.fetchBlocked
+	}
+	enter[0] = base
+
+	for i := 1; i < n; i++ {
+		// prevAdvance with stallIn resolved inline: the embedded cache
+		// stall of stage i-1 is icStall for fetch, dcStall for MEM.
+		prev := i - 1
+		var t uint64
+		switch {
+		case d.skipped[prev]:
+			t = enter[prev] + uint64(d.lat[prev])
+		case s.streaming:
+			sin := 0
+			if prev == 0 {
+				sin = icStall
+			} else if prev == s.memStage {
+				sin = dcStall
+			}
+			t = enter[prev] + 1 + uint64(sin) + uint64(d.lat[prev])
+		default:
+			t = enter[prev] + uint64(d.occ[prev]) + uint64(d.lat[prev])
+		}
+		if d.skipped[i] {
+			enter[i] = t
+			continue
+		}
+		if m.stageFree[i] > t {
+			bs.stalls[bs.structIdx[i]] += m.stageFree[i] - t
+			t = m.stageFree[i]
+		}
+		if p := m.prevEnter[i] + 1; m.insts > 0 && p > t {
+			t = p
+		}
+		if i == s.exStage {
+			if ready := m.operandReadySlot(si); ready > t {
+				bs.stalls[stData] += ready - t
+				t = ready
+			}
+		}
+		enter[i] = t
+	}
+
+	for i := 0; i < n; i++ {
+		if !d.skipped[i] {
+			m.stageFree[i] = enter[i] + uint64(d.occ[i])
+		}
+		m.prevEnter[i] = enter[i]
+	}
+
+	exEnter := enter[s.exStage]
+	exEnd := exEnter + uint64(d.occ[s.exStage]) + uint64(d.lat[s.exStage])
+
+	if si.flags&sfHasDest != 0 {
+		var first, full uint64
+		if si.flags&sfIsLoad != 0 {
+			memEnd := enter[s.memStage] + uint64(d.occ[s.memStage]) + uint64(d.lat[s.memStage])
+			first = enter[s.memStage] + uint64(dcStall) + 1
+			full = memEnd
+		} else {
+			first = exEnter + 1
+			full = exEnter + uint64(d.exSlices)
+		}
+		if full < first {
+			full = first
+		}
+		m.readyFirst[si.dest] = first
+		m.readyFull[si.dest] = full
+	}
+	if si.flags&sfWritesHILO != 0 {
+		m.hiloFull = exEnd
+	}
+
+	switch {
+	case si.flags&sfIsBranch != 0:
+		resolve := exEnd
+		if d.brDelta >= 0 {
+			resolve = exEnter + uint64(d.brDelta)
+		}
+		if m.pred != nil {
+			predicted := m.pred.predict(d.pc)
+			m.pred.update(d.pc, predicted, d.taken)
+			switch {
+			case predicted == d.taken && !d.taken:
+				// Correct fall-through: fetch never stalled.
+			case predicted == d.taken:
+				m.fetchBlocked = enter[1] + uint64(d.occ[1])
+			default:
+				m.fetchBlocked = resolve
+			}
+		} else {
+			m.fetchBlocked = resolve
+		}
+	case si.flags&sfIsJReg != 0:
+		resolve := exEnd
+		if d.brDelta >= 0 {
+			resolve = exEnter + uint64(d.brDelta)
+		}
+		m.fetchBlocked = resolve
+	case si.flags&sfIsJDir != 0:
+		m.fetchBlocked = enter[1] + uint64(d.occ[1])
+	}
+
+	end := enter[n-1] + uint64(d.occ[n-1]) + uint64(d.lat[n-1])
+	if end > m.cycles {
+		m.cycles = end
+	}
+	m.insts++
+}
+
+// operandReadySlot is operandReady over the slot digest.
+func (m *Model) operandReadySlot(si *slotInfo) uint64 {
+	var ready uint64
+	full := !m.spec.streaming || si.flags&sfIsJump != 0
+	use := func(r uint8) {
+		var t uint64
+		if full {
+			t = m.readyFull[r]
+		} else {
+			t = m.readyFirst[r]
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	if si.flags&sfReadsA != 0 {
+		use(si.rs)
+	}
+	if si.flags&sfReadsB != 0 {
+		use(si.rt)
+	}
+	if si.flags&sfIsMFHILO != 0 && m.hiloFull > ready {
+		ready = m.hiloFull
+	}
+	return ready
+}

@@ -76,6 +76,11 @@ type spec struct {
 	stages []string
 	occ    []occFunc
 
+	// kind selects the batch-replay kernel mirroring this spec's closures
+	// (see batch.go); kindGeneric (the zero value) makes ConsumeBlock fall
+	// back to the scalar Consume path.
+	kind int
+
 	// lat gives per-stage extra latency cycles: the instruction spends the
 	// extra cycles in the stage but does NOT hold it against the next
 	// instruction. This models the parallel designs' banked stages, whose
@@ -150,7 +155,8 @@ type Model struct {
 	cycles uint64
 	stalls map[StallKind]uint64
 
-	enter []uint64 // scratch
+	enter []uint64    // scratch
+	batch *batchState // ConsumeBlock scratch, built lazily
 }
 
 func newModel(s spec) *Model {

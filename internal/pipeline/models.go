@@ -24,17 +24,17 @@ func ifOcc3Banks(e trace.Event) int {
 	return 1
 }
 
-// pcCarryBlocks returns the extra serial PC-increment cycles at block size
-// g bytes: the increment processes low blocks until the carry dies (Table 2).
-func pcCarryBlocks(e trace.Event, g int) int {
-	if e.NextPC != e.PC+4 {
+// pcCarry returns the extra serial PC-increment cycles at block size g
+// bytes: the increment processes low blocks until the carry dies (Table 2).
+func pcCarry(pc, nextPC uint32, g int) int {
+	if nextPC != pc+4 {
 		return 0 // redirects are charged to the branch machinery
 	}
 	extra := 0
 	mask := uint32(1)<<(8*g) - 1
 	add := uint32(4)
 	for b := 0; b < 4/g-1; b++ {
-		blk := (e.PC >> (8 * g * b)) & mask
+		blk := (pc >> (8 * g * b)) & mask
 		if blk+add <= mask {
 			break // carry dies in this block
 		}
@@ -43,6 +43,9 @@ func pcCarryBlocks(e trace.Event, g int) int {
 	}
 	return extra
 }
+
+// pcCarryBlocks is pcCarry over an annotated event.
+func pcCarryBlocks(e trace.Event, g int) int { return pcCarry(e.PC, e.NextPC, g) }
 
 func pcExtraByte(e trace.Event) int { return pcCarryBlocks(e, 1) }
 func pcExtraHalf(e trace.Event) int { return pcCarryBlocks(e, 2) }
@@ -82,6 +85,7 @@ func maxInt(a, b int) int {
 func NewBaseline32() *Model {
 	return newModel(spec{
 		name:     NameBaseline32,
+		kind:     kindBaseline32,
 		stages:   []string{"IF", "ID", "EX", "MEM", "WB"},
 		occ:      []occFunc{one, one, one, one, one},
 		exStage:  2,
@@ -108,6 +112,7 @@ func NewByteSerial() *Model {
 	}
 	return newModel(spec{
 		name:      NameByteSerial,
+		kind:      kindByteSerial,
 		stages:    []string{"IF", "ID", "EX", "MEM", "WB"},
 		occ:       []occFunc{ifOcc3Banks, one, exOcc, memOccByte, wbOccByte},
 		exStage:   2,
@@ -127,6 +132,7 @@ func NewHalfwordSerial() *Model {
 	}
 	return newModel(spec{
 		name:      NameHalfwordSerial,
+		kind:      kindHalfSerial,
 		stages:    []string{"IF", "ID", "EX", "MEM", "WB"},
 		occ:       []occFunc{ifOcc3Banks, one, exOcc, memOccHalf, wbOccHalf},
 		exStage:   2,
@@ -158,6 +164,7 @@ func NewSemiParallel() *Model {
 	wbOcc := func(e trace.Event) int { return maxInt(1, (e.WBBytes+1)/2) }
 	return newModel(spec{
 		name:      NameSemiParallel,
+		kind:      kindSemiParallel,
 		stages:    []string{"IF", "RF0", "RF1/EX0", "EX1", "MEM", "WB"},
 		occ:       []occFunc{ifOcc3Banks, one, rfExtra, exExtra, memOccByte, wbOcc},
 		exStage:   2,
@@ -203,6 +210,11 @@ func newSkewed(name string, bypasses bool) *Model {
 		memStage:  4,
 		wbStage:   5,
 		streaming: true,
+	}
+	if bypasses {
+		s.kind = kindSkewedBypass
+	} else {
+		s.kind = kindSkewed
 	}
 	// The byte-sliced comparator resolves a branch in the slice holding the
 	// last significant operand byte (intrinsic to the skewed datapath).
@@ -268,6 +280,7 @@ func NewParallelCompressed() *Model {
 	}
 	return newModel(spec{
 		name:     NameParallelCompressed,
+		kind:     kindCompressed,
 		stages:   []string{"IF", "RF", "EX", "MEM", "WB"},
 		occ:      []occFunc{one, one, one, one, one},
 		lat:      []occFunc{ifLat, rfLat, nil, memLat, nil},

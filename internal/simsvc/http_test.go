@@ -208,6 +208,7 @@ func TestHTTPMetricsSchema(t *testing.T) {
 		"panics", "shed", "retries", "breakerOpen", "queuedDepth",
 		"captures", "traceCacheHits", "traceCacheMisses",
 		"traceCacheEvictions", "traceCacheBytes",
+		"traceSpills", "traceSpillLoads",
 		"simulationLatency", "workers", "cacheEntries", "uptimeSeconds",
 	}
 	for _, k := range want {

@@ -27,7 +27,9 @@ type Metrics struct {
 	traceCacheHits      atomic.Uint64
 	traceCacheMisses    atomic.Uint64
 	traceCacheEvictions atomic.Uint64
-	traceCacheBytes     atomic.Int64 // gauge: accounted bytes of cached captures
+	traceCacheBytes     atomic.Int64  // gauge: accounted bytes of cached captures
+	traceSpills         atomic.Uint64 // captures persisted to the trace dir
+	traceSpillLoads     atomic.Uint64 // cache misses served from the trace dir
 
 	mu       sync.Mutex
 	latCount uint64
@@ -91,6 +93,8 @@ type Snapshot struct {
 	TraceCacheMiss  uint64          `json:"traceCacheMisses"`
 	TraceCacheEvict uint64          `json:"traceCacheEvictions"`
 	TraceCacheBytes int64           `json:"traceCacheBytes"`
+	TraceSpills     uint64          `json:"traceSpills"`
+	TraceSpillLoads uint64          `json:"traceSpillLoads"`
 	SimLatency      LatencySnapshot `json:"simulationLatency"`
 }
 
@@ -115,6 +119,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		TraceCacheMiss:  m.traceCacheMisses.Load(),
 		TraceCacheEvict: m.traceCacheEvictions.Load(),
 		TraceCacheBytes: m.traceCacheBytes.Load(),
+		TraceSpills:     m.traceSpills.Load(),
+		TraceSpillLoads: m.traceSpillLoads.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

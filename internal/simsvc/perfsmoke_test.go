@@ -1,0 +1,67 @@
+package simsvc
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pipeline"
+)
+
+// TestBatchReplayBeatsScalar is the CI performance gate for the column-block
+// replay engine: a warm sweep through ConsumeBlock must be decisively faster
+// than the same sweep through the event-at-a-time path. Wall-clock
+// assertions are too noisy for every developer run, so the test only arms
+// itself under SIGPERF_SMOKE=1 (set by the CI benchmark-smoke step). The
+// margin is 1.5x against a measured ~4x so scheduler noise cannot flake it;
+// a real regression — the batch path falling back to the scalar shim — lands
+// at 1.0x and fails clearly.
+func TestBatchReplayBeatsScalar(t *testing.T) {
+	if os.Getenv("SIGPERF_SMOKE") == "" {
+		t.Skip("set SIGPERF_SMOKE=1 to run the wall-clock replay smoke (CI does)")
+	}
+	benches := []string{"dijkstra", "g711dec", "rawdaudio"}
+	models := []string{pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelCompressed}
+	cfg := Config{Workers: 1, CacheSize: 1}
+	for _, n := range benches {
+		bm, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		cfg.Benchmarks = append(cfg.Benchmarks, bm)
+	}
+
+	const rounds = 3
+	measure := func(scalar bool) time.Duration {
+		t.Helper()
+		scalarReplayForBench = scalar
+		defer func() { scalarReplayForBench = false }()
+		s := New(cfg)
+		defer s.Close()
+		sweep := func() {
+			sum, err := s.Sweep(context.Background(), 1, benches, models, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Failed != 0 {
+				t.Fatalf("sweep failed %d jobs: %+v", sum.Failed, sum.FailedByModel)
+			}
+		}
+		sweep() // warm-up: recoder profile + trace captures
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			sweep()
+		}
+		return time.Since(start)
+	}
+
+	scalar := measure(true)
+	batch := measure(false)
+	t.Logf("warm sweep ×%d: scalar %v, batch %v (%.2fx)",
+		rounds, scalar, batch, float64(scalar)/float64(batch))
+	if batch*3/2 >= scalar {
+		t.Errorf("batch replay is not decisively faster: scalar %v vs batch %v (want ≥1.5x)", scalar, batch)
+	}
+}

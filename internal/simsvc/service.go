@@ -81,6 +81,14 @@ type Config struct {
 	// every request re-interprets (the reference path, bit-identical by
 	// construction and by test).
 	TraceCacheMB int
+	// TraceDir, when set, backs the trace cache with a capture directory
+	// (SIGCAP01 files): newly captured traces are persisted there, evicted
+	// captures are demoted to disk if not already present, and cache misses
+	// try the directory before re-interpreting — so restarted or freshly
+	// sharded services start warm from each other's captures. Ignored when
+	// the trace cache is disabled. All directory I/O is best-effort: a
+	// missing, corrupt, or unwritable file degrades to the in-memory path.
+	TraceDir string
 	// Faults arms deterministic fault injection at the service's seams
 	// (nil in production: every hook is then a zero-cost no-op).
 	Faults *faultinject.Injector
@@ -97,6 +105,7 @@ type Service struct {
 	pool     *pool
 	cache    *lruCache
 	traces   *traceCache // nil when capture/replay is disabled
+	traceDir string      // capture spill directory ("" = in-memory only)
 	tflight  *captureFlight
 	flight   *flightGroup
 	breaker  *breaker
@@ -150,6 +159,7 @@ func New(cfg Config) *Service {
 			mb = DefaultTraceCacheMB
 		}
 		s.traces = newTraceCache(int64(mb)<<20, &s.metrics)
+		s.traceDir = cfg.TraceDir
 		s.tflight = newCaptureFlight()
 	}
 	s.flight = newFlightGroup(cfg.Faults)

@@ -3,6 +3,7 @@ package simsvc
 import (
 	"container/list"
 	"context"
+	"os"
 	"sync"
 
 	"repro/internal/activity"
@@ -13,6 +14,12 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
+
+// scalarReplayForBench forces the replay path back onto the event-at-a-time
+// engine instead of the column-block batch engine. Benchmark-only knob:
+// BenchmarkSweepReplayVsExecute flips it to measure the scalar arm. Never
+// set in production, and only toggled before any request is in flight.
+var scalarReplayForBench bool
 
 // DefaultTraceCacheMB is the captured-trace budget when Config.TraceCacheMB
 // is zero: enough for the whole served suite (~90 MB at 24 B/instruction)
@@ -55,7 +62,11 @@ func (e *traceEntry) activityCounts(ctx context.Context, gran int, rc *icomp.Rec
 		return activity.Counts{}, err
 	}
 	col := activity.NewCollector(gran, rc, mem)
-	if err := e.cap.ReplayOn(ctx, mem, rc, col); err != nil {
+	replay := e.cap.ReplayBlocksOn
+	if scalarReplayForBench {
+		replay = e.cap.ReplayOn
+	}
+	if err := replay(ctx, mem, rc, col); err != nil {
 		return activity.Counts{}, err
 	}
 	m.counts, m.done = col.Counts(), true
@@ -103,12 +114,14 @@ func (c *traceCache) get(key string) (*traceEntry, bool) {
 }
 
 // add stores e under key, evicting least-recently-used captures until the
-// byte budget holds, and reports how many entries were evicted.
-func (c *traceCache) add(key string, e *traceEntry) int {
+// byte budget holds. It returns the evicted entries so the caller can count
+// them and demote their captures to the trace dir — I/O happens outside
+// this lock.
+func (c *traceCache) add(key string, e *traceEntry) []*traceCacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.bytes > c.maxBytes {
-		return 0 // larger than the whole budget: never cached
+		return nil // larger than the whole budget: never cached
 	}
 	if el, ok := c.items[key]; ok {
 		old := el.Value.(*traceCacheEntry)
@@ -116,19 +129,51 @@ func (c *traceCache) add(key string, e *traceEntry) int {
 		old.entry = e
 		c.order.MoveToFront(el)
 		c.metrics.traceCacheBytes.Store(c.bytes)
-		return 0
+		return nil
 	}
 	c.items[key] = c.order.PushFront(&traceCacheEntry{key: key, entry: e})
 	c.bytes += e.bytes
-	evicted := 0
+	evicted := c.evictOverBudget()
+	c.metrics.traceCacheBytes.Store(c.bytes)
+	return evicted
+}
+
+// evictOverBudget drops LRU entries until the budget holds. Caller holds mu.
+func (c *traceCache) evictOverBudget() []*traceCacheEntry {
+	var evicted []*traceCacheEntry
 	for c.bytes > c.maxBytes {
 		oldest := c.order.Back()
 		old := oldest.Value.(*traceCacheEntry)
 		c.order.Remove(oldest)
 		delete(c.items, old.key)
 		c.bytes -= old.entry.bytes
-		evicted++
+		evicted = append(evicted, old)
 	}
+	return evicted
+}
+
+// refresh re-accounts key's entry from its capture's current SizeBytes.
+// Replays grow a capture after admission — each new recoder profile adds a
+// fetch-size memo — so without a refresh the LRU's byte ledger drifts below
+// reality and the budget silently overshoots. The refreshed entry is
+// treated as just-used (moved to front); if the growth pushes the cache
+// over budget, LRU entries are evicted and returned for demotion.
+func (c *traceCache) refresh(key string) []*traceCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*traceCacheEntry).entry
+	nb := int64(e.cap.SizeBytes())
+	if nb == e.bytes {
+		return nil
+	}
+	c.bytes += nb - e.bytes
+	e.bytes = nb
+	c.order.MoveToFront(el)
+	evicted := c.evictOverBudget()
 	c.metrics.traceCacheBytes.Store(c.bytes)
 	return evicted
 }
@@ -208,10 +253,12 @@ func (s *Service) TraceCacheBytes() int64 {
 
 // captureFor returns b's captured trace, from the trace cache when
 // possible; concurrent misses for the same benchmark share one interpreter
-// run via the capture singleflight. The result-cache fault points guard the
-// trace cache's seams the same way they guard the result LRU: an injected
-// get failure degrades to a miss (re-capture), an injected put failure
-// skips caching — neither fails the request.
+// run via the capture singleflight. With a trace dir configured, a miss
+// tries the persisted capture before re-interpreting, and a fresh capture
+// is persisted for future shards/restarts. The result-cache fault points
+// guard the trace cache's seams the same way they guard the result LRU: an
+// injected get failure degrades to a miss (re-capture), an injected put
+// failure skips caching — neither fails the request.
 func (s *Service) captureFor(ctx context.Context, b bench.Benchmark) (*traceEntry, error) {
 	if e, ok := s.traceGet(ctx, b.Name); ok {
 		s.metrics.traceCacheHits.Add(1)
@@ -219,11 +266,16 @@ func (s *Service) captureFor(ctx context.Context, b bench.Benchmark) (*traceEntr
 	}
 	s.metrics.traceCacheMisses.Add(1)
 	e, shared, err := s.tflight.do(ctx, b.Name, func() (*traceEntry, error) {
-		cp, err := trace.CaptureRun(ctx, b)
-		if err != nil {
-			return nil, err
+		cp := s.loadSpilledCapture(b)
+		if cp == nil {
+			var err error
+			cp, err = trace.CaptureRun(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.captures.Add(1)
+			s.spillCapture(cp)
 		}
-		s.metrics.captures.Add(1)
 		e := &traceEntry{cap: cp, bytes: int64(cp.SizeBytes())}
 		s.tracePut(ctx, b.Name, e)
 		return e, nil
@@ -232,6 +284,65 @@ func (s *Service) captureFor(ctx context.Context, b bench.Benchmark) (*traceEntr
 		s.metrics.flightShared.Add(1)
 	}
 	return e, err
+}
+
+// loadSpilledCapture tries the trace dir for a previously persisted capture
+// of b. Any failure — no dir, no file, corruption, wrong benchmark — is a
+// plain miss; the caller re-interprets.
+func (s *Service) loadSpilledCapture(b bench.Benchmark) *trace.Capture {
+	if s.traceDir == "" {
+		return nil
+	}
+	cp, err := trace.ReadCaptureFile(trace.CaptureFilePath(s.traceDir, b.Name))
+	if err != nil {
+		return nil
+	}
+	// The file names its benchmark, but the served suite is authoritative:
+	// a capture whose benchmark diverges from ours replays the wrong trace.
+	if got := cp.Bench(); got.Name != b.Name || got.Checksum != b.Checksum {
+		return nil
+	}
+	s.metrics.traceSpillLoads.Add(1)
+	return cp
+}
+
+// spillCapture persists cp to the trace dir unless it is already there.
+// Captures are deterministic per benchmark, so an existing file is as good
+// as ours; write errors are swallowed (the dir is an optimization, never
+// a dependency).
+func (s *Service) spillCapture(cp *trace.Capture) {
+	if s.traceDir == "" {
+		return
+	}
+	if _, err := os.Stat(trace.CaptureFilePath(s.traceDir, cp.Bench().Name)); err == nil {
+		return
+	}
+	if _, err := trace.WriteCaptureFile(s.traceDir, cp); err != nil {
+		return
+	}
+	s.metrics.traceSpills.Add(1)
+}
+
+// spillEvicted demotes evicted entries' captures to the trace dir and
+// counts the evictions. Runs outside the cache lock.
+func (s *Service) spillEvicted(evicted []*traceCacheEntry) {
+	if len(evicted) == 0 {
+		return
+	}
+	s.metrics.traceCacheEvictions.Add(uint64(len(evicted)))
+	for _, te := range evicted {
+		s.spillCapture(te.entry.cap)
+	}
+}
+
+// traceRefresh re-accounts key's cache entry after replays may have grown
+// its capture's memos (each new recoder profile adds a per-slot fetch-size
+// table), evicting and demoting if the growth breaks the budget.
+func (s *Service) traceRefresh(key string) {
+	if s.traces == nil {
+		return
+	}
+	s.spillEvicted(s.traces.refresh(key))
 }
 
 func (s *Service) traceGet(ctx context.Context, key string) (*traceEntry, bool) {
@@ -245,9 +356,7 @@ func (s *Service) tracePut(ctx context.Context, key string, e *traceEntry) {
 	if err := s.faults.Fire(ctx, faultinject.PointCachePut); err != nil {
 		return
 	}
-	if n := s.traces.add(key, e); n > 0 {
-		s.metrics.traceCacheEvictions.Add(uint64(n))
-	}
+	s.spillEvicted(s.traces.add(key, e))
 }
 
 // executeReplay is the capture-backed twin of the live half of execute: it
@@ -265,6 +374,7 @@ func (s *Service) executeReplay(ctx context.Context, req Request, rc *icomp.Reco
 		if err != nil {
 			return nil, err
 		}
+		s.traceRefresh(b.Name)
 		full := experiments.EncodeBench(br)
 		return &Response{
 			Bench: b.Name,
@@ -278,13 +388,21 @@ func (s *Service) executeReplay(ctx context.Context, req Request, rc *icomp.Reco
 	// per-entry memo (one memory-backed replay per granularity, shared by
 	// every model of a sweep).
 	m := pipeline.New(req.Model)
-	if err := e.cap.ReplayOn(ctx, nil, rc, m); err != nil {
+	if scalarReplayForBench {
+		err = e.cap.ReplayOn(ctx, nil, rc, m)
+	} else {
+		err = e.cap.ReplayBlocks(ctx, rc, m)
+	}
+	if err != nil {
 		return nil, err
 	}
 	counts, err := e.activityCounts(ctx, req.Gran, rc)
 	if err != nil {
 		return nil, err
 	}
+	// Replaying under a new recoder profile grows the capture's memo; keep
+	// the byte-budgeted LRU's ledger honest.
+	s.traceRefresh(b.Name)
 	r := m.Result()
 	stalls := make(map[string]uint64, len(r.Stalls))
 	for k, v := range r.Stalls {

@@ -21,10 +21,10 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	var m Metrics
 	c := newTraceCache(100, &m)
 
-	if n := c.add("a", syntheticEntry(40)); n != 0 {
+	if n := len(c.add("a", syntheticEntry(40))); n != 0 {
 		t.Fatalf("add a evicted %d", n)
 	}
-	if n := c.add("b", syntheticEntry(40)); n != 0 {
+	if n := len(c.add("b", syntheticEntry(40))); n != 0 {
 		t.Fatalf("add b evicted %d", n)
 	}
 	if got := c.bytesUsed(); got != 80 {
@@ -35,8 +35,9 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	if n := c.add("c", syntheticEntry(40)); n != 1 {
-		t.Fatalf("add c evicted %d, want 1", n)
+	ev := c.add("c", syntheticEntry(40))
+	if len(ev) != 1 || ev[0].key != "b" {
+		t.Fatalf("add c evicted %v, want [b]", ev)
 	}
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b survived eviction despite being LRU")
@@ -52,7 +53,7 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	}
 
 	// Re-adding an existing key replaces in place and re-accounts.
-	if n := c.add("a", syntheticEntry(60)); n != 0 {
+	if n := len(c.add("a", syntheticEntry(60))); n != 0 {
 		t.Fatalf("update a evicted %d", n)
 	}
 	if got := c.bytesUsed(); got != 100 {
@@ -63,7 +64,7 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	}
 
 	// An entry larger than the whole budget is never admitted.
-	if n := c.add("huge", syntheticEntry(101)); n != 0 {
+	if n := len(c.add("huge", syntheticEntry(101))); n != 0 {
 		t.Fatalf("oversized add evicted %d", n)
 	}
 	if _, ok := c.get("huge"); ok {
@@ -71,7 +72,7 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	}
 
 	// A single entry that exactly fits evicts everything else.
-	if n := c.add("exact", syntheticEntry(100)); n != 2 {
+	if n := len(c.add("exact", syntheticEntry(100))); n != 2 {
 		t.Fatalf("exact-fit add evicted %d, want 2", n)
 	}
 	if got := c.bytesUsed(); got != 100 || c.len() != 1 {

@@ -1,0 +1,229 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/icomp"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+func mustTestBench(t *testing.T, name string) bench.Benchmark {
+	t.Helper()
+	b, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return b
+}
+
+// churnRecoders builds n recoders with distinct profiles (rotations of the
+// default top-funct list), simulating a fleet of requests that each arrive
+// with their own recoding.
+func churnRecoders(n int) []*icomp.Recoder {
+	base := icomp.DefaultTopFuncts()
+	out := make([]*icomp.Recoder, n)
+	for i := range out {
+		rot := make([]isa.Funct, len(base))
+		for j := range base {
+			rot[j] = base[(j+i)%len(base)]
+		}
+		out[i] = icomp.MustNewRecoder(rot)
+	}
+	return out
+}
+
+// TestTraceCacheRefreshUnderRecoderChurn pins the accounting fix: replaying
+// a cached capture under new recoder profiles grows its fetch-size memo,
+// and refresh must fold that growth back into the LRU's byte ledger — and
+// evict when the growth breaks the budget — instead of letting the cache
+// drift over budget unaccounted.
+func TestTraceCacheRefreshUnderRecoderChurn(t *testing.T) {
+	ctx := context.Background()
+	cp, err := trace.CaptureRun(ctx, mustTestBench(t, "dijkstra"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &traceEntry{cap: cp, bytes: int64(cp.SizeBytes())}
+	base := e.bytes
+
+	var m Metrics
+	// Budget fits the entry plus a little memo growth, not a lot of it.
+	c := newTraceCache(base+1024, &m)
+	if ev := c.add("dijkstra", e); len(ev) != 0 {
+		t.Fatalf("admission evicted %d entries", len(ev))
+	}
+	if c.bytesUsed() != base {
+		t.Fatalf("accounted %d bytes, want %d", c.bytesUsed(), base)
+	}
+
+	// One extra profile: the capture grows but still fits. refresh must
+	// re-account without evicting.
+	rcs := churnRecoders(4)
+	if err := cp.ReplayBlocks(ctx, rcs[0], pipeline.NewBaseline32()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.ReplayBlocks(ctx, rcs[1], pipeline.NewBaseline32()); err != nil {
+		t.Fatal(err)
+	}
+	grown := int64(cp.SizeBytes())
+	if grown <= base {
+		t.Fatalf("capture did not grow under churn: %d <= %d", grown, base)
+	}
+	if ev := c.refresh("dijkstra"); len(ev) != 0 {
+		t.Fatalf("in-budget refresh evicted %d entries", len(ev))
+	}
+	if c.bytesUsed() != grown || m.traceCacheBytes.Load() != grown {
+		t.Fatalf("refresh accounted %d bytes (gauge %d), want %d",
+			c.bytesUsed(), m.traceCacheBytes.Load(), grown)
+	}
+
+	// More profiles: the memo (bounded at maxIFBMemos inside the capture)
+	// now exceeds the budget headroom, so refresh must evict the entry.
+	for _, rc := range rcs[2:] {
+		if err := cp.ReplayBlocks(ctx, rc, pipeline.NewBaseline32()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int64(cp.SizeBytes()) <= base+1024 {
+		t.Skip("memo growth under budget headroom; churn too cheap to force eviction")
+	}
+	ev := c.refresh("dijkstra")
+	if len(ev) != 1 || ev[0].key != "dijkstra" {
+		t.Fatalf("over-budget refresh evicted %v, want the grown entry", ev)
+	}
+	if c.len() != 0 || c.bytesUsed() != 0 {
+		t.Fatalf("after eviction: %d entries, %d bytes", c.len(), c.bytesUsed())
+	}
+	// A refresh for a key that is no longer cached is a no-op.
+	if ev := c.refresh("dijkstra"); ev != nil {
+		t.Fatalf("refresh of evicted key returned %v", ev)
+	}
+}
+
+// TestTraceDirSpillAndReload drives the full demote/promote cycle through
+// the service: captures persist to the trace dir, an evicted benchmark
+// reloads from disk instead of re-interpreting, and the reloaded capture's
+// responses are byte-identical to the live path.
+func TestTraceDirSpillAndReload(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	// 2 MB holds one ~1.4 MB capture at a time, so the two benchmarks
+	// evict each other.
+	s := testService(t, Config{Workers: 2, TraceCacheMB: 2, TraceDir: dir}, "dijkstra", "g711dec")
+	live := testService(t, Config{Workers: 2, TraceCacheMB: -1}, "dijkstra", "g711dec")
+
+	req1 := Request{Bench: "dijkstra", Model: pipeline.NameByteSerial}
+	req2 := Request{Bench: "g711dec", Model: pipeline.NameByteSerial}
+
+	if _, err := s.Simulate(ctx, req1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ReadCaptureFile(trace.CaptureFilePath(dir, "dijkstra")); err != nil {
+		t.Fatalf("capture was not persisted on first touch: %v", err)
+	}
+	if _, err := s.Simulate(ctx, req2); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics().Snapshot()
+	if m.TraceSpills != 2 {
+		t.Fatalf("spills = %d, want 2 (write-through on each capture)", m.TraceSpills)
+	}
+	if m.TraceCacheEvict != 1 {
+		t.Fatalf("evictions = %d, want 1", m.TraceCacheEvict)
+	}
+
+	// dijkstra was evicted; touching it again must reload the spilled
+	// capture, not re-interpret. A different model defeats the result LRU.
+	req1b := Request{Bench: "dijkstra", Model: pipeline.NameBaseline32}
+	got, err := s.Simulate(ctx, req1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics().Snapshot()
+	if m.TraceSpillLoads != 1 {
+		t.Fatalf("spill loads = %d, want 1", m.TraceSpillLoads)
+	}
+	if m.Captures != 2 {
+		t.Fatalf("captures = %d, want 2 (reload must not re-interpret)", m.Captures)
+	}
+
+	// The reloaded capture must serve byte-identical responses.
+	want, err := live.Simulate(ctx, req1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize := func(r *Response) string {
+		c := *r
+		c.ElapsedMS = 0
+		c.Cached = false
+		j, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j)
+	}
+	if normalize(got) != normalize(want) {
+		t.Fatalf("reloaded capture diverges from live path:\nreplay: %s\nlive:   %s", normalize(got), normalize(want))
+	}
+}
+
+// TestTraceDirWarmStart checks the sharding story: a second service sharing
+// the first one's trace dir serves its first request from disk without a
+// single interpreter run.
+func TestTraceDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := Request{Bench: "g711dec", Model: pipeline.NameByteSerial}
+
+	s1 := testService(t, Config{Workers: 2, TraceDir: dir}, "g711dec")
+	first, err := s1.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s1.Metrics().Snapshot(); m.Captures != 1 || m.TraceSpills != 1 {
+		t.Fatalf("shard 1: captures=%d spills=%d, want 1/1", m.Captures, m.TraceSpills)
+	}
+
+	s2 := testService(t, Config{Workers: 2, TraceDir: dir}, "g711dec")
+	second, err := s2.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s2.Metrics().Snapshot()
+	if m.Captures != 0 {
+		t.Fatalf("warm shard ran %d interpreter captures, want 0", m.Captures)
+	}
+	if m.TraceSpillLoads != 1 {
+		t.Fatalf("warm shard spill loads = %d, want 1", m.TraceSpillLoads)
+	}
+	if first.CPI != second.CPI || first.Cycles != second.Cycles || first.Insts != second.Insts {
+		t.Fatalf("warm shard diverged: %+v vs %+v", second, first)
+	}
+}
+
+// TestTraceDirCorruptFileDegrades writes garbage where a capture should be;
+// the service must fall back to interpreting, not fail or serve junk.
+func TestTraceDirCorruptFileDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if err := os.WriteFile(trace.CaptureFilePath(dir, "g711dec"), []byte("not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := testService(t, Config{Workers: 2, TraceDir: dir}, "g711dec")
+	if _, err := s.Simulate(ctx, Request{Bench: "g711dec", Model: pipeline.NameByteSerial}); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics().Snapshot()
+	if m.Captures != 1 {
+		t.Fatalf("captures = %d, want 1 (corrupt file must force re-interpretation)", m.Captures)
+	}
+	if m.TraceSpillLoads != 0 {
+		t.Fatalf("spill loads = %d, want 0", m.TraceSpillLoads)
+	}
+}

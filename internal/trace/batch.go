@@ -1,0 +1,316 @@
+// Batch replay: column-block fan-out of a Capture.
+//
+// Scalar replay (ReplayOn) materializes one Event per instruction and calls
+// every consumer once per event — clean, but the per-event costs (a 200-byte
+// Event copy into each Consume call, plus whatever per-event bookkeeping the
+// consumer does) dominate replay time. Batch replay instead hands consumers
+// *column blocks*: contiguous slices of the six u32 capture columns plus the
+// per-block statics annotation table, so a batch-aware consumer can run
+// branch-free kernels over whole columns and amortize its per-instruction
+// overheads to (near) zero. Consumers that do not implement BatchConsumer
+// are driven through a scalar-compatibility shim that reconstructs events
+// exactly as ReplayOn does, so the two paths are bit-identical by
+// construction for scalar consumers and by test for batch ones.
+//
+// Memory ordering. The scalar path applies each captured store just before
+// fanning out its event, and memory-reading consumers (the activity
+// collectors read cache-line contents at fill time) depend on that order. A
+// block of rows spanning a store cannot simply be fanned out after applying
+// all its stores — a consumer filling a cache line at row i must not observe
+// a store from row j > i. ReplayBlocksOn therefore splits each block at
+// store rows: rows [lo, i) are emitted, store i is applied, and the next
+// span starts at i (the store row itself is emitted in the following span,
+// after its own store has landed — the same state-then-consume order as the
+// live loop and ReplayOn). With a nil memory image no splitting is needed
+// and blocks are emitted whole.
+package trace
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/icomp"
+	"repro/internal/mem"
+)
+
+// BlockRows is the batch replay span size: large enough to amortize
+// per-block overhead, small enough that a block's columns stay cache
+// resident while consumers sweep them.
+const BlockRows = 4096
+
+// PackedSig is one entry of the packed significance column. The accessors
+// unpack the ten recoder-independent quantities (same values as the
+// corresponding Event fields).
+type PackedSig uint32
+
+// SrcBytesA returns the significant byte count of source A (0 if not read).
+func (s PackedSig) SrcBytesA() int { return int(s >> sigSrcBytesAShift & 7) }
+
+// SrcBytesB returns the significant byte count of source B (0 if not read).
+func (s PackedSig) SrcBytesB() int { return int(s >> sigSrcBytesBShift & 7) }
+
+// SrcHalvesA returns the significant halfword count of source A.
+func (s PackedSig) SrcHalvesA() int { return int(s >> sigSrcHalvesAShift & 3) }
+
+// SrcHalvesB returns the significant halfword count of source B.
+func (s PackedSig) SrcHalvesB() int { return int(s >> sigSrcHalvesBShift & 3) }
+
+// ALUOps returns the significance-ALU byte operation count.
+func (s PackedSig) ALUOps() int { return int(s >> sigALUOpsShift & 15) }
+
+// ALUHalfOps returns the significance-ALU halfword operation count.
+func (s PackedSig) ALUHalfOps() int { return int(s >> sigALUHalfShift & 7) }
+
+// MemBytes returns the significant bytes moved by the data access.
+func (s PackedSig) MemBytes() int { return int(s >> sigMemBytesShift & 7) }
+
+// MemHalves returns the significant halfwords moved by the data access.
+func (s PackedSig) MemHalves() int { return int(s >> sigMemHalvesShift & 3) }
+
+// WBBytes returns the significant bytes of the written-back result.
+func (s PackedSig) WBBytes() int { return int(s >> sigWBBytesShift & 7) }
+
+// WBHalves returns the significant halfwords of the written-back result.
+func (s PackedSig) WBHalves() int { return int(s >> sigWBHalvesShift & 3) }
+
+// MaxSrcBytes mirrors Event.MaxSrcBytes: the larger significant-byte count
+// of the two sources, floored at 1.
+func (s PackedSig) MaxSrcBytes() int {
+	a, b := s.SrcBytesA(), s.SrcBytesB()
+	if b > a {
+		a = b
+	}
+	if a == 0 {
+		a = 1
+	}
+	return a
+}
+
+// MaxSrcHalves mirrors Event.MaxSrcHalves.
+func (s PackedSig) MaxSrcHalves() int {
+	a, b := s.SrcHalvesA(), s.SrcHalvesB()
+	if b > a {
+		a = b
+	}
+	if a == 0 {
+		a = 1
+	}
+	return a
+}
+
+// Block is one contiguous span of a capture's columns, handed to
+// BatchConsumers during batch replay. The column slices alias the capture's
+// storage and are valid only for the duration of the ConsumeBlock call;
+// consumers must not retain or mutate them.
+//
+// Row i of the block is instruction Start+i of the trace. Slot[i]'s low bits
+// (SlotMask) index Statics and IFB; its top bit (TakenBit) is the branch
+// outcome. Sig[i] is a PackedSig. The next-PC of row i is PC[i+1] within the
+// block, or EndNextPC for the final row.
+type Block struct {
+	// Start is the trace-global index of row 0.
+	Start int
+
+	// The six capture columns, one entry per row.
+	Slot   []uint32
+	PC     []uint32
+	SrcA   []uint32
+	SrcB   []uint32
+	Result []uint32
+	Sig    []uint32
+
+	// EndNextPC is the NextPC of the block's final row (the PC of the first
+	// instruction after the block, or the trace's final NextPC).
+	EndNextPC uint32
+
+	// Statics is the capture's annotation table, indexed by Slot[i]&SlotMask.
+	Statics []Static
+
+	// IFB is the per-statics-slot compressed fetch size (3 or 4) under the
+	// replay's recoder, indexed like Statics.
+	IFB []uint8
+}
+
+// Len returns the number of rows in the block.
+func (b *Block) Len() int { return len(b.Slot) }
+
+// EventAt reconstructs row i of the block into *ev, exactly as the scalar
+// replay path would have built it. The reused *ev pattern (instead of
+// returning an Event) keeps the 200-byte struct out of per-row copies.
+func (b *Block) EventAt(i int, ev *Event) {
+	sw := b.Slot[i]
+	st := &b.Statics[sw&SlotMask]
+	*ev = Event{}
+	e := &ev.Exec
+	e.PC = b.PC[i]
+	e.Raw = st.Inst.Raw
+	e.Inst = st.Inst
+	e.SrcA, e.ReadsA = b.SrcA[i], st.ReadsA
+	e.SrcB, e.ReadsB = b.SrcB[i], st.ReadsB
+	if st.HasDest {
+		e.Dest, e.Result, e.HasDest = st.Dest, b.Result[i], true
+	}
+	e.Taken = sw&TakenBit != 0
+	if i+1 < len(b.PC) {
+		e.NextPC = b.PC[i+1]
+	} else {
+		e.NextPC = b.EndNextPC
+	}
+	if st.MemWidth > 0 {
+		e.Addr = e.SrcA + st.Simm
+		e.MemWidth = int(st.MemWidth)
+		if st.IsStore {
+			e.StoreVal = e.SrcB
+		} else {
+			e.Loaded = b.Result[i]
+		}
+	}
+	s := PackedSig(b.Sig[i])
+	ev.IFBytes = int(b.IFB[sw&SlotMask])
+	ev.SrcBytesA = s.SrcBytesA()
+	ev.SrcBytesB = s.SrcBytesB()
+	ev.SrcHalvesA = s.SrcHalvesA()
+	ev.SrcHalvesB = s.SrcHalvesB()
+	ev.ALUOps = s.ALUOps()
+	ev.ALUHalfOps = s.ALUHalfOps()
+	ev.MemBytes = s.MemBytes()
+	ev.MemHalves = s.MemHalves()
+	ev.WBBytes = s.WBBytes()
+	ev.WBHalves = s.WBHalves()
+}
+
+// BatchConsumer is a Consumer that can additionally ingest whole column
+// blocks. Batch replay feeds ConsumeBlock; the embedded scalar Consume keeps
+// the type usable with live runs and scalar replay unchanged.
+type BatchConsumer interface {
+	Consumer
+	ConsumeBlock(b *Block)
+}
+
+// scalarShim adapts plain Consumers to the block interface by materializing
+// events row by row — the compatibility path that keeps every existing
+// consumer working under batch replay with unchanged semantics.
+type scalarShim struct {
+	consumers []Consumer
+	ev        Event
+}
+
+func (s *scalarShim) Consume(e Event) {
+	for _, c := range s.consumers {
+		c.Consume(e)
+	}
+}
+
+func (s *scalarShim) ConsumeBlock(b *Block) {
+	for i := range b.Slot {
+		b.EventAt(i, &s.ev)
+		for _, c := range s.consumers {
+			c.Consume(s.ev)
+		}
+	}
+}
+
+// ReplayBlocks is batch replay without a memory image: the recorded stores
+// are not applied anywhere, which is sufficient for consumers that never
+// read program memory (the pipeline timing models). Consumers that read
+// memory (activity collectors) need ReplayBlocksOn with the benchmark's
+// initial image (NewMemory), or the top-level BatchReplay.
+func (cp *Capture) ReplayBlocks(ctx context.Context, rc *icomp.Recoder, consumers ...Consumer) error {
+	return cp.ReplayBlocksOn(ctx, nil, rc, consumers...)
+}
+
+// BatchReplay is the batch twin of Replay: it rebuilds the benchmark's
+// memory image and fans the trace out in column blocks, bit-identical to a
+// live run for every consumer (batch-aware or not).
+func (cp *Capture) BatchReplay(ctx context.Context, rc *icomp.Recoder, consumers ...Consumer) error {
+	m, err := cp.NewMemory()
+	if err != nil {
+		return err
+	}
+	return cp.ReplayBlocksOn(ctx, m, rc, consumers...)
+}
+
+// ReplayBlocksOn is the batch twin of ReplayOn: it fans the capture out to
+// the consumers in column blocks of up to BlockRows rows. BatchConsumers
+// receive blocks directly; plain Consumers are driven through the scalar
+// shim. With a non-nil memory image the blocks are additionally split at
+// store rows so every consumer observes memory exactly as the live run did
+// (see the package comment on memory ordering).
+func (cp *Capture) ReplayBlocksOn(ctx context.Context, m *mem.Memory, rc *icomp.Recoder, consumers ...Consumer) error {
+	ifb := cp.ifBytes(rc)
+	var sinks []BatchConsumer
+	var scalars []Consumer
+	for _, c := range consumers {
+		if bc, ok := c.(BatchConsumer); ok {
+			sinks = append(sinks, bc)
+		} else {
+			scalars = append(scalars, c)
+		}
+	}
+	if len(scalars) > 0 {
+		sinks = append(sinks, &scalarShim{consumers: scalars})
+	}
+
+	blk := Block{Statics: cp.statics, IFB: ifb}
+	n := len(cp.slot)
+	emit := func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		blk.Start = lo
+		blk.Slot = cp.slot[lo:hi]
+		blk.PC = cp.pc[lo:hi]
+		blk.SrcA = cp.srcA[lo:hi]
+		blk.SrcB = cp.srcB[lo:hi]
+		blk.Result = cp.result[lo:hi]
+		blk.Sig = cp.sig[lo:hi]
+		if hi < n {
+			blk.EndNextPC = cp.pc[hi]
+		} else {
+			blk.EndNextPC = cp.lastNextPC
+		}
+		for _, bc := range sinks {
+			bc.ConsumeBlock(&blk)
+		}
+	}
+
+	for base := 0; base < n; base += BlockRows {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("trace: replaying %s aborted after %d instructions: %w", cp.bench.Name, base, ctx.Err())
+		default:
+		}
+		hi := base + BlockRows
+		if hi > n {
+			hi = n
+		}
+		if m == nil {
+			emit(base, hi)
+			continue
+		}
+		// Split the block at store rows: emit rows before the store, land
+		// the store, then continue with a span that begins at the store row
+		// itself — its event is observed only after its own store, and
+		// before any later one, exactly like the scalar loop.
+		lo := base
+		for i := base; i < hi; i++ {
+			st := &cp.statics[cp.slot[i]&SlotMask]
+			if !st.IsStore {
+				continue
+			}
+			emit(lo, i)
+			addr := cp.srcA[i] + st.Simm
+			switch st.MemWidth {
+			case 1:
+				m.Store8(addr, byte(cp.srcB[i]))
+			case 2:
+				m.Store16(addr, uint16(cp.srcB[i]))
+			default:
+				m.Store32(addr, cp.srcB[i])
+			}
+			lo = i
+		}
+		emit(lo, hi)
+	}
+	return nil
+}

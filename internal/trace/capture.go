@@ -53,11 +53,12 @@ import (
 // 24 B/instruction plus the (amortized-to-nothing) statics table.
 const MaxBytesPerInst = 40
 
-// takenBit stores the branch outcome in the slot column's top bit; the low
-// 31 bits index the statics table.
+// TakenBit stores the branch outcome in the slot column's top bit; the low
+// 31 bits (SlotMask) index the statics table. Exported so BatchConsumers can
+// decode the raw slot column.
 const (
-	takenBit = 1 << 31
-	slotMask = takenBit - 1
+	TakenBit = 1 << 31
+	SlotMask = TakenBit - 1
 )
 
 // Packed significance-column field offsets/widths. The ten quantities fit
@@ -77,32 +78,46 @@ const (
 	sigWBHalvesShift   = 25 // 2 bits
 )
 
-// staticInst is everything about an instruction word that never changes
-// between dynamic instances.
-type staticInst struct {
-	inst     isa.Inst
-	simm     uint32 // sign-extended immediate (effective-address offset)
-	dest     isa.Reg
-	memWidth uint8 // 0 for non-memory instructions
-	readsA   bool
-	readsB   bool
-	hasDest  bool
-	isStore  bool
+// Static is everything about an instruction word that never changes between
+// dynamic instances. The statics table is exposed to BatchConsumers as the
+// per-block annotation table (Block.Statics), so its fields are exported.
+type Static struct {
+	Inst     isa.Inst
+	Simm     uint32 // sign-extended immediate (effective-address offset)
+	Dest     isa.Reg
+	MemWidth uint8 // 0 for non-memory instructions
+	ReadsA   bool
+	ReadsB   bool
+	HasDest  bool
+	IsStore  bool
 }
 
 // staticSize estimates the resident bytes of one statics entry: the struct
 // itself plus its raw→slot map entry (key, value, bucket overhead).
 const staticSize = 96
 
+// ifbMemoOverhead estimates the per-memo resident bytes beyond the table
+// itself: the 64-byte Profile key, its map bucket share, and the slice
+// header. Included in SizeBytes so the byte-budgeted trace cache sees the
+// memo's real footprint.
+const ifbMemoOverhead = 144
+
+// maxIFBMemos bounds how many recoder profiles a capture memoizes fetch
+// sizes for. A process normally has one or two live recodings (the static
+// default and the suite-profiled one); under recoder churn — sweeps that
+// build a fresh Recoder per request — the oldest memo is dropped instead of
+// letting the map retain every recoding ever replayed.
+const maxIFBMemos = 4
+
 // Capture is one benchmark's recorded trace. Record it by running the
 // benchmark to completion (CaptureRun, or Consume riding along any live
 // run); once complete it is immutable and safe for concurrent Replays.
 type Capture struct {
 	bench   bench.Benchmark
-	statics []staticInst
+	statics []Static
 	slotOf  map[uint32]uint32 // raw instruction word -> statics index
 
-	slot   []uint32 // statics index | takenBit
+	slot   []uint32 // statics index | TakenBit
 	pc     []uint32
 	srcA   []uint32
 	srcB   []uint32
@@ -111,11 +126,15 @@ type Capture struct {
 
 	lastNextPC uint32 // NextPC of the final instruction (no successor row)
 
-	// ifb memoizes the per-slot compressed fetch size for each recoder a
-	// replay has used: IFBytes is static per (raw word, recoder), so one
-	// pass over the statics table serves every instruction of the replay.
-	ifbMu sync.Mutex
-	ifb   map[*icomp.Recoder][]uint8
+	// ifb memoizes the per-slot compressed fetch size per recoder profile:
+	// IFBytes is static per (raw word, recoding), so one pass over the
+	// statics table serves every instruction of a replay, and keying by
+	// icomp.Profile (not recoder pointer) lets distinct Recoder instances
+	// with the same recoding share one table. ifbOrder tracks insertion
+	// order so the memo can be bounded (maxIFBMemos, oldest dropped).
+	ifbMu    sync.Mutex
+	ifb      map[icomp.Profile][]uint8
+	ifbOrder []icomp.Profile
 }
 
 // NewCapture returns an empty capture for b, ready to record (via Consume
@@ -162,7 +181,7 @@ func CaptureRun(ctx context.Context, b bench.Benchmark) (*Capture, error) {
 	if got := c.Regs[bench.ChecksumReg]; got != b.Checksum {
 		return nil, fmt.Errorf("trace: %s checksum %#08x, want %#08x", b.Name, got, b.Checksum)
 	}
-	cp.compact()
+	cp.Finalize()
 	return cp, nil
 }
 
@@ -185,9 +204,13 @@ func (cp *Capture) grow(hint int) {
 	cp.sig = make([]uint32, 0, hint)
 }
 
-// compact trims append slack so SizeBytes reflects exactly the recorded
-// trace. Call once recording is finished (CaptureRun does).
-func (cp *Capture) compact() {
+// Finalize trims append slack so SizeBytes reflects exactly the recorded
+// trace. Call it once recording is finished: CaptureRun does, and any
+// capture recorded by riding along a live run (Consume) must be finalized
+// by the ride-along site before the capture is sized or cached — append
+// growth otherwise leaves up to ~2x slack in the dynamic columns. Safe to
+// call more than once; a finalized capture with no slack is left untouched.
+func (cp *Capture) Finalize() {
 	trim := func(s []uint32) []uint32 {
 		if cap(s) == len(s) {
 			return s
@@ -208,30 +231,37 @@ func (cp *Capture) compact() {
 // (Run/RunOnCtx) and record the stream while other consumers observe it.
 func (cp *Capture) Consume(ev Event) { cp.record(ev) }
 
+// staticFor derives the statics-table entry for one decoded instruction.
+// record and the SIGCAP01 reader (capfile.go) share it, so a capture decoded
+// from disk rebuilds exactly the table the original recording held.
+func staticFor(in isa.Inst) Static {
+	dest, hasDest := in.DestReg()
+	st := Static{
+		Inst:    in,
+		Simm:    uint32(int32(in.Imm)),
+		Dest:    dest,
+		HasDest: hasDest,
+		ReadsA:  in.ReadsRs(),
+		ReadsB:  in.ReadsRt(),
+		IsStore: in.IsStore(),
+	}
+	if in.IsMem() {
+		st.MemWidth = uint8(in.MemBytes())
+	}
+	return st
+}
+
 func (cp *Capture) record(ev Event) {
 	idx, ok := cp.slotOf[ev.Raw]
 	if !ok {
-		in := ev.Inst
-		dest, hasDest := in.DestReg()
-		st := staticInst{
-			inst:    in,
-			simm:    uint32(int32(in.Imm)),
-			dest:    dest,
-			hasDest: hasDest,
-			readsA:  in.ReadsRs(),
-			readsB:  in.ReadsRt(),
-			isStore: in.IsStore(),
-		}
-		if in.IsMem() {
-			st.memWidth = uint8(in.MemBytes())
-		}
+		st := staticFor(ev.Inst)
 		idx = uint32(len(cp.statics))
 		cp.statics = append(cp.statics, st)
 		cp.slotOf[ev.Raw] = idx
 	}
 	sw := idx
 	if ev.Taken {
-		sw |= takenBit
+		sw |= TakenBit
 	}
 	res := ev.Result
 	if !ev.HasDest {
@@ -272,11 +302,27 @@ func (cp *Capture) Len() int { return len(cp.slot) }
 func (cp *Capture) Statics() int { return len(cp.statics) }
 
 // SizeBytes estimates the capture's resident memory: the six dynamic
-// columns (exact) plus the statics table and its lookup map (estimated per
-// entry). The trace-cache accounting in internal/simsvc budgets with this.
+// columns (exact), the statics table and its lookup map (estimated per
+// entry), and the per-recoder-profile fetch-size memos replays have built
+// (one byte per statics slot each, plus key/bucket overhead). The memos are
+// included so the byte-budgeted trace cache in internal/simsvc accounts for
+// everything a cached capture actually keeps resident, not just its columns.
 func (cp *Capture) SizeBytes() int {
 	cols := cap(cp.slot) + cap(cp.pc) + cap(cp.srcA) + cap(cp.srcB) + cap(cp.result) + cap(cp.sig)
-	return cols*4 + len(cp.statics)*staticSize
+	cp.ifbMu.Lock()
+	memos := len(cp.ifb) * (len(cp.statics) + ifbMemoOverhead)
+	cp.ifbMu.Unlock()
+	return cols*4 + len(cp.statics)*staticSize + memos
+}
+
+// ClearMemos drops every memoized per-recoder fetch-size table, releasing
+// the memory SizeBytes attributes to them. Replays rebuild tables on demand;
+// the capture itself is untouched.
+func (cp *Capture) ClearMemos() {
+	cp.ifbMu.Lock()
+	cp.ifb = nil
+	cp.ifbOrder = nil
+	cp.ifbMu.Unlock()
 }
 
 // FunctCounts tallies the dynamic R-format function-code frequencies of the
@@ -285,12 +331,12 @@ func (cp *Capture) SizeBytes() int {
 func (cp *Capture) FunctCounts() map[isa.Funct]uint64 {
 	perSlot := make([]uint64, len(cp.statics))
 	for _, sw := range cp.slot {
-		perSlot[sw&slotMask]++
+		perSlot[sw&SlotMask]++
 	}
 	counts := make(map[isa.Funct]uint64)
 	for i := range cp.statics {
-		if st := &cp.statics[i]; st.inst.Op == isa.OpSpecial && perSlot[i] > 0 {
-			counts[st.inst.Funct] += perSlot[i]
+		if st := &cp.statics[i]; st.Inst.Op == isa.OpSpecial && perSlot[i] > 0 {
+			counts[st.Inst.Funct] += perSlot[i]
 		}
 	}
 	return counts
@@ -307,21 +353,30 @@ func (cp *Capture) NewMemory() (*mem.Memory, error) {
 }
 
 // ifBytes returns the per-statics-slot compressed fetch size under rc,
-// computing it once per (Capture, Recoder) pair.
+// computing it once per (Capture, recoder profile). The memo holds at most
+// maxIFBMemos profiles; beyond that the oldest is evicted, so a capture's
+// footprint stays bounded no matter how many distinct recodings replay
+// against it over its cached lifetime.
 func (cp *Capture) ifBytes(rc *icomp.Recoder) []uint8 {
+	key := rc.Profile()
 	cp.ifbMu.Lock()
 	defer cp.ifbMu.Unlock()
-	if t, ok := cp.ifb[rc]; ok {
+	if t, ok := cp.ifb[key]; ok {
 		return t
 	}
 	t := make([]uint8, len(cp.statics))
 	for i := range cp.statics {
-		t[i] = uint8(rc.FetchBytes(cp.statics[i].inst.Raw))
+		t[i] = uint8(rc.FetchBytes(cp.statics[i].Inst.Raw))
 	}
 	if cp.ifb == nil {
-		cp.ifb = make(map[*icomp.Recoder][]uint8, 1)
+		cp.ifb = make(map[icomp.Profile][]uint8, 1)
 	}
-	cp.ifb[rc] = t
+	for len(cp.ifb) >= maxIFBMemos {
+		delete(cp.ifb, cp.ifbOrder[0])
+		cp.ifbOrder = cp.ifbOrder[1:]
+	}
+	cp.ifb[key] = t
+	cp.ifbOrder = append(cp.ifbOrder, key)
 	return t
 }
 
@@ -356,30 +411,30 @@ func (cp *Capture) ReplayOn(ctx context.Context, m *mem.Memory, rc *icomp.Recode
 			}
 		}
 		sw := cp.slot[i]
-		st := &cp.statics[sw&slotMask]
+		st := &cp.statics[sw&SlotMask]
 		var ev Event
 		e := &ev.Exec
 		e.PC = cp.pc[i]
-		e.Raw = st.inst.Raw
-		e.Inst = st.inst
-		e.SrcA, e.ReadsA = cp.srcA[i], st.readsA
-		e.SrcB, e.ReadsB = cp.srcB[i], st.readsB
-		if st.hasDest {
-			e.Dest, e.Result, e.HasDest = st.dest, cp.result[i], true
+		e.Raw = st.Inst.Raw
+		e.Inst = st.Inst
+		e.SrcA, e.ReadsA = cp.srcA[i], st.ReadsA
+		e.SrcB, e.ReadsB = cp.srcB[i], st.ReadsB
+		if st.HasDest {
+			e.Dest, e.Result, e.HasDest = st.Dest, cp.result[i], true
 		}
-		e.Taken = sw&takenBit != 0
+		e.Taken = sw&TakenBit != 0
 		if i+1 < n {
 			e.NextPC = cp.pc[i+1]
 		} else {
 			e.NextPC = cp.lastNextPC
 		}
-		if st.memWidth > 0 {
-			e.Addr = e.SrcA + st.simm
-			e.MemWidth = int(st.memWidth)
-			if st.isStore {
+		if st.MemWidth > 0 {
+			e.Addr = e.SrcA + st.Simm
+			e.MemWidth = int(st.MemWidth)
+			if st.IsStore {
 				e.StoreVal = e.SrcB
 				if m != nil {
-					switch st.memWidth {
+					switch st.MemWidth {
 					case 1:
 						m.Store8(e.Addr, byte(e.SrcB))
 					case 2:
@@ -393,7 +448,7 @@ func (cp *Capture) ReplayOn(ctx context.Context, m *mem.Memory, rc *icomp.Recode
 			}
 		}
 		s := cp.sig[i]
-		ev.IFBytes = int(ifb[sw&slotMask])
+		ev.IFBytes = int(ifb[sw&SlotMask])
 		ev.SrcBytesA = int(s >> sigSrcBytesAShift & 7)
 		ev.SrcBytesB = int(s >> sigSrcBytesBShift & 7)
 		ev.SrcHalvesA = int(s >> sigSrcHalvesAShift & 3)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -156,10 +157,26 @@ func (t *Reader) Next() (cpu.Exec, error) {
 }
 
 // Replay annotates every record with rc and fans it out to the consumers,
-// returning the number of instructions replayed.
+// returning the number of instructions replayed. It cannot be cancelled;
+// use ReplayCtx when the caller may need to abort a long trace.
 func (t *Reader) Replay(rc *icomp.Recoder, consumers ...Consumer) (uint64, error) {
+	return t.ReplayCtx(context.Background(), rc, consumers...)
+}
+
+// ReplayCtx is Replay with cancellation: the context is polled every
+// (ctxCheckMask+1) records — the same cadence as the live-run and
+// capture-replay loops — so aborting a request stops a file replay within
+// a few thousand instructions instead of running the trace to exhaustion.
+func (t *Reader) ReplayCtx(ctx context.Context, rc *icomp.Recoder, consumers ...Consumer) (uint64, error) {
 	var n uint64
 	for {
+		if n&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return n, fmt.Errorf("trace: file replay aborted after %d records: %w", n, ctx.Err())
+			default:
+			}
+		}
 		e, err := t.Next()
 		if err == io.EOF {
 			return n, nil
