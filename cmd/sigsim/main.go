@@ -41,8 +41,20 @@ func main() {
 		"for -bench all: interpret each benchmark once and replay the captured trace per model (false = re-interpret, the reference path)")
 	captureDir := flag.String("capture-dir", "",
 		"SIGCAP01 capture directory: replay a single -bench from its persisted capture, interpreting and persisting it on first use")
+	fetchSweep := flag.Bool("fetchsweep", false,
+		"sweep fetch bandwidth (bytes/cycle) over the suite through the byte-fetch frontends and print the CPI table")
 	list := flag.Bool("list", false, "list benchmarks and models")
 	flag.Parse()
+
+	if *fetchSweep {
+		results, err := experiments.FetchSweep(experiments.DefaultFetchSweepWidths())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FetchSweepTable(results).String())
+		return
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")
@@ -211,6 +223,16 @@ func main() {
 			fmt.Printf(" %s=%d", k, r.Stalls[pipeline.StallKind(k)])
 		}
 		fmt.Println()
+	}
+
+	for _, m := range models {
+		fu := m.FetchUnit()
+		if fu == nil {
+			continue
+		}
+		fmt.Printf("fetch %s: %d B/cycle, buffer %d B (max occupancy %d), into-decode IPC %.3f, pairs %d, buffer stalls %d\n",
+			m.Name(), fu.BytesPerCycle, fu.BufferBytes, fu.MaxOccupancy,
+			fu.IntoDecodeIPC(m.Result().Insts), fu.DualIssued, fu.BufferStalls)
 	}
 
 	fmt.Println()

@@ -257,7 +257,7 @@ func sortStrings(s []string) {
 // A sweep scattered over three shards produces the same result set and
 // the same summary tables as a single shard's sweep.
 func TestClusterSweepMatchesSingleShard(t *testing.T) {
-	query := "?model=" + pipeline.NameBaseline32 + ",skewed%2Bbypass"
+	query := "?model=" + pipeline.NameBaseline32 + ",skewed%2Bbypass," + pipeline.NameDualCompress4
 	_, single := newShard(t, simsvc.Config{})
 	wantLines, wantSum := sweepLines(t, single.URL, query)
 

@@ -32,6 +32,9 @@ type BenchResult struct {
 	HalfAct    activity.Counts
 	Scheme2Act activity.Counts // 2-bit extension scheme ablation (§2.1)
 	PredAcc    float64         // bimodal predictor accuracy (extension)
+	// FetchUnits holds the byte-budgeted frontend accounting of every
+	// byte-fetch model (keyed by model name; word-fetch models have none).
+	FetchUnits map[string]pipeline.FetchUnitStats
 }
 
 // Results carries the complete evaluation.
@@ -43,6 +46,7 @@ type Results struct {
 	Fetch      *activity.FetchStats
 	Partitions *activity.PartitionStats
 	Width64    *activity.Width64Stats
+	Frontend   *activity.FrontendStats
 	// BM holds per-benchmark Brooks-Martonosi baseline collectors (keyed
 	// by benchmark name): the paper's reference [1], ALU-only gating.
 	BM map[string]*bmgating.Collector
@@ -95,6 +99,7 @@ type SuiteCollectors struct {
 	Fetch      *activity.FetchStats
 	Partitions *activity.PartitionStats
 	Width64    *activity.Width64Stats
+	Frontend   *activity.FrontendStats
 	BM         map[string]*bmgating.Collector
 }
 
@@ -105,6 +110,7 @@ func NewSuiteCollectors() *SuiteCollectors {
 		Fetch:      &activity.FetchStats{},
 		Partitions: activity.NewPartitionStats(),
 		Width64:    activity.NewWidth64Stats(),
+		Frontend:   activity.NewFrontendStats(),
 		BM:         make(map[string]*bmgating.Collector),
 	}
 }
@@ -121,6 +127,7 @@ func (sc *SuiteCollectors) Merge(other *SuiteCollectors) {
 	sc.Fetch.Merge(other.Fetch)
 	sc.Partitions.Merge(other.Partitions)
 	sc.Width64.Merge(other.Width64)
+	sc.Frontend.Merge(other.Frontend)
 	for name, col := range other.BM {
 		if existing, ok := sc.BM[name]; ok {
 			existing.Merge(col)
@@ -153,7 +160,7 @@ func evalBench(name string, rc *icomp.Recoder, memory *mem.Memory, suite *SuiteC
 	var bmCol *bmgating.Collector
 	if suite != nil {
 		bmCol = bmgating.NewCollector()
-		consumers = append(consumers, suite.Patterns, suite.Fetch, suite.Partitions, suite.Width64, bmCol)
+		consumers = append(consumers, suite.Patterns, suite.Fetch, suite.Partitions, suite.Width64, suite.Frontend, bmCol)
 	}
 	for _, m := range models {
 		consumers = append(consumers, m)
@@ -165,6 +172,10 @@ func evalBench(name string, rc *icomp.Recoder, memory *mem.Memory, suite *SuiteC
 	// not leave a partially-filled collector in the results map.
 	if suite != nil {
 		suite.BM[name] = bmCol
+		// Pairing adjacency must not span benchmarks: a shared sequential
+		// collector set has to tally exactly what per-benchmark sets merged
+		// afterwards would.
+		suite.Frontend.EndRun()
 	}
 	br := BenchResult{
 		Name:       name,
@@ -173,6 +184,7 @@ func evalBench(name string, rc *icomp.Recoder, memory *mem.Memory, suite *SuiteC
 		ByteAct:    byteCol.Counts(),
 		HalfAct:    halfCol.Counts(),
 		Scheme2Act: twoBitCol.Counts(),
+		FetchUnits: make(map[string]pipeline.FetchUnitStats),
 	}
 	for _, m := range models {
 		r := m.Result()
@@ -180,6 +192,9 @@ func evalBench(name string, rc *icomp.Recoder, memory *mem.Memory, suite *SuiteC
 		br.Stalls[m.Name()] = r.Stalls
 		if m.PredictorAccuracy() > 0 && m.Name() == pipeline.NameBaseline32+"+bp" {
 			br.PredAcc = m.PredictorAccuracy()
+		}
+		if fu := m.FetchUnit(); fu != nil {
+			br.FetchUnits[m.Name()] = *fu
 		}
 	}
 	return br, nil
@@ -366,6 +381,7 @@ func assembleSuite(ctx context.Context, rc *icomp.Recoder, functs map[isa.Funct]
 		Fetch:      collectors.Fetch,
 		Partitions: collectors.Partitions,
 		Width64:    collectors.Width64,
+		Frontend:   collectors.Frontend,
 		BM:         collectors.BM,
 	}
 	if workers <= 1 {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestSuiteByteFetchEquivalence is the suite-level face of the equivalence
+// wall: in a full evaluation, ByteFetch(4) with recoding disabled must
+// report exactly the baseline's CPI on every benchmark, the byte-fetch
+// models must carry fetch-unit accounting (and the word-fetch models must
+// not), and the suite-level frontend profile must be populated.
+func TestSuiteByteFetchEquivalence(t *testing.T) {
+	res, err := RunSuite(context.Background(), replaySubset(t), 4)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	for _, b := range res.Bench {
+		if b.CPI[pipeline.NameByteFetch4Raw] != b.CPI[pipeline.NameBaseline32] {
+			t.Errorf("%s: bytefetch4-raw CPI %v != baseline32 CPI %v",
+				b.Name, b.CPI[pipeline.NameByteFetch4Raw], b.CPI[pipeline.NameBaseline32])
+		}
+		for _, name := range []string{
+			pipeline.NameByteFetch2, pipeline.NameByteFetch3, pipeline.NameByteFetch4,
+			pipeline.NameByteFetch4Raw, pipeline.NameDualCompress4,
+		} {
+			fu, ok := b.FetchUnits[name]
+			if !ok {
+				t.Fatalf("%s: no fetch-unit accounting for %s", b.Name, name)
+			}
+			if fu.IssueCycles == 0 {
+				t.Errorf("%s/%s: zero issue cycles", b.Name, name)
+			}
+		}
+		if _, ok := b.FetchUnits[pipeline.NameBaseline32]; ok {
+			t.Errorf("%s: word-fetch baseline grew a fetch unit", b.Name)
+		}
+		dual := b.FetchUnits[pipeline.NameDualCompress4]
+		if dual.DualIssued == 0 {
+			t.Errorf("%s: dualc4 never paired", b.Name)
+		}
+		if ipc := dual.IntoDecodeIPC(b.Insts); ipc <= 1.0 || ipc > 2.0 {
+			t.Errorf("%s: dualc4 into-decode IPC %.3f outside (1, 2]", b.Name, ipc)
+		}
+	}
+	if res.Frontend.Insts == 0 || res.Frontend.Pairs == 0 {
+		t.Errorf("suite frontend profile degenerate: %+v", res.Frontend.State())
+	}
+	// The renderers over the new sections must not panic and must carry the
+	// model columns.
+	if tbl := res.FigFetch(); tbl == nil {
+		t.Fatal("FigFetch returned nil")
+	}
+	if s := res.FrontendSummary(); s == "" {
+		t.Fatal("empty frontend summary")
+	}
+}
+
+// TestFetchSweepTable exercises the bandwidth sweep end-to-end on the
+// narrow axis (the full sweep is the committed EXPERIMENTS.md artifact).
+func TestFetchSweepTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fetch sweep replays the whole suite")
+	}
+	results, err := FetchSweep([]int{4})
+	if err != nil {
+		t.Fatalf("FetchSweep: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("empty sweep")
+	}
+	best := 0.0
+	for _, r := range results {
+		if r.CPIDual > r.CPIComp {
+			t.Errorf("%s @%dB: dual-issue CPI %.3f worse than single %.3f",
+				r.Bench, r.Bytes, r.CPIDual, r.CPIComp)
+		}
+		if r.DualIPC > best {
+			best = r.DualIPC
+		}
+	}
+	if best <= 1.0 {
+		t.Errorf("no benchmark sustains >1 inst/cycle into decode at 4 B/cycle (best %.3f)", best)
+	}
+	if FetchSweepTable(results) == nil {
+		t.Fatal("nil sweep table")
+	}
+}

@@ -19,17 +19,40 @@ type JSONResults struct {
 	Partitions []PartitionRowJSON `json:"partitionAblation"`
 	BMGating   []BMJSON           `json:"bmGatingBaseline,omitempty"`
 	Width64    Width64JSON        `json:"width64Projection"`
+	Frontend   FrontendJSON       `json:"compressedFrontend"`
 }
 
 // BenchJSON is the machine-readable result of one benchmark: CPI per
 // pipeline model and per-stage activity savings at both granularities.
 type BenchJSON struct {
-	Name       string             `json:"name"`
-	Insts      uint64             `json:"instructions"`
-	CPI        map[string]float64 `json:"cpi"`
-	ByteSaving map[string]float64 `json:"activitySavingByte"`
-	HalfSaving map[string]float64 `json:"activitySavingHalfword"`
-	PredictAcc float64            `json:"branchPredictorAccuracy"`
+	Name       string                   `json:"name"`
+	Insts      uint64                   `json:"instructions"`
+	CPI        map[string]float64       `json:"cpi"`
+	ByteSaving map[string]float64       `json:"activitySavingByte"`
+	HalfSaving map[string]float64       `json:"activitySavingHalfword"`
+	PredictAcc float64                  `json:"branchPredictorAccuracy"`
+	FetchUnits map[string]FetchUnitJSON `json:"fetchUnits,omitempty"`
+}
+
+// FetchUnitJSON is one byte-fetch model's frontend accounting over one
+// benchmark.
+type FetchUnitJSON struct {
+	BytesPerCycle int     `json:"bytesPerCycle"`
+	BufferBytes   int     `json:"bufferBytes"`
+	IssueCycles   uint64  `json:"issueCycles"`
+	DualIssued    uint64  `json:"dualIssued"`
+	BufferStalls  uint64  `json:"bufferStalls"`
+	MaxOccupancy  uint64  `json:"maxOccupancy"`
+	IntoDecodeIPC float64 `json:"intoDecodeIPC"`
+}
+
+// FrontendJSON carries the suite-level compressed-fetch frontend profile:
+// the dual-issue opportunity the dynamic stream offers a
+// dual-issue-when-compressed decoder.
+type FrontendJSON struct {
+	CompressedShare float64 `json:"compressedShare"`
+	PairShare       float64 `json:"pairShare"`
+	MeanRunLength   float64 `json:"meanRunLength"`
 }
 
 // PatternJSON is one row of the Table 1 significant-byte-pattern profile.
@@ -88,7 +111,7 @@ func SavingMap(c activity.Counts) map[string]float64 {
 
 // EncodeBench converts one benchmark's results to the shared JSON schema.
 func EncodeBench(b BenchResult) BenchJSON {
-	return BenchJSON{
+	out := BenchJSON{
 		Name:       b.Name,
 		Insts:      b.Insts,
 		CPI:        b.CPI,
@@ -96,6 +119,21 @@ func EncodeBench(b BenchResult) BenchJSON {
 		HalfSaving: SavingMap(b.HalfAct),
 		PredictAcc: b.PredAcc,
 	}
+	if len(b.FetchUnits) > 0 {
+		out.FetchUnits = make(map[string]FetchUnitJSON, len(b.FetchUnits))
+		for name, fu := range b.FetchUnits {
+			out.FetchUnits[name] = FetchUnitJSON{
+				BytesPerCycle: fu.BytesPerCycle,
+				BufferBytes:   fu.BufferBytes,
+				IssueCycles:   fu.IssueCycles,
+				DualIssued:    fu.DualIssued,
+				BufferStalls:  fu.BufferStalls,
+				MaxOccupancy:  fu.MaxOccupancy,
+				IntoDecodeIPC: fu.IntoDecodeIPC(b.Insts),
+			}
+		}
+	}
+	return out
 }
 
 // pct returns 100*n/d, 0 when the denominator is empty (keeps the encoding
@@ -125,6 +163,7 @@ func (r *Results) Encode() *JSONResults {
 	// Benchmark order (not map order) keeps the encoding deterministic.
 	out.BMGating = EncodeBM(order, r.BM)
 	out.Width64 = EncodeWidth64(r.Width64)
+	out.Frontend = EncodeFrontend(r.Frontend)
 	return out
 }
 

@@ -37,6 +37,12 @@ func fakeResults(t *testing.T) *Results {
 				},
 				ByteAct: act,
 				HalfAct: act,
+				FetchUnits: map[string]pipeline.FetchUnitStats{
+					pipeline.NameDualCompress4: {
+						BytesPerCycle: 4, BufferBytes: 16,
+						IssueCycles: 80, DualIssued: 20, MaxOccupancy: 7,
+					},
+				},
 			},
 			{
 				Name:    "fake2",
@@ -49,6 +55,7 @@ func fakeResults(t *testing.T) *Results {
 		Fetch:      &activity.FetchStats{Insts: 100, Bytes: 317, ThreeByte: 83},
 		Partitions: activity.NewPartitionStats(),
 		Width64:    activity.NewWidth64Stats(),
+		Frontend:   &activity.FrontendStats{Insts: 300, Bytes: 1000, Compressed: 240, Pairs: 60, Redirects: 50},
 	}
 }
 
@@ -110,6 +117,18 @@ func TestJSONBenchFields(t *testing.T) {
 	}
 	if dec.Fetch.ThreeByteShare != 83 {
 		t.Errorf("ThreeByteShare = %v, want 83", dec.Fetch.ThreeByteShare)
+	}
+	// Byte-fetch frontend sections: per-model fetch-unit accounting and the
+	// suite-level dual-issue opportunity profile.
+	fu, ok := b.FetchUnits[pipeline.NameDualCompress4]
+	if !ok {
+		t.Fatal("dualc4 fetch-unit accounting missing from bench JSON")
+	}
+	if fu.BytesPerCycle != 4 || fu.DualIssued != 20 || fu.IntoDecodeIPC != 1.25 {
+		t.Errorf("fetch unit = %+v, want 4 B/cycle, 20 pairs, IPC 1.25", fu)
+	}
+	if dec.Frontend.CompressedShare != 80 || dec.Frontend.PairShare != 40 || dec.Frontend.MeanRunLength != 6 {
+		t.Errorf("frontend section = %+v, want 80/40/6", dec.Frontend)
 	}
 	// Dynamic funct profile: addu dominates and is in the compact set.
 	if len(dec.Functs) != 2 {

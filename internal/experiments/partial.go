@@ -25,6 +25,7 @@ type CollectorsState struct {
 	Fetch      activity.FetchStats       `json:"fetch"`
 	Partitions activity.PartitionState   `json:"partitions"`
 	Width64    activity.Width64State     `json:"width64"`
+	Frontend   activity.FrontendState    `json:"frontend"`
 	BM         map[string]bmgating.State `json:"bmGating,omitempty"`
 }
 
@@ -35,6 +36,7 @@ func (sc *SuiteCollectors) State() CollectorsState {
 		Fetch:      *sc.Fetch,
 		Partitions: sc.Partitions.State(),
 		Width64:    sc.Width64.State(),
+		Frontend:   sc.Frontend.State(),
 		BM:         make(map[string]bmgating.State, len(sc.BM)),
 	}
 	for name, col := range sc.BM {
@@ -53,6 +55,7 @@ func (sc *SuiteCollectors) AddState(st CollectorsState) error {
 		return err
 	}
 	sc.Width64.AddState(st.Width64)
+	sc.Frontend.AddState(st.Frontend)
 	for name, bm := range st.BM {
 		col, ok := sc.BM[name]
 		if !ok {
@@ -123,6 +126,7 @@ func MergePartials(order []string, parts []*PartialSuite) (*JSONResults, uint64,
 	out.Partitions = EncodePartitions(master.Partitions)
 	out.BMGating = EncodeBM(order, master.BM)
 	out.Width64 = EncodeWidth64(master.Width64)
+	out.Frontend = EncodeFrontend(master.Frontend)
 	return out, insts, nil
 }
 
@@ -161,6 +165,15 @@ func EncodeFetch(f *activity.FetchStats) FetchJSON {
 		MeanBytes:        f.MeanBytes(),
 		MeanBytesWithExt: f.MeanBytesWithExt(),
 		ThreeByteShare:   pct(f.ThreeByte, f.Insts),
+	}
+}
+
+// EncodeFrontend renders the compressed-fetch frontend profile section.
+func EncodeFrontend(f *activity.FrontendStats) FrontendJSON {
+	return FrontendJSON{
+		CompressedShare: f.CompressedShare(),
+		PairShare:       f.PairShare(),
+		MeanRunLength:   f.MeanRunLength(),
 	}
 }
 

@@ -34,6 +34,7 @@ const (
 	kindSkewed
 	kindSkewedBypass
 	kindCompressed
+	kindByteFetch
 )
 
 // maxStages bounds the scratch arrays (semiparallel has six stages).
@@ -50,6 +51,7 @@ const (
 	stStructMEM
 	stStructWB
 	stStructIF
+	stFetchBuf
 	nStallKinds
 )
 
@@ -57,6 +59,7 @@ const (
 var stallKinds = [nStallKinds]StallKind{
 	StallBranch, StallICache, StallDCache, StallData,
 	StallStructEX, StallStructRF, StallStructMEM, StallStructWB, StallStructIF,
+	StallFetchBuf,
 }
 
 // structIdx is the array-index twin of spec.structKind.
@@ -222,6 +225,10 @@ func (m *Model) ConsumeBlock(blk *trace.Block) {
 			blk.EventAt(i, &ev)
 			m.Consume(ev)
 		}
+		return
+	}
+	if m.spec.frontend != nil {
+		m.consumeFrontendBlock(blk)
 		return
 	}
 	bs := m.ensureBatch(blk)

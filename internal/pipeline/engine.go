@@ -37,15 +37,16 @@ type StallKind string
 
 // Stall categories.
 const (
-	StallBranch    StallKind = "branch"      // fetch blocked on unresolved control flow
-	StallICache    StallKind = "icache"      // instruction fetch misses
-	StallDCache    StallKind = "dcache"      // data access misses
-	StallData      StallKind = "data-hazard" // operand not ready
-	StallStructEX  StallKind = "struct-ex"   // EX stage busy (multi-cycle occupancy ahead)
-	StallStructRF  StallKind = "struct-rf"   // RF/decode stage busy
-	StallStructMEM StallKind = "struct-mem"  // MEM stage busy
-	StallStructWB  StallKind = "struct-wb"   // WB stage busy
-	StallStructIF  StallKind = "struct-if"   // fetch stage busy
+	StallBranch    StallKind = "branch"       // fetch blocked on unresolved control flow
+	StallICache    StallKind = "icache"       // instruction fetch misses
+	StallDCache    StallKind = "dcache"       // data access misses
+	StallData      StallKind = "data-hazard"  // operand not ready
+	StallStructEX  StallKind = "struct-ex"    // EX stage busy (multi-cycle occupancy ahead)
+	StallStructRF  StallKind = "struct-rf"    // RF/decode stage busy
+	StallStructMEM StallKind = "struct-mem"   // MEM stage busy
+	StallStructWB  StallKind = "struct-wb"    // WB stage busy
+	StallStructIF  StallKind = "struct-if"    // fetch stage busy
+	StallFetchBuf  StallKind = "fetch-buffer" // byte-fetch buffer full (frontend models)
 )
 
 // Result is the outcome of one model over one benchmark trace.
@@ -115,6 +116,12 @@ type spec struct {
 
 	// pcExtra adds serial PC-increment cycles to the fetch stage.
 	pcExtra func(e trace.Event) int
+
+	// frontend, when non-nil, replaces the whole scheduling core with the
+	// byte-budgeted fetch engine (frontend.go): fetch bandwidth in bytes
+	// per cycle, a capacity-bounded fetch buffer, and optional dual issue
+	// of compressed instruction pairs.
+	frontend *frontendSpec
 }
 
 // structKind maps a stage index to its structural stall bucket.
@@ -155,8 +162,9 @@ type Model struct {
 	cycles uint64
 	stalls map[StallKind]uint64
 
-	enter []uint64    // scratch
-	batch *batchState // ConsumeBlock scratch, built lazily
+	enter []uint64       // scratch
+	batch *batchState    // ConsumeBlock scratch, built lazily
+	fe    *frontendState // byte-fetch scheduler state (frontend models only)
 }
 
 func newModel(s spec) *Model {
@@ -191,6 +199,10 @@ func (m *Model) stall(kind StallKind, cycles uint64) {
 
 // Consume implements trace.Consumer: schedules one instruction.
 func (m *Model) Consume(e trace.Event) {
+	if m.spec.frontend != nil {
+		m.consumeFrontend(e)
+		return
+	}
 	s := &m.spec
 	n := len(s.stages)
 

@@ -291,34 +291,51 @@ func NewParallelCompressed() *Model {
 	})
 }
 
-// New builds a model by name, or nil if unknown.
+// registry is the single source of truth for the model catalog: AllNames,
+// New, NewAll, the sigsim suite table, and the service's /v1/models all
+// derive from this ordered list, so a model added here is listed, servable,
+// and swept everywhere at once (pinned by TestModelRegistryConsistency).
+var registry = []struct {
+	name string
+	ctor func() *Model
+}{
+	{NameBaseline32, NewBaseline32},
+	{NameByteSerial, NewByteSerial},
+	{NameHalfwordSerial, NewHalfwordSerial},
+	{NameSemiParallel, NewSemiParallel},
+	{NameParallelCompressed, NewParallelCompressed},
+	{NameParallelSkewed, NewParallelSkewed},
+	{NameParallelSkewedBypass, NewParallelSkewedBypass},
+	{NameByteFetch2, func() *Model { return NewByteFetch(2, false, false) }},
+	{NameByteFetch3, func() *Model { return NewByteFetch(3, false, false) }},
+	{NameByteFetch4, func() *Model { return NewByteFetch(4, false, false) }},
+	{NameByteFetch4Raw, func() *Model { return NewByteFetch(4, false, true) }},
+	{NameDualCompress4, func() *Model { return NewByteFetch(4, true, false) }},
+}
+
+// New builds a model by name, or nil if unknown. Beyond the registry it
+// resolves the parameterized byte-fetch spellings ("bytefetch<B>[-raw]",
+// "dualc<B>[-raw]") for sweep axes outside the advertised widths.
 func New(name string) *Model {
-	switch name {
-	case NameBaseline32:
-		return NewBaseline32()
-	case NameByteSerial:
-		return NewByteSerial()
-	case NameHalfwordSerial:
-		return NewHalfwordSerial()
-	case NameSemiParallel:
-		return NewSemiParallel()
-	case NameParallelSkewed:
-		return NewParallelSkewed()
-	case NameParallelCompressed:
-		return NewParallelCompressed()
-	case NameParallelSkewedBypass:
-		return NewParallelSkewedBypass()
+	for _, r := range registry {
+		if r.name == name {
+			return r.ctor()
+		}
+	}
+	if bytes, dual, raw, ok := parseByteFetchName(name); ok {
+		return NewByteFetch(bytes, dual, raw)
 	}
 	return nil
 }
 
 // AllNames lists the models in presentation order (baseline first, then by
-// increasing hardware parallelism).
+// increasing hardware parallelism, then the byte-fetch frontends).
 func AllNames() []string {
-	return []string{
-		NameBaseline32, NameByteSerial, NameHalfwordSerial, NameSemiParallel,
-		NameParallelCompressed, NameParallelSkewed, NameParallelSkewedBypass,
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
 	}
+	return out
 }
 
 // NewAll builds one of every model.

@@ -23,7 +23,10 @@ func TestBatchReplayBeatsScalar(t *testing.T) {
 		t.Skip("set SIGPERF_SMOKE=1 to run the wall-clock replay smoke (CI does)")
 	}
 	benches := []string{"dijkstra", "g711dec", "rawdaudio"}
-	models := []string{pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelCompressed}
+	models := []string{
+		pipeline.NameBaseline32, pipeline.NameByteSerial, pipeline.NameParallelCompressed,
+		pipeline.NameByteFetch4, pipeline.NameDualCompress4,
+	}
 	cfg := Config{Workers: 1, CacheSize: 1}
 	for _, n := range benches {
 		bm, ok := bench.ByName(n)

@@ -183,6 +183,7 @@ func (s *Service) runSuite(ctx context.Context) (*Response, error) {
 		Fetch:      master.Fetch,
 		Partitions: master.Partitions,
 		Width64:    master.Width64,
+		Frontend:   master.Frontend,
 		BM:         master.BM,
 	}
 	var insts uint64

@@ -135,4 +135,24 @@ func TestHTTPSuite(t *testing.T) {
 	if len(resp.Suite.Patterns) == 0 {
 		t.Fatal("suite pattern profile missing over HTTP")
 	}
+	// Compressed-frontend schema pin: every benchmark carries fetch-unit
+	// accounting for the byte-fetch models, the raw 4 B/cycle model matches
+	// the word-fetch baseline exactly, and the suite-level frontend profile
+	// is populated.
+	for _, b := range resp.Suite.Benchmarks {
+		if b.CPI[pipeline.NameByteFetch4Raw] != b.CPI[pipeline.NameBaseline32] {
+			t.Errorf("%s: bytefetch4-raw CPI %v != baseline32 %v over HTTP",
+				b.Name, b.CPI[pipeline.NameByteFetch4Raw], b.CPI[pipeline.NameBaseline32])
+		}
+		fu, ok := b.FetchUnits[pipeline.NameDualCompress4]
+		if !ok {
+			t.Fatalf("%s: fetchUnits section missing dualc4", b.Name)
+		}
+		if fu.BytesPerCycle != 4 || fu.IssueCycles == 0 || fu.IntoDecodeIPC <= 1.0 {
+			t.Errorf("%s: dualc4 fetch unit %+v", b.Name, fu)
+		}
+	}
+	if resp.Suite.Frontend.CompressedShare <= 0 || resp.Suite.Frontend.MeanRunLength <= 0 {
+		t.Errorf("compressedFrontend section degenerate: %+v", resp.Suite.Frontend)
+	}
 }
