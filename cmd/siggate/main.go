@@ -24,7 +24,20 @@
 //	GET  /v1/models          servable pipeline models
 //	GET  /v1/simulate        one job, routed by ring ownership (POST: JSON body)
 //	GET  /v1/sweep           scattered (benchmark × model) grid, NDJSON stream
-//	GET  /v1/suite           scattered + merged full evaluation, one JSON document
+//	GET  /v1/suite           scattered + merged full evaluation, one JSON document;
+//	                         ?bench=a,b scatters an explicit list (user programs included)
+//	POST /v1/program         untrusted-program intake routed to the shard owning the
+//	                         submission's content hash; accepted programs are
+//	                         replicated fleet-wide so scattered work can land anywhere
+//	GET  /v1/program/{id}    one accepted program, from the replica store or the fleet
+//
+// User programs submitted through the gateway ride the same ring as
+// built-in benchmarks ("user:<sha256>" names hash like any other), and the
+// gateway re-pushes its validated replicas to unconfirmed shards before
+// every scatter, so a shard that was down at accept time still gets the
+// program before work lands on it. Each shard re-verifies the content hash
+// and rebuilds the assembly from source on install — replication never
+// widens the shard's validation wall.
 //
 // Usage:
 //

@@ -16,6 +16,21 @@
 //	GET  /v1/sweep           ?gran=&bench=a,b&model=x,y   NDJSON stream
 //	GET  /v1/suite           ?model=&gran=   full paper table for one model
 //	GET  /v1/partial         ?bench=a,b   mergeable suite share (cluster fan-in)
+//	POST /v1/program         untrusted-program intake (JSON {lang, source}, X-Tenant
+//	                         header); accepted programs run under "user:<sha256>" names
+//	POST /v1/program/install fleet replication of an already-accepted program
+//	GET  /v1/program/{id}    one accepted program; GET /v1/programs lists them
+//
+// Untrusted-program intake flags (see internal/workload for the validation
+// wall each submission must clear):
+//
+//	-program-max-source-kb N   max submitted source size in KiB (0 = 256)
+//	-program-max-insts N       probationary instruction budget (0 = 2M)
+//	-program-tenant-max N      accepted programs per tenant (0 = 32)
+//	-program-quota-per-min N   submissions per tenant per minute (0 = 30)
+//	-program-stored-mb N       resident registry budget in MB (0 = 16);
+//	                           with -trace-dir set, evictions spill to
+//	                           DIR/programs and reload on demand
 //
 // Usage:
 //
@@ -60,11 +75,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/simsvc"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -80,6 +97,16 @@ func main() {
 		"captured-trace LRU budget in MB (0 = 256 MB default, <0 disables capture/replay)")
 	traceDir := flag.String("trace-dir", "",
 		"directory for persisted SIGCAP01 captures (spill on evict, reload on miss; empty = in-memory only)")
+	programMaxSourceKB := flag.Int("program-max-source-kb", 0,
+		"untrusted-program intake: max submitted source size in KiB (0 = 256 KiB default)")
+	programMaxInsts := flag.Uint64("program-max-insts", 0,
+		"untrusted-program intake: probationary retired-instruction budget, also the accepted benchmark's runaway guard (0 = 2M default)")
+	programTenantMax := flag.Int("program-tenant-max", 0,
+		"untrusted-program intake: accepted programs one tenant may hold (0 = 32 default)")
+	programPerMin := flag.Int("program-quota-per-min", 0,
+		"untrusted-program intake: submissions per tenant per minute, accepted or not (0 = 30 default)")
+	programStoredMB := flag.Int("program-stored-mb", 0,
+		"untrusted-program intake: resident registry byte budget in MB; evictions spill beside -trace-dir when set (0 = 16 MB default)")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second,
 		"how long to stay up (unready but serving) after SIGTERM so load balancers rotate the shard out")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
@@ -97,6 +124,26 @@ func main() {
 		log.Printf("sigserve: WARNING: chaos fault injection armed (%s) — do not use in production", faults)
 	}
 
+	// The intake registry spills evicted programs beside the trace captures
+	// when -trace-dir is set: both survive restarts the same way.
+	spillDir := ""
+	if *traceDir != "" {
+		spillDir = filepath.Join(*traceDir, "programs")
+	}
+	programs, err := workload.NewRegistry(workload.Options{
+		MaxSourceBytes: *programMaxSourceKB << 10,
+		MaxInsts:       *programMaxInsts,
+		MaxStoredBytes: int64(*programStoredMB) << 20,
+		SpillDir:       spillDir,
+		TenantPrograms: *programTenantMax,
+		SubmitPerMin:   *programPerMin,
+		Faults:         faults,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigserve: program registry: %v\n", err)
+		os.Exit(2)
+	}
+
 	svc := simsvc.New(simsvc.Config{
 		Workers:          *workers,
 		CacheSize:        *cacheSize,
@@ -107,6 +154,7 @@ func main() {
 		TraceCacheMB:     *traceCacheMB,
 		TraceDir:         *traceDir,
 		Faults:           faults,
+		Programs:         programs,
 	})
 	defer svc.Close()
 

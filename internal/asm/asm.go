@@ -10,6 +10,7 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -43,16 +44,37 @@ func (p *Program) LoadInto(m *mem.Memory) {
 	m.LoadSegment(p.DataBase, p.Data)
 }
 
-// Error is an assembly diagnostic carrying its source line.
+// Error is an assembly diagnostic carrying its source position. Line and
+// Col are 1-based; Col is 0 when the column is unknown. Col points at the
+// statement (mnemonic or directive) the diagnostic concerns, which is
+// enough for an intake endpoint to highlight the offending source line.
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("asm: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
 
 func errf(line int, format string, args ...interface{}) error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// atCol pins a column on an *Error that does not carry one yet.
+func atCol(err error, col int) error {
+	if err == nil || col <= 0 {
+		return err
+	}
+	var ae *Error
+	if errors.As(err, &ae) && ae.Col == 0 {
+		ae.Col = col
+	}
+	return err
 }
 
 type segment int
@@ -65,6 +87,7 @@ const (
 // item is one parsed source statement pinned to an address.
 type item struct {
 	line   int
+	col    int // 1-based column of the mnemonic in its source line
 	mnem   string
 	args   []string
 	addr   uint32
@@ -201,6 +224,10 @@ func (a *assembler) pass1(src string) error {
 		}
 		fields := strings.SplitN(s, " ", 2)
 		mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+		col := 0
+		if idx := strings.Index(rawLine, fields[0]); idx >= 0 {
+			col = idx + 1
+		}
 		var rest string
 		if len(fields) == 2 {
 			rest = strings.TrimSpace(fields[1])
@@ -211,19 +238,19 @@ func (a *assembler) pass1(src string) error {
 			var err error
 			seg, err = a.directive(seg, mnem, args, line)
 			if err != nil {
-				return err
+				return atCol(err, col)
 			}
 			continue
 		}
 		if seg != segText {
-			return errf(line, "instruction %q in data segment", mnem)
+			return atCol(errf(line, "instruction %q in data segment", mnem), col)
 		}
 		n, err := expansionWords(mnem, args, line)
 		if err != nil {
-			return err
+			return atCol(err, col)
 		}
 		a.items = append(a.items, item{
-			line: line, mnem: mnem, args: args,
+			line: line, col: col, mnem: mnem, args: args,
 			addr: a.textBase + a.textPos, nwords: n,
 		})
 		a.textPos += uint32(4 * n)
@@ -437,7 +464,7 @@ func (a *assembler) pass2() (*Program, error) {
 	for _, it := range a.items {
 		words, err := a.encode(it)
 		if err != nil {
-			return nil, err
+			return nil, atCol(err, it.col)
 		}
 		if len(words) != it.nwords {
 			return nil, errf(it.line, "internal: %s expanded to %d words, planned %d",

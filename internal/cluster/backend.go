@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -123,8 +124,18 @@ func (e *httpError) Error() string {
 }
 
 // permanent reports whether retrying elsewhere cannot help: the request
-// itself is invalid.
-func (e *httpError) permanent() bool { return e.Status == http.StatusBadRequest }
+// itself is invalid (400/413), names something that does not exist (404),
+// or concerns a program the fleet has quarantined (422) — re-running a
+// probation that faulted on another shard is exactly what quarantine
+// forbids.
+func (e *httpError) permanent() bool {
+	switch e.Status {
+	case http.StatusBadRequest, http.StatusNotFound,
+		http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
+		return true
+	}
+	return false
+}
 
 // retryable reports whether the same shard asked to be tried again later.
 func (e *httpError) retryable() bool {
@@ -142,6 +153,45 @@ func (g *Gateway) getJSON(ctx context.Context, b *backend, path string, out inte
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
 	if err != nil {
 		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: %s: %v", errTransport, b.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readHTTPError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: decoding %s: %v", errTransport, b.name, path, err)
+	}
+	return nil
+}
+
+// postJSON performs one POST against the backend, JSON-encoding body and
+// decoding a 200 answer into out, with the same error taxonomy as getJSON.
+// Headers (e.g. the tenant identity) are forwarded verbatim.
+func (g *Gateway) postJSON(ctx context.Context, b *backend, path string, hdr http.Header, body, out interface{}) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {

@@ -2,20 +2,25 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/diffsim"
 	"repro/internal/faultinject"
 	"repro/internal/pipeline"
 	"repro/internal/simsvc"
+	"repro/internal/workload"
 )
 
 // fleetBenches is the suite served by every test shard: small enough to
@@ -479,6 +484,7 @@ func TestGatewayMetricsSchema(t *testing.T) {
 		"requests", "routed", "scatterSuites", "scatterSweeps",
 		"mergedPartials", "retries", "failovers", "hedges", "hedgeWins",
 		"backendErrors", "backendDown", "errors",
+		"programsRouted", "programReplicas", "replicaErrors",
 		"backends", "healthyBackends", "uptimeSeconds",
 	}
 	for _, k := range want {
@@ -501,6 +507,149 @@ func TestGatewayMetricsSchema(t *testing.T) {
 		if _, ok := be[k]; !ok {
 			t.Errorf("backends[0] missing %q", k)
 		}
+	}
+}
+
+// submitProgram POSTs one assembly source to base's /v1/program (shard or
+// gateway — same contract) and returns the accepted program.
+func submitProgram(t *testing.T, base, tenant, src string) *workload.Program {
+	t.Helper()
+	body, _ := json.Marshal(simsvc.ProgramRequest{Lang: workload.LangAsm, Source: src})
+	req, err := http.NewRequest("POST", base+"/v1/program", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit to %s: status %d: %s", base, resp.StatusCode, raw)
+	}
+	var p workload.Program
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatalf("decoding accepted program: %v", err)
+	}
+	return &p
+}
+
+// suiteDocOf is suiteDoc over an explicit benchmark list.
+func suiteDocOf(t *testing.T, base string, benches []string) ([]byte, uint64) {
+	t.Helper()
+	var resp simsvc.Response
+	u := base + "/v1/suite?bench=" + url.QueryEscape(strings.Join(benches, ","))
+	if r := getJSON(t, u, &resp); r.StatusCode != 200 {
+		t.Fatalf("suite status %d", r.StatusCode)
+	}
+	if resp.Suite == nil {
+		t.Fatal("suite response missing the suite document")
+	}
+	doc, err := json.MarshalIndent(resp.Suite, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, resp.Insts
+}
+
+// The intake acceptance for the cluster layer: a fuzz-generated program
+// submitted through the gateway is replicated fleet-wide, runs as a single
+// routed job, and a mixed suite (built-ins + the user program) scattered
+// over 1, 2 and 3 shards merges byte-identically to the single-process
+// evaluation of the same list.
+func TestClusterUserProgramByteIdenticalAcrossShardCounts(t *testing.T) {
+	gen := diffsim.Generate(42, diffsim.Config{Ops: 60})
+	src, err := gen.AsmSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-process reference: submit straight to one shard.
+	_, single := newShard(t, simsvc.Config{})
+	ref := submitProgram(t, single.URL, "fuzz", src)
+	benches := append(append([]string{}, fleetBenches...), ref.Name)
+	want, wantInsts := suiteDocOf(t, single.URL, benches)
+
+	for _, shards := range []int{1, 2, 3} {
+		servers := newFleet(t, shards)
+		g, gw := newGateway(t, servers, nil)
+
+		p := submitProgram(t, gw.URL, "fuzz", src)
+		if p.Name != ref.Name {
+			t.Fatalf("%d shards: content addressing disagrees: %q vs %q", shards, p.Name, ref.Name)
+		}
+
+		// Acceptance replicated the validated program to every shard.
+		for i, srv := range servers {
+			var got workload.Program
+			if r := getJSON(t, srv.URL+"/v1/program/"+p.ID, &got); r.StatusCode != 200 {
+				t.Fatalf("%d shards: shard %d missing the replica (%d)", shards, i, r.StatusCode)
+			}
+		}
+		if shards > 1 {
+			if snap := g.Metrics().Snapshot(); snap.ProgramReplicas == 0 {
+				t.Fatalf("%d shards: no replicas pushed: %+v", shards, snap)
+			}
+		}
+
+		// The user program runs as a normal routed job.
+		var sim simsvc.Response
+		if r := getJSON(t, gw.URL+"/v1/simulate?bench="+p.Name+"&model="+pipeline.NameBaseline32, &sim); r.StatusCode != 200 {
+			t.Fatalf("%d shards: simulate user program: %d", shards, r.StatusCode)
+		}
+		if sim.Insts == 0 {
+			t.Fatalf("%d shards: empty user-program result: %+v", shards, sim)
+		}
+
+		got, gotInsts := suiteDocOf(t, gw.URL, benches)
+		if gotInsts != wantInsts {
+			t.Fatalf("%d shards: instructions %d, single-process %d", shards, gotInsts, wantInsts)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%d shards: mixed suite differs from the single-process evaluation (%d vs %d bytes)", shards, len(got), len(want))
+		}
+	}
+}
+
+// A gateway suite naming an unknown user program propagates the shard's
+// typed 404 — never a failover storm or a breaker trip (content addressing
+// means no other shard can know the name either).
+func TestClusterUnknownUserBench(t *testing.T) {
+	g, gw := newGateway(t, newFleet(t, 2), nil)
+	var body map[string]string
+	bogus := "user:" + strings.Repeat("ab", 32)
+	if r := getJSON(t, gw.URL+"/v1/suite?bench=g711dec,"+bogus, &body); r.StatusCode != 404 {
+		t.Fatalf("unknown user bench in suite: status %d, want 404 (%v)", r.StatusCode, body)
+	}
+	if !strings.Contains(body["error"], "unknown program") {
+		t.Fatalf("error body %q does not name the problem", body["error"])
+	}
+	if g.healthyCount() != 2 {
+		t.Fatal("an unknown user bench took a shard out of rotation")
+	}
+}
+
+// A tenant that exhausts every shard's submission quota must be told to
+// back off: the gateway's error writer keeps the shards' 429 status and
+// Retry-After hint instead of collapsing the exhausted dispatch into a
+// 502 fleet failure.
+func TestGatewayShedKeepsRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, fmt.Errorf("dispatch: %w",
+		&httpError{Status: 429, Msg: "tenant quota", RetryAfter: 3 * time.Second}))
+	if rec.Code != 429 {
+		t.Fatalf("exhausted 429 dispatch answered %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	rec = httptest.NewRecorder()
+	writeError(rec, fmt.Errorf("dispatch: %w", &httpError{Status: 503, Msg: "overloaded"}))
+	if rec.Code != 503 {
+		t.Fatalf("exhausted 503 dispatch answered %d, want 503", rec.Code)
 	}
 }
 

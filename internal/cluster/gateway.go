@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/simsvc"
+	"repro/internal/workload"
 )
 
 // Config parameterizes a Gateway. The zero value of every field except
@@ -106,6 +107,15 @@ type Gateway struct {
 
 	catMu sync.Mutex
 	cat   *catalog
+
+	// progMu guards the gateway's replica store: every program accepted
+	// through this gateway, plus which backends have confirmed its install
+	// (keyed by backend base URL). Scatter paths re-push unconfirmed
+	// replicas so a shard that was down at accept time still gets the
+	// program before work lands on it.
+	progMu     sync.Mutex
+	programs   map[string]*workload.Program
+	replicated map[string]map[string]bool
 }
 
 // New builds a Gateway over cfg.Backends and starts the readiness prober.
@@ -115,10 +125,12 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("cluster: no backends configured")
 	}
 	g := &Gateway{
-		cfg:    cfg,
-		client: cfg.Client,
-		start:  time.Now(),
-		done:   make(chan struct{}),
+		cfg:        cfg,
+		client:     cfg.Client,
+		start:      time.Now(),
+		done:       make(chan struct{}),
+		programs:   make(map[string]*workload.Program),
+		replicated: make(map[string]map[string]bool),
 	}
 	names := make([]string, 0, len(cfg.Backends))
 	seen := make(map[string]bool, len(cfg.Backends))

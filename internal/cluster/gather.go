@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/simsvc"
+	"repro/internal/workload"
 )
 
 // attemptOut carries one backend attempt's outcome back to dispatch.
@@ -181,6 +182,12 @@ func (g *Gateway) Simulate(ctx context.Context, req simsvc.Request) (*simsvc.Res
 // not gateway errors).
 func (g *Gateway) simulate(ctx context.Context, req simsvc.Request) (*simsvc.Response, error) {
 	g.metrics.routed.Add(1)
+	if workload.IsUserName(req.Bench) {
+		// A user-program job can land on any shard along the failover
+		// sequence; make sure the gateway's replica (if it has one) is
+		// installed fleet-wide first. Confirmed installs make this a no-op.
+		g.ensurePrograms(ctx, []string{req.Bench})
+	}
 	q := url.Values{}
 	q.Set("bench", req.Bench)
 	q.Set("model", req.Model)
@@ -206,22 +213,50 @@ func (g *Gateway) simulate(ctx context.Context, req simsvc.Request) (*simsvc.Res
 // Any partition that cannot be computed anywhere fails the whole suite:
 // a partial answer is never passed off as the full one.
 func (g *Gateway) Suite(ctx context.Context) (*simsvc.Response, error) {
+	return g.SuiteOf(ctx, nil)
+}
+
+// SuiteOf is Suite over an explicit benchmark list, built-ins and accepted
+// user programs mixed freely and merged in the requested order. User
+// programs the gateway holds replicas for are pushed to unconfirmed shards
+// before the scatter (see ensurePrograms), so the partition owning a user
+// benchmark can always resolve it; the recoder stays profiled over the
+// fixed served suite on every shard, so the same list merges to the same
+// bytes whatever the shard count. An empty list is the full served suite.
+func (g *Gateway) SuiteOf(ctx context.Context, names []string) (*simsvc.Response, error) {
 	g.metrics.requests.Add(1)
 	cat, err := g.loadCatalog(ctx)
 	if err != nil {
 		g.metrics.errors.Add(1)
 		return nil, err
 	}
+	order := cat.order
+	if len(names) > 0 {
+		seen := make(map[string]bool, len(names))
+		for _, bn := range names {
+			if seen[bn] {
+				g.metrics.errors.Add(1)
+				return nil, invalidf("duplicate benchmark %q in suite", bn)
+			}
+			seen[bn] = true
+			if !cat.benchSet[bn] && !workload.IsUserName(bn) {
+				g.metrics.errors.Add(1)
+				return nil, invalidf("unknown benchmark %q (submitted programs are served under the user: namespace)", bn)
+			}
+		}
+		order = names
+		g.ensurePrograms(ctx, userBenchesOf(names))
+	}
 	g.metrics.scatterSuites.Add(1)
 	start := time.Now()
 
-	// Partition the suite by ring ownership, preserving serving order
+	// Partition the suite by ring ownership, preserving requested order
 	// within each partition. Ownership only sets where each share runs
 	// first — any shard can compute any subset, so failover and hedging
 	// stay safe.
 	partIdx := make(map[int]int)
 	var partitions [][]string
-	for _, name := range cat.order {
+	for _, name := range order {
 		owner := g.ring.owner(jobKey(name, ""))
 		i, ok := partIdx[owner]
 		if !ok {
@@ -265,7 +300,7 @@ func (g *Gateway) Suite(ctx context.Context) (*simsvc.Response, error) {
 		parts[i] = r.Partial
 		g.metrics.partials.Add(1)
 	}
-	suite, insts, err := experiments.MergePartials(cat.order, parts)
+	suite, insts, err := experiments.MergePartials(order, parts)
 	if err != nil {
 		g.metrics.errors.Add(1)
 		return nil, err
@@ -305,9 +340,9 @@ func (g *Gateway) Sweep(ctx context.Context, gran int, benches, models []string,
 		gran = 1
 	}
 	for _, bn := range benches {
-		if !cat.benchSet[bn] {
+		if !cat.benchSet[bn] && !workload.IsUserName(bn) {
 			g.metrics.errors.Add(1)
-			return nil, invalidf("unknown benchmark %q", bn)
+			return nil, invalidf("unknown benchmark %q (submitted programs are served under the user: namespace)", bn)
 		}
 	}
 	for _, mn := range models {
@@ -316,6 +351,7 @@ func (g *Gateway) Sweep(ctx context.Context, gran int, benches, models []string,
 			return nil, invalidf("unknown model %q", mn)
 		}
 	}
+	g.ensurePrograms(ctx, userBenchesOf(benches))
 	g.metrics.scatterSweeps.Add(1)
 
 	ctx, cancel := context.WithCancel(ctx)

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/simsvc"
+	"repro/internal/workload"
 )
 
 // statusClientClosedRequest mirrors the shard API's convention for a
@@ -27,7 +29,11 @@ const statusClientClosedRequest = 499
 //	GET  /v1/models          servable pipeline models (proxied, cached)
 //	GET  /v1/simulate        one job, routed by ring ownership; POST takes a JSON Request
 //	GET  /v1/sweep           the grid scattered over the fleet, streamed as NDJSON
-//	GET  /v1/suite           the full evaluation scattered and merged, one JSON document
+//	GET  /v1/suite           the full evaluation scattered and merged, one JSON document;
+//	                         ?bench=a,b scatters an explicit list (user programs included)
+//	POST /v1/program         untrusted-program intake routed to the content-hash owner,
+//	                         accepted programs replicated fleet-wide (X-Tenant forwarded)
+//	GET  /v1/program/{id}    one accepted program, from the replica store or the fleet
 func NewHandler(g *Gateway) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -98,11 +104,43 @@ func NewHandler(g *Gateway) http.Handler {
 		}
 		serveSimulate(g, w, r.Context(), req)
 	})
+	mux.HandleFunc("POST /v1/program", func(w http.ResponseWriter, r *http.Request) {
+		// The same per-endpoint body cap as the shard API: oversized
+		// submissions die at the gateway without a backend round trip.
+		r.Body = http.MaxBytesReader(w, r.Body, maxProgramBody)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req simsvc.ProgramRequest
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					map[string]string{"error": fmt.Sprintf("siggate: request body exceeds %d bytes", tooBig.Limit)})
+				return
+			}
+			writeError(w, invalidf("bad request body: %v", err))
+			return
+		}
+		p, err := g.SubmitProgram(r.Context(), r.Header.Get("X-Tenant"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /v1/program/{id}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := g.GetProgram(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		serveSweep(g, w, r)
 	})
 	mux.HandleFunc("GET /v1/suite", func(w http.ResponseWriter, r *http.Request) {
-		resp, err := g.Suite(r.Context())
+		resp, err := g.SuiteOf(r.Context(), splitList(r.URL.Query().Get("bench")))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -111,6 +149,9 @@ func NewHandler(g *Gateway) http.Handler {
 	})
 	return mux
 }
+
+// maxProgramBody mirrors the shard's POST /v1/program cap.
+const maxProgramBody = 4 << 20
 
 // fixModelName undoes '+'-as-space query decoding, like the shard API.
 func fixModelName(m string) string { return strings.ReplaceAll(m, " ", "+") }
@@ -151,8 +192,8 @@ func serveSweep(g *Gateway, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, bn := range benches {
-		if !cat.benchSet[bn] {
-			writeError(w, invalidf("unknown benchmark %q", bn))
+		if !cat.benchSet[bn] && !workload.IsUserName(bn) {
+			writeError(w, invalidf("unknown benchmark %q (submitted programs are served under the user: namespace)", bn))
 			return
 		}
 	}
@@ -206,8 +247,11 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // writeError maps gateway-side failures onto the API: client mistakes are
-// 400 (including a shard's 400 passed through verbatim), an exhausted
-// fleet is 502, and timeouts/cancellations keep the shard API's codes.
+// 400 (including a shard's 400 passed through verbatim), shed/overload
+// answers keep their 429/503 status and Retry-After hint (a tenant that
+// exhausted every retry should be told to back off, not that the fleet
+// broke), an exhausted fleet is 502, and timeouts/cancellations keep the
+// shard API's codes.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadGateway
 	var inv *simsvc.InvalidRequestError
@@ -215,8 +259,11 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &inv):
 		status = http.StatusBadRequest
-	case errors.As(err, &he) && he.permanent():
+	case errors.As(err, &he) && (he.permanent() || he.retryable()):
 		status = he.Status
+		if he.retryable() && he.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(he.RetryAfter/time.Second)))
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

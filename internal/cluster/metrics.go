@@ -18,6 +18,10 @@ type Metrics struct {
 	backendErrors atomic.Uint64 // failed backend calls (transport or 5xx)
 	backendDown   atomic.Uint64 // healthy->unhealthy transitions
 	errors        atomic.Uint64 // client requests answered with an error
+
+	programsRouted  atomic.Uint64 // program submissions dispatched to content-hash owners
+	programReplicas atomic.Uint64 // validated replicas installed on backends
+	replicaErrors   atomic.Uint64 // replica pushes that failed (retried on next scatter)
 }
 
 // Snapshot is a point-in-time copy of every gateway counter.
@@ -34,6 +38,10 @@ type Snapshot struct {
 	BackendErrors  uint64 `json:"backendErrors"`
 	BackendDown    uint64 `json:"backendDown"`
 	Errors         uint64 `json:"errors"`
+
+	ProgramsRouted  uint64 `json:"programsRouted"`
+	ProgramReplicas uint64 `json:"programReplicas"`
+	ReplicaErrors   uint64 `json:"replicaErrors"`
 }
 
 // Snapshot returns a consistent copy of the current counters.
@@ -51,5 +59,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		BackendErrors:  m.backendErrors.Load(),
 		BackendDown:    m.backendDown.Load(),
 		Errors:         m.errors.Load(),
+
+		ProgramsRouted:  m.programsRouted.Load(),
+		ProgramReplicas: m.programReplicas.Load(),
+		ReplicaErrors:   m.replicaErrors.Load(),
 	}
 }

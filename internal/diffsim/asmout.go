@@ -1,0 +1,73 @@
+package diffsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// AsmSource renders the program as assembler source accepted by
+// internal/asm. The rendering is exact: assembling it reproduces the same
+// text image as Encode word for word (la expands to the identical lui/ori
+// pair a CtlJumpReg unit encodes, and the fused loop back-edge renders as
+// its two component instructions), so the fuzz generator doubles as a
+// workload generator for the program-intake service.
+func (p *Program) AsmSource() (string, error) {
+	var b strings.Builder
+	label := func(idx int) string {
+		if idx < 0 || idx > len(p.Ops) {
+			idx = len(p.Ops)
+		}
+		return fmt.Sprintf("op%d", idx)
+	}
+	b.WriteString(".text\nmain:\n")
+	for i, o := range p.Ops {
+		fmt.Fprintf(&b, "%s:\n", label(i))
+		inst := isa.Decode(o.Raw)
+		switch o.Ctl {
+		case CtlNone:
+			fmt.Fprintf(&b, "    %s\n", inst.Disassemble(0))
+		case CtlBranch:
+			t := label(o.Target)
+			switch inst.Op {
+			case isa.OpBEQ, isa.OpBNE:
+				fmt.Fprintf(&b, "    %s %s, %s, %s\n", inst.Mnemonic(), inst.Rs, inst.Rt, t)
+			case isa.OpBLEZ, isa.OpBGTZ, isa.OpRegimm:
+				fmt.Fprintf(&b, "    %s %s, %s\n", inst.Mnemonic(), inst.Rs, t)
+			default:
+				return "", fmt.Errorf("diffsim: op %d: branch unit with opcode %#02x", i, uint8(inst.Op))
+			}
+		case CtlJump:
+			fmt.Fprintf(&b, "    %s %s\n", inst.Mnemonic(), label(o.Target))
+		case CtlJumpReg:
+			fmt.Fprintf(&b, "    la %s, %s\n", isa.RegAT, label(o.Target))
+			fmt.Fprintf(&b, "    %s\n", inst.Disassemble(0))
+		case CtlLoopBack:
+			k := inst.Rs
+			fmt.Fprintf(&b, "    addiu %s, %s, -1\n", k, k)
+			fmt.Fprintf(&b, "    bgtz %s, %s\n", k, label(o.Target))
+		default:
+			return "", fmt.Errorf("diffsim: op %d: unknown ctl kind %d", i, o.Ctl)
+		}
+	}
+	fmt.Fprintf(&b, "%s:\n", label(len(p.Ops)))
+	fmt.Fprintf(&b, "    addiu %s, %s, 10\n", isa.RegV0, isa.RegZero)
+	b.WriteString("    syscall\n")
+
+	if len(p.Data) > 0 {
+		b.WriteString("\n.data\n")
+		for i := 0; i < len(p.Data); i += 16 {
+			end := i + 16
+			if end > len(p.Data) {
+				end = len(p.Data)
+			}
+			parts := make([]string, 0, 16)
+			for _, v := range p.Data[i:end] {
+				parts = append(parts, fmt.Sprintf("%d", v))
+			}
+			fmt.Fprintf(&b, "    .byte %s\n", strings.Join(parts, ", "))
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,75 @@
+package diffsim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// TestAsmSourceExact proves the assembly rendering is an exact re-encoding:
+// assembling AsmSource reproduces the Encode text image word for word and
+// the data segment byte for byte, across a spread of generator seeds (with
+// and without loops, jumps, and branches).
+func TestAsmSourceExact(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		p := Generate(seed, Config{Ops: 80})
+		src, err := p.AsmSource()
+		if err != nil {
+			t.Fatalf("seed %d: AsmSource: %v", seed, err)
+		}
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble rendered source: %v\n%s", seed, err, src)
+		}
+		words, err := p.Encode()
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		if len(prog.Text) != len(words) {
+			t.Fatalf("seed %d: %d assembled words, %d encoded", seed, len(prog.Text), len(words))
+		}
+		for i := range words {
+			if prog.Text[i] != words[i] {
+				t.Fatalf("seed %d: word %d: assembled %#08x, encoded %#08x", seed, i, prog.Text[i], words[i])
+			}
+		}
+		if prog.Entry != TextBase {
+			t.Fatalf("seed %d: entry %#x, want %#x", seed, prog.Entry, uint32(TextBase))
+		}
+		if prog.DataBase != DataBase || !bytes.Equal(prog.Data, p.Data) {
+			t.Fatalf("seed %d: data segment differs (base %#x, %d bytes)", seed, prog.DataBase, len(prog.Data))
+		}
+	}
+}
+
+// TestCheckBinarySpotCheck exercises the intake-facing entry: a budgeted
+// prefix check that treats hitting the cap as success.
+func TestCheckBinarySpotCheck(t *testing.T) {
+	p := Generate(7, Config{})
+	words, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := DefaultOracle()
+	full := CheckBinary(words, p.Data, or, CheckOpts{})
+	if !full.OK() {
+		t.Fatalf("full check failed: %v", full.Mismatch)
+	}
+	if full.Steps == 0 {
+		t.Fatal("program retired no instructions")
+	}
+	// Capped below the full run: a plain check times out, the spot-check
+	// succeeds at exactly the cap.
+	capped := CheckBinary(words, p.Data, or, CheckOpts{MaxSteps: full.Steps / 2})
+	if capped.OK() || capped.Mismatch.Kind != "timeout" {
+		t.Fatalf("capped check: got %v, want timeout", capped.Mismatch)
+	}
+	spot := CheckBinary(words, p.Data, or, CheckOpts{MaxSteps: full.Steps / 2, StopAtCap: true})
+	if !spot.OK() {
+		t.Fatalf("spot check failed: %v", spot.Mismatch)
+	}
+	if spot.Steps != full.Steps/2 {
+		t.Fatalf("spot check retired %d steps, want %d", spot.Steps, full.Steps/2)
+	}
+}

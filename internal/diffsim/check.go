@@ -6,7 +6,9 @@ import (
 	"reflect"
 	"sync"
 
+	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -40,21 +42,53 @@ type Report struct {
 // OK reports whether the program passed all differential checks.
 func (r Report) OK() bool { return r.Mismatch == nil }
 
+// MemWindow is one allowed data-access range [Base, Base+Size).
+type MemWindow struct {
+	Base uint32
+	Size uint32
+}
+
+// Contains reports whether the [addr, addr+width) access falls inside.
+func (w MemWindow) Contains(addr uint32, width int) bool {
+	end := uint64(addr) + uint64(width)
+	return addr >= w.Base && end <= uint64(w.Base)+uint64(w.Size)
+}
+
 // CheckOpts bounds one differential run.
 type CheckOpts struct {
 	// MaxSteps caps retired instructions (0 = 1<<20). Generated programs
 	// terminate by construction; hitting the cap is reported as a
-	// "timeout" harness mismatch.
+	// "timeout" harness mismatch unless StopAtCap is set.
 	MaxSteps uint64
 	// Timing enables the pipeline-determinism pass: every model's Result
 	// must be identical across a repeat run and a concurrent
-	// (goroutine-per-model) run.
+	// (goroutine-per-model) run. Honoured by Check only; CheckBinary runs
+	// the architectural lockstep alone.
 	Timing bool
+	// Entry is the start PC (0 = TextBase). Assembled user programs may
+	// enter at a `main` label that is not the first text word.
+	Entry uint32
+	// Windows lists the allowed data-access ranges. Empty means the
+	// generator default: exactly the data segment at DataBase. The
+	// program-intake spot-check adds a stack window for compiled code.
+	Windows []MemWindow
+	// StopAtCap makes reaching MaxSteps a success instead of a "timeout"
+	// mismatch — the spot-check mode used by untrusted-program intake,
+	// where only a budgeted prefix of the run is cross-checked.
+	StopAtCap bool
+	// AllowPrints lets the shadow treat the print syscalls (print_int,
+	// print_string, putc) as architectural no-ops, matching the golden
+	// interpreter, instead of flagging a "syscall" harness mismatch.
+	// Generated programs only ever exit; user programs may print.
+	AllowPrints bool
 }
 
 func (o CheckOpts) withDefaults() CheckOpts {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 1 << 20
+	}
+	if o.Entry == 0 {
+		o.Entry = TextBase
 	}
 	return o
 }
@@ -65,24 +99,61 @@ func (o CheckOpts) withDefaults() CheckOpts {
 // (optionally) pipeline timing determinism.
 func Check(p *Program, or *Oracle, opts CheckOpts) Report {
 	opts = opts.withDefaults()
+	words, err := p.Encode()
+	if err != nil {
+		return Report{Mismatch: &Mismatch{Kind: "encode", Detail: err.Error()}}
+	}
+	rep := CheckBinary(words, p.Data, or, opts)
+	if rep.Mismatch == nil && opts.Timing {
+		if m := checkTiming(p, or, opts.MaxSteps); m != nil {
+			rep.Mismatch = m
+		}
+	}
+	return rep
+}
+
+// CheckBinary is the raw-words lockstep core of Check: it runs an arbitrary
+// text image (loaded at TextBase) plus data segment through the golden
+// interpreter and the fully-compressed shadow machine, cross-checking
+// architectural state each retired instruction. It is the entry point the
+// untrusted-program intake uses to spot-check accepted submissions against
+// the Ext3 shadow before they are admitted to the served suite.
+func CheckBinary(words []uint32, data []byte, or *Oracle, opts CheckOpts) Report {
+	opts = opts.withDefaults()
 	rep := Report{}
 	fail := func(kind string, step uint64, pc uint32, format string, args ...interface{}) Report {
 		rep.Mismatch = &Mismatch{Kind: kind, Step: step, PC: pc, Detail: fmt.Sprintf(format, args...)}
 		return rep
 	}
 
-	words, err := p.Encode()
-	if err != nil {
-		return fail("encode", 0, 0, "%v", err)
+	windows := opts.Windows
+	if len(windows) == 0 {
+		windows = []MemWindow{{Base: DataBase, Size: uint32(len(data))}}
 	}
-	golden, err := p.NewCPU()
-	if err != nil {
-		return fail("encode", 0, 0, "%v", err)
+	inWindow := func(addr uint32, width int) bool {
+		for _, w := range windows {
+			if w.Contains(addr, width) {
+				return true
+			}
+		}
+		return false
 	}
-	sh := newShadow(or, words, p.Data)
+
+	m := mem.NewMemory()
+	for i, w := range words {
+		m.Store32(TextBase+4*uint32(i), w)
+	}
+	m.LoadSegment(DataBase, data)
+	golden := cpu.New(m, opts.Entry, StackTop)
+	sh := newShadow(or, words, data)
+	sh.pc = opts.Entry
+	sh.allowPrints = opts.AllowPrints
 
 	for !golden.Done {
 		if rep.Steps >= opts.MaxSteps {
+			if opts.StopAtCap {
+				return rep
+			}
 			return fail("timeout", rep.Steps, golden.PC, "exceeded %d steps (generator termination invariant violated)", opts.MaxSteps)
 		}
 		if sh.pc != golden.PC {
@@ -92,14 +163,11 @@ func Check(p *Program, or *Oracle, opts CheckOpts) Report {
 		if err != nil {
 			return fail("golden", rep.Steps, golden.PC, "golden interpreter error: %v", err)
 		}
-		// Sandbox invariant: generated data accesses stay inside the
-		// segment. Violations mean a malformed (usually over-shrunken)
+		// Sandbox invariant: data accesses stay inside the allowed
+		// windows. Violations mean a malformed (usually over-shrunken)
 		// program, not a compression bug.
-		if e.MemWidth > 0 {
-			end := uint64(e.Addr) + uint64(e.MemWidth)
-			if e.Addr < DataBase || end > DataBase+uint64(len(p.Data)) {
-				return fail("sandbox", rep.Steps, e.PC, "%d-byte access at %#08x outside data segment", e.MemWidth, e.Addr)
-			}
+		if e.MemWidth > 0 && !inWindow(e.Addr, e.MemWidth) {
+			return fail("sandbox", rep.Steps, e.PC, "%d-byte access at %#08x outside data segment", e.MemWidth, e.Addr)
 		}
 		// Instruction-compression round trip, including the documented
 		// contract that a clear extension bit makes the low stored byte
@@ -174,12 +242,6 @@ func Check(p *Program, or *Oracle, opts CheckOpts) Report {
 	}
 	if sh.exitCode != golden.ExitCode {
 		return fail("exit", rep.Steps, golden.PC, "exit code %d, golden %d", sh.exitCode, golden.ExitCode)
-	}
-
-	if opts.Timing {
-		if m := checkTiming(p, or, opts.MaxSteps); m != nil {
-			rep.Mismatch = m
-		}
 	}
 	return rep
 }

@@ -44,6 +44,7 @@ const (
 	PointPoolPickup    Point = "pool.pickup"     // worker picked a job off the queue
 	PointFlightJoin    Point = "flight.join"     // follower joining a singleflight leader
 	PointSuiteBench    Point = "suite.bench"     // one per-benchmark step of the full suite
+	PointProbation     Point = "workload.probe"  // probationary execution of a submitted program
 )
 
 // Points returns every declared injection point, sorted.
@@ -51,6 +52,7 @@ func Points() []Point {
 	ps := []Point{
 		PointTraceRunStart, PointCacheGet, PointCachePut,
 		PointPoolPickup, PointFlightJoin, PointSuiteBench,
+		PointProbation,
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 	return ps

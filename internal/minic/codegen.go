@@ -51,7 +51,7 @@ type loopLabels struct {
 }
 
 func (g *codegen) errf(line int, format string, args ...interface{}) error {
-	return fmt.Errorf("minic: line %d: %s", line, fmt.Sprintf(format, args...))
+	return errAt(line, 0, format, args...)
 }
 
 func (g *codegen) emit(format string, args ...interface{}) {
@@ -110,7 +110,7 @@ func generate(prog *program) (string, error) {
 		}
 	}
 	if !hasMain {
-		return "", fmt.Errorf("minic: no main function")
+		return "", &Error{Msg: "no main function"}
 	}
 
 	// Startup stub: call the user's main, leave its result in $s7 (the

@@ -1,0 +1,29 @@
+package minic
+
+import "fmt"
+
+// Error is a positioned compile diagnostic. Line and Col are 1-based;
+// Col (or both) may be 0 when the position is unknown (e.g. whole-program
+// checks like a missing main). Callers that surface compile failures to
+// untrusted submitters (the /v1/program intake) unwrap to this type to
+// report the offending source position as structured fields rather than
+// by parsing the message.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Line > 0 && e.Col > 0:
+		return fmt.Sprintf("minic: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg)
+	}
+	return "minic: " + e.Msg
+}
+
+func errAt(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

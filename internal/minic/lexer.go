@@ -32,12 +32,13 @@ var keywords = map[string]bool{
 	"for": true, "return": true, "break": true, "continue": true,
 }
 
-// token is one lexeme with its source line.
+// token is one lexeme with its source position (1-based line and column).
 type token struct {
 	kind tokKind
 	text string
 	val  int64 // numbers
 	line int
+	col  int
 }
 
 func (t token) String() string {
@@ -57,13 +58,16 @@ var punct2 = []string{
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // index of the first byte of the current line
 	i := 0
+	col := func(at int) int { return at - lineStart + 1 }
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '/' && i+1 < len(src) && src[i+1] == '/':
@@ -73,9 +77,13 @@ func lex(src string) ([]token, error) {
 		case c == '/' && i+1 < len(src) && src[i+1] == '*':
 			end := strings.Index(src[i+2:], "*/")
 			if end < 0 {
-				return nil, fmt.Errorf("minic: line %d: unterminated comment", line)
+				return nil, errAt(line, col(i), "unterminated comment")
 			}
-			line += strings.Count(src[i:i+2+end+2], "\n")
+			body := src[i : i+2+end+2]
+			if nl := strings.LastIndexByte(body, '\n'); nl >= 0 {
+				line += strings.Count(body, "\n")
+				lineStart = i + nl + 1
+			}
 			i += 2 + end + 2
 		case isDigit(c):
 			start := i
@@ -90,9 +98,9 @@ func lex(src string) ([]token, error) {
 			text := src[start:i]
 			v, err := parseNum(text)
 			if err != nil {
-				return nil, fmt.Errorf("minic: line %d: bad number %q", line, text)
+				return nil, errAt(line, col(start), "bad number %q", text)
 			}
-			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line})
+			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line, col: col(start)})
 		case isIdentStart(c):
 			start := i
 			for i < len(src) && isIdentChar(src[i]) {
@@ -103,17 +111,18 @@ func lex(src string) ([]token, error) {
 			if keywords[text] {
 				k = tokKeyword
 			}
-			toks = append(toks, token{kind: k, text: text, line: line})
+			toks = append(toks, token{kind: k, text: text, line: line, col: col(start)})
 		case c == '\'':
 			// Character literal with the usual escapes.
+			start := i
 			j := i + 1
 			if j >= len(src) {
-				return nil, fmt.Errorf("minic: line %d: unterminated char literal", line)
+				return nil, errAt(line, col(start), "unterminated char literal")
 			}
 			var v int64
 			if src[j] == '\\' {
 				if j+1 >= len(src) {
-					return nil, fmt.Errorf("minic: line %d: bad escape", line)
+					return nil, errAt(line, col(start), "bad escape")
 				}
 				switch src[j+1] {
 				case 'n':
@@ -127,7 +136,7 @@ func lex(src string) ([]token, error) {
 				case '\'':
 					v = '\''
 				default:
-					return nil, fmt.Errorf("minic: line %d: bad escape \\%c", line, src[j+1])
+					return nil, errAt(line, col(start), "bad escape \\%c", src[j+1])
 				}
 				j += 2
 			} else {
@@ -135,15 +144,15 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j >= len(src) || src[j] != '\'' {
-				return nil, fmt.Errorf("minic: line %d: unterminated char literal", line)
+				return nil, errAt(line, col(start), "unterminated char literal")
 			}
-			toks = append(toks, token{kind: tokNumber, text: "'c'", val: v, line: line})
+			toks = append(toks, token{kind: tokNumber, text: "'c'", val: v, line: line, col: col(start)})
 			i = j + 1
 		default:
 			matched := false
 			for _, op := range punct2 {
 				if strings.HasPrefix(src[i:], op) {
-					toks = append(toks, token{kind: tokPunct, text: op, line: line})
+					toks = append(toks, token{kind: tokPunct, text: op, line: line, col: col(i)})
 					i += len(op)
 					matched = true
 					break
@@ -153,14 +162,14 @@ func lex(src string) ([]token, error) {
 				continue
 			}
 			if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,", rune(c)) {
-				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: col(i)})
 				i++
 				continue
 			}
-			return nil, fmt.Errorf("minic: line %d: unexpected character %q", line, c)
+			return nil, errAt(line, col(i), "unexpected character %q", c)
 		}
 	}
-	toks = append(toks, token{kind: tokEOF, line: line})
+	toks = append(toks, token{kind: tokEOF, line: line, col: col(i)})
 	return toks, nil
 }
 

@@ -1,7 +1,5 @@
 package minic
 
-import "fmt"
-
 // parser is a recursive-descent parser with C-style operator precedence.
 type parser struct {
 	toks []token
@@ -12,7 +10,7 @@ func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("minic: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+	return errAt(p.cur().line, p.cur().col, format, args...)
 }
 
 func (p *parser) accept(text string) bool {

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/workload"
 )
 
 // statusClientClosedRequest is nginx's non-standard code for a client that
@@ -19,8 +21,14 @@ import (
 const statusClientClosedRequest = 499
 
 // maxSimulateBody bounds POST /v1/simulate request bodies; larger bodies
-// get 413 before any decoding work.
-const maxSimulateBody = 1 << 20
+// get 413 before any decoding work. maxProgramBody is the POST /v1/program
+// cap — larger because it carries source text, but still far below the
+// registry's own per-source limit plus JSON overhead, so the intake wall's
+// size layer (not the transport) is what callers normally hit.
+const (
+	maxSimulateBody = 1 << 20
+	maxProgramBody  = 4 << 20
+)
 
 // NewHandler builds the sigserve HTTP API around s:
 //
@@ -31,8 +39,15 @@ const maxSimulateBody = 1 << 20
 //	GET  /v1/models          servable pipeline models
 //	GET  /v1/simulate        one job (?bench=&model=&gran=); POST takes a JSON Request
 //	GET  /v1/sweep           (benchmark × model) grid streamed as NDJSON (?gran=&bench=a,b&model=x,y)
-//	GET  /v1/suite           the full parallel evaluation (every table input) as one JSON document
+//	GET  /v1/suite           the full parallel evaluation (every table input) as one JSON document;
+//	                         ?bench=a,b evaluates an explicit list (user programs included)
 //	GET  /v1/partial         a shard's mergeable share of a scattered suite (?bench=a,b)
+//	POST /v1/program         untrusted-program intake (JSON {lang, source}, X-Tenant header);
+//	                         accepted programs are served under "user:<sha256>" names
+//	POST /v1/program/install fleet replication: install an already-accepted program
+//	                         (content hash re-verified; forged replicas refused)
+//	GET  /v1/program/{id}    one accepted program (by "user:" name or bare hash)
+//	GET  /v1/programs        resident accepted programs, most recently used first
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -83,27 +98,55 @@ func NewHandler(s *Service) http.Handler {
 		serveSimulate(s, w, r.Context(), req)
 	})
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, maxSimulateBody)
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
 		var req Request
-		if err := dec.Decode(&req); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				writeJSON(w, http.StatusRequestEntityTooLarge,
-					map[string]string{"error": fmt.Sprintf("simsvc: request body exceeds %d bytes", tooBig.Limit)})
-				return
-			}
-			writeError(w, invalidf("bad request body: %v", err))
+		if !decodeBody(w, r, maxSimulateBody, &req) {
 			return
 		}
 		serveSimulate(s, w, r.Context(), req)
+	})
+	mux.HandleFunc("POST /v1/program", func(w http.ResponseWriter, r *http.Request) {
+		var req ProgramRequest
+		if !decodeBody(w, r, maxProgramBody, &req) {
+			return
+		}
+		p, err := s.SubmitProgram(r.Context(), r.Header.Get("X-Tenant"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("POST /v1/program/install", func(w http.ResponseWriter, r *http.Request) {
+		// Fleet replication: a peer pushes an already-accepted program. The
+		// registry re-derives the content hash before admitting it, so this
+		// endpoint cannot be used to smuggle unvalidated code past the wall.
+		var p workload.Program
+		if !decodeBody(w, r, maxProgramBody, &p) {
+			return
+		}
+		installed, err := s.InstallProgram(&p)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, installed)
+	})
+	mux.HandleFunc("GET /v1/program/{id}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := s.GetProgram(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /v1/programs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ListPrograms())
 	})
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		serveSweep(s, w, r)
 	})
 	mux.HandleFunc("GET /v1/suite", func(w http.ResponseWriter, r *http.Request) {
-		resp, err := s.Suite(r.Context())
+		resp, err := s.SuiteOf(r.Context(), splitList(r.URL.Query().Get("bench")))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -260,6 +303,27 @@ func splitList(v string) []string {
 	return out
 }
 
+// decodeBody reads a JSON POST body into v under a per-endpoint byte cap,
+// answering 413 (typed JSON error) when the cap is hit and 400 on malformed
+// or unknown-field JSON. It reports whether decoding succeeded; on false
+// the response has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("simsvc: request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeError(w, invalidf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -270,12 +334,44 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	payload := map[string]interface{}{"error": err.Error()}
 	var inv *InvalidRequestError
 	var quarantined *QuarantinedError
 	var overloaded *OverloadedError
+	var wlSource *workload.SourceError
+	var wlRejected *workload.RejectedError
+	var wlQuarantined *workload.QuarantinedError
+	var wlQuota *workload.QuotaError
+	var wlNotFound *workload.NotFoundError
 	switch {
 	case errors.As(err, &inv):
 		status = http.StatusBadRequest
+	case errors.As(err, &wlSource):
+		// Compile/assemble diagnostics carry their position as structured
+		// fields so clients can highlight the offending source line.
+		status = http.StatusBadRequest
+		payload["stage"] = wlSource.Stage
+		if wlSource.Line > 0 {
+			payload["line"] = wlSource.Line
+		}
+		if wlSource.Col > 0 {
+			payload["column"] = wlSource.Col
+		}
+	case errors.As(err, &wlRejected):
+		status = http.StatusBadRequest
+		payload["check"] = wlRejected.Check
+	case errors.As(err, &wlQuarantined):
+		// The program is well-formed JSON-wise but permanently refused:
+		// 422, no Retry-After — resubmission cannot help.
+		status = http.StatusUnprocessableEntity
+		payload["id"] = wlQuarantined.ID
+	case errors.As(err, &wlQuota):
+		status = http.StatusTooManyRequests
+		if wlQuota.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wlQuota.RetryAfter.Seconds()))))
+		}
+	case errors.As(err, &wlNotFound):
+		status = http.StatusNotFound
 	case errors.As(err, &overloaded):
 		// Shed by admission control: tell the client when to come back,
 		// derived from the queue depth and observed latency at shed time.
@@ -295,5 +391,5 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, payload)
 }

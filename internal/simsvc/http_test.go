@@ -206,6 +206,8 @@ func TestHTTPMetricsSchema(t *testing.T) {
 		"requests", "cacheHits", "cacheMisses", "cacheEvictions",
 		"executions", "flightShared", "failures", "invalidRequests",
 		"panics", "shed", "retries", "breakerOpen", "queuedDepth",
+		"programsAccepted", "programsRejected", "programsQuarantined",
+		"tenantSheds",
 		"captures", "traceCacheHits", "traceCacheMisses",
 		"traceCacheEvictions", "traceCacheBytes",
 		"traceSpills", "traceSpillLoads",

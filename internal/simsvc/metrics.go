@@ -23,6 +23,11 @@ type Metrics struct {
 	breakerOpen    atomic.Uint64 // circuit-breaker open transitions
 	queued         atomic.Int64  // gauge: submissions waiting for a worker
 
+	programsAccepted    atomic.Uint64 // /v1/program submissions accepted into the registry
+	programsRejected    atomic.Uint64 // submissions refused by the validation wall
+	programsQuarantined atomic.Uint64 // submissions quarantined after faulting the harness
+	tenantSheds         atomic.Uint64 // submissions shed by per-tenant quotas
+
 	captures            atomic.Uint64 // benchmark traces captured (interpreter runs)
 	traceCacheHits      atomic.Uint64
 	traceCacheMisses    atomic.Uint64
@@ -88,6 +93,10 @@ type Snapshot struct {
 	Retries         uint64          `json:"retries"`
 	BreakerOpen     uint64          `json:"breakerOpen"`
 	QueuedDepth     int64           `json:"queuedDepth"`
+	ProgramsOK      uint64          `json:"programsAccepted"`
+	ProgramsRej     uint64          `json:"programsRejected"`
+	ProgramsQuar    uint64          `json:"programsQuarantined"`
+	TenantSheds     uint64          `json:"tenantSheds"`
 	Captures        uint64          `json:"captures"`
 	TraceCacheHits  uint64          `json:"traceCacheHits"`
 	TraceCacheMiss  uint64          `json:"traceCacheMisses"`
@@ -114,6 +123,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Retries:         m.retries.Load(),
 		BreakerOpen:     m.breakerOpen.Load(),
 		QueuedDepth:     m.queued.Load(),
+		ProgramsOK:      m.programsAccepted.Load(),
+		ProgramsRej:     m.programsRejected.Load(),
+		ProgramsQuar:    m.programsQuarantined.Load(),
+		TenantSheds:     m.tenantSheds.Load(),
 		Captures:        m.captures.Load(),
 		TraceCacheHits:  m.traceCacheHits.Load(),
 		TraceCacheMiss:  m.traceCacheMisses.Load(),

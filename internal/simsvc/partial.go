@@ -34,10 +34,12 @@ func (s *Service) Partial(ctx context.Context, benches []string) (*Response, err
 	subset := make([]bench.Benchmark, 0, len(benches))
 	seen := make(map[string]bool, len(benches))
 	for _, name := range benches {
-		b, ok := s.byName[name]
-		if !ok {
+		// benchFor resolves registered user programs too: a gateway
+		// scattering a mixed suite sends each shard its share by name.
+		b, err := s.benchFor(name)
+		if err != nil {
 			s.metrics.invalid.Add(1)
-			return nil, invalidf("unknown benchmark %q", name)
+			return nil, err
 		}
 		if seen[name] {
 			s.metrics.invalid.Add(1)

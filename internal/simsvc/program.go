@@ -1,0 +1,119 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/workload"
+)
+
+// ProgramRequest is the POST /v1/program body.
+type ProgramRequest struct {
+	// Lang is workload.LangAsm (default) or workload.LangMiniC.
+	Lang string `json:"lang,omitempty"`
+	// Source is the program text.
+	Source string `json:"source"`
+}
+
+// Programs exposes the intake registry (cluster replication reads it).
+func (s *Service) Programs() *workload.Registry { return s.programs }
+
+// SubmitProgram pushes one untrusted submission through the workload
+// validation wall. The probationary execution is real CPU work, so it rides
+// the bounded worker pool under normal admission control: an intake flood
+// sheds with ErrOverloaded (429 + Retry-After) exactly like a simulation
+// burst, on top of the registry's own per-tenant quotas.
+func (s *Service) SubmitProgram(ctx context.Context, tenant string, req ProgramRequest) (*workload.Program, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	s.metrics.requests.Add(1)
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	var (
+		p    *workload.Program
+		serr error
+	)
+	if poolErr := s.pool.do(ctx, func() {
+		p, serr = s.programs.Submit(ctx, tenant, req.Lang, req.Source)
+	}); poolErr != nil {
+		return nil, poolErr
+	}
+	s.recordProgramOutcome(serr)
+	return p, serr
+}
+
+// recordProgramOutcome classifies one submission outcome into the intake
+// counters.
+func (s *Service) recordProgramOutcome(err error) {
+	var (
+		quota       *workload.QuotaError
+		quarantined *workload.QuarantinedError
+		rejected    *workload.RejectedError
+		src         *workload.SourceError
+	)
+	switch {
+	case err == nil:
+		s.metrics.programsAccepted.Add(1)
+	case errors.As(err, &quota):
+		s.metrics.tenantSheds.Add(1)
+	case errors.As(err, &quarantined):
+		s.metrics.programsQuarantined.Add(1)
+	case errors.As(err, &rejected), errors.As(err, &src):
+		s.metrics.programsRejected.Add(1)
+	}
+}
+
+// InstallProgram installs an already-validated program replica from a peer
+// (the gateway replicates accepted programs across the fleet on scatter).
+// The registry re-derives the content hash, so a forged replica — source
+// that doesn't hash to its claimed ID — is refused with a typed rejection;
+// replication never widens the validation wall.
+func (s *Service) InstallProgram(p *workload.Program) (*workload.Program, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	s.metrics.requests.Add(1)
+	if err := s.programs.Install(p); err != nil {
+		s.metrics.invalid.Add(1)
+		return nil, err
+	}
+	return p, nil
+}
+
+// GetProgram looks up an accepted program by "user:<id>" name or bare id.
+func (s *Service) GetProgram(name string) (*workload.Program, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	return s.programs.Get(name)
+}
+
+// ProgramInfo is the list view of an accepted program — everything but the
+// source texts.
+type ProgramInfo struct {
+	Name     string `json:"name"`
+	Tenant   string `json:"tenant"`
+	Lang     string `json:"lang"`
+	Insts    uint64 `json:"insts"`
+	Checksum uint32 `json:"checksum"`
+}
+
+// ListPrograms summarizes the resident registry, most recently used first.
+func (s *Service) ListPrograms() []ProgramInfo {
+	ps := s.programs.List()
+	out := make([]ProgramInfo, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, ProgramInfo{
+			Name: p.Name, Tenant: p.Tenant, Lang: p.Lang,
+			Insts: p.Insts, Checksum: p.Checksum,
+		})
+	}
+	return out
+}

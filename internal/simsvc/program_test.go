@@ -1,0 +1,415 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diffsim"
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// intakeAsm is a tiny well-behaved submission (checksum 42 in $s7).
+const intakeAsm = `
+.text
+main:
+    lui $gp, 0x1000
+    lw $t0, 0($gp)
+    lw $t1, 4($gp)
+    addu $s7, $t0, $t1
+    addiu $v0, $zero, 10
+    syscall
+
+.data
+a: .word 40
+b: .word 2
+`
+
+// postProgram submits source and returns the response with its decoded
+// body (one of which may be an error envelope).
+func postProgram(t *testing.T, url, tenant, lang, source string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	body, _ := json.Marshal(ProgramRequest{Lang: lang, Source: source})
+	req, err := http.NewRequest("POST", url+"/v1/program", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var decoded map[string]interface{}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("POST /v1/program: undecodable body %q", raw)
+		}
+	}
+	return resp, decoded
+}
+
+// TestHTTPProgramLifecycle: submit → inspect → simulate → sweep → suite,
+// all under the "user:" name.
+func TestHTTPProgramLifecycle(t *testing.T) {
+	checkLeaks(t)
+	_, srv := testServer(t)
+
+	resp, body := postProgram(t, srv.URL, "alice", workload.LangAsm, intakeAsm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d (%v)", resp.StatusCode, body)
+	}
+	name, _ := body["name"].(string)
+	if !strings.HasPrefix(name, "user:") {
+		t.Fatalf("accepted name %q not namespaced", name)
+	}
+	if cs, _ := body["checksum"].(float64); uint32(cs) != 42 {
+		t.Fatalf("checksum %v, want 42", body["checksum"])
+	}
+
+	// Resubmission is idempotent (content addressing): same name back.
+	resp, body = postProgram(t, srv.URL, "alice", workload.LangAsm, intakeAsm)
+	if resp.StatusCode != http.StatusOK || body["name"] != name {
+		t.Fatalf("resubmit: status %d name %v", resp.StatusCode, body["name"])
+	}
+
+	var got workload.Program
+	if r := getJSON(t, srv.URL+"/v1/program/"+strings.TrimPrefix(name, "user:"), &got); r.StatusCode != 200 {
+		t.Fatalf("get program: %d", r.StatusCode)
+	}
+	if got.Name != name || got.Source != intakeAsm {
+		t.Fatalf("lookup returned different program")
+	}
+	var listed []ProgramInfo
+	getJSON(t, srv.URL+"/v1/programs", &listed)
+	if len(listed) != 1 || listed[0].Name != name {
+		t.Fatalf("program list: %+v", listed)
+	}
+
+	var sim Response
+	if r := getJSON(t, srv.URL+"/v1/simulate?bench="+name+"&model="+pipeline.NameBaseline32, &sim); r.StatusCode != 200 {
+		t.Fatalf("simulate user program: %d", r.StatusCode)
+	}
+	if sim.Insts == 0 || sim.Cycles == 0 {
+		t.Fatalf("simulate returned empty result: %+v", sim)
+	}
+
+	// A mixed suite (built-in + user program) evaluates in requested order.
+	var suite Response
+	if r := getJSON(t, srv.URL+"/v1/suite?bench=g711dec,"+name, &suite); r.StatusCode != 200 {
+		t.Fatalf("mixed suite: %d", r.StatusCode)
+	}
+	if n := len(suite.Suite.Benchmarks); n != 2 {
+		t.Fatalf("mixed suite has %d benchmarks", n)
+	}
+	if suite.Suite.Benchmarks[1].Name != name {
+		t.Fatalf("suite order: %q second, want %q", suite.Suite.Benchmarks[1].Name, name)
+	}
+
+	// And a partial share of a scattered suite resolves the user name too.
+	var partial Response
+	if r := getJSON(t, srv.URL+"/v1/partial?bench="+name, &partial); r.StatusCode != 200 {
+		t.Fatalf("partial with user program: %d", r.StatusCode)
+	}
+}
+
+// TestHTTPProgramErrors covers the typed 4xx wall answers, including the
+// structured line/column fields (the satellite requirement that positions
+// survive end-to-end).
+func TestHTTPProgramErrors(t *testing.T) {
+	_, srv := testServer(t)
+
+	resp, body := postProgram(t, srv.URL, "", workload.LangMiniC, "int main() {\n  return x;\n}")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("minic error: status %d", resp.StatusCode)
+	}
+	if body["stage"] != "compile" || body["line"] != float64(2) {
+		t.Fatalf("minic error envelope: %v", body)
+	}
+	resp, body = postProgram(t, srv.URL, "", workload.LangAsm, ".text\nmain:\n    bogus $t0\n    syscall\n")
+	if resp.StatusCode != http.StatusBadRequest || body["stage"] != "assemble" || body["line"] != float64(3) {
+		t.Fatalf("asm error envelope: status %d %v", resp.StatusCode, body)
+	}
+	if body["column"] == nil {
+		t.Fatalf("asm error lost its column: %v", body)
+	}
+
+	// Unknown benchmark names: non-namespaced ones are typed 400s that
+	// point at the namespace; unknown user: names are 404.
+	var e struct {
+		Error string `json:"error"`
+	}
+	if r := getJSON(t, srv.URL+"/v1/simulate?bench=notreal&model=baseline32", &e); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown bench: %d", r.StatusCode)
+	}
+	if !strings.Contains(e.Error, "user:") {
+		t.Fatalf("unknown-bench error does not mention the namespace: %q", e.Error)
+	}
+	if r := getJSON(t, srv.URL+"/v1/simulate?bench=user:"+strings.Repeat("ab", 32)+"&model=baseline32", &e); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown user bench: %d", r.StatusCode)
+	}
+}
+
+// TestHTTPProgramBodyCap: the intake endpoint has its own (larger) body
+// bound with the same typed 413 envelope as /v1/simulate.
+func TestHTTPProgramBodyCap(t *testing.T) {
+	_, srv := testServer(t)
+	huge, _ := json.Marshal(ProgramRequest{Source: strings.Repeat("x", maxProgramBody+1024)})
+	resp, err := http.Post(srv.URL+"/v1/program", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body %q is not the typed envelope", raw)
+	}
+	// A simulate-sized body that would pass /v1/simulate's cap is fine here:
+	// the caps are per-endpoint.
+	src := intakeAsm + "\n# pad" + strings.Repeat(" x", (maxSimulateBody/2)+1024) + "\n"
+	if len(src) <= maxSimulateBody {
+		t.Fatal("test source does not exceed the simulate cap")
+	}
+	reg, err := workload.NewRegistry(workload.Options{MaxSourceBytes: maxProgramBody})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testService(t, Config{Workers: 4, Programs: reg})
+	srv2 := newTestServer(t, s)
+	resp2, body := postProgram(t, srv2.URL, "", workload.LangAsm, src)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("large-but-legal submission: status %d (%v)", resp2.StatusCode, body)
+	}
+}
+
+// TestHTTPProgramCorpusContained replays the malicious corpus from
+// internal/workload/testdata through the public endpoint: every program is
+// answered with a typed 4xx, the service stays ready, and nothing leaks.
+func TestHTTPProgramCorpusContained(t *testing.T) {
+	checkLeaks(t)
+	reg, err := workload.NewRegistry(workload.Options{
+		MaxInsts:       50_000,
+		MaxOutputBytes: 1 << 10,
+		SubmitPerMin:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testService(t, Config{Workers: 4, Programs: reg})
+	srv := newTestServer(t, s)
+
+	files, err := filepath.Glob(filepath.Join("..", "workload", "testdata", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("malicious corpus missing: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postProgram(t, srv.URL, "mallory", workload.LangAsm, string(src))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", filepath.Base(f), resp.StatusCode, body)
+		}
+		if body["check"] == nil || body["error"] == "" {
+			t.Errorf("%s: untyped rejection: %v", filepath.Base(f), body)
+		}
+		// The wall held: still ready for the next caller.
+		if r := getJSON(t, srv.URL+"/readyz", nil); r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: service not ready after containment (%d)", filepath.Base(f), r.StatusCode)
+		}
+	}
+	var m struct{ Snapshot }
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.ProgramsRej != uint64(len(files)) || m.ProgramsOK != 0 {
+		t.Fatalf("intake counters after corpus: %+v", m.Snapshot)
+	}
+	if len(s.ListPrograms()) != 0 {
+		t.Fatal("a malicious program reached the registry")
+	}
+}
+
+// TestHTTPProgramQuotaFlood: a tenant hammering the intake is shed with 429
+// + Retry-After while other tenants keep their own budgets.
+func TestHTTPProgramQuotaFlood(t *testing.T) {
+	reg, err := workload.NewRegistry(workload.Options{SubmitPerMin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testService(t, Config{Workers: 4, Programs: reg})
+	srv := newTestServer(t, s)
+
+	var shed *http.Response
+	for i := 0; i < 6; i++ {
+		src := fmt.Sprintf("%s\n# variant %d\n", intakeAsm, i)
+		resp, _ := postProgram(t, srv.URL, "flooder", workload.LangAsm, src)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed = resp
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submission %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if shed == nil {
+		t.Fatal("flooding tenant was never shed")
+	}
+	if shed.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Another tenant still gets through.
+	if resp, body := postProgram(t, srv.URL, "bystander", workload.LangAsm, intakeAsm+"\n# other\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bystander shed with the flooder: %d (%v)", resp.StatusCode, body)
+	}
+	var m struct{ Snapshot }
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.TenantSheds == 0 {
+		t.Fatalf("tenantSheds not counted: %+v", m.Snapshot)
+	}
+}
+
+// TestChaosProgramProbationKilled: faultinject kills the probationary run
+// with a panic. The panic is contained, the submission answers 422, the
+// program is quarantined (sticky — clearing the fault does not readmit it),
+// and the service stays ready.
+func TestChaosProgramProbationKilled(t *testing.T) {
+	checkLeaks(t)
+	inj := faultinject.MustNew(7, faultinject.Rule{
+		Point: faultinject.PointProbation, Kind: faultinject.KindPanic, Prob: 1,
+	})
+	inj.SetEnabled(true)
+	reg, err := workload.NewRegistry(workload.Options{Faults: inj, SubmitPerMin: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testService(t, Config{Workers: 4, Programs: reg, Faults: inj})
+	srv := newTestServer(t, s)
+
+	resp, body := postProgram(t, srv.URL, "alice", workload.LangAsm, intakeAsm)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("killed probation: status %d (%v)", resp.StatusCode, body)
+	}
+	if body["id"] == nil || !strings.Contains(body["error"].(string), "quarantined") {
+		t.Fatalf("422 envelope: %v", body)
+	}
+	if r := getJSON(t, srv.URL+"/readyz", nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("not ready after contained probation kill: %d", r.StatusCode)
+	}
+	inj.SetEnabled(false)
+	resp, _ = postProgram(t, srv.URL, "alice", workload.LangAsm, intakeAsm)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantine not sticky: status %d", resp.StatusCode)
+	}
+	var m struct{ Snapshot }
+	getJSON(t, srv.URL+"/metrics", &m)
+	// Both the kill and the sticky refusal answered "quarantined".
+	if m.ProgramsQuar != 2 || m.ProgramsOK != 0 {
+		t.Fatalf("intake counters: %+v", m.Snapshot)
+	}
+	if qs := reg.Quarantined(); len(qs) != 1 {
+		t.Fatalf("%d quarantined programs, want 1", len(qs))
+	}
+}
+
+// TestHTTPProgramInstallReplication: the fleet replication endpoint admits
+// a peer's validated program (after re-deriving its compiled form from the
+// content-addressed source) and refuses forgeries — both a tampered source
+// under a claimed id and a forged Asm field riding a legitimate source.
+func TestHTTPProgramInstallReplication(t *testing.T) {
+	_, srvA := testServer(t)
+	_, srvB := testServer(t)
+
+	resp, body := postProgram(t, srvA.URL, "alice", workload.LangAsm, intakeAsm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, body)
+	}
+	name := body["name"].(string)
+	var p workload.Program
+	getJSON(t, srvA.URL+"/v1/program/"+strings.TrimPrefix(name, "user:"), &p)
+
+	install := func(prog workload.Program) (*http.Response, string) {
+		t.Helper()
+		buf, _ := json.Marshal(prog)
+		resp, err := http.Post(srvB.URL+"/v1/program/install", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, string(raw)
+	}
+
+	// A forged replica with a legitimate source but attacker-chosen assembly
+	// must not run the forged code: the shard rebuilds Asm from Source.
+	forged := p
+	forged.Asm = ".text\nmain:\n    lui $s7, 0x6666\n    addiu $v0, $zero, 10\n    syscall\n"
+	if resp, raw := install(forged); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica with untrusted Asm: %d (%s)", resp.StatusCode, raw)
+	}
+	var sim Response
+	if r := getJSON(t, srvB.URL+"/v1/simulate?bench="+name+"&model="+pipeline.NameBaseline32, &sim); r.StatusCode != 200 {
+		t.Fatalf("simulate replicated program: %d", r.StatusCode)
+	}
+	var got workload.Program
+	getJSON(t, srvB.URL+"/v1/program/"+strings.TrimPrefix(name, "user:"), &got)
+	if got.Asm != p.Asm {
+		t.Fatal("replica kept the forged assembly instead of rebuilding from source")
+	}
+
+	// Tampered source under the same claimed id: refused outright.
+	tampered := p
+	tampered.Source = p.Source + "\n# tampered\n"
+	if resp, raw := install(tampered); resp.StatusCode != http.StatusBadRequest || !strings.Contains(raw, "hash mismatch") {
+		t.Fatalf("tampered replica: %d (%s), want 400 hash mismatch", resp.StatusCode, raw)
+	}
+}
+
+// TestProgramFuzzCorpusAccepted feeds diffsim-generated programs (the
+// sigfuzz corpus, rendered to assembly) through the public intake: every
+// generated program must clear the whole wall, and its registered
+// benchmark must re-verify.
+func TestProgramFuzzCorpusAccepted(t *testing.T) {
+	reg, err := workload.NewRegistry(workload.Options{SubmitPerMin: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testService(t, Config{Workers: 4, Programs: reg})
+	srv := newTestServer(t, s)
+	for seed := uint64(1); seed <= 12; seed++ {
+		p := diffsim.Generate(seed, diffsim.Config{Ops: 60})
+		src, err := p.AsmSource()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		resp, body := postProgram(t, srv.URL, "fuzz", workload.LangAsm, src)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d rejected: %d (%v)", seed, resp.StatusCode, body)
+		}
+		name := body["name"].(string)
+		prog, err := s.GetProgram(name)
+		if err != nil {
+			t.Fatalf("seed %d: lookup: %v", seed, err)
+		}
+		if _, err := prog.Benchmark().RunVerified(); err != nil {
+			t.Fatalf("seed %d: accepted program fails verification: %v", seed, err)
+		}
+	}
+}

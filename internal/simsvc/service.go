@@ -25,6 +25,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // DefaultCacheSize is the LRU capacity when Config.CacheSize is zero.
@@ -92,6 +93,12 @@ type Config struct {
 	// Faults arms deterministic fault injection at the service's seams
 	// (nil in production: every hook is then a zero-cost no-op).
 	Faults *faultinject.Injector
+	// Programs is the untrusted-program intake registry behind POST
+	// /v1/program; its accepted programs are servable through simulate,
+	// sweep, and suite under their "user:" names. Nil builds one with
+	// default budgets (and this Config's Faults), so the intake is always
+	// on — the wall, not a flag, is the protection.
+	Programs *workload.Registry
 }
 
 // Service executes significance-compression simulations on demand.
@@ -102,6 +109,7 @@ type Service struct {
 	benches []bench.Benchmark
 	byName  map[string]bench.Benchmark
 
+	programs *workload.Registry
 	pool     *pool
 	cache    *lruCache
 	traces   *traceCache // nil when capture/replay is disabled
@@ -142,15 +150,21 @@ func New(cfg Config) *Service {
 	if cfg.Retries < 0 {
 		cfg.Retries = 0
 	}
+	if cfg.Programs == nil {
+		// Cannot fail: the only construction error is a spill directory,
+		// and the default options have none.
+		cfg.Programs, _ = workload.NewRegistry(workload.Options{Faults: cfg.Faults})
+	}
 	s := &Service{
-		workers: cfg.Workers,
-		timeout: cfg.Timeout,
-		retries: cfg.Retries,
-		benches: cfg.Benchmarks,
-		byName:  make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
-		cache:   newLRU(cfg.CacheSize),
-		faults:  cfg.Faults,
-		start:   time.Now(),
+		workers:  cfg.Workers,
+		timeout:  cfg.Timeout,
+		retries:  cfg.Retries,
+		benches:  cfg.Benchmarks,
+		byName:   make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
+		programs: cfg.Programs,
+		cache:    newLRU(cfg.CacheSize),
+		faults:   cfg.Faults,
+		start:    time.Now(),
 	}
 	s.pool = newPool(cfg.Workers, cfg.MaxQueued, &s.metrics, cfg.Faults)
 	if cfg.TraceCacheMB >= 0 {
@@ -315,11 +329,31 @@ func invalidf(format string, args ...interface{}) error {
 	return &InvalidRequestError{Reason: fmt.Sprintf(format, args...)}
 }
 
-// validate checks req against the served suite and returns its normalized
-// form (granularity defaulted, full-evaluation requests canonicalized).
+// benchFor resolves a benchmark name: the built-in suite first, then the
+// user-program registry for "user:"-namespaced names. Any other unknown
+// name is a typed InvalidRequestError — user programs cannot collide with
+// (or shadow) built-ins because their names are forced into the "user:"
+// namespace at submission, and lookups never cross namespaces.
+func (s *Service) benchFor(name string) (bench.Benchmark, error) {
+	if b, ok := s.byName[name]; ok {
+		return b, nil
+	}
+	if workload.IsUserName(name) {
+		p, err := s.programs.Get(name)
+		if err != nil {
+			return bench.Benchmark{}, err
+		}
+		return p.Benchmark(), nil
+	}
+	return bench.Benchmark{}, invalidf("unknown benchmark %q (submitted programs are served under the user: namespace)", name)
+}
+
+// validate checks req against the served suite (built-in or registered user
+// program) and returns its normalized form (granularity defaulted,
+// full-evaluation requests canonicalized).
 func (s *Service) validate(req Request) (Request, error) {
-	if _, ok := s.byName[req.Bench]; !ok {
-		return req, invalidf("unknown benchmark %q", req.Bench)
+	if _, err := s.benchFor(req.Bench); err != nil {
+		return req, err
 	}
 	if req.Model == "" {
 		req.Gran = 0 // full evaluation collects both granularities
@@ -487,7 +521,13 @@ func (s *Service) execute(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := s.byName[req.Bench]
+	// Re-resolve at execution time: a user program can be evicted between
+	// validation and its pool slot, which surfaces as the typed lookup
+	// error rather than an empty benchmark.
+	b, err := s.benchFor(req.Bench)
+	if err != nil {
+		return nil, err
+	}
 	s.metrics.executions.Add(1)
 	start := time.Now()
 

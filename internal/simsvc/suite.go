@@ -3,6 +3,7 @@ package simsvc
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,27 +26,60 @@ const suiteKey = "suite\n"
 // identical calls share one execution via singleflight, exactly like
 // Simulate.
 func (s *Service) Suite(ctx context.Context) (*Response, error) {
+	return s.SuiteOf(ctx, nil)
+}
+
+// SuiteOf is Suite over an explicit benchmark list — built-ins and
+// registered user programs mixed freely, evaluated and merged in the
+// requested order. The recoder and function-code profile stay those of the
+// fixed served suite regardless of the list (user programs must not change
+// the science), so the same list produces a byte-identical document on
+// every shard serving the same suite. An empty list is the full served
+// suite (identical to Suite, same cache entry).
+func (s *Service) SuiteOf(ctx context.Context, names []string) (*Response, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
 	defer s.end()
 	s.metrics.requests.Add(1)
+	subset := s.benches
+	key := suiteKey
+	if len(names) > 0 {
+		subset = make([]bench.Benchmark, 0, len(names))
+		seen := make(map[string]bool, len(names))
+		for _, name := range names {
+			if seen[name] {
+				s.metrics.invalid.Add(1)
+				return nil, invalidf("duplicate benchmark %q in suite", name)
+			}
+			seen[name] = true
+			b, err := s.benchFor(name)
+			if err != nil {
+				s.metrics.invalid.Add(1)
+				return nil, err
+			}
+			subset = append(subset, b)
+		}
+		// Benchmark names never contain a newline, so explicit-list keys
+		// cannot collide with the bare suite key or each other's lists.
+		key = suiteKey + strings.Join(names, ",")
+	}
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	if resp, ok := s.cacheGet(ctx, suiteKey); ok {
+	if resp, ok := s.cacheGet(ctx, key); ok {
 		s.metrics.cacheHits.Add(1)
 		return serveCopy(resp, true), nil
 	}
 	s.metrics.cacheMisses.Add(1)
-	resp, shared, err := s.flight.do(ctx, suiteKey, func() (*Response, error) {
-		out, runErr := s.runSuite(ctx)
+	resp, shared, err := s.flight.do(ctx, key, func() (*Response, error) {
+		out, runErr := s.runSuite(ctx, subset)
 		if runErr != nil {
 			return nil, runErr
 		}
-		s.cachePut(ctx, suiteKey, out)
+		s.cachePut(ctx, key, out)
 		return out, nil
 	})
 	if shared {
@@ -162,15 +196,15 @@ func (s *Service) evalBenches(ctx context.Context, rc *icomp.Recoder, benches []
 	return outs, nil
 }
 
-// runSuite performs the parallel full evaluation over the served suite and
-// assembles the complete results document.
-func (s *Service) runSuite(ctx context.Context) (*Response, error) {
+// runSuite performs the parallel full evaluation over the benchmark list
+// and assembles the complete results document.
+func (s *Service) runSuite(ctx context.Context, benches []bench.Benchmark) (*Response, error) {
 	rc, functs, err := s.recoderProfile()
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	outs, err := s.evalBenches(ctx, rc, s.benches)
+	outs, err := s.evalBenches(ctx, rc, benches)
 	if err != nil {
 		return nil, err
 	}

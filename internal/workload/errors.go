@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// SourceError is a compile or assembly diagnostic for a submitted program,
+// carrying its 1-based source position (0 when unknown). It maps to a 400
+// with the position surfaced as structured JSON fields so a client can
+// highlight the offending line.
+type SourceError struct {
+	Stage string // "compile" (miniC) or "assemble"
+	Line  int
+	Col   int
+	Msg   string
+}
+
+func (e *SourceError) Error() string {
+	switch {
+	case e.Line > 0 && e.Col > 0:
+		return fmt.Sprintf("workload: %s: line %d:%d: %s", e.Stage, e.Line, e.Col, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("workload: %s: line %d: %s", e.Stage, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("workload: %s: %s", e.Stage, e.Msg)
+}
+
+// RejectedError means the program compiled but failed the validation wall —
+// a static check (entry/halt shape, addressing discipline) or a probation
+// limit (instruction budget, sandbox window, output cap, nonzero exit).
+// Rejections are deterministic properties of the source: resubmitting the
+// same bytes fails the same way, so it maps to a 400.
+type RejectedError struct {
+	Check  string // which wall layer fired: "size", "static", "probation"
+	Reason string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("workload: rejected (%s): %s", e.Check, e.Reason)
+}
+
+// QuarantinedError means the program faulted the harness during probation —
+// a contained panic, an interpreter error, or a lockstep divergence against
+// the shadow machine. The program ID is remembered and never re-executed:
+// resubmissions of the same source get this error back immediately instead
+// of a retry.
+type QuarantinedError struct {
+	ID     string
+	Reason string
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("workload: program %s quarantined: %s", e.ID, e.Reason)
+}
+
+// QuotaError means a per-tenant budget (program count, stored bytes, or
+// submission rate) is exhausted. RetryAfter is nonzero only for the rate
+// limit, where waiting actually helps.
+type QuotaError struct {
+	Tenant     string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("workload: tenant %q over quota: %s", e.Tenant, e.Reason)
+}
+
+// NotFoundError means no accepted program has the requested name.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("workload: unknown program %q", e.Name)
+}

@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is the content-addressed store of accepted user programs. It is
+// safe for concurrent use. Entries are bounded by count and bytes with LRU
+// eviction; evicted programs spill to SpillDir (when configured) and are
+// reloaded — hash-verified — on demand. Quarantined IDs are remembered
+// forever (within the process) and never re-executed.
+type Registry struct {
+	opts Options
+
+	mu          sync.Mutex
+	byID        map[string]*list.Element // -> *entry
+	lru         *list.List               // front = most recent
+	bytes       int64
+	quarantined map[string]string // id -> reason
+	tenants     map[string]*tenantState
+	inflight    map[string]*submitCall
+	spill       *spillStore
+
+	accepted, rejected, quarantines uint64
+}
+
+type entry struct {
+	prog *Program
+}
+
+type tenantState struct {
+	programs int
+	// Token bucket for the submission rate limit.
+	tokens float64
+	last   time.Time
+}
+
+// submitCall deduplicates concurrent submissions of identical content: the
+// first caller runs the wall, the rest wait for its outcome.
+type submitCall struct {
+	done chan struct{}
+	prog *Program
+	err  error
+}
+
+// NewRegistry builds a registry with opts (zero fields defaulted).
+func NewRegistry(opts Options) (*Registry, error) {
+	opts = opts.withDefaults()
+	r := &Registry{
+		opts:        opts,
+		byID:        make(map[string]*list.Element),
+		lru:         list.New(),
+		quarantined: make(map[string]string),
+		tenants:     make(map[string]*tenantState),
+		inflight:    make(map[string]*submitCall),
+	}
+	if opts.SpillDir != "" {
+		st, err := newSpillStore(opts.SpillDir)
+		if err != nil {
+			return nil, fmt.Errorf("workload: spill dir: %w", err)
+		}
+		r.spill = st
+	}
+	return r, nil
+}
+
+// ProgramID is the content address: sha256 over (language, source).
+func ProgramID(lang, source string) string {
+	h := sha256.New()
+	h.Write([]byte(lang))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Submit pushes source through the validation wall and, on success,
+// registers it under "user:" + its content hash. Identical content is
+// deduplicated (including concurrently), so resubmitting an accepted
+// program is cheap and never re-executes it.
+func (r *Registry) Submit(ctx context.Context, tenant, lang, source string) (*Program, error) {
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if lang == "" {
+		lang = LangAsm
+	}
+	id := ProgramID(lang, source)
+
+	r.mu.Lock()
+	if reason, ok := r.quarantined[id]; ok {
+		r.mu.Unlock()
+		return nil, &QuarantinedError{ID: id, Reason: reason}
+	}
+	// The rate limit charges every submission attempt — the wall itself is
+	// the expensive thing a flooding tenant burns.
+	if err := r.takeTokenLocked(tenant); err != nil {
+		r.mu.Unlock()
+		r.rejected++
+		return nil, err
+	}
+	if el, ok := r.byID[id]; ok {
+		r.lru.MoveToFront(el)
+		p := el.Value.(*entry).prog
+		r.mu.Unlock()
+		return p, nil
+	}
+	if call, ok := r.inflight[id]; ok {
+		r.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.prog, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Count quota before running the wall so a tenant at the cap cannot
+	// burn probation cycles either.
+	ts := r.tenant(tenant)
+	if ts.programs >= r.opts.TenantPrograms {
+		r.mu.Unlock()
+		r.rejected++
+		return nil, &QuotaError{Tenant: tenant,
+			Reason: fmt.Sprintf("%d programs registered, limit %d", ts.programs, r.opts.TenantPrograms)}
+	}
+	call := &submitCall{done: make(chan struct{})}
+	r.inflight[id] = call
+	r.mu.Unlock()
+
+	prog, err := r.runWall(ctx, id, tenant, lang, source)
+
+	r.mu.Lock()
+	delete(r.inflight, id)
+	call.prog, call.err = prog, err
+	close(call.done)
+	if err == nil {
+		r.installLocked(prog)
+		r.accepted++
+	} else {
+		switch qe := err.(type) {
+		case *QuarantinedError:
+			qe.ID = id
+			r.quarantined[id] = qe.Reason
+			r.quarantines++
+		case *RejectedError, *SourceError:
+			r.rejected++
+		}
+	}
+	r.mu.Unlock()
+	return prog, err
+}
+
+// runWall executes layers 1–5 outside the registry lock.
+func (r *Registry) runWall(ctx context.Context, id, tenant, lang, source string) (*Program, error) {
+	prog, asmSrc, err := build(lang, source, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := probation(ctx, prog, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		ID:        id,
+		Name:      "user:" + id,
+		Tenant:    tenant,
+		Lang:      lang,
+		Source:    source,
+		Asm:       asmSrc,
+		Insts:     out.insts,
+		Checksum:  out.checksum,
+		OutBytes:  out.outBytes,
+		SpotSteps: out.spotSteps,
+		MaxInsts:  r.opts.MaxInsts,
+	}, nil
+}
+
+// Install registers an already-validated program (cross-shard replication:
+// the peer that accepted it ran the wall; the content hash is re-verified
+// so a corrupt or forged replica cannot smuggle different bytes under an
+// accepted name). The compiled form is never trusted: the assembly is
+// re-derived from the content-addressed source through the same compile +
+// static layers, so a replica whose Asm field disagrees with its Source
+// runs what the source says, not what the forger sent. The probationary
+// observations (Insts, Checksum, ...) are kept as claimed — execution is
+// deterministic, so a lie there surfaces as a contained checksum-mismatch
+// failure on first run, never as foreign code. Quota accounting charges
+// the original tenant.
+func (r *Registry) Install(p *Program) error {
+	if p == nil || p.ID != ProgramID(p.Lang, p.Source) || p.Name != "user:"+p.ID {
+		return &RejectedError{Check: "static", Reason: "replica content hash mismatch"}
+	}
+	_, asmSrc, err := build(p.Lang, p.Source, r.opts)
+	if err != nil {
+		return err
+	}
+	cp := *p
+	cp.Asm = asmSrc
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reason, ok := r.quarantined[cp.ID]; ok {
+		return &QuarantinedError{ID: cp.ID, Reason: reason}
+	}
+	if el, ok := r.byID[cp.ID]; ok {
+		r.lru.MoveToFront(el)
+		return nil
+	}
+	r.installLocked(&cp)
+	return nil
+}
+
+// installLocked assumes r.mu held and the id not present.
+func (r *Registry) installLocked(p *Program) {
+	el := r.lru.PushFront(&entry{prog: p})
+	r.byID[p.ID] = el
+	r.bytes += p.Bytes()
+	r.tenant(p.Tenant).programs++
+	r.evictLocked()
+}
+
+// evictLocked drops LRU tails until both budgets hold, spilling each victim
+// when a spill store is configured. A spilled program still counts against
+// its tenant (the bytes live on, just on disk); a dropped one does not.
+func (r *Registry) evictLocked() {
+	for (r.lru.Len() > r.opts.MaxPrograms || r.bytes > r.opts.MaxStoredBytes) && r.lru.Len() > 1 {
+		el := r.lru.Back()
+		e := el.Value.(*entry)
+		r.lru.Remove(el)
+		delete(r.byID, e.prog.ID)
+		r.bytes -= e.prog.Bytes()
+		if r.spill != nil && r.spill.save(e.prog) == nil {
+			continue
+		}
+		if ts := r.tenants[e.prog.Tenant]; ts != nil && ts.programs > 0 {
+			ts.programs--
+		}
+	}
+}
+
+// Get looks a program up by name ("user:<id>") or bare id, falling back to
+// the spill store on a cache miss.
+func (r *Registry) Get(name string) (*Program, error) {
+	id := strings.TrimPrefix(name, "user:")
+	r.mu.Lock()
+	if reason, ok := r.quarantined[id]; ok {
+		r.mu.Unlock()
+		return nil, &QuarantinedError{ID: id, Reason: reason}
+	}
+	if el, ok := r.byID[id]; ok {
+		r.lru.MoveToFront(el)
+		p := el.Value.(*entry).prog
+		r.mu.Unlock()
+		return p, nil
+	}
+	spill := r.spill
+	r.mu.Unlock()
+	if spill == nil {
+		return nil, &NotFoundError{Name: name}
+	}
+	p, err := spill.load(id)
+	if err != nil {
+		return nil, &NotFoundError{Name: name}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.byID[id]; ok { // raced with another loader
+		return el.Value.(*entry).prog, nil
+	}
+	// Reinstall without recharging the tenant: a spilled program stayed on
+	// its account the whole time.
+	el := r.lru.PushFront(&entry{prog: p})
+	r.byID[id] = el
+	r.bytes += p.Bytes()
+	r.evictLocked()
+	return p, nil
+}
+
+// List returns the resident programs, most recently used first.
+func (r *Registry) List() []*Program {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Program, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).prog)
+	}
+	return out
+}
+
+// Quarantined returns the quarantined IDs and reasons, sorted by ID.
+func (r *Registry) Quarantined() []QuarantinedError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QuarantinedError, 0, len(r.quarantined))
+	for id, reason := range r.quarantined {
+		out = append(out, QuarantinedError{ID: id, Reason: reason})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats is a point-in-time registry summary for metrics endpoints.
+type Stats struct {
+	Programs    int    `json:"programs"`
+	StoredBytes int64  `json:"storedBytes"`
+	Quarantined int    `json:"quarantined"`
+	Accepted    uint64 `json:"accepted"`
+	Rejected    uint64 `json:"rejected"`
+	Quarantines uint64 `json:"quarantines"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Programs:    r.lru.Len(),
+		StoredBytes: r.bytes,
+		Quarantined: len(r.quarantined),
+		Accepted:    r.accepted,
+		Rejected:    r.rejected,
+		Quarantines: r.quarantines,
+	}
+}
+
+func (r *Registry) tenant(name string) *tenantState {
+	ts := r.tenants[name]
+	if ts == nil {
+		ts = &tenantState{tokens: float64(r.opts.SubmitPerMin), last: r.opts.Now()}
+		r.tenants[name] = ts
+	}
+	return ts
+}
+
+// takeTokenLocked charges one submission against the tenant's rate bucket
+// (SubmitPerMin capacity, refilled continuously at SubmitPerMin per
+// minute).
+func (r *Registry) takeTokenLocked(tenant string) error {
+	ts := r.tenant(tenant)
+	now := r.opts.Now()
+	rate := float64(r.opts.SubmitPerMin)
+	ts.tokens += now.Sub(ts.last).Minutes() * rate
+	ts.last = now
+	if ts.tokens > rate {
+		ts.tokens = rate
+	}
+	if ts.tokens < 1 {
+		wait := time.Duration((1 - ts.tokens) / rate * float64(time.Minute))
+		return &QuotaError{Tenant: tenant,
+			Reason:     fmt.Sprintf("submission rate above %d/min", r.opts.SubmitPerMin),
+			RetryAfter: wait}
+	}
+	ts.tokens--
+	return nil
+}

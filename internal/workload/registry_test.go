@@ -1,0 +1,400 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/faultinject"
+)
+
+// validAsm is a tiny well-behaved kernel: sums the data words through $gp
+// and leaves the total in $s7.
+const validAsm = `
+.text
+main:
+    lui $gp, 0x1000
+    lw $t0, 0($gp)
+    lw $t1, 4($gp)
+    addu $s7, $t0, $t1
+    addiu $v0, $zero, 10
+    syscall
+
+.data
+a: .word 40
+b: .word 2
+`
+
+const validMiniC = `int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }`
+
+func corpus(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func newTestRegistry(t *testing.T, opts Options) *Registry {
+	t.Helper()
+	r, err := NewRegistry(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSubmitAsmAccepted(t *testing.T) {
+	r := newTestRegistry(t, Options{})
+	p, err := r.Submit(context.Background(), "alice", LangAsm, validAsm)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if p.Checksum != 42 {
+		t.Fatalf("checksum %d, want 42", p.Checksum)
+	}
+	if !IsUserName(p.Name) || p.Name != "user:"+ProgramID(LangAsm, validAsm) {
+		t.Fatalf("bad name %q", p.Name)
+	}
+	if p.Insts == 0 || p.SpotSteps != p.Insts {
+		t.Fatalf("probation observed %d insts, spot-checked %d", p.Insts, p.SpotSteps)
+	}
+	// The adapted benchmark must pass the same verification the built-in
+	// suite does (deterministic checksum, bounded run).
+	if _, err := p.Benchmark().RunVerified(); err != nil {
+		t.Fatalf("RunVerified on accepted program: %v", err)
+	}
+	// Resubmission is a cheap cache hit, same object.
+	p2, err := r.Submit(context.Background(), "alice", LangAsm, validAsm)
+	if err != nil || p2 != p {
+		t.Fatalf("resubmit: %v (dedup %v)", err, p2 == p)
+	}
+}
+
+func TestSubmitMiniC(t *testing.T) {
+	r := newTestRegistry(t, Options{})
+	p, err := r.Submit(context.Background(), "bob", LangMiniC, validMiniC)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if p.Checksum != 45 { // sum 0..9, left in $s7 by the startup stub
+		t.Fatalf("checksum %d, want 45", p.Checksum)
+	}
+	if p.Asm == p.Source || !strings.Contains(p.Asm, "main:") {
+		t.Fatalf("compiled asm not recorded")
+	}
+	if _, err := p.Benchmark().RunVerified(); err != nil {
+		t.Fatalf("RunVerified: %v", err)
+	}
+}
+
+func TestSourceErrorsCarryPosition(t *testing.T) {
+	r := newTestRegistry(t, Options{})
+	_, err := r.Submit(context.Background(), "t", LangMiniC, "int main() {\n  return x;\n}")
+	var se *SourceError
+	if !errors.As(err, &se) || se.Stage != "compile" || se.Line != 2 {
+		t.Fatalf("minic error: got %v (parsed %+v)", err, se)
+	}
+	// A lexer-level diagnostic carries the column too.
+	_, err = r.Submit(context.Background(), "t", LangMiniC, "int main() {\n  int x = `3;\n}")
+	se = nil
+	if !errors.As(err, &se) || se.Stage != "compile" || se.Line != 2 || se.Col == 0 {
+		t.Fatalf("minic lex error: got %v (parsed %+v)", err, se)
+	}
+	_, err = r.Submit(context.Background(), "t", LangAsm, ".text\nmain:\n    bogus $t0, $t1\n    syscall\n")
+	se = nil
+	if !errors.As(err, &se) || se.Stage != "assemble" || se.Line != 3 || se.Col == 0 {
+		t.Fatalf("asm error: got %v (parsed %+v)", err, se)
+	}
+}
+
+// TestCorpusContained runs the malicious corpus through the wall and
+// asserts each program dies at the intended layer with a typed error.
+func TestCorpusContained(t *testing.T) {
+	opts := Options{
+		MaxInsts:       50_000,
+		MaxOutputBytes: 1 << 10,
+		SubmitPerMin:   1000,
+	}
+	cases := []struct {
+		file  string
+		check string // expected RejectedError.Check
+		want  string // substring of the reason
+	}{
+		{"infinite_loop.s", "probation", "budget exhausted"},
+		{"budget_burn.s", "probation", "budget exhausted"},
+		{"oob_store.s", "probation", "outside the sandbox"},
+		{"print_flood.s", "probation", "output exceeded"},
+		{"gp_hijack.s", "static", "writes $gp"},
+	}
+	r := newTestRegistry(t, opts)
+	for _, tc := range cases {
+		_, err := r.Submit(context.Background(), "mallory", LangAsm, corpus(t, tc.file))
+		var re *RejectedError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: got %v, want RejectedError", tc.file, err)
+		}
+		if re.Check != tc.check || !strings.Contains(re.Reason, tc.want) {
+			t.Fatalf("%s: got (%s) %q, want (%s) ...%q...", tc.file, re.Check, re.Reason, tc.check, tc.want)
+		}
+	}
+	if st := r.Stats(); st.Rejected != uint64(len(cases)) || st.Programs != 0 {
+		t.Fatalf("stats after corpus: %+v", st)
+	}
+}
+
+func TestStaticWall(t *testing.T) {
+	r := newTestRegistry(t, Options{SubmitPerMin: 1000})
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-halt", ".text\nmain:\n    addu $t0, $t1, $t2\n", "cannot halt"},
+		{"empty", ".data\nx: .word 1\n", "empty text"},
+		{"bad-base", ".text\nmain:\n    lui $t0, 0x1000\n    lw $t1, 0($t0)\n    addiu $v0, $zero, 10\n    syscall\n", "through $gp or $sp"},
+		{"oversized-data", ".text\nmain:\n    addiu $v0, $zero, 10\n    syscall\n.data\nbig: .space 99999999\n", "data segment"},
+	}
+	for _, tc := range cases {
+		_, err := r.Submit(context.Background(), "t", LangAsm, tc.src)
+		var re *RejectedError
+		if !errors.As(err, &re) || !strings.Contains(re.Reason, tc.want) {
+			t.Fatalf("%s: got %v, want static reject ...%q...", tc.name, err, tc.want)
+		}
+	}
+	// miniC is exempt from the base-register rule (its codegen uses
+	// materialised addresses) but still sandboxed dynamically.
+	if _, err := r.Submit(context.Background(), "t", LangMiniC, "int g; int main() { g = 7; return g; }"); err != nil {
+		t.Fatalf("minic global store rejected: %v", err)
+	}
+}
+
+func TestOversizedSource(t *testing.T) {
+	r := newTestRegistry(t, Options{MaxSourceBytes: 512})
+	src := ".text\nmain:\n# " + strings.Repeat("x", 1024) + "\n    addiu $v0, $zero, 10\n    syscall\n"
+	_, err := r.Submit(context.Background(), "t", LangAsm, src)
+	var re *RejectedError
+	if !errors.As(err, &re) || re.Check != "size" {
+		t.Fatalf("got %v, want size reject", err)
+	}
+}
+
+func TestTenantQuotas(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	r := newTestRegistry(t, Options{TenantPrograms: 2, SubmitPerMin: 4, Now: clock})
+
+	variant := func(i byte) string {
+		return validAsm + "\n# variant " + string('a'+i) + "\n"
+	}
+	for i := byte(0); i < 2; i++ {
+		if _, err := r.Submit(context.Background(), "alice", LangAsm, variant(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := r.Submit(context.Background(), "alice", LangAsm, variant(2))
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.RetryAfter != 0 {
+		t.Fatalf("count quota: got %v", err)
+	}
+	// Other tenants are unaffected.
+	if _, err := r.Submit(context.Background(), "carol", LangAsm, variant(2)); err != nil {
+		t.Fatalf("carol blocked by alice's quota: %v", err)
+	}
+}
+
+func TestSubmitRateLimit(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	r := newTestRegistry(t, Options{SubmitPerMin: 4, Now: clock})
+
+	variant := func(i byte) string {
+		return validAsm + "\n# variant " + string('a'+i) + "\n"
+	}
+	for i := byte(0); i < 4; i++ {
+		if _, err := r.Submit(context.Background(), "carol", LangAsm, variant(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_, err := r.Submit(context.Background(), "carol", LangAsm, variant(4))
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.RetryAfter <= 0 {
+		t.Fatalf("rate quota: got %v", err)
+	}
+	// Another tenant has its own bucket.
+	if _, err := r.Submit(context.Background(), "dave", LangAsm, variant(4)); err != nil {
+		t.Fatalf("dave blocked by carol's rate: %v", err)
+	}
+	// The bucket refills with the clock.
+	now = now.Add(time.Minute)
+	if _, err := r.Submit(context.Background(), "carol", LangAsm, variant(5)); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestEvictionSpillsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	r := newTestRegistry(t, Options{MaxPrograms: 2, SpillDir: dir, SubmitPerMin: 1000})
+	srcs := make([]string, 4)
+	names := make([]string, 4)
+	for i := range srcs {
+		srcs[i] = validAsm + "\n# v" + string(rune('a'+i)) + "\n"
+		p, err := r.Submit(context.Background(), "t", LangAsm, srcs[i])
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		names[i] = p.Name
+	}
+	if st := r.Stats(); st.Programs != 2 {
+		t.Fatalf("resident %d, want 2", st.Programs)
+	}
+	// The first two were evicted to disk; lookups reload and hash-verify.
+	p, err := r.Get(names[0])
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if p.Source != srcs[0] || p.Checksum != 42 {
+		t.Fatalf("reloaded program differs")
+	}
+	// A tampered spill file must read as a miss, not as a program.
+	id := strings.TrimPrefix(names[1], "user:")
+	path := filepath.Join(dir, id+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.Replace(string(data), "addu", "subu", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var nf *NotFoundError
+	if _, err := r.Get(names[1]); !errors.As(err, &nf) {
+		t.Fatalf("tampered spill: got %v, want NotFoundError", err)
+	}
+}
+
+func TestEvictionWithoutSpillForgets(t *testing.T) {
+	r := newTestRegistry(t, Options{MaxPrograms: 1, SubmitPerMin: 1000})
+	p1, err := r.Submit(context.Background(), "t", LangAsm, validAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(context.Background(), "t", LangAsm, validAsm+"\n# v2\n"); err != nil {
+		t.Fatal(err)
+	}
+	var nf *NotFoundError
+	if _, err := r.Get(p1.Name); !errors.As(err, &nf) {
+		t.Fatalf("got %v, want NotFoundError", err)
+	}
+}
+
+// TestInjectedPanicQuarantines proves a probationary run killed by fault
+// injection is contained: the submission fails typed, the program is
+// quarantined by content hash, and resubmission never re-executes it.
+func TestInjectedPanicQuarantines(t *testing.T) {
+	inj := faultinject.MustNew(1, faultinject.Rule{
+		Point: faultinject.PointProbation, Kind: faultinject.KindPanic, Prob: 1,
+	})
+	inj.SetEnabled(true)
+	r := newTestRegistry(t, Options{Faults: inj, SubmitPerMin: 1000})
+	_, err := r.Submit(context.Background(), "t", LangAsm, validAsm)
+	var qe *QuarantinedError
+	if !errors.As(err, &qe) || qe.ID == "" {
+		t.Fatalf("got %v, want QuarantinedError with ID", err)
+	}
+	// Even with faults off, the quarantine holds: no retry.
+	inj.SetEnabled(false)
+	_, err = r.Submit(context.Background(), "t", LangAsm, validAsm)
+	qe = nil
+	if !errors.As(err, &qe) {
+		t.Fatalf("resubmit after quarantine: got %v", err)
+	}
+	if st := r.Stats(); st.Quarantined != 1 || st.Quarantines != 1 || st.Programs != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if qs := r.Quarantined(); len(qs) != 1 || !strings.Contains(qs[0].Reason, "panic") {
+		t.Fatalf("quarantine list: %+v", qs)
+	}
+}
+
+// TestInjectedErrorIsTransient proves a non-panic injected fault fails the
+// submission without blaming the program: no quarantine, and a clean retry
+// succeeds.
+func TestInjectedErrorIsTransient(t *testing.T) {
+	inj := faultinject.MustNew(1, faultinject.Rule{
+		Point: faultinject.PointProbation, Kind: faultinject.KindError, Prob: 1,
+	})
+	inj.SetEnabled(true)
+	r := newTestRegistry(t, Options{Faults: inj, SubmitPerMin: 1000})
+	_, err := r.Submit(context.Background(), "t", LangAsm, validAsm)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want injected error", err)
+	}
+	inj.SetEnabled(false)
+	if _, err := r.Submit(context.Background(), "t", LangAsm, validAsm); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if st := r.Stats(); st.Quarantined != 0 || st.Accepted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestInstallReplication(t *testing.T) {
+	src, dst := newTestRegistry(t, Options{}), newTestRegistry(t, Options{})
+	p, err := src.Submit(context.Background(), "alice", LangAsm, validAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Install(p); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	got, err := dst.Get(p.Name)
+	if err != nil || got.Checksum != p.Checksum {
+		t.Fatalf("replicated lookup: %v", err)
+	}
+	// A forged replica (bytes not matching the claimed hash) is refused.
+	forged := *p
+	forged.Source += "\n# evil\n"
+	if err := dst.Install(&forged); err == nil {
+		t.Fatal("forged replica accepted")
+	}
+}
+
+func TestConcurrentSubmitDedup(t *testing.T) {
+	r := newTestRegistry(t, Options{SubmitPerMin: 1000})
+	var wg sync.WaitGroup
+	progs := make([]*Program, 8)
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := r.Submit(context.Background(), "t", LangAsm, validAsm)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Programs != 1 {
+		t.Fatalf("%d programs after concurrent identical submits", st.Programs)
+	}
+	for _, p := range progs {
+		if p == nil || p.Name != progs[0].Name {
+			t.Fatal("divergent results from concurrent submits")
+		}
+	}
+}
+
+func TestChecksumRegisterMatchesBench(t *testing.T) {
+	// The probation checksum register must be the suite's: a drift here
+	// would accept programs whose benchmark verification then fails.
+	if bench.ChecksumReg != 23 {
+		t.Fatalf("checksum register moved to %d; update workload probation", bench.ChecksumReg)
+	}
+}

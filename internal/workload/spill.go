@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// spillStore persists evicted programs as one JSON file per content hash so
+// registry cache pressure does not forget accepted work. Writes go through
+// a temp file + rename (crash-safe: a partial file is never visible under
+// the final name); loads re-verify the content hash, so a corrupted or
+// tampered spill file reads as a miss, never as a different program.
+type spillStore struct {
+	dir string
+}
+
+func newSpillStore(dir string) (*spillStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &spillStore{dir: dir}, nil
+}
+
+// path resolves an id to its spill file, rejecting anything that is not a
+// plain hex hash (an id is attacker-influenced input; it must never become
+// a path traversal).
+func (s *spillStore) path(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("workload: bad spill id %q", id)
+	}
+	return filepath.Join(s.dir, id+".json"), nil
+}
+
+func (s *spillStore) save(p *Program) error {
+	path, err := s.path(p.ID)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".spill-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (s *spillStore) load(id string) (*Program, error) {
+	path, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Program
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("workload: spill %s: %w", id, err)
+	}
+	if p.ID != id || ProgramID(p.Lang, p.Source) != id || p.Name != "user:"+id {
+		return nil, fmt.Errorf("workload: spill %s: content hash mismatch", id)
+	}
+	return &p, nil
+}

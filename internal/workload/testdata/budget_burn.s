@@ -1,0 +1,11 @@
+# Terminates eventually, but only after ~200k retired instructions — far
+# beyond the probation budget the containment tests grant it.
+.text
+main:
+    lui $gp, 0x1000
+    lui $k0, 0x0001
+loop:
+    addiu $k0, $k0, -1
+    bgtz $k0, loop
+    addiu $v0, $zero, 10
+    syscall

@@ -1,0 +1,10 @@
+# Re-points $gp at the stack after the sanctioned prologue so its "data"
+# accesses would land wherever it likes. The static $gp-write rule must
+# reject it before anything runs.
+.text
+main:
+    lui $gp, 0x1000
+    lui $gp, 0x7fff
+    sw $zero, 0($gp)
+    addiu $v0, $zero, 10
+    syscall

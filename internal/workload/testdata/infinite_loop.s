@@ -1,0 +1,10 @@
+# Never halts: the static wall sees a syscall (so the halt-shape check
+# passes) but control never reaches it. Probation must cut it off at the
+# instruction budget.
+.text
+main:
+    lui $gp, 0x1000
+loop:
+    j loop
+    addiu $v0, $zero, 10
+    syscall

@@ -1,0 +1,12 @@
+# Stores far past its own data segment through the sanctioned $gp base.
+# Static checks pass (the base register is $gp); the dynamic sandbox window
+# must catch the access.
+.text
+main:
+    lui $gp, 0x1000
+    sw $zero, 0x7f00($gp)
+    addiu $v0, $zero, 10
+    syscall
+
+.data
+buf: .space 16

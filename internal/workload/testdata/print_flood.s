@@ -1,0 +1,13 @@
+# Prints forever: each putc syscall appends to the interpreter's output
+# buffer, so without the output-bytes cap this allocates until probation's
+# instruction budget — the cap must fire first.
+.text
+main:
+    lui $gp, 0x1000
+    addiu $a0, $zero, 65
+loop:
+    addiu $v0, $zero, 11
+    syscall
+    j loop
+    addiu $v0, $zero, 10
+    syscall

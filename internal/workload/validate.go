@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// gpPrologue is the one instruction allowed to write $gp in raw assembly:
+// the canonical data-segment base load the fuzz generator's prologue emits
+// (DataBase's low half is zero, so a single LUI establishes it exactly).
+var gpPrologue = isa.EncodeI(isa.OpLUI, 0, isa.RegGP, int16(asm.DefaultDataBase>>16))
+
+// build runs wall layers 1–3: size, compile/assemble, static shape checks.
+// Returned errors are *SourceError or *RejectedError.
+func build(lang, source string, opts Options) (*asm.Program, string, error) {
+	if len(source) > opts.MaxSourceBytes {
+		return nil, "", &RejectedError{Check: "size",
+			Reason: fmt.Sprintf("source is %d bytes, limit %d", len(source), opts.MaxSourceBytes)}
+	}
+	asmSrc := source
+	switch lang {
+	case LangMiniC:
+		text, err := minic.CompileToAsm(source)
+		if err != nil {
+			var me *minic.Error
+			if errors.As(err, &me) {
+				return nil, "", &SourceError{Stage: "compile", Line: me.Line, Col: me.Col, Msg: me.Msg}
+			}
+			return nil, "", &SourceError{Stage: "compile", Msg: err.Error()}
+		}
+		asmSrc = text
+	case LangAsm:
+	default:
+		return nil, "", &RejectedError{Check: "size",
+			Reason: fmt.Sprintf("unknown language %q (want %q or %q)", lang, LangAsm, LangMiniC)}
+	}
+	prog, err := asm.Assemble(asmSrc)
+	if err != nil {
+		var ae *asm.Error
+		if errors.As(err, &ae) {
+			stage := "assemble"
+			if lang == LangMiniC {
+				// The compiler produced unassemblable text: an intake bug,
+				// not the caller's — but still a deterministic rejection.
+				stage = "compile"
+			}
+			return nil, "", &SourceError{Stage: stage, Line: ae.Line, Col: ae.Col, Msg: ae.Msg}
+		}
+		return nil, "", &SourceError{Stage: "assemble", Msg: err.Error()}
+	}
+	if err := staticCheck(prog, lang == LangAsm, opts); err != nil {
+		return nil, "", err
+	}
+	return prog, asmSrc, nil
+}
+
+// staticCheck enforces the executable shape before anything runs: nonempty
+// text at the framework base, entry inside text, a halt in reach (at least
+// one syscall word), a bounded data segment, and — for raw assembly — the
+// generator's addressing discipline.
+func staticCheck(p *asm.Program, rawAsm bool, opts Options) error {
+	reject := func(format string, args ...interface{}) error {
+		return &RejectedError{Check: "static", Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(p.Text) == 0 {
+		return reject("empty text segment")
+	}
+	if p.TextBase != asm.DefaultTextBase || p.DataBase != asm.DefaultDataBase {
+		return reject("nonstandard segment bases (text %#x, data %#x)", p.TextBase, p.DataBase)
+	}
+	textEnd := p.TextBase + 4*uint32(len(p.Text))
+	if p.Entry < p.TextBase || p.Entry >= textEnd || p.Entry%4 != 0 {
+		return reject("entry %#x outside text [%#x, %#x)", p.Entry, p.TextBase, textEnd)
+	}
+	if len(p.Data) > opts.MaxDataBytes {
+		return reject("data segment is %d bytes, limit %d", len(p.Data), opts.MaxDataBytes)
+	}
+	hasSyscall := false
+	for i, w := range p.Text {
+		inst := isa.Decode(w)
+		if inst.Op == isa.OpSpecial && inst.Funct == isa.FnSYSCALL {
+			hasSyscall = true
+		}
+		if !rawAsm {
+			continue
+		}
+		pc := p.TextBase + 4*uint32(i)
+		// $gp is the sandbox base: only the canonical prologue LUI may
+		// write it, so every $gp-relative access provably lands in the
+		// data segment's page range.
+		if dest, ok := inst.DestReg(); ok && dest == isa.RegGP && w != gpPrologue {
+			return reject("instruction at %#x writes $gp (%s); only `lui $gp, %#x` is allowed",
+				pc, inst.Disassemble(pc), asm.DefaultDataBase>>16)
+		}
+		// Loads and stores must be $gp- or $sp-based (the generator
+		// discipline). miniC output is exempt: its codegen materialises
+		// symbol addresses into temporaries and relies on the dynamic
+		// sandbox windows instead.
+		if inst.IsMem() && inst.Rs != isa.RegGP && inst.Rs != isa.RegSP {
+			return reject("memory access at %#x uses base %s (%s); raw assembly must address through $gp or $sp",
+				pc, inst.Rs, inst.Disassemble(pc))
+		}
+	}
+	if !hasSyscall {
+		return reject("no syscall instruction: program cannot halt")
+	}
+	return nil
+}

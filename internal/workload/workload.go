@@ -1,0 +1,190 @@
+// Package workload turns the fixed benchmark suite into an open service:
+// it accepts programs (miniC source or MIPS assembly) from untrusted
+// callers, pushes them through a layered validation wall, and registers the
+// survivors as runnable benchmarks under content-addressed "user:" names.
+//
+// The wall, in order:
+//
+//  1. Size: the raw source is bounded before any parsing happens.
+//  2. Compile/assemble: miniC goes through the compiler, assembly through
+//     the two-pass assembler; diagnostics keep their line/column.
+//  3. Static checks: nonempty text, entry inside text, a reachable halt
+//     (syscall present), a bounded data segment, and — for raw assembly —
+//     the fuzz generator's addressing discipline ($gp may only be written
+//     by the canonical data-base LUI; loads and stores must be $gp- or
+//     $sp-based). miniC output is exempt from the addressing rule because
+//     its codegen materialises symbol addresses into temporaries; it relies
+//     on the dynamic sandbox instead.
+//  4. Probation: a budgeted execution on the golden interpreter with a
+//     retired-instruction cap, a wall-clock deadline, per-access sandbox
+//     windows (data segment + a bounded stack), a PC-in-text check every
+//     step (sparse memory reads as zero, so a runaway PC would nop-sled
+//     forever), and an output-bytes cap. Panics are contained.
+//  5. Spot-check: the accepted prefix is re-run in lockstep against the
+//     fully-compressed shadow machine (diffsim.CheckBinary) so a program
+//     that diverges the significance-compression paths never reaches the
+//     served suite.
+//
+// Programs that fail layers 1–4 deterministically are rejected (a property
+// of the source; resubmission fails identically). Programs that fault the
+// harness — a contained panic, an interpreter error, a lockstep mismatch —
+// are quarantined by content hash and never re-executed.
+package workload
+
+import (
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/faultinject"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxSourceBytes = 256 << 10
+	DefaultMaxDataBytes   = 1 << 20
+	DefaultMaxOutputBytes = 64 << 10
+	DefaultMaxInsts       = 2_000_000
+	DefaultDeadline       = 2 * time.Second
+	DefaultSpotCheckSteps = 50_000
+	DefaultStackBytes     = 64 << 10
+	DefaultMaxPrograms    = 256
+	DefaultMaxStoredBytes = 16 << 20
+	DefaultTenantPrograms = 32
+	DefaultSubmitPerMin   = 30
+)
+
+// Options bounds the intake pipeline and the registry behind it. The zero
+// value is usable: every field defaults as documented.
+type Options struct {
+	// MaxSourceBytes caps the submitted source before parsing.
+	MaxSourceBytes int
+	// MaxDataBytes caps the assembled data segment (a ten-byte source with
+	// a huge .space would otherwise allocate its size in pages here and in
+	// every simulation worker).
+	MaxDataBytes int
+	// MaxOutputBytes caps bytes written by print syscalls during probation.
+	MaxOutputBytes int
+	// MaxInsts is the probation retired-instruction budget; it also becomes
+	// the accepted benchmark's runaway guard.
+	MaxInsts uint64
+	// Deadline is the probation wall-clock budget.
+	Deadline time.Duration
+	// SpotCheckSteps caps the diffsim lockstep pass (StopAtCap: reaching it
+	// is success — only a prefix is cross-checked).
+	SpotCheckSteps uint64
+	// StackBytes sizes the sandbox stack window below the stack top.
+	StackBytes uint32
+
+	// MaxPrograms and MaxStoredBytes bound the in-memory registry (LRU).
+	MaxPrograms    int
+	MaxStoredBytes int64
+	// SpillDir, when set, receives evicted programs as JSON files so they
+	// survive cache pressure; lookups fall back to it and re-verify the
+	// content hash on load.
+	SpillDir string
+
+	// TenantPrograms caps accepted programs per tenant; SubmitPerMin is a
+	// token-bucket rate limit on submissions (accepted or not).
+	TenantPrograms int
+	SubmitPerMin   int
+
+	// Faults optionally injects failures at the probation point.
+	Faults *faultinject.Injector
+	// Now is the quota clock (tests inject a fake one). Nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSourceBytes <= 0 {
+		o.MaxSourceBytes = DefaultMaxSourceBytes
+	}
+	if o.MaxDataBytes <= 0 {
+		o.MaxDataBytes = DefaultMaxDataBytes
+	}
+	if o.MaxOutputBytes <= 0 {
+		o.MaxOutputBytes = DefaultMaxOutputBytes
+	}
+	if o.MaxInsts == 0 {
+		o.MaxInsts = DefaultMaxInsts
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = DefaultDeadline
+	}
+	if o.SpotCheckSteps == 0 {
+		o.SpotCheckSteps = DefaultSpotCheckSteps
+	}
+	if o.StackBytes == 0 {
+		o.StackBytes = DefaultStackBytes
+	}
+	if o.MaxPrograms <= 0 {
+		o.MaxPrograms = DefaultMaxPrograms
+	}
+	if o.MaxStoredBytes <= 0 {
+		o.MaxStoredBytes = DefaultMaxStoredBytes
+	}
+	if o.TenantPrograms <= 0 {
+		o.TenantPrograms = DefaultTenantPrograms
+	}
+	if o.SubmitPerMin <= 0 {
+		o.SubmitPerMin = DefaultSubmitPerMin
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Languages accepted by Submit.
+const (
+	LangAsm   = "asm"
+	LangMiniC = "minic"
+)
+
+// Program is one accepted submission.
+type Program struct {
+	// ID is the sha256 of (language, source); Name is "user:" + ID — the
+	// namespace keeps user programs disjoint from the built-in suite and
+	// makes the name self-verifying across shards.
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Tenant is the submitting tenant (quota accounting key).
+	Tenant string `json:"tenant"`
+	// Lang is LangAsm or LangMiniC; Source is the submitted text and Asm
+	// the assembly actually executed (identical for LangAsm).
+	Lang   string `json:"lang"`
+	Source string `json:"source"`
+	Asm    string `json:"asm"`
+	// Probation observations: retired instructions, final $s7 (recorded as
+	// the benchmark's expected checksum — execution is deterministic, so
+	// later runs must reproduce it), output bytes, and how many lockstep
+	// steps the shadow cross-checked.
+	Insts     uint64 `json:"insts"`
+	Checksum  uint32 `json:"checksum"`
+	OutBytes  int    `json:"outBytes"`
+	SpotSteps uint64 `json:"spotSteps"`
+	// MaxInsts is the runaway guard granted to suite runs (the probation
+	// budget it was admitted under).
+	MaxInsts uint64 `json:"maxInsts"`
+}
+
+// Bytes is the program's registry footprint.
+func (p *Program) Bytes() int64 { return int64(len(p.Source) + len(p.Asm)) }
+
+// Benchmark adapts the program to the universal workload currency. The
+// checksum is the probation observation, so RunVerified-style checks hold
+// by determinism.
+func (p *Program) Benchmark() bench.Benchmark {
+	return bench.Benchmark{
+		Name:        p.Name,
+		Description: "user-submitted " + p.Lang + " program (" + p.Tenant + ")",
+		Source:      p.Asm,
+		Checksum:    p.Checksum,
+		MaxInsts:    p.MaxInsts,
+	}
+}
+
+// IsUserName reports whether name is in the user-program namespace.
+func IsUserName(name string) bool {
+	return len(name) > 5 && name[:5] == "user:"
+}
