@@ -35,9 +35,11 @@
 // built-in benchmarks ("user:<sha256>" names hash like any other), and the
 // gateway re-pushes its validated replicas to unconfirmed shards before
 // every scatter, so a shard that was down at accept time still gets the
-// program before work lands on it. Each shard re-verifies the content hash
-// and rebuilds the assembly from source on install — replication never
-// widens the shard's validation wall.
+// program before work lands on it. Each shard re-verifies the content hash,
+// rebuilds the assembly from source, and clamps the claimed budgets on
+// install — replication never widens the shard's validation wall. When the
+// shards gate installs behind -program-install-token, pass the same secret
+// here as -install-token so replica pushes authenticate.
 //
 // Usage:
 //
@@ -74,6 +76,8 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures before a shard leaves rotation")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a broken shard stays out before a half-open trial")
 	sweepInflight := flag.Int("sweep-inflight", 0, "max in-flight sweep jobs across the fleet (0 = 2 per shard)")
+	installToken := flag.String("install-token", "",
+		"shared fleet secret sent as X-Install-Token on replica pushes (must match the shards' -program-install-token)")
 	flag.Parse()
 
 	urls := strings.Split(*backends, ",")
@@ -97,6 +101,7 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		SweepInflight:    *sweepInflight,
+		InstallToken:     *installToken,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "siggate: %v\n", err)

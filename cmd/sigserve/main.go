@@ -24,13 +24,22 @@
 // Untrusted-program intake flags (see internal/workload for the validation
 // wall each submission must clear):
 //
-//	-program-max-source-kb N   max submitted source size in KiB (0 = 256)
-//	-program-max-insts N       probationary instruction budget (0 = 2M)
-//	-program-tenant-max N      accepted programs per tenant (0 = 32)
-//	-program-quota-per-min N   submissions per tenant per minute (0 = 30)
-//	-program-stored-mb N       resident registry budget in MB (0 = 16);
-//	                           with -trace-dir set, evictions spill to
-//	                           DIR/programs and reload on demand
+//	-program-max-source-kb N     max submitted source size in KiB (0 = 256)
+//	-program-max-insts N         probationary instruction budget (0 = 2M)
+//	-program-tenant-max N        accepted programs per tenant (0 = 32)
+//	-program-quota-per-min N     submissions per tenant per minute (0 = 30)
+//	-program-install-per-min N   replica installs per minute, fleet-wide (0 = 120)
+//	-program-install-token S     shared fleet secret required (X-Install-Token)
+//	                             on POST /v1/program/install; empty leaves the
+//	                             endpoint open (still hash-verified, rebuilt,
+//	                             budget-clamped, and rate-metered)
+//	-program-stored-mb N         resident registry budget in MB (0 = 16);
+//	                             with -trace-dir set, evictions spill to
+//	                             DIR/programs and reload on demand
+//
+// Tenant identity is the X-Tenant request header, trusted as sent: deploy
+// behind a proxy that authenticates callers and sets it, or the per-tenant
+// quotas are merely per-name.
 //
 // Usage:
 //
@@ -105,6 +114,10 @@ func main() {
 		"untrusted-program intake: accepted programs one tenant may hold (0 = 32 default)")
 	programPerMin := flag.Int("program-quota-per-min", 0,
 		"untrusted-program intake: submissions per tenant per minute, accepted or not (0 = 30 default)")
+	programInstallPerMin := flag.Int("program-install-per-min", 0,
+		"untrusted-program intake: fleet-wide replica installs per minute on /v1/program/install (0 = 120 default)")
+	programInstallToken := flag.String("program-install-token", "",
+		"shared fleet secret gating POST /v1/program/install (X-Install-Token header); empty leaves the endpoint open")
 	programStoredMB := flag.Int("program-stored-mb", 0,
 		"untrusted-program intake: resident registry byte budget in MB; evictions spill beside -trace-dir when set (0 = 16 MB default)")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second,
@@ -137,6 +150,7 @@ func main() {
 		SpillDir:       spillDir,
 		TenantPrograms: *programTenantMax,
 		SubmitPerMin:   *programPerMin,
+		InstallPerMin:  *programInstallPerMin,
 		Faults:         faults,
 	})
 	if err != nil {
@@ -155,6 +169,7 @@ func main() {
 		TraceDir:         *traceDir,
 		Faults:           faults,
 		Programs:         programs,
+		InstallToken:     *programInstallToken,
 	})
 	defer svc.Close()
 

@@ -124,14 +124,15 @@ func (e *httpError) Error() string {
 }
 
 // permanent reports whether retrying elsewhere cannot help: the request
-// itself is invalid (400/413), names something that does not exist (404),
-// or concerns a program the fleet has quarantined (422) — re-running a
-// probation that faulted on another shard is exactly what quarantine
-// forbids.
+// itself is invalid (400/413), lacks credentials every shard would demand
+// (401/403, e.g. a missing fleet install token), names something that does
+// not exist (404), or concerns a program the fleet has quarantined (422) —
+// re-running a probation that faulted on another shard is exactly what
+// quarantine forbids.
 func (e *httpError) permanent() bool {
 	switch e.Status {
-	case http.StatusBadRequest, http.StatusNotFound,
-		http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
+	case http.StatusBadRequest, http.StatusUnauthorized, http.StatusForbidden,
+		http.StatusNotFound, http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
 		return true
 	}
 	return false

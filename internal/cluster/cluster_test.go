@@ -312,6 +312,30 @@ func TestClusterSuiteSurvivesPoisonedShard(t *testing.T) {
 	if gotInsts != wantInsts || string(got) != string(want) {
 		t.Fatal("suite over a fleet with a poisoned shard differs from the single-process evaluation")
 	}
+
+	// Ring placement under httptest's random ports can leave the poisoned
+	// shard (backend index 0) owning no suite partition — a 3-benchmark
+	// suite over 3 shards skips it roughly a third of the time — so the
+	// chaos assertion drives a job at it deliberately: pick a (bench,
+	// model) key it owns and simulate through the gateway. The owner
+	// attempt must fail and fail over.
+	var pb, pm string
+search:
+	for _, b := range fleetBenches {
+		for _, m := range pipeline.AllNames() {
+			if g.ring.owner(jobKey(b, m)) == 0 {
+				pb, pm = b, m
+				break search
+			}
+		}
+	}
+	if pb == "" {
+		t.Fatal("poisoned shard owns no (bench, model) key at all — ring is degenerate")
+	}
+	var out simsvc.Response
+	if r := getJSON(t, gw.URL+"/v1/simulate?bench="+pb+"&model="+url.QueryEscape(pm), &out); r.StatusCode != 200 {
+		t.Fatalf("simulate via poisoned owner: status %d, want 200 after failover", r.StatusCode)
+	}
 	snap := g.Metrics().Snapshot()
 	if snap.BackendErrors == 0 {
 		t.Fatal("poisoned shard produced no backend errors — the chaos never bit")
@@ -670,5 +694,109 @@ func TestGatewayBadRequestPropagates(t *testing.T) {
 	}
 	if g.healthyCount() != 2 {
 		t.Fatal("a 400 took a shard out of rotation")
+	}
+}
+
+// The gateway's replica store is a bounded LRU, not an append-only map: a
+// long-lived gateway fed a stream of accepted programs (each retaining full
+// source + assembly) must not grow monotonically. Evicted replicas are
+// re-fetchable from the fleet, so the bound only costs a round trip.
+func TestGatewayReplicaStoreBounded(t *testing.T) {
+	g, _ := newGateway(t, newFleet(t, 1), func(c *Config) {
+		c.ProgramReplicas = 4
+		c.ProgramReplicaBytes = 1 << 20
+	})
+
+	for i := 0; i < 32; i++ {
+		g.storeReplica(&workload.Program{
+			Name:   fmt.Sprintf("user:%064d", i),
+			Source: strings.Repeat("s", 100),
+			Asm:    strings.Repeat("a", 100),
+		})
+	}
+	g.progMu.Lock()
+	count, bytes := len(g.programs), g.progBytes
+	lruLen := g.progLRU.Len()
+	g.progMu.Unlock()
+	if count != 4 || lruLen != 4 {
+		t.Fatalf("replica store holds %d entries (lru %d), want capped at 4", count, lruLen)
+	}
+	if bytes != 4*200 {
+		t.Fatalf("replica store accounts %d bytes, want %d", bytes, 4*200)
+	}
+	// The survivors are the most recently stored, and evicted names are gone.
+	if g.replicaOf("user:"+fmt.Sprintf("%064d", 0)) != nil {
+		t.Fatal("evicted replica still resident")
+	}
+	if g.replicaOf("user:"+fmt.Sprintf("%064d", 31)) == nil {
+		t.Fatal("most recent replica evicted")
+	}
+
+	// The byte budget evicts independently of the count budget.
+	g.storeReplica(&workload.Program{
+		Name:   "user:big",
+		Source: strings.Repeat("s", 1<<20),
+	})
+	g.progMu.Lock()
+	count, bytes = len(g.programs), g.progBytes
+	g.progMu.Unlock()
+	if count != 1 || bytes != 1<<20 {
+		t.Fatalf("byte budget: %d entries / %d bytes resident, want the one over-budget program alone", count, bytes)
+	}
+}
+
+// With a fleet install token configured, replica pushes authenticate: a
+// gateway holding the secret replicates across token-gated shards, while a
+// gateway without it has its pushes refused (and the refusal is permanent —
+// no failover storm) yet still serves the program from the accepting shard.
+func TestClusterInstallTokenReplication(t *testing.T) {
+	gen := diffsim.Generate(7, diffsim.Config{Ops: 40})
+	src, err := gen.AsmSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newTokenFleet := func(n int) []*httptest.Server {
+		servers := make([]*httptest.Server, n)
+		for i := range servers {
+			_, servers[i] = newShard(t, simsvc.Config{InstallToken: "s3cret"})
+		}
+		return servers
+	}
+
+	// Matching token: acceptance replicates to every shard.
+	servers := newTokenFleet(2)
+	g, gw := newGateway(t, servers, func(c *Config) { c.InstallToken = "s3cret" })
+	p := submitProgram(t, gw.URL, "fuzz", src)
+	for i, srv := range servers {
+		var got workload.Program
+		if r := getJSON(t, srv.URL+"/v1/program/"+p.ID, &got); r.StatusCode != 200 {
+			t.Fatalf("shard %d missing the replica (%d)", i, r.StatusCode)
+		}
+	}
+	if snap := g.Metrics().Snapshot(); snap.ProgramReplicas == 0 || snap.ReplicaErrors != 0 {
+		t.Fatalf("tokened replication: %+v", snap)
+	}
+
+	// Missing token: every push is refused with 401, counted, and the
+	// shards stay in rotation. Only the shard that accepted the submission
+	// holds the program — replication did not happen.
+	servers = newTokenFleet(2)
+	g, gw = newGateway(t, servers, nil)
+	p = submitProgram(t, gw.URL, "fuzz", src)
+	if snap := g.Metrics().Snapshot(); snap.ProgramReplicas != 0 || snap.ReplicaErrors == 0 {
+		t.Fatalf("tokenless replication: %+v", snap)
+	}
+	if g.healthyCount() != 2 {
+		t.Fatal("a refused replica push took a shard out of rotation")
+	}
+	holders := 0
+	for _, srv := range servers {
+		if r := getJSON(t, srv.URL+"/v1/program/"+p.ID, nil); r.StatusCode == 200 {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("%d shards hold the program, want the accepting owner alone", holders)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"net/http"
@@ -49,6 +50,19 @@ type Config struct {
 	// sweep keeps in flight across the fleet (default 2 per backend).
 	SweepInflight int
 
+	// ProgramReplicas and ProgramReplicaBytes bound the gateway's store of
+	// accepted-program replicas by count and bytes (defaults mirror the
+	// shard registry: 256 programs, 16 MiB). Evicted replicas are simply
+	// re-fetched from the content-hash owner shard on a later lookup, so
+	// the bound costs a round trip, never an answer.
+	ProgramReplicas     int
+	ProgramReplicaBytes int64
+
+	// InstallToken, when set, is sent as X-Install-Token on every replica
+	// push so shards can gate POST /v1/program/install behind the shared
+	// fleet secret. Must match the shards' -program-install-token.
+	InstallToken string
+
 	// Client is the HTTP client used for all backend traffic. Defaults to
 	// a dedicated client with no overall timeout (suite evaluations are
 	// long; cancellation comes from request contexts).
@@ -84,6 +98,12 @@ func (c *Config) withDefaults() Config {
 			out.SweepInflight = 4
 		}
 	}
+	if out.ProgramReplicas <= 0 {
+		out.ProgramReplicas = workload.DefaultMaxPrograms
+	}
+	if out.ProgramReplicaBytes <= 0 {
+		out.ProgramReplicaBytes = workload.DefaultMaxStoredBytes
+	}
 	if out.Client == nil {
 		out.Client = &http.Client{}
 	}
@@ -108,14 +128,26 @@ type Gateway struct {
 	catMu sync.Mutex
 	cat   *catalog
 
-	// progMu guards the gateway's replica store: every program accepted
-	// through this gateway, plus which backends have confirmed its install
-	// (keyed by backend base URL). Scatter paths re-push unconfirmed
-	// replicas so a shard that was down at accept time still gets the
-	// program before work lands on it.
-	progMu     sync.Mutex
-	programs   map[string]*workload.Program
-	replicated map[string]map[string]bool
+	// progMu guards the gateway's replica store: programs accepted through
+	// this gateway, each with the set of backends that confirmed its
+	// install (keyed by backend base URL). Scatter paths re-push
+	// unconfirmed replicas so a shard that was down at accept time still
+	// gets the program before work lands on it. The store is a count- and
+	// byte-bounded LRU (Config.ProgramReplicas/ProgramReplicaBytes):
+	// replicas carry full source + assembly, so an unbounded store would
+	// leak monotonically on a long-lived gateway. An evicted replica is
+	// re-fetched from the fleet on demand.
+	progMu    sync.Mutex
+	programs  map[string]*list.Element // -> *replica
+	progLRU   *list.List               // front = most recent
+	progBytes int64
+}
+
+// replica is one stored accepted program plus its per-backend install
+// confirmations.
+type replica struct {
+	p         *workload.Program
+	confirmed map[string]bool
 }
 
 // New builds a Gateway over cfg.Backends and starts the readiness prober.
@@ -125,12 +157,12 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("cluster: no backends configured")
 	}
 	g := &Gateway{
-		cfg:        cfg,
-		client:     cfg.Client,
-		start:      time.Now(),
-		done:       make(chan struct{}),
-		programs:   make(map[string]*workload.Program),
-		replicated: make(map[string]map[string]bool),
+		cfg:      cfg,
+		client:   cfg.Client,
+		start:    time.Now(),
+		done:     make(chan struct{}),
+		programs: make(map[string]*list.Element),
+		progLRU:  list.New(),
 	}
 	names := make([]string, 0, len(cfg.Backends))
 	seen := make(map[string]bool, len(cfg.Backends))

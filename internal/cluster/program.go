@@ -40,11 +40,48 @@ func (g *Gateway) SubmitProgram(ctx context.Context, tenant string, req simsvc.P
 		g.metrics.errors.Add(1)
 		return nil, err
 	}
-	g.progMu.Lock()
-	g.programs[p.Name] = p
-	g.progMu.Unlock()
+	g.storeReplica(p)
 	g.ensurePrograms(ctx, []string{p.Name})
 	return p, nil
+}
+
+// storeReplica inserts (or refreshes) one accepted program in the bounded
+// replica store, evicting LRU tails past the count/byte budget. Eviction
+// drops the install confirmations with the program; if the name comes back
+// later it is re-fetched and re-pushed, and shards answer re-pushes of a
+// resident program cheaply.
+func (g *Gateway) storeReplica(p *workload.Program) {
+	g.progMu.Lock()
+	defer g.progMu.Unlock()
+	if el, ok := g.programs[p.Name]; ok {
+		rep := el.Value.(*replica)
+		g.progBytes += p.Bytes() - rep.p.Bytes()
+		rep.p = p
+		g.progLRU.MoveToFront(el)
+	} else {
+		el := g.progLRU.PushFront(&replica{p: p, confirmed: make(map[string]bool)})
+		g.programs[p.Name] = el
+		g.progBytes += p.Bytes()
+	}
+	for (g.progLRU.Len() > g.cfg.ProgramReplicas || g.progBytes > g.cfg.ProgramReplicaBytes) && g.progLRU.Len() > 1 {
+		back := g.progLRU.Back()
+		rep := back.Value.(*replica)
+		g.progLRU.Remove(back)
+		delete(g.programs, rep.p.Name)
+		g.progBytes -= rep.p.Bytes()
+	}
+}
+
+// replicaOf returns the stored replica for name (touching its LRU slot),
+// or nil.
+func (g *Gateway) replicaOf(name string) *replica {
+	g.progMu.Lock()
+	defer g.progMu.Unlock()
+	if el, ok := g.programs[name]; ok {
+		g.progLRU.MoveToFront(el)
+		return el.Value.(*replica)
+	}
+	return nil
 }
 
 // GetProgram answers a program lookup from the gateway's replica store,
@@ -57,11 +94,8 @@ func (g *Gateway) GetProgram(ctx context.Context, id string) (*workload.Program,
 	if !workload.IsUserName(name) {
 		name = "user:" + name
 	}
-	g.progMu.Lock()
-	p := g.programs[name]
-	g.progMu.Unlock()
-	if p != nil {
-		return p, nil
+	if rep := g.replicaOf(name); rep != nil {
+		return rep.p, nil
 	}
 	bare := strings.TrimPrefix(name, "user:")
 	p, err := dispatch(ctx, g, "program|"+bare, func(ctx context.Context, b *backend) (*workload.Program, error) {
@@ -89,33 +123,35 @@ func (g *Gateway) GetProgram(ctx context.Context, id string) (*workload.Program,
 // than failing the request: the shard answering the work is the one that
 // must hold the program, and dispatch prefers shards that confirmed.
 func (g *Gateway) ensurePrograms(ctx context.Context, names []string) {
+	var hdr http.Header
+	if g.cfg.InstallToken != "" {
+		hdr = http.Header{"X-Install-Token": []string{g.cfg.InstallToken}}
+	}
 	for _, name := range names {
 		if !workload.IsUserName(name) {
 			continue
 		}
-		g.progMu.Lock()
-		p := g.programs[name]
-		g.progMu.Unlock()
-		if p == nil {
+		rep := g.replicaOf(name)
+		if rep == nil {
 			continue
 		}
 		for _, b := range g.backends {
+			// rep.confirmed is guarded by progMu; the *replica itself stays
+			// valid even if the store evicts it mid-push — the confirmations
+			// are then simply discarded with it.
 			g.progMu.Lock()
-			done := g.replicated[name][b.base]
+			done := rep.confirmed[b.base]
 			g.progMu.Unlock()
 			if done {
 				continue
 			}
-			if err := g.postJSON(ctx, b, "/v1/program/install", nil, p, nil); err != nil {
+			if err := g.postJSON(ctx, b, "/v1/program/install", hdr, rep.p, nil); err != nil {
 				g.metrics.replicaErrors.Add(1)
 				continue
 			}
 			g.metrics.programReplicas.Add(1)
 			g.progMu.Lock()
-			if g.replicated[name] == nil {
-				g.replicated[name] = make(map[string]bool)
-			}
-			g.replicated[name][b.base] = true
+			rep.confirmed[b.base] = true
 			g.progMu.Unlock()
 		}
 	}

@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,9 +44,12 @@ const (
 //	                         ?bench=a,b evaluates an explicit list (user programs included)
 //	GET  /v1/partial         a shard's mergeable share of a scattered suite (?bench=a,b)
 //	POST /v1/program         untrusted-program intake (JSON {lang, source}, X-Tenant header);
-//	                         accepted programs are served under "user:<sha256>" names
+//	                         accepted programs are served under "user:<sha256>" names.
+//	                         X-Tenant is trusted as sent: deploy behind a proxy that
+//	                         authenticates callers and sets it, or all quotas are per-name
 //	POST /v1/program/install fleet replication: install an already-accepted program
-//	                         (content hash re-verified; forged replicas refused)
+//	                         (content hash re-verified, assembly rebuilt, budgets clamped,
+//	                         install-rate metered; X-Install-Token required when configured)
 //	GET  /v1/program/{id}    one accepted program (by "user:" name or bare hash)
 //	GET  /v1/programs        resident accepted programs, most recently used first
 func NewHandler(s *Service) http.Handler {
@@ -117,9 +121,18 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, p)
 	})
 	mux.HandleFunc("POST /v1/program/install", func(w http.ResponseWriter, r *http.Request) {
-		// Fleet replication: a peer pushes an already-accepted program. The
-		// registry re-derives the content hash before admitting it, so this
-		// endpoint cannot be used to smuggle unvalidated code past the wall.
+		// Fleet replication: a peer pushes an already-accepted program.
+		// When an install token is configured this is fleet-internal only;
+		// either way the registry re-derives the content hash, rebuilds the
+		// assembly from source, and clamps the claimed budgets before
+		// admitting it, so this endpoint cannot be used to smuggle
+		// unvalidated code (or forged instruction budgets) past the wall.
+		if tok := s.installToken; tok != "" &&
+			subtle.ConstantTimeCompare([]byte(r.Header.Get("X-Install-Token")), []byte(tok)) != 1 {
+			writeJSON(w, http.StatusUnauthorized,
+				map[string]string{"error": "simsvc: program install requires a valid X-Install-Token"})
+			return
+		}
 		var p workload.Program
 		if !decodeBody(w, r, maxProgramBody, &p) {
 			return

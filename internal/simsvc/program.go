@@ -69,21 +69,30 @@ func (s *Service) recordProgramOutcome(err error) {
 }
 
 // InstallProgram installs an already-validated program replica from a peer
-// (the gateway replicates accepted programs across the fleet on scatter).
-// The registry re-derives the content hash, so a forged replica — source
-// that doesn't hash to its claimed ID — is refused with a typed rejection;
-// replication never widens the validation wall.
+// (the gateway replicates accepted programs across the fleet on scatter)
+// and returns the resident copy — assembly rebuilt from source, budgets
+// clamped to this shard's own limits. The registry re-derives the content
+// hash, so a forged replica — source that doesn't hash to its claimed ID —
+// is refused with a typed rejection; replication never widens the
+// validation wall, and it rides the registry's install-rate and per-tenant
+// quotas like any other write.
 func (s *Service) InstallProgram(p *workload.Program) (*workload.Program, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
 	defer s.end()
 	s.metrics.requests.Add(1)
-	if err := s.programs.Install(p); err != nil {
-		s.metrics.invalid.Add(1)
+	installed, err := s.programs.Install(p)
+	if err != nil {
+		var quota *workload.QuotaError
+		if errors.As(err, &quota) {
+			s.metrics.tenantSheds.Add(1)
+		} else {
+			s.metrics.invalid.Add(1)
+		}
 		return nil, err
 	}
-	return p, nil
+	return installed, nil
 }
 
 // GetProgram looks up an accepted program by "user:<id>" name or bare id.

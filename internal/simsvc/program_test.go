@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -379,6 +380,78 @@ func TestHTTPProgramInstallReplication(t *testing.T) {
 	tampered.Source = p.Source + "\n# tampered\n"
 	if resp, raw := install(tampered); resp.StatusCode != http.StatusBadRequest || !strings.Contains(raw, "hash mismatch") {
 		t.Fatalf("tampered replica: %d (%s), want 400 hash mismatch", resp.StatusCode, raw)
+	}
+
+	// A replica claiming its own runaway budget (probation never ran on the
+	// pushing "peer") is admitted with the shard's budget, not the claim —
+	// the self-computed hash verifies, so only the clamp stands between a
+	// forged MaxInsts and an O(MaxInsts) capture allocation on first run.
+	// A fresh shard takes the push, so this exercises the install path, not
+	// a resident re-push.
+	_, srvC := testServer(t)
+	inflated := p
+	inflated.MaxInsts = 1 << 62
+	buf, _ := json.Marshal(inflated)
+	resp2, err := http.Post(srvC.URL+"/v1/program/install", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("replica with inflated budget: %d", resp2.StatusCode)
+	}
+	var clamped workload.Program
+	getJSON(t, srvC.URL+"/v1/program/"+strings.TrimPrefix(name, "user:"), &clamped)
+	if clamped.MaxInsts != workload.DefaultMaxInsts {
+		t.Fatalf("replica kept forged MaxInsts %d, want clamped to %d", clamped.MaxInsts, uint64(workload.DefaultMaxInsts))
+	}
+}
+
+// TestHTTPProgramInstallToken: with a fleet install token configured, the
+// replication endpoint refuses pushes without the shared secret — the
+// public mux no longer accepts fleet-internal traffic from strangers.
+func TestHTTPProgramInstallToken(t *testing.T) {
+	reg, err := workload.NewRegistry(workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := reg.Submit(context.Background(), "alice", workload.LangAsm, intakeAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := testService(t, Config{Workers: 2, InstallToken: "fleet-secret"})
+	srv := newTestServer(t, s)
+	install := func(token string) int {
+		t.Helper()
+		buf, _ := json.Marshal(p)
+		req, err := http.NewRequest("POST", srv.URL+"/v1/program/install", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("X-Install-Token", token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := install(""); code != http.StatusUnauthorized {
+		t.Fatalf("tokenless install: %d, want 401", code)
+	}
+	if code := install("wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong-token install: %d, want 401", code)
+	}
+	if code := install("fleet-secret"); code != http.StatusOK {
+		t.Fatalf("tokened install: %d, want 200", code)
+	}
+	if _, err := s.GetProgram(p.Name); err != nil {
+		t.Fatalf("installed program not resident: %v", err)
 	}
 }
 

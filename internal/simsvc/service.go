@@ -99,6 +99,13 @@ type Config struct {
 	// default budgets (and this Config's Faults), so the intake is always
 	// on — the wall, not a flag, is the protection.
 	Programs *workload.Registry
+	// InstallToken, when set, gates POST /v1/program/install behind a
+	// shared fleet secret (X-Install-Token header): replication is
+	// fleet-internal traffic and should not ride the public mux
+	// unauthenticated. Empty leaves the endpoint open — the registry still
+	// re-verifies hashes, rebuilds assembly, clamps budgets, and meters
+	// installs, so an open endpoint is contained, just not private.
+	InstallToken string
 }
 
 // Service executes significance-compression simulations on demand.
@@ -109,8 +116,9 @@ type Service struct {
 	benches []bench.Benchmark
 	byName  map[string]bench.Benchmark
 
-	programs *workload.Registry
-	pool     *pool
+	programs     *workload.Registry
+	installToken string
+	pool         *pool
 	cache    *lruCache
 	traces   *traceCache // nil when capture/replay is disabled
 	traceDir string      // capture spill directory ("" = in-memory only)
@@ -160,8 +168,9 @@ func New(cfg Config) *Service {
 		timeout:  cfg.Timeout,
 		retries:  cfg.Retries,
 		benches:  cfg.Benchmarks,
-		byName:   make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
-		programs: cfg.Programs,
+		byName:       make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
+		programs:     cfg.Programs,
+		installToken: cfg.InstallToken,
 		cache:    newLRU(cfg.CacheSize),
 		faults:   cfg.Faults,
 		start:    time.Now(),

@@ -29,6 +29,11 @@ type Registry struct {
 	inflight    map[string]*submitCall
 	spill       *spillStore
 
+	// Global install-rate bucket (InstallPerMin): replica installs are not
+	// tenant traffic, so they are metered registry-wide.
+	installTokens float64
+	installLast   time.Time
+
 	accepted, rejected, quarantines uint64
 }
 
@@ -55,12 +60,14 @@ type submitCall struct {
 func NewRegistry(opts Options) (*Registry, error) {
 	opts = opts.withDefaults()
 	r := &Registry{
-		opts:        opts,
-		byID:        make(map[string]*list.Element),
-		lru:         list.New(),
-		quarantined: make(map[string]string),
-		tenants:     make(map[string]*tenantState),
-		inflight:    make(map[string]*submitCall),
+		opts:          opts,
+		byID:          make(map[string]*list.Element),
+		lru:           list.New(),
+		quarantined:   make(map[string]string),
+		tenants:       make(map[string]*tenantState),
+		inflight:      make(map[string]*submitCall),
+		installTokens: float64(opts.InstallPerMin),
+		installLast:   opts.Now(),
 	}
 	if opts.SpillDir != "" {
 		st, err := newSpillStore(opts.SpillDir)
@@ -138,8 +145,6 @@ func (r *Registry) Submit(ctx context.Context, tenant, lang, source string) (*Pr
 
 	r.mu.Lock()
 	delete(r.inflight, id)
-	call.prog, call.err = prog, err
-	close(call.done)
 	if err == nil {
 		r.installLocked(prog)
 		r.accepted++
@@ -153,6 +158,11 @@ func (r *Registry) Submit(ctx context.Context, tenant, lang, source string) (*Pr
 			r.rejected++
 		}
 	}
+	// Publish only after the outcome is fully stamped (quarantine ID and
+	// bookkeeping): waiters read call.prog/call.err the moment done closes,
+	// so any later mutation of the shared error would race them.
+	call.prog, call.err = prog, err
+	close(call.done)
 	r.mu.Unlock()
 	return prog, err
 }
@@ -185,34 +195,104 @@ func (r *Registry) runWall(ctx context.Context, id, tenant, lang, source string)
 // Install registers an already-validated program (cross-shard replication:
 // the peer that accepted it ran the wall; the content hash is re-verified
 // so a corrupt or forged replica cannot smuggle different bytes under an
-// accepted name). The compiled form is never trusted: the assembly is
-// re-derived from the content-addressed source through the same compile +
-// static layers, so a replica whose Asm field disagrees with its Source
-// runs what the source says, not what the forger sent. The probationary
-// observations (Insts, Checksum, ...) are kept as claimed — execution is
-// deterministic, so a lie there surfaces as a contained checksum-mismatch
-// failure on first run, never as foreign code. Quota accounting charges
-// the original tenant.
-func (r *Registry) Install(p *Program) error {
+// accepted name) and returns the resident copy. Nothing else in the replica
+// is trusted:
+//
+//   - The compiled form is re-derived from the content-addressed source
+//     through the same compile + static layers, so a replica whose Asm
+//     field disagrees with its Source runs what the source says, not what
+//     the forger sent.
+//   - The runaway budget is never the replica's claim: MaxInsts is clamped
+//     to this registry's own probation budget, and a claimed Insts above it
+//     is refused outright — otherwise a self-"accepted" replica could grant
+//     itself an effectively unbounded instruction budget and turn its first
+//     run into a CPU/memory burn. With the budget pinned, a lie in the
+//     remaining observations (Checksum, OutBytes, ...) surfaces as a
+//     contained checksum-mismatch failure on first run, never as extra
+//     cost.
+//   - Installs ride admission control like any other write: a global
+//     InstallPerMin bucket is charged before the rebuild (the compile is
+//     the CPU an install flood would otherwise burn unmetered) and the
+//     original tenant's program cap is enforced, so replication cannot
+//     exceed the quotas Submit guards.
+//
+// Fleet budgets are assumed uniform (the same reason scattered suites
+// require identical served suites): a replica accepted under a larger
+// MaxInsts than this shard's is refused rather than trimmed.
+func (r *Registry) Install(p *Program) (*Program, error) {
 	if p == nil || p.ID != ProgramID(p.Lang, p.Source) || p.Name != "user:"+p.ID {
-		return &RejectedError{Check: "static", Reason: "replica content hash mismatch"}
+		return nil, &RejectedError{Check: "static", Reason: "replica content hash mismatch"}
 	}
+	if p.Insts > r.opts.MaxInsts {
+		return nil, &RejectedError{Check: "static", Reason: fmt.Sprintf(
+			"replica claims %d retired instructions, above this shard's probation budget %d", p.Insts, r.opts.MaxInsts)}
+	}
+	r.mu.Lock()
+	if reason, ok := r.quarantined[p.ID]; ok {
+		r.mu.Unlock()
+		return nil, &QuarantinedError{ID: p.ID, Reason: reason}
+	}
+	if el, ok := r.byID[p.ID]; ok {
+		// Re-pushes of a resident replica are free (and common: the gateway
+		// re-pushes before every scatter until the shard confirms).
+		r.lru.MoveToFront(el)
+		got := el.Value.(*entry).prog
+		r.mu.Unlock()
+		return got, nil
+	}
+	if err := r.takeInstallTokenLocked(); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	if ts := r.tenant(p.Tenant); ts.programs >= r.opts.TenantPrograms {
+		r.mu.Unlock()
+		return nil, &QuotaError{Tenant: p.Tenant,
+			Reason: fmt.Sprintf("%d programs registered, limit %d", ts.programs, r.opts.TenantPrograms)}
+	}
+	r.mu.Unlock()
+
 	_, asmSrc, err := build(p.Lang, p.Source, r.opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cp := *p
 	cp.Asm = asmSrc
+	cp.MaxInsts = r.opts.MaxInsts
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if reason, ok := r.quarantined[cp.ID]; ok {
-		return &QuarantinedError{ID: cp.ID, Reason: reason}
+		return nil, &QuarantinedError{ID: cp.ID, Reason: reason}
 	}
-	if el, ok := r.byID[cp.ID]; ok {
+	if el, ok := r.byID[cp.ID]; ok { // raced with another installer
 		r.lru.MoveToFront(el)
-		return nil
+		return el.Value.(*entry).prog, nil
+	}
+	if ts := r.tenant(cp.Tenant); ts.programs >= r.opts.TenantPrograms {
+		return nil, &QuotaError{Tenant: cp.Tenant,
+			Reason: fmt.Sprintf("%d programs registered, limit %d", ts.programs, r.opts.TenantPrograms)}
 	}
 	r.installLocked(&cp)
+	return &cp, nil
+}
+
+// takeInstallTokenLocked charges one replica install against the global
+// install bucket (InstallPerMin capacity, refilled continuously).
+func (r *Registry) takeInstallTokenLocked() error {
+	now := r.opts.Now()
+	rate := float64(r.opts.InstallPerMin)
+	r.installTokens += now.Sub(r.installLast).Minutes() * rate
+	r.installLast = now
+	if r.installTokens > rate {
+		r.installTokens = rate
+	}
+	if r.installTokens < 1 {
+		wait := time.Duration((1 - r.installTokens) / rate * float64(time.Minute))
+		return &QuotaError{Tenant: "fleet",
+			Reason:     fmt.Sprintf("replica install rate above %d/min", r.opts.InstallPerMin),
+			RetryAfter: wait}
+	}
+	r.installTokens--
 	return nil
 }
 
@@ -329,13 +409,40 @@ func (r *Registry) Stats() Stats {
 	}
 }
 
+// maxTenantStates is the tenants-map size past which inserting a new state
+// first sweeps out idle ones. Tenant identity is a caller-supplied header,
+// so without this an attacker rotating names per request would grow the map
+// without bound; with it, rotated names can pin at most this many states
+// plus one refill window's worth, while states holding accepted programs
+// are kept (they are bounded by the program store itself).
+const maxTenantStates = 1024
+
 func (r *Registry) tenant(name string) *tenantState {
 	ts := r.tenants[name]
 	if ts == nil {
+		if len(r.tenants) >= maxTenantStates {
+			r.pruneTenantsLocked()
+		}
 		ts = &tenantState{tokens: float64(r.opts.SubmitPerMin), last: r.opts.Now()}
 		r.tenants[name] = ts
 	}
 	return ts
+}
+
+// pruneTenantsLocked drops tenant states that carry no information: no
+// accepted programs and a rate bucket that has refilled to full, so
+// recreating the state on the tenant's next submission is lossless.
+func (r *Registry) pruneTenantsLocked() {
+	now := r.opts.Now()
+	rate := float64(r.opts.SubmitPerMin)
+	for name, ts := range r.tenants {
+		if ts.programs > 0 {
+			continue
+		}
+		if ts.tokens+now.Sub(ts.last).Minutes()*rate >= rate {
+			delete(r.tenants, name)
+		}
+	}
 }
 
 // takeTokenLocked charges one submission against the tenant's rate bucket

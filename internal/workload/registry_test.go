@@ -3,6 +3,7 @@ package workload
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -349,7 +350,7 @@ func TestInstallReplication(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dst.Install(p); err != nil {
+	if _, err := dst.Install(p); err != nil {
 		t.Fatalf("install: %v", err)
 	}
 	got, err := dst.Get(p.Name)
@@ -359,8 +360,107 @@ func TestInstallReplication(t *testing.T) {
 	// A forged replica (bytes not matching the claimed hash) is refused.
 	forged := *p
 	forged.Source += "\n# evil\n"
-	if err := dst.Install(&forged); err == nil {
+	if _, err := dst.Install(&forged); err == nil {
 		t.Fatal("forged replica accepted")
+	}
+}
+
+// TestInstallClampsForgedBudgets: a replica that self-claims a huge
+// instruction budget (the probation layers it never ran would have bounded
+// it) installs with this registry's own budget, and a claimed retired count
+// above the budget is refused outright — replication cannot grant more CPU
+// or memory than a local acceptance would.
+func TestInstallClampsForgedBudgets(t *testing.T) {
+	src, dst := newTestRegistry(t, Options{}), newTestRegistry(t, Options{})
+	p, err := src.Submit(context.Background(), "alice", LangAsm, validAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	forged := *p
+	forged.MaxInsts = 1 << 62 // self-"accepted" runaway budget
+	installed, err := dst.Install(&forged)
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if want := dst.opts.MaxInsts; installed.MaxInsts != want {
+		t.Fatalf("installed MaxInsts = %d, want clamped to %d", installed.MaxInsts, want)
+	}
+	if got, err := dst.Get(p.Name); err != nil || got.MaxInsts != dst.opts.MaxInsts {
+		t.Fatalf("resident replica kept forged budget: %v (MaxInsts %d)", err, got.MaxInsts)
+	}
+
+	over := *p
+	over.Insts = dst.opts.MaxInsts + 1
+	var rejected *RejectedError
+	if _, err := newTestRegistry(t, Options{}).Install(&over); !errors.As(err, &rejected) {
+		t.Fatalf("over-budget Insts claim: err = %v, want RejectedError", err)
+	}
+}
+
+// TestInstallAdmission: replica installs are metered (global InstallPerMin
+// bucket, charged before the compile) and honor the original tenant's
+// program cap — replication is not a side door around Submit's admission
+// control.
+func TestInstallAdmission(t *testing.T) {
+	src := newTestRegistry(t, Options{SubmitPerMin: 1000})
+	progs := make([]*Program, 3)
+	for i := range progs {
+		p, err := src.Submit(context.Background(), "alice", LangAsm,
+			validAsm+"\n# variant "+strings.Repeat("x", i+1)+"\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[i] = p
+	}
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+
+	// Rate: a bucket of 2/min admits two installs, then sheds with a
+	// Retry-After hint; refilling the bucket readmits.
+	rated := newTestRegistry(t, Options{InstallPerMin: 2, Now: clock})
+	for i := 0; i < 2; i++ {
+		if _, err := rated.Install(progs[i]); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+	var quota *QuotaError
+	if _, err := rated.Install(progs[2]); !errors.As(err, &quota) || quota.RetryAfter <= 0 {
+		t.Fatalf("third install: err = %v, want rate QuotaError with Retry-After", err)
+	}
+	now = now.Add(time.Minute)
+	if _, err := rated.Install(progs[2]); err != nil {
+		t.Fatalf("install after refill: %v", err)
+	}
+
+	// Tenant cap: the original tenant's program count is enforced.
+	capped := newTestRegistry(t, Options{TenantPrograms: 1})
+	if _, err := capped.Install(progs[0]); err != nil {
+		t.Fatalf("install under cap: %v", err)
+	}
+	if _, err := capped.Install(progs[1]); !errors.As(err, &quota) {
+		t.Fatalf("install over tenant cap: err = %v, want QuotaError", err)
+	}
+}
+
+// TestTenantStatesPruned: rotating tenant names per request (the header is
+// caller-supplied) cannot grow the tenants map without bound — idle states
+// whose buckets refilled are swept once the map passes its threshold.
+func TestTenantStatesPruned(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := newTestRegistry(t, Options{Now: func() time.Time { return now }})
+	ctx := context.Background()
+	for i := 0; i < maxTenantStates+100; i++ {
+		// Rejections are fine (and cheap) — only the tenant state matters.
+		r.Submit(ctx, "tenant-"+strings.Repeat("x", i%7)+fmt.Sprint(i), LangAsm, "")
+		now = now.Add(10 * time.Minute) // every earlier bucket has refilled
+	}
+	r.mu.Lock()
+	n := len(r.tenants)
+	r.mu.Unlock()
+	if n > maxTenantStates {
+		t.Fatalf("%d tenant states resident, want <= %d after pruning", n, maxTenantStates)
 	}
 }
 

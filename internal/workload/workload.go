@@ -51,6 +51,7 @@ const (
 	DefaultMaxStoredBytes = 16 << 20
 	DefaultTenantPrograms = 32
 	DefaultSubmitPerMin   = 30
+	DefaultInstallPerMin  = 120
 )
 
 // Options bounds the intake pipeline and the registry behind it. The zero
@@ -87,6 +88,11 @@ type Options struct {
 	// token-bucket rate limit on submissions (accepted or not).
 	TenantPrograms int
 	SubmitPerMin   int
+	// InstallPerMin is a registry-wide token bucket on replica installs
+	// (Install). Replication is fleet traffic, not tenant traffic, so the
+	// budget is global: it bounds the compile/assemble CPU an install flood
+	// can burn, without letting an attacker-chosen tenant name dodge it.
+	InstallPerMin int
 
 	// Faults optionally injects failures at the probation point.
 	Faults *faultinject.Injector
@@ -128,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SubmitPerMin <= 0 {
 		o.SubmitPerMin = DefaultSubmitPerMin
+	}
+	if o.InstallPerMin <= 0 {
+		o.InstallPerMin = DefaultInstallPerMin
 	}
 	if o.Now == nil {
 		o.Now = time.Now
