@@ -10,7 +10,8 @@
 //	sigsim -bench crc32 -json         # machine-readable (sigserve schema)
 //	sigsim -bench all -parallel 4     # full-suite evaluation, 4 workers
 //	sigsim -bench all -replay=false   # re-interpret per model (reference path)
-//	sigsim -bench crc32 -capture-dir ./caps   # persist/reuse SIGCAP01 captures
+//	sigsim -bench crc32 -capture-dir ./caps   # persist/reuse SIGCAP02 captures (mapped + streamed)
+//	sigsim -bench crc32 -capture-dir ./caps -mmap=false   # eager decode instead of streaming
 package main
 
 import (
@@ -40,7 +41,9 @@ func main() {
 	replay := flag.Bool("replay", true,
 		"for -bench all: interpret each benchmark once and replay the captured trace per model (false = re-interpret, the reference path)")
 	captureDir := flag.String("capture-dir", "",
-		"SIGCAP01 capture directory: replay a single -bench from its persisted capture, interpreting and persisting it on first use")
+		"capture directory (SIGCAP02; legacy SIGCAP01 files stay readable): replay a single -bench from its persisted capture, interpreting and persisting it on first use")
+	useMmap := flag.Bool("mmap", true,
+		"with -capture-dir: map SIGCAP02 captures read-only and stream frames instead of decoding the whole trace up front (false = always eager decode)")
 	fetchSweep := flag.Bool("fetchsweep", false,
 		"sweep fetch bandwidth (bytes/cycle) over the suite through the byte-fetch frontends and print the CPI table")
 	list := flag.Bool("list", false, "list benchmarks and models")
@@ -101,9 +104,10 @@ func main() {
 
 	// With -capture-dir the job replays a persisted capture over column
 	// blocks (interpreting and persisting it on first use); otherwise it
-	// interprets live. Both paths are bit-identical.
+	// interprets live. Both paths are bit-identical, and so are the
+	// streaming (mapped SIGCAP02) and eager replay tiers.
 	var (
-		cp     *trace.Capture
+		cp     trace.Replayer
 		runMem *mem.Memory
 	)
 	c, err := b.NewCPU()
@@ -113,7 +117,7 @@ func main() {
 	}
 	runMem = c.Mem
 	if *captureDir != "" {
-		cp, err = loadOrCapture(*captureDir, b)
+		cp, err = loadOrCapture(*captureDir, b, *useMmap)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sigsim: %v\n", err)
 			os.Exit(1)
@@ -245,11 +249,22 @@ func main() {
 }
 
 // loadOrCapture resolves b's capture through dir: a valid persisted
-// SIGCAP01 file is reused, anything else (missing, corrupt, wrong suite
+// capture file is reused, anything else (missing, corrupt, wrong suite
 // build) falls back to interpreting, and a fresh capture is persisted for
-// next time.
-func loadOrCapture(dir string, b bench.Benchmark) (*trace.Capture, error) {
+// next time. With useMmap a SIGCAP02 file is mapped and streamed — replay
+// memory stays at one frame, not the whole decoded trace; legacy SIGCAP01
+// files (and useMmap=false) take the eager decode.
+func loadOrCapture(dir string, b bench.Benchmark, useMmap bool) (trace.Replayer, error) {
 	path := trace.CaptureFilePath(dir, b.Name)
+	if useMmap {
+		if mc, err := trace.OpenMappedCapture(path); err == nil {
+			if got := mc.Bench(); got.Name == b.Name && got.Checksum == b.Checksum {
+				fmt.Fprintf(os.Stderr, "sigsim: streaming mapped capture %s\n", path)
+				return mc, nil
+			}
+			mc.Close()
+		}
+	}
 	if cp, err := trace.ReadCaptureFile(path); err == nil &&
 		cp.Bench().Name == b.Name && cp.Bench().Checksum == b.Checksum {
 		fmt.Fprintf(os.Stderr, "sigsim: replaying persisted capture %s\n", path)

@@ -7,12 +7,16 @@
 //	sigtrace -record -bench rawcaudio -o rawcaudio.trc
 //	sigtrace -replay rawcaudio.trc -model byteserial
 //	sigtrace -replay rawcaudio.trc            # all models + activity
+//	sigtrace -replay caps/crc32.sigcap        # persisted captures replay too:
+//	                                          # SIGCAP02 streams from a mapping,
+//	                                          # SIGCAP01 decodes eagerly
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -78,15 +82,6 @@ func doRecord(name, out string) error {
 }
 
 func doReplay(path, modelName string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return err
-	}
 	rc := icomp.MustNewRecoder(icomp.DefaultTopFuncts())
 
 	names := pipeline.AllNames()
@@ -109,11 +104,16 @@ func doReplay(path, modelName string) error {
 	// process to grind through the rest of a long trace.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	n, err := r.ReplayCtx(ctx, rc, consumers...)
+
+	// Dispatch on the file's magic: SIGCAP02 captures stream frame by frame
+	// out of a read-only mapping (replay memory stays at one frame),
+	// SIGCAP01 captures decode eagerly, and anything else is a SIGTRC01
+	// event trace for the scalar reader.
+	n, how, err := replayFile(ctx, path, rc, consumers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d instructions from %s\n\n", n, path)
+	fmt.Printf("replayed %d instructions from %s (%s)\n\n", n, path, how)
 	t := stats.NewTable("CPI (replayed)", "model", "CPI")
 	for _, m := range models {
 		t.AddStringRow(m.Name(), fmt.Sprintf("%.3f", m.Result().CPI()))
@@ -121,4 +121,59 @@ func doReplay(path, modelName string) error {
 	fmt.Println(t.String())
 	fmt.Printf("operand 2-bit coverage: %.1f%%\n", patterns.TwoBitCoverage())
 	return nil
+}
+
+// replayFile feeds path's trace into consumers, picking the engine by the
+// file's leading magic, and returns the instruction count plus a short
+// description of the path taken.
+func replayFile(ctx context.Context, path string, rc *icomp.Recoder, consumers []trace.Consumer) (uint64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err == nil {
+		switch string(magic[:]) {
+		case "SIGCAP02":
+			mc, err := trace.OpenMappedCapture(path)
+			if err != nil {
+				return 0, "", err
+			}
+			defer mc.Close()
+			m, err := mc.NewMemory()
+			if err != nil {
+				return 0, "", err
+			}
+			if err := mc.ReplayBlocksOn(ctx, m, rc, consumers...); err != nil {
+				return 0, "", err
+			}
+			return uint64(mc.Len()), "SIGCAP02, streamed from mapping", nil
+		case "SIGCAP01":
+			cp, err := trace.ReadCaptureFile(path)
+			if err != nil {
+				return 0, "", err
+			}
+			m, err := cp.NewMemory()
+			if err != nil {
+				return 0, "", err
+			}
+			if err := cp.ReplayBlocksOn(ctx, m, rc, consumers...); err != nil {
+				return 0, "", err
+			}
+			return uint64(cp.Len()), "SIGCAP01, eager decode", nil
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, "", err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return 0, "", err
+	}
+	n, err := r.ReplayCtx(ctx, rc, consumers...)
+	if err != nil {
+		return 0, "", err
+	}
+	return n, "SIGTRC01 event trace", nil
 }

@@ -800,3 +800,34 @@ func TestClusterInstallTokenReplication(t *testing.T) {
 		t.Fatalf("%d shards hold the program, want the accepting owner alone", holders)
 	}
 }
+
+// TestClusterTraceDirWarmStart pins the fleet warm-start story end to end:
+// a second shard sharing the first one's trace dir answers the full suite
+// over HTTP without a single interpreter run — every benchmark streams from
+// the first shard's mapped SIGCAP02 spills — and the suite document stays
+// byte-identical.
+func TestClusterTraceDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cold, coldSrv := newShard(t, simsvc.Config{TraceDir: dir})
+	want, wantInsts := suiteDoc(t, coldSrv.URL)
+	if m := cold.Metrics().Snapshot(); m.Captures == 0 || m.TraceSpills == 0 {
+		t.Fatalf("cold shard: captures=%d spills=%d, want both > 0", m.Captures, m.TraceSpills)
+	}
+
+	warm, warmSrv := newShard(t, simsvc.Config{TraceDir: dir})
+	got, gotInsts := suiteDoc(t, warmSrv.URL)
+	m := warm.Metrics().Snapshot()
+	if m.Captures != 0 {
+		t.Fatalf("warm shard ran %d interpreter captures, want 0", m.Captures)
+	}
+	if int(m.TraceMapLoads) != len(fleetBenches) {
+		t.Fatalf("warm shard map loads = %d, want %d (one mapped spill per benchmark)",
+			m.TraceMapLoads, len(fleetBenches))
+	}
+	if gotInsts != wantInsts {
+		t.Fatalf("warm shard instructions %d, cold %d", gotInsts, wantInsts)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("warm shard suite document differs from cold shard (%d vs %d bytes)", len(got), len(want))
+	}
+}

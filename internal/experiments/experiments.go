@@ -229,18 +229,21 @@ func RunBenchCtx(ctx context.Context, b bench.Benchmark, rc *icomp.Recoder, suit
 // of RunBenchReplay calls, concurrently if desired. Replay goes through the
 // batch engine: the timing models and activity collectors consume column
 // blocks (trace.BatchConsumer), any other consumer rides the scalar shim.
-func RunBenchReplay(ctx context.Context, cp *trace.Capture, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
-	m, err := cp.NewMemory()
+// Either replay tier works — a resident *trace.Capture or a streaming
+// *trace.MappedCapture — and the result is the same by construction (the
+// two share the block-emission path) and by test.
+func RunBenchReplay(ctx context.Context, rep trace.Replayer, rc *icomp.Recoder, suite *SuiteCollectors) (BenchResult, error) {
+	m, err := rep.NewMemory()
 	if err != nil {
 		return BenchResult{}, err
 	}
-	br, err := evalBench(cp.Bench().Name, rc, m, suite, func(consumers []trace.Consumer) error {
-		return cp.ReplayBlocksOn(ctx, m, rc, consumers...)
+	br, err := evalBench(rep.Bench().Name, rc, m, suite, func(consumers []trace.Consumer) error {
+		return rep.ReplayBlocksOn(ctx, m, rc, consumers...)
 	})
 	if err != nil {
 		return BenchResult{}, err
 	}
-	br.Insts = uint64(cp.Len())
+	br.Insts = uint64(rep.Len())
 	return br, nil
 }
 

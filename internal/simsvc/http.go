@@ -74,10 +74,11 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Snapshot
-			Workers       int     `json:"workers"`
-			CacheEntries  int     `json:"cacheEntries"`
-			UptimeSeconds float64 `json:"uptimeSeconds"`
-		}{s.Metrics().Snapshot(), s.Workers(), s.CacheLen(), s.Uptime().Seconds()})
+			Workers            int     `json:"workers"`
+			CacheEntries       int     `json:"cacheEntries"`
+			TraceMappedEntries int     `json:"traceMappedEntries"`
+			UptimeSeconds      float64 `json:"uptimeSeconds"`
+		}{s.Metrics().Snapshot(), s.Workers(), s.CacheLen(), s.TraceMappedEntries(), s.Uptime().Seconds()})
 	})
 	mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
 		type benchInfo struct {

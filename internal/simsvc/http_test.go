@@ -210,8 +210,9 @@ func TestHTTPMetricsSchema(t *testing.T) {
 		"tenantSheds",
 		"captures", "traceCacheHits", "traceCacheMisses",
 		"traceCacheEvictions", "traceCacheBytes",
-		"traceSpills", "traceSpillLoads",
-		"simulationLatency", "workers", "cacheEntries", "uptimeSeconds",
+		"traceSpills", "traceSpillLoads", "traceMapLoads",
+		"simulationLatency", "workers", "cacheEntries",
+		"traceMappedEntries", "uptimeSeconds",
 	}
 	for _, k := range want {
 		if _, ok := m[k]; !ok {

@@ -35,6 +35,7 @@ type Metrics struct {
 	traceCacheBytes     atomic.Int64  // gauge: accounted bytes of cached captures
 	traceSpills         atomic.Uint64 // captures persisted to the trace dir
 	traceSpillLoads     atomic.Uint64 // cache misses served from the trace dir
+	traceMapLoads       atomic.Uint64 // spill loads served by mapping (no eager decode)
 
 	mu       sync.Mutex
 	latCount uint64
@@ -104,6 +105,7 @@ type Snapshot struct {
 	TraceCacheBytes int64           `json:"traceCacheBytes"`
 	TraceSpills     uint64          `json:"traceSpills"`
 	TraceSpillLoads uint64          `json:"traceSpillLoads"`
+	TraceMapLoads   uint64          `json:"traceMapLoads"`
 	SimLatency      LatencySnapshot `json:"simulationLatency"`
 }
 
@@ -134,6 +136,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		TraceCacheBytes: m.traceCacheBytes.Load(),
 		TraceSpills:     m.traceSpills.Load(),
 		TraceSpillLoads: m.traceSpillLoads.Load(),
+		TraceMapLoads:   m.traceMapLoads.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

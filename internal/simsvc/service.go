@@ -83,13 +83,24 @@ type Config struct {
 	// construction and by test).
 	TraceCacheMB int
 	// TraceDir, when set, backs the trace cache with a capture directory
-	// (SIGCAP01 files): newly captured traces are persisted there, evicted
-	// captures are demoted to disk if not already present, and cache misses
-	// try the directory before re-interpreting — so restarted or freshly
-	// sharded services start warm from each other's captures. Ignored when
-	// the trace cache is disabled. All directory I/O is best-effort: a
-	// missing, corrupt, or unwritable file degrades to the in-memory path.
+	// (SIGCAP02 files; pre-migration SIGCAP01 spills stay readable): newly
+	// captured traces are persisted there, evicted captures are demoted to
+	// disk if not already present, and cache misses try the directory
+	// before re-interpreting — so restarted or freshly sharded services
+	// start warm from each other's captures. SIGCAP02 loads are mapped
+	// read-only and replayed by streaming frames, so a warm start costs
+	// the footer index (not a full decode) and co-located shards share
+	// the file pages through the OS page cache. Ignored when the trace
+	// cache is disabled. All directory I/O is best-effort: a missing,
+	// corrupt, or unwritable file degrades to the in-memory path.
 	TraceDir string
+	// TraceNoMmap disables the mapped residency tier: spilled captures
+	// are always eagerly decoded into memory. For platforms or operators
+	// that cannot or do not want to mmap the trace dir (e.g. it lives on
+	// a network filesystem with unreliable page-fault semantics). The
+	// mapped tier also silently degrades to eager decode wherever mmap is
+	// unsupported, so this is a policy knob, not a portability requirement.
+	TraceNoMmap bool
 	// Faults arms deterministic fault injection at the service's seams
 	// (nil in production: every hook is then a zero-cost no-op).
 	Faults *faultinject.Injector
@@ -119,18 +130,19 @@ type Service struct {
 	programs     *workload.Registry
 	installToken string
 	pool         *pool
-	cache    *lruCache
-	traces   *traceCache // nil when capture/replay is disabled
-	traceDir string      // capture spill directory ("" = in-memory only)
-	tflight  *captureFlight
-	flight   *flightGroup
-	breaker  *breaker
-	faults   *faultinject.Injector
-	metrics  Metrics
-	start    time.Time
-	closed   atomic.Bool
-	draining atomic.Bool
-	inflight sync.WaitGroup
+	cache        *lruCache
+	traces       *traceCache // nil when capture/replay is disabled
+	traceDir     string      // capture spill directory ("" = in-memory only)
+	traceNoMmap  bool        // true = spill loads always eagerly decode
+	tflight      *captureFlight
+	flight       *flightGroup
+	breaker      *breaker
+	faults       *faultinject.Injector
+	metrics      Metrics
+	start        time.Time
+	closed       atomic.Bool
+	draining     atomic.Bool
+	inflight     sync.WaitGroup
 
 	rcOnce   sync.Once
 	rc       *icomp.Recoder
@@ -164,16 +176,16 @@ func New(cfg Config) *Service {
 		cfg.Programs, _ = workload.NewRegistry(workload.Options{Faults: cfg.Faults})
 	}
 	s := &Service{
-		workers:  cfg.Workers,
-		timeout:  cfg.Timeout,
-		retries:  cfg.Retries,
-		benches:  cfg.Benchmarks,
+		workers:      cfg.Workers,
+		timeout:      cfg.Timeout,
+		retries:      cfg.Retries,
+		benches:      cfg.Benchmarks,
 		byName:       make(map[string]bench.Benchmark, len(cfg.Benchmarks)),
 		programs:     cfg.Programs,
 		installToken: cfg.InstallToken,
-		cache:    newLRU(cfg.CacheSize),
-		faults:   cfg.Faults,
-		start:    time.Now(),
+		cache:        newLRU(cfg.CacheSize),
+		faults:       cfg.Faults,
+		start:        time.Now(),
 	}
 	s.pool = newPool(cfg.Workers, cfg.MaxQueued, &s.metrics, cfg.Faults)
 	if cfg.TraceCacheMB >= 0 {
@@ -183,6 +195,7 @@ func New(cfg Config) *Service {
 		}
 		s.traces = newTraceCache(int64(mb)<<20, &s.metrics)
 		s.traceDir = cfg.TraceDir
+		s.traceNoMmap = cfg.TraceNoMmap
 		s.tflight = newCaptureFlight()
 	}
 	s.flight = newFlightGroup(cfg.Faults)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/icomp"
+	"repro/internal/trace"
 )
 
 // suiteKey is the cache/singleflight identity of the full-suite evaluation.
@@ -148,10 +149,21 @@ func (s *Service) evalBenches(ctx context.Context, rc *icomp.Recoder, benches []
 					if s.tracesEnabled() {
 						// Replay the shared capture (one interpreter run per
 						// benchmark, whoever asked first); bit-identical to
-						// the live path by construction and by test.
-						var e *traceEntry
-						if e, benchErr = s.captureFor(ctx, b); benchErr == nil {
-							br, benchErr = experiments.RunBenchReplay(ctx, e.cap, rc, cols)
+						// the live path by construction and by test. A mapped
+						// entry evicted (and closed) between the cache hit and
+						// the replay fails before consuming any event, so one
+						// retry — which misses and re-maps — is safe and
+						// sufficient.
+						replay := func() (experiments.BenchResult, error) {
+							e, err := s.captureFor(ctx, b)
+							if err != nil {
+								return experiments.BenchResult{}, err
+							}
+							return experiments.RunBenchReplay(ctx, e.rep, rc, cols)
+						}
+						br, benchErr = replay()
+						if benchErr != nil && errors.Is(benchErr, trace.ErrMappedClosed) {
+							br, benchErr = replay()
 						}
 					} else {
 						br, benchErr = experiments.RunBenchCtx(ctx, b, rc, cols)

@@ -3,6 +3,7 @@ package simsvc
 import (
 	"container/list"
 	"context"
+	"errors"
 	"os"
 	"sync"
 
@@ -31,11 +32,28 @@ const DefaultTraceCacheMB = 256
 // collectors are model-independent (they see the same replayed events for
 // every pipeline model), so a sweep over N models pays for one activity
 // replay per granularity instead of N.
+//
+// The replay engine comes in two residency tiers behind trace.Replayer:
+// a fully decoded *trace.Capture (resident tier, ~24 B/instruction) or a
+// *trace.MappedCapture streaming frames out of a mapped SIGCAP02 spill
+// file (mapped tier, ~index + one frame buffer against the budget; the
+// file pages are clean, read-only, and shared with every co-located shard
+// through the OS page cache). mapped is non-nil exactly when rep is the
+// mapped tier, so eviction knows to unmap instead of spill.
 type traceEntry struct {
-	cap   *trace.Capture
-	bytes int64
+	rep    trace.Replayer
+	mapped *trace.MappedCapture // non-nil iff rep streams from a mapped file
+	bytes  int64
 
 	act [3]actMemo // indexed by granularity (1 = byte, 2 = halfword)
+}
+
+// close releases a mapped entry's handle (deferred past in-flight replays
+// by its refcount); resident entries have nothing to release.
+func (e *traceEntry) close() {
+	if e.mapped != nil {
+		e.mapped.Close()
+	}
 }
 
 // actMemo caches one granularity's activity counts. Like experiments.memo
@@ -57,14 +75,14 @@ func (e *traceEntry) activityCounts(ctx context.Context, gran int, rc *icomp.Rec
 	if m.done {
 		return m.counts, nil
 	}
-	mem, err := e.cap.NewMemory()
+	mem, err := e.rep.NewMemory()
 	if err != nil {
 		return activity.Counts{}, err
 	}
 	col := activity.NewCollector(gran, rc, mem)
-	replay := e.cap.ReplayBlocksOn
+	replay := e.rep.ReplayBlocksOn
 	if scalarReplayForBench {
-		replay = e.cap.ReplayOn
+		replay = e.rep.ReplayOn
 	}
 	if err := replay(ctx, mem, rc, col); err != nil {
 		return activity.Counts{}, err
@@ -115,27 +133,29 @@ func (c *traceCache) get(key string) (*traceEntry, bool) {
 
 // add stores e under key, evicting least-recently-used captures until the
 // byte budget holds. It returns the evicted entries so the caller can count
-// them and demote their captures to the trace dir — I/O happens outside
-// this lock.
-func (c *traceCache) add(key string, e *traceEntry) []*traceCacheEntry {
+// them and demote their captures to the trace dir, plus the entry this one
+// displaced (whose mapped handle, if any, must be closed) — I/O and unmaps
+// happen outside this lock.
+func (c *traceCache) add(key string, e *traceEntry) (evicted []*traceCacheEntry, replaced *traceEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.bytes > c.maxBytes {
-		return nil // larger than the whole budget: never cached
+		return nil, nil // larger than the whole budget: never cached
 	}
 	if el, ok := c.items[key]; ok {
 		old := el.Value.(*traceCacheEntry)
+		replaced = old.entry
 		c.bytes += e.bytes - old.entry.bytes
 		old.entry = e
 		c.order.MoveToFront(el)
 		c.metrics.traceCacheBytes.Store(c.bytes)
-		return nil
+		return nil, replaced
 	}
 	c.items[key] = c.order.PushFront(&traceCacheEntry{key: key, entry: e})
 	c.bytes += e.bytes
-	evicted := c.evictOverBudget()
+	evicted = c.evictOverBudget()
 	c.metrics.traceCacheBytes.Store(c.bytes)
-	return evicted
+	return evicted, nil
 }
 
 // evictOverBudget drops LRU entries until the budget holds. Caller holds mu.
@@ -166,7 +186,7 @@ func (c *traceCache) refresh(key string) []*traceCacheEntry {
 		return nil
 	}
 	e := el.Value.(*traceCacheEntry).entry
-	nb := int64(e.cap.SizeBytes())
+	nb := int64(e.rep.SizeBytes())
 	if nb == e.bytes {
 		return nil
 	}
@@ -188,6 +208,19 @@ func (c *traceCache) bytesUsed() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes
+}
+
+// mappedLen counts entries on the mapped (streaming) residency tier.
+func (c *traceCache) mappedLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, el := range c.items {
+		if el.Value.(*traceCacheEntry).entry.mapped != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // captureFlight deduplicates concurrent captures of the same benchmark: the
@@ -251,6 +284,15 @@ func (s *Service) TraceCacheBytes() int64 {
 	return s.traces.bytesUsed()
 }
 
+// TraceMappedEntries returns how many cached captures are on the mapped
+// (streaming SIGCAP02) residency tier rather than fully decoded.
+func (s *Service) TraceMappedEntries() int {
+	if s.traces == nil {
+		return 0
+	}
+	return s.traces.mappedLen()
+}
+
 // captureFor returns b's captured trace, from the trace cache when
 // possible; concurrent misses for the same benchmark share one interpreter
 // run via the capture singleflight. With a trace dir configured, a miss
@@ -266,17 +308,16 @@ func (s *Service) captureFor(ctx context.Context, b bench.Benchmark) (*traceEntr
 	}
 	s.metrics.traceCacheMisses.Add(1)
 	e, shared, err := s.tflight.do(ctx, b.Name, func() (*traceEntry, error) {
-		cp := s.loadSpilledCapture(b)
-		if cp == nil {
-			var err error
-			cp, err = trace.CaptureRun(ctx, b)
+		e := s.loadSpilled(b)
+		if e == nil {
+			cp, err := trace.CaptureRun(ctx, b)
 			if err != nil {
 				return nil, err
 			}
 			s.metrics.captures.Add(1)
 			s.spillCapture(cp)
+			e = &traceEntry{rep: cp, bytes: int64(cp.SizeBytes())}
 		}
-		e := &traceEntry{cap: cp, bytes: int64(cp.SizeBytes())}
 		s.tracePut(ctx, b.Name, e)
 		return e, nil
 	})
@@ -286,24 +327,42 @@ func (s *Service) captureFor(ctx context.Context, b bench.Benchmark) (*traceEntr
 	return e, err
 }
 
-// loadSpilledCapture tries the trace dir for a previously persisted capture
-// of b. Any failure — no dir, no file, corruption, wrong benchmark — is a
-// plain miss; the caller re-interprets.
-func (s *Service) loadSpilledCapture(b bench.Benchmark) *trace.Capture {
+// loadSpilled tries the trace dir for a previously persisted capture of b.
+// SIGCAP02 spills are mapped, not decoded: the warm start costs the footer
+// index and a frame buffer, the columns stream lazily at replay time, and
+// co-located shards share the clean file pages through the OS page cache.
+// SIGCAP01 spills (pre-migration directories) and platforms or configs
+// without mmap fall back to the eager full decode. Any failure — no dir,
+// no file, corruption, wrong benchmark — is a plain miss; the caller
+// re-interprets.
+func (s *Service) loadSpilled(b bench.Benchmark) *traceEntry {
 	if s.traceDir == "" {
 		return nil
 	}
-	cp, err := trace.ReadCaptureFile(trace.CaptureFilePath(s.traceDir, b.Name))
+	path := trace.CaptureFilePath(s.traceDir, b.Name)
+	if !s.traceNoMmap {
+		if mc, err := trace.OpenMappedCapture(path); err == nil {
+			// The file names its benchmark, but the served suite is
+			// authoritative: a capture whose benchmark diverges from ours
+			// replays the wrong trace.
+			if got := mc.Bench(); got.Name != b.Name || got.Checksum != b.Checksum {
+				mc.Close()
+				return nil
+			}
+			s.metrics.traceSpillLoads.Add(1)
+			s.metrics.traceMapLoads.Add(1)
+			return &traceEntry{rep: mc, mapped: mc, bytes: int64(mc.SizeBytes())}
+		}
+	}
+	cp, err := trace.ReadCaptureFile(path)
 	if err != nil {
 		return nil
 	}
-	// The file names its benchmark, but the served suite is authoritative:
-	// a capture whose benchmark diverges from ours replays the wrong trace.
 	if got := cp.Bench(); got.Name != b.Name || got.Checksum != b.Checksum {
 		return nil
 	}
 	s.metrics.traceSpillLoads.Add(1)
-	return cp
+	return &traceEntry{rep: cp, bytes: int64(cp.SizeBytes())}
 }
 
 // spillCapture persists cp to the trace dir unless it is already there.
@@ -323,15 +382,23 @@ func (s *Service) spillCapture(cp *trace.Capture) {
 	s.metrics.traceSpills.Add(1)
 }
 
-// spillEvicted demotes evicted entries' captures to the trace dir and
-// counts the evictions. Runs outside the cache lock.
+// spillEvicted demotes evicted entries to the trace dir and counts the
+// evictions. Resident captures are persisted (if not already on disk);
+// mapped entries just close — their bytes ARE the disk file, so eviction
+// is an unmap, not a write. In-flight replays keep the mapping alive via
+// its refcount and finish normally; the next request for the benchmark
+// re-maps. Runs outside the cache lock.
 func (s *Service) spillEvicted(evicted []*traceCacheEntry) {
 	if len(evicted) == 0 {
 		return
 	}
 	s.metrics.traceCacheEvictions.Add(uint64(len(evicted)))
 	for _, te := range evicted {
-		s.spillCapture(te.entry.cap)
+		if te.entry.mapped != nil {
+			te.entry.close()
+			continue
+		}
+		s.spillCapture(te.entry.rep.(*trace.Capture))
 	}
 }
 
@@ -356,21 +423,38 @@ func (s *Service) tracePut(ctx context.Context, key string, e *traceEntry) {
 	if err := s.faults.Fire(ctx, faultinject.PointCachePut); err != nil {
 		return
 	}
-	s.spillEvicted(s.traces.add(key, e))
+	evicted, replaced := s.traces.add(key, e)
+	if replaced != nil {
+		// Displaced under racing misses: release the loser's mapping (its
+		// refcount defers the unmap past any replay still using it).
+		replaced.close()
+	}
+	s.spillEvicted(evicted)
 }
 
 // executeReplay is the capture-backed twin of the live half of execute: it
 // resolves the benchmark's capture (sharing it across concurrent requests
 // and models) and replays it instead of re-interpreting. Responses are
-// bit-identical to the live path.
+// bit-identical to the live path regardless of residency tier. A mapped
+// entry can be evicted — and its handle closed — between our cache hit and
+// the replay; that loses nothing but the mapping, so it is retried exactly
+// once: the retry's captureFor misses and re-maps (or re-captures) fresh.
 func (s *Service) executeReplay(ctx context.Context, req Request, rc *icomp.Recoder, b bench.Benchmark) (*Response, error) {
+	resp, err := s.replayOnce(ctx, req, rc, b)
+	if err != nil && errors.Is(err, trace.ErrMappedClosed) {
+		resp, err = s.replayOnce(ctx, req, rc, b)
+	}
+	return resp, err
+}
+
+func (s *Service) replayOnce(ctx context.Context, req Request, rc *icomp.Recoder, b bench.Benchmark) (*Response, error) {
 	e, err := s.captureFor(ctx, b)
 	if err != nil {
 		return nil, err
 	}
 
 	if req.Model == "" {
-		br, err := experiments.RunBenchReplay(ctx, e.cap, rc, nil)
+		br, err := experiments.RunBenchReplay(ctx, e.rep, rc, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -389,9 +473,9 @@ func (s *Service) executeReplay(ctx context.Context, req Request, rc *icomp.Reco
 	// every model of a sweep).
 	m := pipeline.New(req.Model)
 	if scalarReplayForBench {
-		err = e.cap.ReplayOn(ctx, nil, rc, m)
+		err = e.rep.ReplayOn(ctx, nil, rc, m)
 	} else {
-		err = e.cap.ReplayBlocks(ctx, rc, m)
+		err = e.rep.ReplayBlocks(ctx, rc, m)
 	}
 	if err != nil {
 		return nil, err

@@ -20,11 +20,19 @@ func syntheticEntry(bytes int64) *traceEntry { return &traceEntry{bytes: bytes} 
 func TestTraceCacheLRUUnit(t *testing.T) {
 	var m Metrics
 	c := newTraceCache(100, &m)
+	add := func(key string, e *traceEntry) []*traceCacheEntry {
+		t.Helper()
+		ev, replaced := c.add(key, e)
+		if _, existed := c.items[key]; replaced != nil && !existed {
+			t.Fatalf("add %s reported a replaced entry without holding the key", key)
+		}
+		return ev
+	}
 
-	if n := len(c.add("a", syntheticEntry(40))); n != 0 {
+	if n := len(add("a", syntheticEntry(40))); n != 0 {
 		t.Fatalf("add a evicted %d", n)
 	}
-	if n := len(c.add("b", syntheticEntry(40))); n != 0 {
+	if n := len(add("b", syntheticEntry(40))); n != 0 {
 		t.Fatalf("add b evicted %d", n)
 	}
 	if got := c.bytesUsed(); got != 80 {
@@ -35,7 +43,7 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	ev := c.add("c", syntheticEntry(40))
+	ev := add("c", syntheticEntry(40))
 	if len(ev) != 1 || ev[0].key != "b" {
 		t.Fatalf("add c evicted %v, want [b]", ev)
 	}
@@ -52,9 +60,15 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 		t.Fatalf("bytes gauge = %d, want 80", got)
 	}
 
-	// Re-adding an existing key replaces in place and re-accounts.
-	if n := len(c.add("a", syntheticEntry(60))); n != 0 {
-		t.Fatalf("update a evicted %d", n)
+	// Re-adding an existing key replaces in place, re-accounts, and hands
+	// the displaced entry back so its mapping (if any) can be released.
+	olderA, _ := c.get("a")
+	ev2, replaced := c.add("a", syntheticEntry(60))
+	if len(ev2) != 0 {
+		t.Fatalf("update a evicted %d", len(ev2))
+	}
+	if replaced != olderA {
+		t.Fatalf("update a returned replaced=%p, want the displaced entry %p", replaced, olderA)
 	}
 	if got := c.bytesUsed(); got != 100 {
 		t.Fatalf("bytes after update = %d, want 100", got)
@@ -64,7 +78,7 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	}
 
 	// An entry larger than the whole budget is never admitted.
-	if n := len(c.add("huge", syntheticEntry(101))); n != 0 {
+	if n := len(add("huge", syntheticEntry(101))); n != 0 {
 		t.Fatalf("oversized add evicted %d", n)
 	}
 	if _, ok := c.get("huge"); ok {
@@ -72,7 +86,7 @@ func TestTraceCacheLRUUnit(t *testing.T) {
 	}
 
 	// A single entry that exactly fits evicts everything else.
-	if n := len(c.add("exact", syntheticEntry(100))); n != 2 {
+	if n := len(add("exact", syntheticEntry(100))); n != 2 {
 		t.Fatalf("exact-fit add evicted %d, want 2", n)
 	}
 	if got := c.bytesUsed(); got != 100 || c.len() != 1 {

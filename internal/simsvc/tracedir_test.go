@@ -49,13 +49,13 @@ func TestTraceCacheRefreshUnderRecoderChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &traceEntry{cap: cp, bytes: int64(cp.SizeBytes())}
+	e := &traceEntry{rep: cp, bytes: int64(cp.SizeBytes())}
 	base := e.bytes
 
 	var m Metrics
 	// Budget fits the entry plus a little memo growth, not a lot of it.
 	c := newTraceCache(base+1024, &m)
-	if ev := c.add("dijkstra", e); len(ev) != 0 {
+	if ev, _ := c.add("dijkstra", e); len(ev) != 0 {
 		t.Fatalf("admission evicted %d entries", len(ev))
 	}
 	if c.bytesUsed() != base {
@@ -225,5 +225,101 @@ func TestTraceDirCorruptFileDegrades(t *testing.T) {
 	}
 	if m.TraceSpillLoads != 0 {
 		t.Fatalf("spill loads = %d, want 0", m.TraceSpillLoads)
+	}
+}
+
+// TestTraceDirMappedTier pins the mapped residency tier: a shard warm-started
+// from another shard's SIGCAP02 spills maps the files instead of decoding
+// them, so (a) no interpreter runs, (b) every load is a map load, (c) both
+// benchmarks fit a budget that forced the cold shard to evict — a mapped
+// entry is accounted at roughly index + one frame buffer, not the decoded
+// columns — and (d) the responses stay byte-identical to the cold shard's.
+// With TraceNoMmap the same warm start falls back to eager decoding and the
+// responses still match.
+func TestTraceDirMappedTier(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req1 := Request{Bench: "dijkstra", Model: pipeline.NameByteSerial, Gran: 1}
+	req2 := Request{Bench: "g711dec", Model: pipeline.NameByteSerial, Gran: 1}
+
+	normalize := func(r *Response) string {
+		c := *r
+		c.ElapsedMS = 0
+		c.Cached = false
+		j, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j)
+	}
+
+	// Cold shard: interprets and spills; the 2 MB budget holds only one
+	// decoded (~1.4 MB) capture at a time, so the second bench evicts the
+	// first.
+	cold := testService(t, Config{Workers: 2, TraceCacheMB: 2, TraceDir: dir}, "dijkstra", "g711dec")
+	w1, err := cold.Simulate(ctx, req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cold.Simulate(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cold.TraceMappedEntries(); n != 0 {
+		t.Fatalf("cold shard reports %d mapped entries, want 0 (captures are resident)", n)
+	}
+	if m := cold.Metrics().Snapshot(); m.TraceCacheEvict != 1 {
+		t.Fatalf("cold shard evictions = %d, want 1 (budget fits one decoded capture)", m.TraceCacheEvict)
+	}
+	coldBytes := cold.TraceCacheBytes() // one resident capture
+
+	// Warm shard sharing the dir under the same budget: both entries are
+	// mapped, nothing is interpreted, nothing is evicted.
+	warm := testService(t, Config{Workers: 2, TraceCacheMB: 2, TraceDir: dir}, "dijkstra", "g711dec")
+	g1, err := warm.Simulate(ctx, req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := warm.Simulate(ctx, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := warm.Metrics().Snapshot()
+	if m.Captures != 0 {
+		t.Fatalf("warm shard ran %d interpreter captures, want 0", m.Captures)
+	}
+	if m.TraceSpillLoads != 2 || m.TraceMapLoads != 2 {
+		t.Fatalf("warm shard loads: spill=%d map=%d, want 2/2", m.TraceSpillLoads, m.TraceMapLoads)
+	}
+	if n := warm.TraceMappedEntries(); n != 2 {
+		t.Fatalf("warm shard mapped entries = %d, want 2", n)
+	}
+	if m.TraceCacheEvict != 0 {
+		t.Fatalf("warm shard evicted %d entries; both mapped entries must fit the budget", m.TraceCacheEvict)
+	}
+	if wb := warm.TraceCacheBytes(); wb >= coldBytes/4 {
+		t.Fatalf("two mapped entries account %d bytes, one resident capture %d: mapped tier is not cheap",
+			wb, coldBytes)
+	}
+	if normalize(g1) != normalize(w1) || normalize(g2) != normalize(w2) {
+		t.Fatalf("mapped replay diverges from resident replay:\nmapped:   %s\nresident: %s",
+			normalize(g1), normalize(w1))
+	}
+
+	// TraceNoMmap: same warm start, eager tier only, same answers.
+	eager := testService(t, Config{Workers: 2, TraceCacheMB: 2, TraceDir: dir, TraceNoMmap: true}, "dijkstra", "g711dec")
+	e1, err := eager.Simulate(ctx, req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = eager.Metrics().Snapshot()
+	if m.TraceMapLoads != 0 || m.TraceSpillLoads != 1 {
+		t.Fatalf("TraceNoMmap loads: spill=%d map=%d, want 1/0", m.TraceSpillLoads, m.TraceMapLoads)
+	}
+	if n := eager.TraceMappedEntries(); n != 0 {
+		t.Fatalf("TraceNoMmap shard mapped entries = %d, want 0", n)
+	}
+	if normalize(e1) != normalize(w1) {
+		t.Fatalf("eager warm replay diverges:\neager: %s\ncold:  %s", normalize(e1), normalize(w1))
 	}
 }

@@ -238,6 +238,34 @@ func (cp *Capture) BatchReplay(ctx context.Context, rc *icomp.Recoder, consumers
 // (see the package comment on memory ordering).
 func (cp *Capture) ReplayBlocksOn(ctx context.Context, m *mem.Memory, rc *icomp.Recoder, consumers ...Consumer) error {
 	ifb := cp.ifBytes(rc)
+	sinks := gatherSinks(consumers)
+	blk := Block{Statics: cp.statics, IFB: ifb}
+	n := len(cp.slot)
+	for base := 0; base < n; base += BlockRows {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("trace: replaying %s aborted after %d instructions: %w", cp.bench.Name, base, ctx.Err())
+		default:
+		}
+		hi := base + BlockRows
+		if hi > n {
+			hi = n
+		}
+		endNextPC := cp.lastNextPC
+		if hi < n {
+			endNextPC = cp.pc[hi]
+		}
+		emitSpans(&blk, m, sinks, base,
+			cp.slot[base:hi], cp.pc[base:hi], cp.srcA[base:hi], cp.srcB[base:hi],
+			cp.result[base:hi], cp.sig[base:hi], endNextPC)
+	}
+	return nil
+}
+
+// gatherSinks partitions consumers into the block fan-out set: batch-aware
+// consumers receive blocks directly, everything else rides one shared
+// scalar-compatibility shim.
+func gatherSinks(consumers []Consumer) []BatchConsumer {
 	var sinks []BatchConsumer
 	var scalars []Consumer
 	for _, c := range consumers {
@@ -250,67 +278,62 @@ func (cp *Capture) ReplayBlocksOn(ctx context.Context, m *mem.Memory, rc *icomp.
 	if len(scalars) > 0 {
 		sinks = append(sinks, &scalarShim{consumers: scalars})
 	}
+	return sinks
+}
 
-	blk := Block{Statics: cp.statics, IFB: ifb}
-	n := len(cp.slot)
+// emitSpans fans one contiguous decoded column span out to the sinks,
+// splitting at store rows when a memory image is present: rows [lo, i) are
+// emitted, store i is applied, and the next span starts at i — the store
+// row's own event is observed only after its store has landed, and before
+// any later one, exactly like the scalar loop. Both residency tiers
+// (in-memory ReplayBlocksOn and the streaming frame replayer) share this,
+// so their memory ordering cannot diverge. start is the trace-global index
+// of span row 0; endNextPC is the NextPC of the span's final row. blk
+// carries the Statics/IFB annotation tables and is reused across calls.
+func emitSpans(blk *Block, m *mem.Memory, sinks []BatchConsumer, start int,
+	slot, pc, srcA, srcB, result, sig []uint32, endNextPC uint32) {
+	n := len(slot)
 	emit := func(lo, hi int) {
 		if lo >= hi {
 			return
 		}
-		blk.Start = lo
-		blk.Slot = cp.slot[lo:hi]
-		blk.PC = cp.pc[lo:hi]
-		blk.SrcA = cp.srcA[lo:hi]
-		blk.SrcB = cp.srcB[lo:hi]
-		blk.Result = cp.result[lo:hi]
-		blk.Sig = cp.sig[lo:hi]
+		blk.Start = start + lo
+		blk.Slot = slot[lo:hi]
+		blk.PC = pc[lo:hi]
+		blk.SrcA = srcA[lo:hi]
+		blk.SrcB = srcB[lo:hi]
+		blk.Result = result[lo:hi]
+		blk.Sig = sig[lo:hi]
 		if hi < n {
-			blk.EndNextPC = cp.pc[hi]
+			blk.EndNextPC = pc[hi]
 		} else {
-			blk.EndNextPC = cp.lastNextPC
+			blk.EndNextPC = endNextPC
 		}
 		for _, bc := range sinks {
-			bc.ConsumeBlock(&blk)
+			bc.ConsumeBlock(blk)
 		}
 	}
-
-	for base := 0; base < n; base += BlockRows {
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("trace: replaying %s aborted after %d instructions: %w", cp.bench.Name, base, ctx.Err())
-		default:
-		}
-		hi := base + BlockRows
-		if hi > n {
-			hi = n
-		}
-		if m == nil {
-			emit(base, hi)
+	if m == nil {
+		emit(0, n)
+		return
+	}
+	lo := 0
+	for i := 0; i < n; i++ {
+		st := &blk.Statics[slot[i]&SlotMask]
+		if !st.IsStore {
 			continue
 		}
-		// Split the block at store rows: emit rows before the store, land
-		// the store, then continue with a span that begins at the store row
-		// itself — its event is observed only after its own store, and
-		// before any later one, exactly like the scalar loop.
-		lo := base
-		for i := base; i < hi; i++ {
-			st := &cp.statics[cp.slot[i]&SlotMask]
-			if !st.IsStore {
-				continue
-			}
-			emit(lo, i)
-			addr := cp.srcA[i] + st.Simm
-			switch st.MemWidth {
-			case 1:
-				m.Store8(addr, byte(cp.srcB[i]))
-			case 2:
-				m.Store16(addr, uint16(cp.srcB[i]))
-			default:
-				m.Store32(addr, cp.srcB[i])
-			}
-			lo = i
+		emit(lo, i)
+		addr := srcA[i] + st.Simm
+		switch st.MemWidth {
+		case 1:
+			m.Store8(addr, byte(srcB[i]))
+		case 2:
+			m.Store16(addr, uint16(srcB[i]))
+		default:
+			m.Store32(addr, srcB[i])
 		}
-		emit(lo, hi)
+		lo = i
 	}
-	return nil
+	emit(lo, n)
 }

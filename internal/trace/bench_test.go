@@ -64,3 +64,59 @@ func BenchmarkReplay(b *testing.B) {
 		}
 	}
 }
+
+// batchSink is a BatchConsumer that discards blocks: benchmarks of the
+// replay engines themselves, with no consumer work attached.
+type batchSink struct{}
+
+func (batchSink) Consume(trace.Event)       {}
+func (batchSink) ConsumeBlock(*trace.Block) {}
+
+// BenchmarkReplayBlocks measures the column-block batch path over a fully
+// resident capture — the hot loop of a warm sweep once the trace is decoded.
+func BenchmarkReplayBlocks(b *testing.B) {
+	bm := mustBench(b, "dijkstra")
+	rc := benchRecoder(b)
+	ctx := context.Background()
+	cp, err := trace.CaptureRun(ctx, bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cp.ReplayBlocks(ctx, rc, batchSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayStreamed measures the same batch replay streamed from a
+// mapped SIGCAP02 file: every frame is varint-decoded on the fly into one
+// reused buffer, so replay memory is O(frame) instead of O(trace). The
+// delta against BenchmarkReplayBlocks is the pure per-frame decode cost.
+func BenchmarkReplayStreamed(b *testing.B) {
+	bm := mustBench(b, "dijkstra")
+	rc := benchRecoder(b)
+	ctx := context.Background()
+	cp, err := trace.CaptureRun(ctx, bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := trace.WriteCaptureFile(b.TempDir(), cp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := trace.OpenMappedCapture(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mc.ReplayBlocks(ctx, rc, batchSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -35,6 +35,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -64,6 +65,20 @@ const capFileMaxName = 256
 // capFileMaxStatics bounds the statics table when decoding; real traces
 // hold a few hundred distinct words, so anything near this is corruption.
 const capFileMaxStatics = 1 << 20
+
+// CorruptError reports a structurally invalid capture file: bad magic,
+// truncation, counts that cannot fit the input, CRC mismatch. The trace
+// cache treats it like any load failure — degrade to a cache miss and
+// re-capture — but the type lets callers distinguish a damaged file from
+// an environmental error (permissions, I/O) worth retrying.
+type CorruptError struct {
+	Format string // "SIGCAP01" or "SIGCAP02"
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("trace: corrupt %s capture: %s", e.Format, e.Reason)
+}
 
 // zigzag maps a signed 32-bit delta to an unsigned value with small
 // magnitudes near zero, the standard varint-friendly encoding.
@@ -185,34 +200,81 @@ func (cr *crcReader) ReadByte() (byte, error) {
 	return b, err
 }
 
-// ReadCaptureFrom decodes a SIGCAP01 stream back into a replay-ready
-// Capture. The benchmark named in the header must exist in the served
-// suite (its memory image is rebuilt from the benchmark, not the file).
-// Decoding verifies the trailing CRC; a capture that loads cleanly replays
-// bit-identically to the one that was written.
+// ReadCaptureFrom decodes a persisted capture stream — SIGCAP01 or
+// SIGCAP02, dispatched on the leading magic — back into a fully resident,
+// replay-ready Capture. The benchmark named in the header must exist in the
+// served suite (its memory image is rebuilt from the benchmark, not the
+// file). Decoding verifies every CRC; a capture that loads cleanly replays
+// bit-identically to the one that was written. Structural damage surfaces
+// as a *CorruptError, and header counts are validated against the input
+// size (when the reader exposes one) before any column is allocated, so a
+// corrupt or adversarial header cannot trigger a huge allocation.
 func ReadCaptureFrom(r io.Reader) (*Capture, error) {
+	return readCaptureFrom(r, inputSize(r))
+}
+
+// inputSize reports how many bytes r can still yield, or -1 when unknowable.
+// Known sizes let the header decoders reject impossible counts up front.
+func inputSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case *os.File:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size()
+		}
+	case *bytes.Reader:
+		return int64(v.Len())
+	}
+	return -1
+}
+
+func readCaptureFrom(r io.Reader, size int64) (*Capture, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(len(capMagic))
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, &CorruptError{Format: "capture", Reason: "file truncated"}
+		}
+		return nil, fmt.Errorf("trace: reading capture: %w", err)
+	}
+	switch string(magic) {
+	case capMagic:
+		return readCapture1(br, size)
+	case cap2Magic:
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading capture: %w", err)
+		}
+		return readCapture2Bytes(data)
+	default:
+		return nil, &CorruptError{Format: "capture", Reason: fmt.Sprintf("bad capture magic %q", magic)}
+	}
+}
+
+// readCapture1 decodes the SIGCAP01 single-stream format. size is the total
+// input size when known (-1 otherwise), used to bound header counts before
+// allocation.
+func readCapture1(br *bufio.Reader, size int64) (*Capture, error) {
 	cr := &crcReader{r: br, crc: crc32.NewIEEE()}
 	fail := func(err error) (*Capture, error) {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("trace: capture file truncated")
+			return nil, &CorruptError{Format: capMagic, Reason: "file truncated"}
 		}
 		return nil, fmt.Errorf("trace: reading capture: %w", err)
+	}
+	corrupt := func(format string, args ...any) (*Capture, error) {
+		return nil, &CorruptError{Format: capMagic, Reason: fmt.Sprintf(format, args...)}
 	}
 
 	magic := make([]byte, len(capMagic))
 	if _, err := io.ReadFull(cr, magic); err != nil {
 		return fail(err)
 	}
-	if string(magic) != capMagic {
-		return nil, fmt.Errorf("trace: bad capture magic %q", magic)
-	}
 	nameLen, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return fail(err)
 	}
 	if nameLen > capFileMaxName {
-		return nil, fmt.Errorf("trace: capture bench name length %d", nameLen)
+		return corrupt("bench name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(cr, name); err != nil {
@@ -220,7 +282,7 @@ func ReadCaptureFrom(r io.Reader) (*Capture, error) {
 	}
 	b, ok := bench.ByName(string(name))
 	if !ok {
-		return nil, fmt.Errorf("trace: capture for unknown benchmark %q", name)
+		return corrupt("unknown benchmark %q", name)
 	}
 	cp := NewCapture(b)
 
@@ -229,7 +291,10 @@ func ReadCaptureFrom(r io.Reader) (*Capture, error) {
 		return fail(err)
 	}
 	if nStatics > capFileMaxStatics {
-		return nil, fmt.Errorf("trace: capture statics table size %d", nStatics)
+		return corrupt("statics table size %d", nStatics)
+	}
+	if size >= 0 && nStatics*4 > uint64(size) {
+		return corrupt("statics count %d exceeds %d-byte input", nStatics, size)
 	}
 	cp.statics = make([]Static, nStatics)
 	var word [4]byte
@@ -246,8 +311,11 @@ func ReadCaptureFrom(r io.Reader) (*Capture, error) {
 	if err != nil {
 		return fail(err)
 	}
-	if rows > uint64(b.MaxInsts) {
-		return nil, fmt.Errorf("trace: capture rows %d exceed %s's limit %d", rows, b.Name, b.MaxInsts)
+	if rows > b.MaxInsts {
+		return corrupt("rows %d exceed %s's limit %d", rows, b.Name, b.MaxInsts)
+	}
+	if size >= 0 && rows*cap2MinRowBytes > uint64(size) {
+		return corrupt("rows %d cannot fit %d-byte input", rows, size)
 	}
 	n := int(rows)
 	if _, err := io.ReadFull(cr, word[:]); err != nil {
@@ -267,7 +335,7 @@ func ReadCaptureFrom(r io.Reader) (*Capture, error) {
 			return fail(err)
 		}
 		if s >= nStatics {
-			return nil, fmt.Errorf("trace: capture row %d references slot %d of %d", i, s, nStatics)
+			return corrupt("row %d references slot %d of %d", i, s, nStatics)
 		}
 		sw := uint32(s)
 		if taken[i>>3]&(1<<(i&7)) != 0 {
@@ -307,7 +375,7 @@ func ReadCaptureFrom(r io.Reader) (*Capture, error) {
 			return fail(err)
 		}
 		if d > 1<<32-1 {
-			return nil, fmt.Errorf("trace: capture row %d sig delta overflows", i)
+			return corrupt("row %d sig delta overflows", i)
 		}
 		s := cp.slot[i] & SlotMask
 		prev[s] ^= uint32(d)
@@ -319,7 +387,7 @@ func ReadCaptureFrom(r io.Reader) (*Capture, error) {
 		return fail(err)
 	}
 	if got := binary.LittleEndian.Uint32(word[:]); got != sum {
-		return nil, fmt.Errorf("trace: capture CRC mismatch: file %#08x, computed %#08x", got, sum)
+		return corrupt("CRC mismatch: file %#08x, computed %#08x", got, sum)
 	}
 	return cp, nil
 }
@@ -332,7 +400,9 @@ func CaptureFilePath(dir, benchName string) string {
 
 // WriteCaptureFile persists cp under dir at its conventional path,
 // atomically (tmp + rename), so concurrent readers never observe a partial
-// file. It returns the final path.
+// file. It returns the final path. New files are written as SIGCAP02 so
+// they are mmap-servable (OpenMappedCapture); ReadCaptureFile still reads
+// SIGCAP01 spills from before the format switch.
 func WriteCaptureFile(dir string, cp *Capture) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
@@ -342,7 +412,7 @@ func WriteCaptureFile(dir string, cp *Capture) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if _, err := cp.WriteTo(tmp); err != nil {
+	if _, err := cp.WriteTo2(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return "", err
@@ -363,12 +433,37 @@ func WriteCaptureFile(dir string, cp *Capture) (string, error) {
 	return path, nil
 }
 
-// ReadCaptureFile loads a SIGCAP01 file written by WriteCaptureFile.
+// ReadCaptureFile eagerly loads a capture file written by WriteCaptureFile,
+// either format. SIGCAP02 files decode through their footer index with one
+// reused frame buffer (no whole-file copy); for the lazy O(index) tier use
+// OpenMappedCapture instead.
 func ReadCaptureFile(path string) (*Capture, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [len(cap2Magic)]byte
+	if _, err := f.ReadAt(magic[:], 0); err == nil && string(magic[:]) == cap2Magic {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		ix, err := openCap2Index(f, fi.Size())
+		if err != nil {
+			return nil, err
+		}
+		var buf []byte
+		return ix.decodeAll(func(fr cap2Frame) ([]byte, error) {
+			if int(fr.len) > cap(buf) {
+				buf = make([]byte, fr.len)
+			}
+			b := buf[:fr.len]
+			if _, err := f.ReadAt(b, fr.off); err != nil {
+				return nil, err
+			}
+			return b, nil
+		})
+	}
 	return ReadCaptureFrom(f)
 }

@@ -1,0 +1,158 @@
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestCaptureFile2RoundTrip serializes each test bench as SIGCAP02,
+// decodes it through the io.Reader entry point (magic dispatch), and
+// demands a bit-identical replay plus a canonical re-encoding.
+func TestCaptureFile2RoundTrip(t *testing.T) {
+	for _, name := range captureTestBenches {
+		cp, err := trace.CaptureRun(context.Background(), mustBench(t, name))
+		if err != nil {
+			t.Fatalf("%s: CaptureRun: %v", name, err)
+		}
+		var buf bytes.Buffer
+		n, err := cp.WriteTo2(&buf)
+		if err != nil {
+			t.Fatalf("%s: WriteTo2: %v", name, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("%s: WriteTo2 reported %d bytes, wrote %d", name, n, buf.Len())
+		}
+		got, err := trace.ReadCaptureFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadCaptureFrom: %v", name, err)
+		}
+		if got.Len() != cp.Len() || got.Statics() != cp.Statics() || got.Bench().Name != name {
+			t.Fatalf("%s: decoded %d rows/%d statics/%q, want %d/%d/%q",
+				name, got.Len(), got.Statics(), got.Bench().Name, cp.Len(), cp.Statics(), name)
+		}
+		want := replayEvents(t, cp)
+		have := replayEvents(t, got)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("%s: event %d diverges after v2 round trip", name, i)
+			}
+		}
+		// Round-trip must be byte-stable: the decoded capture re-encodes
+		// to exactly the bytes it came from.
+		var again bytes.Buffer
+		if _, err := got.WriteTo2(&again); err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("%s: re-encoded SIGCAP02 differs (%d vs %d bytes)", name, buf.Len(), again.Len())
+		}
+	}
+}
+
+// TestCaptureFile2Corruption damages every structural region of a SIGCAP02
+// image — leading magic, trailing magic, footer, header, frame payload,
+// truncation — and requires the decoder to reject each with a
+// *CorruptError instead of panicking or replaying garbage.
+func TestCaptureFile2Corruption(t *testing.T) {
+	cp, err := trace.CaptureRun(context.Background(), mustBench(t, captureTestBenches[0]))
+	if err != nil {
+		t.Fatalf("CaptureRun: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo2(&buf); err != nil {
+		t.Fatalf("WriteTo2: %v", err)
+	}
+	good := buf.Bytes()
+
+	check := func(label string, bad []byte) {
+		t.Helper()
+		_, err := trace.ReadCaptureFrom(bytes.NewReader(bad))
+		if err == nil {
+			t.Errorf("%s accepted", label)
+			return
+		}
+		var ce *trace.CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v, want CorruptError", label, err)
+		}
+	}
+
+	flip := func(at int) []byte {
+		bad := bytes.Clone(good)
+		bad[at] ^= 0x10
+		return bad
+	}
+	check("flipped leading magic", flip(0))
+	check("flipped trailing magic", flip(len(good)-1))
+	check("flipped footer-offset byte", flip(len(good)-14))
+	check("flipped header byte", flip(10))
+	check("flipped frame payload byte", flip(len(good)/2))
+	for _, cut := range []int{4, 40, len(good) / 2, len(good) - 2} {
+		check("truncation", good[:cut])
+	}
+}
+
+// TestCaptureFile2AdversarialHeader pins the hardened header handling: a
+// header claiming counts that cannot possibly fit the input must be
+// rejected (typed) before any column allocation — in both formats.
+func TestCaptureFile2AdversarialHeader(t *testing.T) {
+	var scratch [binary.MaxVarintLen64]byte
+	v1 := []byte("SIGCAP01")
+	v1 = append(v1, byte(len("dijkstra")))
+	v1 = append(v1, "dijkstra"...)
+	// statics count claiming ~1M entries in a few-byte file.
+	n := binary.PutUvarint(scratch[:], 1<<19)
+	v1 = append(v1, scratch[:n]...)
+	_, err := trace.ReadCaptureFrom(bytes.NewReader(v1))
+	var ce *trace.CorruptError
+	if !errors.As(err, &ce) {
+		t.Errorf("v1 oversized statics claim: %v, want CorruptError", err)
+	}
+
+	// Same attack on the rows field: tiny but valid statics table, then an
+	// enormous row count.
+	v1b := []byte("SIGCAP01")
+	v1b = append(v1b, byte(len("dijkstra")))
+	v1b = append(v1b, "dijkstra"...)
+	v1b = append(v1b, 1)          // one static
+	v1b = append(v1b, 0, 0, 0, 0) // raw word
+	n = binary.PutUvarint(scratch[:], 1<<21)
+	v1b = append(v1b, scratch[:n]...)
+	if _, err := trace.ReadCaptureFrom(bytes.NewReader(v1b)); !errors.As(err, &ce) {
+		t.Errorf("v1 oversized rows claim: %v, want CorruptError", err)
+	}
+}
+
+// TestOpenMappedCaptureRejectsV1 checks the mapped tier refuses SIGCAP01
+// files cleanly (no trailing index to map) so the cache falls back to the
+// eager decode path for pre-migration spills.
+func TestOpenMappedCaptureRejectsV1(t *testing.T) {
+	cp, err := trace.CaptureRun(context.Background(), mustBench(t, captureTestBenches[0]))
+	if err != nil {
+		t.Fatalf("CaptureRun: %v", err)
+	}
+	dir := t.TempDir()
+	path := trace.CaptureFilePath(dir, cp.Bench().Name)
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = trace.OpenMappedCapture(path)
+	var ce *trace.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("OpenMappedCapture on SIGCAP01: %v, want CorruptError", err)
+	}
+	// The eager reader still takes it.
+	if _, err := trace.ReadCaptureFile(path); err != nil {
+		t.Fatalf("ReadCaptureFile on SIGCAP01: %v", err)
+	}
+}

@@ -80,14 +80,24 @@ func TestCaptureFileBytesPerInst(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: CaptureRun: %v", b.Name, err)
 		}
-		var buf bytes.Buffer
+		var buf, buf2 bytes.Buffer
 		if _, err := cp.WriteTo(&buf); err != nil {
 			t.Fatalf("%s: WriteTo: %v", b.Name, err)
 		}
+		if _, err := cp.WriteTo2(&buf2); err != nil {
+			t.Fatalf("%s: WriteTo2: %v", b.Name, err)
+		}
 		perInst := float64(buf.Len()) / float64(cp.Len())
-		t.Logf("%s: %d insts, %d bytes, %.2f B/inst", b.Name, cp.Len(), buf.Len(), perInst)
+		perInst2 := float64(buf2.Len()) / float64(cp.Len())
+		t.Logf("%s: %d insts, v1 %d bytes (%.2f B/inst), v2 %d bytes (%.2f B/inst)",
+			b.Name, cp.Len(), buf.Len(), perInst, buf2.Len(), perInst2)
 		if perInst > trace.CapFileMaxBytesPerInst {
-			t.Errorf("%s: %.2f B/inst exceeds budget %d", b.Name, perInst, trace.CapFileMaxBytesPerInst)
+			t.Errorf("%s: v1 %.2f B/inst exceeds budget %d", b.Name, perInst, trace.CapFileMaxBytesPerInst)
+		}
+		// The frame-independence overhead (predictor resets + footer index)
+		// must stay inside the same budget.
+		if perInst2 > trace.CapFileMaxBytesPerInst {
+			t.Errorf("%s: v2 %.2f B/inst exceeds budget %d", b.Name, perInst2, trace.CapFileMaxBytesPerInst)
 		}
 	}
 }
@@ -158,36 +168,52 @@ func TestCaptureFileDir(t *testing.T) {
 	}
 }
 
-// TestCaptureFileGolden pins the on-disk format: the committed golden file
-// must keep decoding to a capture that replays bit-identically to a fresh
-// capture of the same benchmark. Any change to the SIGCAP01 layout breaks
-// this test — bump the magic and regenerate with -update.
+// TestCaptureFileGolden pins both on-disk formats: each committed golden
+// file must keep decoding to a capture that replays bit-identically to a
+// fresh capture of the same benchmark. The SIGCAP01 golden additionally
+// guards the compatibility promise that pre-SIGCAP02 spill directories
+// stay readable. Any layout change breaks this test — bump the magic and
+// regenerate with -update.
 func TestCaptureFileGolden(t *testing.T) {
 	const goldenBench = "dijkstra"
-	golden := filepath.Join("testdata", goldenBench+trace.CapFileExt)
 	fresh, err := trace.CaptureRun(context.Background(), mustBench(t, goldenBench))
 	if err != nil {
 		t.Fatalf("CaptureRun: %v", err)
 	}
-	if *updateGolden {
-		if _, err := trace.WriteCaptureFile("testdata", fresh); err != nil {
-			t.Fatalf("regenerating golden: %v", err)
-		}
-		t.Logf("regenerated %s", golden)
-	}
-	got, err := trace.ReadCaptureFile(golden)
-	if err != nil {
-		t.Fatalf("golden capture unreadable (regenerate with -update after a format change): %v", err)
-	}
 	want := replayEvents(t, fresh)
-	have := replayEvents(t, got)
-	if len(want) != len(have) {
-		t.Fatalf("golden replays %d events, fresh capture %d", len(have), len(want))
-	}
-	for i := range want {
-		if want[i] != have[i] {
-			t.Fatalf("golden capture event %d diverges from fresh capture\nfresh:  %+v\ngolden: %+v",
-				i, want[i], have[i])
+	for _, tc := range []struct {
+		format string
+		path   string
+		write  func(*trace.Capture, *bytes.Buffer) error
+	}{
+		{"SIGCAP01", filepath.Join("testdata", goldenBench+trace.CapFileExt),
+			func(cp *trace.Capture, buf *bytes.Buffer) error { _, err := cp.WriteTo(buf); return err }},
+		{"SIGCAP02", filepath.Join("testdata", goldenBench+trace.CapFileExt+"2"),
+			func(cp *trace.Capture, buf *bytes.Buffer) error { _, err := cp.WriteTo2(buf); return err }},
+	} {
+		if *updateGolden {
+			var buf bytes.Buffer
+			if err := tc.write(fresh, &buf); err != nil {
+				t.Fatalf("%s: regenerating golden: %v", tc.format, err)
+			}
+			if err := os.WriteFile(tc.path, buf.Bytes(), 0o644); err != nil {
+				t.Fatalf("%s: regenerating golden: %v", tc.format, err)
+			}
+			t.Logf("regenerated %s", tc.path)
+		}
+		got, err := trace.ReadCaptureFile(tc.path)
+		if err != nil {
+			t.Fatalf("%s golden unreadable (regenerate with -update after a format change): %v", tc.format, err)
+		}
+		have := replayEvents(t, got)
+		if len(want) != len(have) {
+			t.Fatalf("%s golden replays %d events, fresh capture %d", tc.format, len(have), len(want))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("%s golden event %d diverges from fresh capture\nfresh:  %+v\ngolden: %+v",
+					tc.format, i, want[i], have[i])
+			}
 		}
 	}
 }

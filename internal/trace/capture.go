@@ -109,6 +109,89 @@ const ifbMemoOverhead = 144
 // letting the map retain every recoding ever replayed.
 const maxIFBMemos = 4
 
+// Replayer is the read side of a recorded trace: everything the serving and
+// evaluation layers need to fan a captured benchmark out to consumers. It is
+// satisfied by both residency tiers of a capture — the fully decoded
+// in-memory Capture and the mmap-backed MappedCapture (stream.go), whose
+// replay memory is O(frame) instead of O(trace). The two are byte-identical
+// by test, so callers choose a tier purely on memory/latency grounds.
+type Replayer interface {
+	// Bench returns the benchmark the trace recorded.
+	Bench() bench.Benchmark
+	// Len returns the number of recorded instructions.
+	Len() int
+	// SizeBytes estimates the replayer's resident memory (what a
+	// byte-budgeted cache should charge for holding it).
+	SizeBytes() int
+	// NewMemory rebuilds the benchmark's initial memory image, for
+	// consumers that read program memory during replay.
+	NewMemory() (*mem.Memory, error)
+	// ClearMemos drops memoized per-recoder fetch-size tables.
+	ClearMemos()
+	// ReplayOn is the scalar (event-at-a-time) replay over a caller
+	// memory image; see Capture.ReplayOn for the contract.
+	ReplayOn(ctx context.Context, m *mem.Memory, rc *icomp.Recoder, consumers ...Consumer) error
+	// ReplayBlocks is batch replay without a memory image.
+	ReplayBlocks(ctx context.Context, rc *icomp.Recoder, consumers ...Consumer) error
+	// ReplayBlocksOn is batch replay over a caller memory image; see
+	// Capture.ReplayBlocksOn for the memory-ordering contract.
+	ReplayBlocksOn(ctx context.Context, m *mem.Memory, rc *icomp.Recoder, consumers ...Consumer) error
+}
+
+// ifbMemo memoizes per-slot compressed fetch sizes per recoder profile:
+// IFBytes is static per (raw word, recoding), so one pass over the statics
+// table serves every instruction of a replay, and keying by icomp.Profile
+// (not recoder pointer) lets distinct Recoder instances with the same
+// recoding share one table. order tracks insertion so the memo stays
+// bounded (maxIFBMemos, oldest dropped). Both capture tiers embed one.
+type ifbMemo struct {
+	mu    sync.Mutex
+	tabs  map[icomp.Profile][]uint8
+	order []icomp.Profile
+}
+
+// tableFor returns the per-statics-slot fetch-size table under rc,
+// computing it once per recoder profile.
+func (mm *ifbMemo) tableFor(rc *icomp.Recoder, statics []Static) []uint8 {
+	key := rc.Profile()
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if t, ok := mm.tabs[key]; ok {
+		return t
+	}
+	t := make([]uint8, len(statics))
+	for i := range statics {
+		t[i] = uint8(rc.FetchBytes(statics[i].Inst.Raw))
+	}
+	if mm.tabs == nil {
+		mm.tabs = make(map[icomp.Profile][]uint8, 1)
+	}
+	for len(mm.tabs) >= maxIFBMemos {
+		delete(mm.tabs, mm.order[0])
+		mm.order = mm.order[1:]
+	}
+	mm.tabs[key] = t
+	mm.order = append(mm.order, key)
+	return t
+}
+
+// clear drops every memoized table; replays rebuild them on demand.
+func (mm *ifbMemo) clear() {
+	mm.mu.Lock()
+	mm.tabs = nil
+	mm.order = nil
+	mm.mu.Unlock()
+}
+
+// sizeBytes estimates the memo's resident footprint for a statics table of
+// nStatics entries.
+func (mm *ifbMemo) sizeBytes(nStatics int) int {
+	mm.mu.Lock()
+	n := len(mm.tabs)
+	mm.mu.Unlock()
+	return n * (nStatics + ifbMemoOverhead)
+}
+
 // Capture is one benchmark's recorded trace. Record it by running the
 // benchmark to completion (CaptureRun, or Consume riding along any live
 // run); once complete it is immutable and safe for concurrent Replays.
@@ -126,15 +209,7 @@ type Capture struct {
 
 	lastNextPC uint32 // NextPC of the final instruction (no successor row)
 
-	// ifb memoizes the per-slot compressed fetch size per recoder profile:
-	// IFBytes is static per (raw word, recoding), so one pass over the
-	// statics table serves every instruction of a replay, and keying by
-	// icomp.Profile (not recoder pointer) lets distinct Recoder instances
-	// with the same recoding share one table. ifbOrder tracks insertion
-	// order so the memo can be bounded (maxIFBMemos, oldest dropped).
-	ifbMu    sync.Mutex
-	ifb      map[icomp.Profile][]uint8
-	ifbOrder []icomp.Profile
+	memo ifbMemo // per-recoder-profile fetch-size tables
 }
 
 // NewCapture returns an empty capture for b, ready to record (via Consume
@@ -309,21 +384,13 @@ func (cp *Capture) Statics() int { return len(cp.statics) }
 // everything a cached capture actually keeps resident, not just its columns.
 func (cp *Capture) SizeBytes() int {
 	cols := cap(cp.slot) + cap(cp.pc) + cap(cp.srcA) + cap(cp.srcB) + cap(cp.result) + cap(cp.sig)
-	cp.ifbMu.Lock()
-	memos := len(cp.ifb) * (len(cp.statics) + ifbMemoOverhead)
-	cp.ifbMu.Unlock()
-	return cols*4 + len(cp.statics)*staticSize + memos
+	return cols*4 + len(cp.statics)*staticSize + cp.memo.sizeBytes(len(cp.statics))
 }
 
 // ClearMemos drops every memoized per-recoder fetch-size table, releasing
 // the memory SizeBytes attributes to them. Replays rebuild tables on demand;
 // the capture itself is untouched.
-func (cp *Capture) ClearMemos() {
-	cp.ifbMu.Lock()
-	cp.ifb = nil
-	cp.ifbOrder = nil
-	cp.ifbMu.Unlock()
-}
+func (cp *Capture) ClearMemos() { cp.memo.clear() }
 
 // FunctCounts tallies the dynamic R-format function-code frequencies of the
 // recorded trace — the per-benchmark input to the paper's Table 3 recoding,
@@ -358,26 +425,7 @@ func (cp *Capture) NewMemory() (*mem.Memory, error) {
 // footprint stays bounded no matter how many distinct recodings replay
 // against it over its cached lifetime.
 func (cp *Capture) ifBytes(rc *icomp.Recoder) []uint8 {
-	key := rc.Profile()
-	cp.ifbMu.Lock()
-	defer cp.ifbMu.Unlock()
-	if t, ok := cp.ifb[key]; ok {
-		return t
-	}
-	t := make([]uint8, len(cp.statics))
-	for i := range cp.statics {
-		t[i] = uint8(rc.FetchBytes(cp.statics[i].Inst.Raw))
-	}
-	if cp.ifb == nil {
-		cp.ifb = make(map[icomp.Profile][]uint8, 1)
-	}
-	for len(cp.ifb) >= maxIFBMemos {
-		delete(cp.ifb, cp.ifbOrder[0])
-		cp.ifbOrder = cp.ifbOrder[1:]
-	}
-	cp.ifb[key] = t
-	cp.ifbOrder = append(cp.ifbOrder, key)
-	return t
+	return cp.memo.tableFor(rc, cp.statics)
 }
 
 // Replay re-annotates the recorded trace under rc and fans every event out

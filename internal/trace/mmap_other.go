@@ -1,0 +1,17 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package trace
+
+// Platforms without a wired-up mmap read frames through io.ReaderAt
+// instead (see MappedCapture.framePayload): identical replay semantics,
+// one frame-sized copy per decode.
+
+import "errors"
+
+const mmapSupported = false
+
+func mmapFile(fd int, size int64) ([]byte, error) {
+	return nil, errors.New("trace: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package trace
+
+// Read-only file mapping via the stdlib syscall package. The repo carries
+// no external dependencies, so golang.org/x/sys is deliberately not used;
+// on the platforms above syscall.Mmap has identical semantics. Other
+// platforms fall back to io.ReaderAt frame reads (mmap_other.go) — same
+// bytes, same replay results, one copy per frame instead of zero.
+
+import "syscall"
+
+const mmapSupported = true
+
+// mmapFile maps fd read-only for its first size bytes. MAP_SHARED keeps
+// the pages backed by the page cache, so co-located shards mapping the
+// same capture file share one physical copy.
+func mmapFile(fd int, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(fd, 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }
